@@ -1,0 +1,80 @@
+//! The non-private GPU baseline (Table 4 upper bound).
+//!
+//! Functionally identical to plain float execution; exists so the
+//! benchmark harness has a named, instrumented "unprotected GPUs"
+//! configuration (no encoding, no enclave, no privacy guarantee — the
+//! paper's Table 4 row).
+
+use dk_linalg::Tensor;
+use dk_nn::loss::softmax_cross_entropy;
+use dk_nn::optim::Sgd;
+use dk_nn::Sequential;
+
+/// Counters for the plain-GPU run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainGpuStats {
+    /// Forward+backward linear MACs executed (all on GPU).
+    pub steps: u64,
+}
+
+/// Trains/infers with no protection at all.
+#[derive(Debug, Default)]
+pub struct PlainGpuRunner {
+    stats: PlainGpuStats,
+}
+
+impl PlainGpuRunner {
+    /// Creates the runner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PlainGpuStats {
+        self.stats
+    }
+
+    /// Unprotected forward pass.
+    pub fn forward(&mut self, model: &mut Sequential, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        model.forward(x, train)
+    }
+
+    /// Unprotected training step; returns the loss.
+    pub fn train_step(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor<f32>,
+        labels: &[usize],
+        sgd: &mut Sgd,
+    ) -> f32 {
+        self.stats.steps += 1;
+        model.zero_grad();
+        let logits = model.forward(x, true);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
+        model.backward(&dlogits);
+        sgd.step(model);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_nn::arch::mini_mobilenet;
+
+    #[test]
+    fn trains_without_protection() {
+        let mut runner = PlainGpuRunner::new();
+        let mut m = mini_mobilenet(8, 4, 1);
+        let mut sgd = Sgd::new(0.05);
+        let x = Tensor::from_fn(&[4, 3, 8, 8], |i| ((i % 11) as f32 - 5.0) * 0.08);
+        let labels = [0usize, 1, 2, 3];
+        let first = runner.train_step(&mut m, &x, &labels, &mut sgd);
+        let mut last = first;
+        for _ in 0..10 {
+            last = runner.train_step(&mut m, &x, &labels, &mut sgd);
+        }
+        assert!(last < first);
+        assert_eq!(runner.stats().steps, 11);
+    }
+}

@@ -1,0 +1,121 @@
+//! The SGX-only baseline: the whole model runs inside the enclave.
+//!
+//! Functionally this is plain float execution; the point of the wrapper
+//! is *memory accounting* — every activation and weight access is
+//! charged against the enclave's protected-memory budget, so the paging
+//! behaviour that dominates the paper's baseline measurements (Table 1,
+//! Fig. 7) is observable.
+
+use dk_linalg::Tensor;
+use dk_nn::loss::softmax_cross_entropy;
+use dk_nn::optim::Sgd;
+use dk_nn::Sequential;
+use dk_tee::{Enclave, EpcConfig};
+
+/// Runs models fully inside the enclave simulator.
+#[derive(Debug)]
+pub struct SgxOnlyRunner {
+    enclave: Enclave,
+}
+
+impl SgxOnlyRunner {
+    /// Creates a runner with the given protected-memory budget.
+    pub fn new(epc: EpcConfig) -> Self {
+        Self { enclave: Enclave::new(epc, b"sgx-only-baseline") }
+    }
+
+    /// Creates a runner with the paper's SGXv1 budget.
+    pub fn sgx_v1() -> Self {
+        Self::new(EpcConfig::sgx_v1())
+    }
+
+    /// Enclave statistics (peak memory, paging events).
+    pub fn enclave_stats(&self) -> dk_tee::MemoryStats {
+        self.enclave.stats()
+    }
+
+    /// Charges the model's parameter residency once (weights live in
+    /// the enclave for the whole run in this baseline).
+    pub fn load_model(&mut self, model: &mut Sequential) {
+        let params = model.num_params();
+        let _ = self.enclave.alloc_paged(params * 4 * 2); // weights + grads
+    }
+
+    /// In-enclave forward pass with memory accounting per layer.
+    pub fn forward(&mut self, model: &mut Sequential, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        // Walk layers manually so each activation allocation is charged.
+        let mut h = x.clone();
+        let _ = self.enclave.alloc_paged(h.len() * 4);
+        for layer in model.layers_mut() {
+            let out = layer.forward(&h, train);
+            let _ = self.enclave.alloc_paged(out.len() * 4);
+            // The previous activation must stay resident for backward;
+            // this baseline keeps everything in (paged) enclave memory.
+            h = out;
+        }
+        h
+    }
+
+    /// In-enclave training step.
+    pub fn train_step(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor<f32>,
+        labels: &[usize],
+        sgd: &mut Sgd,
+    ) -> f32 {
+        model.zero_grad();
+        let logits = self.forward(model, x, true);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
+        let _ = self.enclave.alloc_paged(dlogits.len() * 4);
+        model.backward(&dlogits);
+        sgd.step(model);
+        // Activations/gradients of this step are dead now.
+        let current = self.enclave.stats().current_bytes;
+        let _ = self.enclave.release(current.min(current));
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_nn::arch::mini_vgg;
+
+    #[test]
+    fn forward_matches_plain_model() {
+        let mut runner = SgxOnlyRunner::sgx_v1();
+        let mut m1 = mini_vgg(16, 10, 5);
+        let mut m2 = mini_vgg(16, 10, 5);
+        let x = Tensor::from_fn(&[2, 3, 16, 16], |i| (i % 7) as f32 * 0.1);
+        let a = runner.forward(&mut m1, &x, false);
+        let b = m2.forward(&x, false);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn memory_is_charged() {
+        let mut runner = SgxOnlyRunner::new(EpcConfig::with_capacity(1024));
+        let mut m = mini_vgg(16, 10, 6);
+        runner.load_model(&mut m);
+        let x = Tensor::from_fn(&[2, 3, 16, 16], |i| (i % 5) as f32 * 0.1);
+        let _ = runner.forward(&mut m, &x, false);
+        let stats = runner.enclave_stats();
+        assert!(stats.peak_bytes > 1024, "working set should exceed the tiny EPC");
+        assert!(stats.paging_events > 0, "tiny EPC must cause paging");
+    }
+
+    #[test]
+    fn training_works_in_enclave() {
+        let mut runner = SgxOnlyRunner::sgx_v1();
+        let mut m = mini_vgg(8, 4, 7);
+        let mut sgd = Sgd::new(0.05);
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 9) as f32 - 4.0) * 0.1);
+        let first = runner.train_step(&mut m, &x, &[0, 1], &mut sgd);
+        let mut last = first;
+        for _ in 0..10 {
+            last = runner.train_step(&mut m, &x, &[0, 1], &mut sgd);
+        }
+        assert!(last < first, "first={first} last={last}");
+    }
+}

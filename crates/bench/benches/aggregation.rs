@@ -1,0 +1,68 @@
+//! Algorithm 2 measured: the real seal → evict → reload → unseal →
+//! aggregate pipeline for per-virtual-batch weight updates, swept over
+//! the virtual batch size. This is the measured counterpart of Fig. 3:
+//! larger K ⇒ fewer virtual batches ⇒ fewer sealing rounds for the same
+//! 128-image batch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dk_tee::crypto::{bytes_to_f32s, f32s_to_bytes};
+use dk_tee::{Enclave, EpcConfig, UntrustedStore};
+
+/// One Algorithm 2 round for a model with `params` weights, batch 128,
+/// virtual batch `k`: V seal+evict rounds, then shard-wise reload and
+/// aggregation.
+fn algorithm2_round(params: usize, k: usize, shard: usize) -> Vec<f32> {
+    let mut enclave = Enclave::new(EpcConfig::sgx_v1(), b"bench");
+    let mut store = UntrustedStore::new();
+    let v_count = 128 / k;
+    let grad: Vec<f32> = (0..params).map(|i| (i % 97) as f32 * 1e-4).collect();
+    let shards = params.div_ceil(shard);
+    for v in 0..v_count {
+        for s in 0..shards {
+            let lo = s * shard;
+            let hi = (lo + shard).min(params);
+            let blob = enclave.seal(&f32s_to_bytes(&grad[lo..hi]));
+            store.put((v * shards + s) as u64, blob);
+        }
+    }
+    let mut agg = vec![0.0f32; params];
+    for s in 0..shards {
+        let lo = s * shard;
+        for v in 0..v_count {
+            let blob = store.remove((v * shards + s) as u64).expect("stored");
+            let shard_vals = bytes_to_f32s(&enclave.unseal(&blob).expect("authentic"));
+            for (a, g) in agg[lo..].iter_mut().zip(shard_vals) {
+                *a += g;
+            }
+        }
+    }
+    agg
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let params = 50_000; // mini-model-scale gradient vector
+    let mut g = c.benchmark_group("algorithm2_batch128");
+    g.sample_size(10);
+    for k in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("virtual_batch", k), &k, |b, &k| {
+            b.iter(|| black_box(algorithm2_round(params, k, 8_192)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_shard_size_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: sealing granularity sweep at fixed K.
+    let params = 50_000;
+    let mut g = c.benchmark_group("algorithm2_shard_size");
+    g.sample_size(10);
+    for shard in [512usize, 4_096, 32_768] {
+        g.bench_with_input(BenchmarkId::new("shard", shard), &shard, |b, &shard| {
+            b.iter(|| black_box(algorithm2_round(params, 4, shard)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregation, bench_shard_size_ablation);
+criterion_main!(benches);

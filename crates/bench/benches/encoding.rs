@@ -1,0 +1,46 @@
+//! Encode/decode throughput vs virtual batch size — the measured kernel
+//! behind Fig. 6b's blinding/unblinding series.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dk_core::EncodingScheme;
+use dk_field::{FieldRng, P25};
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let n = 16_384; // elements per activation vector
+    let mut g = c.benchmark_group("encoding");
+    for k in [1usize, 2, 4, 6] {
+        let mut rng = FieldRng::seed_from(k as u64);
+        let scheme = EncodingScheme::generate(k, 1, false, &mut rng);
+        let inputs: Vec<Vec<_>> = (0..k).map(|_| rng.uniform_vec::<P25>(n)).collect();
+        let noise = vec![rng.uniform_vec::<P25>(n)];
+        // Throughput in *useful* elements: K vectors of n.
+        g.throughput(Throughput::Elements((k * n) as u64));
+        g.bench_with_input(BenchmarkId::new("encode", k), &k, |b, _| {
+            b.iter(|| black_box(scheme.encode(&inputs, &noise)))
+        });
+        let encodings = scheme.encode(&inputs, &noise);
+        g.bench_with_input(BenchmarkId::new("decode", k), &k, |b, _| {
+            b.iter(|| black_box(scheme.decode_forward(&encodings, 0).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_backward_decode(c: &mut Criterion) {
+    let n = 16_384;
+    let mut g = c.benchmark_group("backward_decode");
+    for k in [2usize, 4] {
+        let mut rng = FieldRng::seed_from(10 + k as u64);
+        let scheme = EncodingScheme::generate(k, 1, false, &mut rng);
+        let eqs: Vec<Vec<_>> =
+            (0..scheme.num_encodings()).map(|_| rng.uniform_vec::<P25>(n)).collect();
+        g.throughput(Throughput::Elements(((k + 1) * n) as u64));
+        g.bench_with_input(BenchmarkId::new("gamma_sum", k), &k, |b, _| {
+            b.iter(|| black_box(scheme.decode_backward(&eqs)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_backward_decode);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Kernel benchmarks: field arithmetic primitives on the DarKnight hot
+//! path (quantization, masking, decoding all reduce to these).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dk_field::{F25, FieldMatrix, FieldRng, P25};
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let mut rng = FieldRng::seed_from(1);
+    let xs: Vec<F25> = (0..4096).map(|_| rng.uniform_nonzero()).collect();
+    let ys: Vec<F25> = (0..4096).map(|_| rng.uniform_nonzero()).collect();
+
+    let mut g = c.benchmark_group("field_scalar");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("mul_4096", |b| {
+        b.iter(|| {
+            let mut acc = F25::ZERO;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc += x * y;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("mul_add_4096", |b| {
+        b.iter(|| {
+            let mut acc = F25::ZERO;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc = F25::mul_add(x, y, acc);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("inv_single", |b| {
+        let x = xs[17];
+        b.iter(|| black_box(x.inv()))
+    });
+    g.bench_function("batch_invert_4096", |b| {
+        b.iter(|| {
+            let mut v = xs.clone();
+            F25::batch_invert(&mut v);
+            black_box(v)
+        })
+    });
+    g.finish();
+}
+
+fn bench_matrix_ops(c: &mut Criterion) {
+    let mut rng = FieldRng::seed_from(2);
+    let mut g = c.benchmark_group("field_matrix");
+    for n in [3usize, 5, 9] {
+        let m = FieldMatrix::<P25>::random_invertible(n, &mut rng);
+        g.bench_function(format!("inverse_{n}x{n}"), |b| b.iter(|| black_box(m.inverse())));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalar_ops, bench_matrix_ops);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bilinear kernels in both domains — the measured counterpart of
+//! Table 1's linear-op rows: the same convolution in f32 (TEE/reference
+//! path) and `F_p` (GPU worker path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dk_field::F25;
+use dk_linalg::conv::{conv2d_backward_weight, conv2d_forward};
+use dk_linalg::{matmul, Conv2dShape, Tensor};
+
+fn bench_conv(c: &mut Criterion) {
+    let shape = Conv2dShape::simple(16, 32, 3, 1, 1);
+    let hw = 16usize;
+    let macs = shape.forward_macs(1, (hw, hw));
+    let xf = Tensor::<f32>::from_fn(&[1, 16, hw, hw], |i| ((i % 13) as f32 - 6.0) * 0.1);
+    let wf = Tensor::<f32>::from_fn(&shape.weight_shape(), |i| ((i % 7) as f32 - 3.0) * 0.05);
+    let xq: Tensor<F25> = xf.map(|v| F25::from_i64((v * 64.0) as i64));
+    let wq: Tensor<F25> = wf.map(|v| F25::from_i64((v * 64.0) as i64));
+
+    let mut g = c.benchmark_group("conv2d_forward");
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function("f32", |b| b.iter(|| black_box(conv2d_forward(&xf, &wf, &shape))));
+    g.bench_function("field", |b| b.iter(|| black_box(conv2d_forward(&xq, &wq, &shape))));
+    g.finish();
+
+    let dyf = Tensor::<f32>::ones(&[1, 32, hw, hw]);
+    let dyq: Tensor<F25> = dyf.map(|v| F25::from_i64(v as i64));
+    let mut g = c.benchmark_group("conv2d_wgrad");
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function("f32", |b| b.iter(|| black_box(conv2d_backward_weight(&dyf, &xf, &shape))));
+    g.bench_function("field", |b| b.iter(|| black_box(conv2d_backward_weight(&dyq, &xq, &shape))));
+    g.finish();
+}
+
+fn bench_depthwise_vs_dense_conv(c: &mut Criterion) {
+    // The MobileNet ablation: depthwise convs have ~1/channels the MACs
+    // but much worse arithmetic intensity.
+    let hw = 16usize;
+    let dense = Conv2dShape::simple(32, 32, 3, 1, 1);
+    let depthwise = Conv2dShape::depthwise(32, 3, 1, 1);
+    let x = Tensor::<f32>::from_fn(&[1, 32, hw, hw], |i| (i % 11) as f32 * 0.05);
+    let wd = Tensor::<f32>::ones(&dense.weight_shape());
+    let wdw = Tensor::<f32>::ones(&depthwise.weight_shape());
+    let mut g = c.benchmark_group("conv_styles");
+    g.throughput(Throughput::Elements(dense.forward_macs(1, (hw, hw))));
+    g.bench_function("dense_3x3", |b| b.iter(|| black_box(conv2d_forward(&x, &wd, &dense))));
+    g.throughput(Throughput::Elements(depthwise.forward_macs(1, (hw, hw))));
+    g.bench_function("depthwise_3x3", |b| {
+        b.iter(|| black_box(conv2d_forward(&x, &wdw, &depthwise)))
+    });
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let (m, k, n) = (64usize, 128, 64);
+    let af: Vec<f32> = (0..m * k).map(|i| (i % 9) as f32 * 0.1).collect();
+    let bf: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.1).collect();
+    let aq: Vec<F25> = (0..m * k).map(|i| F25::new(i as u64 % 9)).collect();
+    let bq: Vec<F25> = (0..k * n).map(|i| F25::new(i as u64 % 5)).collect();
+    let mut g = c.benchmark_group("matmul_64x128x64");
+    g.throughput(Throughput::Elements((m * k * n) as u64));
+    g.bench_function("f32", |b| b.iter(|| black_box(matmul(&af, &bf, m, k, n))));
+    g.bench_function("field", |b| b.iter(|| black_box(matmul(&aq, &bq, m, k, n))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv, bench_depthwise_vs_dense_conv, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Measured pipelined vs sequential execution (functional counterpart
+//! of Fig. 5's pipelining gains): encode / GPU-compute / decode stages
+//! overlapped on OS threads.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dk_core::pipeline::{compare_pipelining, PipelineWorkload};
+use dk_linalg::Conv2dShape;
+
+fn workload(batches: usize) -> PipelineWorkload {
+    PipelineWorkload {
+        k: 2,
+        m: 1,
+        shape: Conv2dShape::simple(8, 16, 3, 1, 1),
+        hw: (16, 16),
+        batches,
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("compare_3_batches", |b| {
+        b.iter(|| black_box(compare_pipelining(workload(3), 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end measured private inference: DarKnight vs Slalom vs plain
+//! execution on the mini models — the functional counterpart of
+//! Fig. 6a (relative ordering on this host's simulated devices).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dk_baselines::SlalomSession;
+use dk_core::{DarknightConfig, DarknightSession};
+use dk_gpu::GpuCluster;
+use dk_linalg::Tensor;
+use dk_nn::arch::mini_vgg;
+
+fn input(k: usize, hw: usize) -> Tensor<f32> {
+    Tensor::from_fn(&[k, 3, hw, hw], |i| ((i % 11) as f32 - 5.0) * 0.07)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let hw = 8usize;
+    let mut g = c.benchmark_group("private_inference_minivgg");
+    g.sample_size(10);
+
+    g.bench_function("plain", |b| {
+        let mut model = mini_vgg(hw, 4, 1);
+        let x = input(4, hw);
+        b.iter(|| black_box(model.forward(&x, false)))
+    });
+
+    g.bench_function("darknight_k4", |b| {
+        let cfg = DarknightConfig::new(4, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 2);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = mini_vgg(hw, 4, 1);
+        let x = input(4, hw);
+        b.iter(|| black_box(session.private_inference(&mut model, &x).unwrap()))
+    });
+
+    g.bench_function("darknight_k4_integrity", |b| {
+        let cfg = DarknightConfig::new(4, 1).with_integrity(true);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 3);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = mini_vgg(hw, 4, 1);
+        let x = input(4, hw);
+        b.iter(|| black_box(session.private_inference(&mut model, &x).unwrap()))
+    });
+
+    g.bench_function("slalom", |b| {
+        let cluster = GpuCluster::honest(1, 4);
+        let mut slalom = SlalomSession::new(cluster, false, 5).with_auto_refill(true);
+        let mut model = mini_vgg(hw, 4, 1);
+        slalom.precompute(&mut model, 64).unwrap();
+        let x = input(4, hw);
+        b.iter(|| black_box(slalom.inference(&mut model, &x).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The DarKnight evaluation report generator.
+//!
+//! Prints every table and figure of the paper's evaluation section:
+//! Tables 1–4 and Figures 3/5/6a/6b/7 from the calibrated performance
+//! model, Figure 4 from real (mini-model) training, plus a measured
+//! pipelining comparison on this host.
+//!
+//! Usage: `cargo run -p dk-bench --bin report [--quick|--full]`
+
+use dk_bench::{fig4, render_fig4, Fig4Config};
+use dk_core::pipeline::{compare_pipelining, PipelineWorkload};
+use dk_linalg::Conv2dShape;
+use dk_perf::{report, DeviceProfile};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let profile = DeviceProfile::calibrated();
+
+    println!("=================================================================");
+    println!(" DarKnight reproduction — evaluation report");
+    println!("=================================================================\n");
+    println!("{}", report::full_report(&profile));
+
+    println!("----------------------------------------------------------------\n");
+    let fig4_cfg = match mode.as_str() {
+        "--quick" => Fig4Config { per_class: 12, epochs: 4, ..Default::default() },
+        "--full" => Fig4Config { hw: 12, per_class: 50, epochs: 14, ..Default::default() },
+        _ => Fig4Config::default(),
+    };
+    println!("{}", render_fig4(&fig4(fig4_cfg)));
+
+    println!("----------------------------------------------------------------\n");
+    println!("Measured pipelining (this host; functional analogue of Fig. 5):\n");
+    // A workload where TEE masking time is comparable to accelerator
+    // compute (large K, 1x1 conv), so stage overlap is visible even on
+    // a small host.
+    let workload = PipelineWorkload {
+        k: 8,
+        m: 1,
+        shape: Conv2dShape::simple(16, 16, 1, 1, 0),
+        hw: (32, 32),
+        batches: if mode == "--quick" { 6 } else { 16 },
+    };
+    let r = compare_pipelining(workload, 7);
+    println!(
+        "  sequential: {:>8.1?}   pipelined: {:>8.1?}   speedup: {:.2}x\n",
+        r.sequential,
+        r.pipelined,
+        r.speedup()
+    );
+}

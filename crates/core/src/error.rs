@@ -1,0 +1,93 @@
+//! Error types for the DarKnight core.
+
+use dk_field::QuantError;
+use dk_tee::EnclaveError;
+
+/// Errors surfaced by DarKnight sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DarknightError {
+    /// Not enough GPU workers for the configuration
+    /// (`K' < K + M (+1)`).
+    InsufficientWorkers {
+        /// Workers required by the configuration.
+        required: usize,
+        /// Workers available in the cluster.
+        available: usize,
+    },
+    /// The redundant-equation check failed: at least one GPU returned a
+    /// tampered result (§4.4).
+    IntegrityViolation {
+        /// Which linear layer (traversal index) failed.
+        layer_id: u64,
+        /// `"forward"` or `"backward"`.
+        phase: &'static str,
+        /// Number of mismatching elements in the redundant equation.
+        mismatches: usize,
+    },
+    /// Quantization failed (non-finite input or field overflow).
+    Quant(QuantError),
+    /// Enclave failure (protected memory / sealing).
+    Enclave(EnclaveError),
+    /// The model/input shapes are inconsistent with the virtual batch.
+    BatchShape {
+        /// Expected leading dimension (`K`).
+        expected: usize,
+        /// Actual leading dimension.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for DarknightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DarknightError::InsufficientWorkers { required, available } => write!(
+                f,
+                "insufficient GPU workers: configuration needs {required}, cluster has {available}"
+            ),
+            DarknightError::IntegrityViolation { layer_id, phase, mismatches } => write!(
+                f,
+                "integrity violation in {phase} pass at linear layer {layer_id} ({mismatches} mismatching elements)"
+            ),
+            DarknightError::Quant(e) => write!(f, "quantization error: {e}"),
+            DarknightError::Enclave(e) => write!(f, "enclave error: {e}"),
+            DarknightError::BatchShape { expected, actual } => write!(
+                f,
+                "input batch dimension {actual} does not match virtual batch size {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DarknightError {}
+
+impl From<QuantError> for DarknightError {
+    fn from(e: QuantError) -> Self {
+        DarknightError::Quant(e)
+    }
+}
+
+impl From<EnclaveError> for DarknightError {
+    fn from(e: EnclaveError) -> Self {
+        DarknightError::Enclave(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DarknightError::InsufficientWorkers { required: 6, available: 3 };
+        assert!(e.to_string().contains("needs 6"));
+        let e = DarknightError::IntegrityViolation { layer_id: 2, phase: "forward", mismatches: 5 };
+        assert!(e.to_string().contains("forward"));
+        assert!(e.to_string().contains("layer 2"));
+    }
+
+    #[test]
+    fn conversions() {
+        let q: DarknightError = QuantError::NotFinite.into();
+        assert!(matches!(q, DarknightError::Quant(_)));
+    }
+}

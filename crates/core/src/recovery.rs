@@ -1,0 +1,103 @@
+//! Fault localization and recovery — an extension beyond the paper.
+//!
+//! §4.4 detects an integrity violation but leaves "corrective action,
+//! such as executing on another GPU worker" out of scope. This module
+//! implements the natural recovery: on detection the TEE *localizes* the
+//! fault by recomputing each worker's bilinear job itself (it can —
+//! it holds the quantized weights and can regenerate every encoding from
+//! its retained inputs and noise), substitutes the correct results,
+//! and quarantines the lying workers.
+//!
+//! Cost analysis: localization recomputes up to `K+M+1` bilinear ops
+//! inside the TEE — roughly one SGX-only layer execution — so it is
+//! `O(K')` times more expensive than the happy path. It runs only on
+//! detection, so honest executions pay nothing; a system under active
+//! attack degrades to SGX-only speed for the affected layers instead of
+//! failing, which is the right trade.
+
+use dk_field::F25;
+use dk_gpu::{LinearJob, WorkerId};
+
+/// Outcome of a recovery pass over one layer's worker outputs.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryOutcome {
+    /// Workers whose returned output did not match the TEE recomputation.
+    pub faulty: Vec<WorkerId>,
+    /// Whether the layer's outputs were fully repaired.
+    pub repaired: bool,
+}
+
+/// Recomputes every job inside the TEE, compares with the worker
+/// outputs, and repairs `outputs` in place. Returns which workers lied.
+///
+/// `jobs[j]` must be the exact job dispatched to worker `j` (non-stored
+/// variants only — the caller reconstructs stored-encoding jobs into
+/// explicit ones before localization).
+///
+/// # Panics
+///
+/// Panics if `jobs.len() != outputs.len()` or a job is a `*Stored`
+/// variant.
+pub fn localize_and_repair(
+    jobs: &[LinearJob],
+    outputs: &mut [Vec<F25>],
+) -> RecoveryOutcome {
+    assert_eq!(jobs.len(), outputs.len(), "one output per job");
+    let mut outcome = RecoveryOutcome { faulty: Vec::new(), repaired: true };
+    for (j, (job, out)) in jobs.iter().zip(outputs.iter_mut()).enumerate() {
+        let expected = job.execute().into_vec();
+        if &expected != out {
+            outcome.faulty.push(WorkerId(j));
+            *out = expected;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_field::{FieldRng, P25};
+    use dk_linalg::Tensor;
+    use std::sync::Arc;
+
+    fn jobs_and_outputs(n: usize) -> (Vec<LinearJob>, Vec<Vec<F25>>) {
+        let mut rng = FieldRng::seed_from(5);
+        let weights = Arc::new(Tensor::from_fn(&[4, 6], |i| F25::new(i as u64 + 1)));
+        let jobs: Vec<LinearJob> = (0..n)
+            .map(|_| LinearJob::DenseForward {
+                weights: weights.clone(),
+                x: Tensor::from_vec(&[1, 6], rng.uniform_vec::<P25>(6)),
+            })
+            .collect();
+        let outputs: Vec<Vec<F25>> = jobs.iter().map(|j| j.execute().into_vec()).collect();
+        (jobs, outputs)
+    }
+
+    #[test]
+    fn honest_outputs_report_no_faults() {
+        let (jobs, mut outputs) = jobs_and_outputs(4);
+        let outcome = localize_and_repair(&jobs, &mut outputs);
+        assert!(outcome.faulty.is_empty());
+        assert!(outcome.repaired);
+    }
+
+    #[test]
+    fn single_fault_located_and_repaired() {
+        let (jobs, mut outputs) = jobs_and_outputs(4);
+        let clean = outputs.clone();
+        outputs[2][1] = outputs[2][1] + F25::ONE;
+        let outcome = localize_and_repair(&jobs, &mut outputs);
+        assert_eq!(outcome.faulty, vec![WorkerId(2)]);
+        assert_eq!(outputs, clean, "repair must restore honest outputs");
+    }
+
+    #[test]
+    fn multiple_faults_located() {
+        let (jobs, mut outputs) = jobs_and_outputs(5);
+        outputs[0][0] = outputs[0][0] + F25::new(7);
+        outputs[4][2] = outputs[4][2] + F25::new(9);
+        let outcome = localize_and_repair(&jobs, &mut outputs);
+        assert_eq!(outcome.faulty, vec![WorkerId(0), WorkerId(4)]);
+    }
+}

@@ -1,0 +1,470 @@
+//! The DarKnight encoding/decoding scheme (§4 of the paper).
+//!
+//! One [`EncodingScheme`] instance covers one virtual batch:
+//!
+//! * **Forward** (Eq. 1/10): `x̄_j = Σ_i A[i][j]·x_i + Σ_t A[K+t][j]·r_t`
+//!   for `j = 1..S(+1)`, with `A = [A1; A2]` secret inside the TEE and
+//!   the noise block `A2` built as an MDS (Vandermonde) matrix so any
+//!   `≤ M` of its columns are full rank — the §5 collusion condition.
+//! * **Forward decode** (Eq. 2): `Y = Ȳ·A_sq^{-1}`; the first `K`
+//!   columns are the true outputs, the remaining `M` are `⟨W, r_t⟩` and
+//!   are dropped (the paper's "that value is just dropped").
+//! * **Integrity** (§4.4): with one extra masked equation, the decoded
+//!   `Y` must also satisfy the redundant column; any additive error from
+//!   up to `K'−1` workers breaks that consistency with probability
+//!   `1 − 1/p` per element.
+//! * **Backward** (Eq. 4–6/11–13): public `B` and secret diagonal `Γ`
+//!   satisfy `Bᵀ·Γ·Aᵀ = [I_K | 0]`, so
+//!   `Σ_j γ_j·Eq_j = Σ_i ⟨δ_i, x_i⟩` — the aggregate weight update —
+//!   decodes with a single γ-weighted sum.
+
+use crate::error::DarknightError;
+use dk_field::vandermonde::mds_matrix;
+use dk_field::{F25, FieldMatrix, FieldRng, P25};
+
+/// The per-virtual-batch masking scheme.
+#[derive(Debug, Clone)]
+pub struct EncodingScheme {
+    k: usize,
+    m: usize,
+    integrity: bool,
+    /// `A ∈ F^{(K+M) × S_cols}`; columns are encodings.
+    a: FieldMatrix<P25>,
+    /// Inverse of the square block `A[:, 0..K+M]`.
+    a_sq_inv: FieldMatrix<P25>,
+    /// Public `B ∈ F^{S_cols × K}` (the redundant row, if any, is zero).
+    b: FieldMatrix<P25>,
+    /// Secret diagonal `Γ` entries.
+    gamma: Vec<F25>,
+}
+
+impl EncodingScheme {
+    /// Samples a fresh scheme (the paper regenerates `A`, `B`, `Γ` for
+    /// every virtual batch — §4.1 "dynamically generated for each
+    /// virtual batch").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `m == 0`.
+    pub fn generate(k: usize, m: usize, integrity: bool, rng: &mut FieldRng) -> Self {
+        assert!(k > 0 && m > 0, "k and m must be positive");
+        let s_sq = k + m;
+        let s_cols = s_sq + usize::from(integrity);
+        let (a, a_sq_inv) = loop {
+            let a1 = FieldMatrix::<P25>::random(k, s_cols, rng);
+            let a2 = mds_matrix::<P25>(m, s_cols, rng);
+            let a = a1.vconcat(&a2);
+            let cols: Vec<usize> = (0..s_sq).collect();
+            let rows: Vec<usize> = (0..s_sq).collect();
+            let a_sq = a.submatrix(&rows, &cols);
+            if let Some(inv) = a_sq.inverse() {
+                break (a, inv);
+            }
+        };
+        let gamma: Vec<F25> = (0..s_cols).map(|_| rng.uniform_nonzero::<P25>()).collect();
+        // Bᵀ = [I_K | 0] · (Aᵀ_sq)^{-1} · Γ^{-1}, so Bᵀ·Γ·Aᵀ_sq = [I | 0].
+        let rows: Vec<usize> = (0..s_sq).collect();
+        let cols: Vec<usize> = (0..s_sq).collect();
+        let a_sq = a.submatrix(&rows, &cols);
+        let at_inv = a_sq.transpose().inverse().expect("A_sq invertible implies Aᵀ_sq invertible");
+        let mut i0 = FieldMatrix::<P25>::zeros(k, s_sq);
+        for i in 0..k {
+            i0[(i, i)] = F25::ONE;
+        }
+        let gamma_inv_diag = {
+            let mut inv = gamma[..s_sq].to_vec();
+            F25::batch_invert(&mut inv);
+            FieldMatrix::diagonal(&inv)
+        };
+        let bt_sq = &(&i0 * &at_inv) * &gamma_inv_diag; // K × S_sq
+        let mut b = FieldMatrix::<P25>::zeros(s_cols, k);
+        for j in 0..s_sq {
+            for i in 0..k {
+                b[(j, i)] = bt_sq[(i, j)];
+            }
+        }
+        // Redundant row (if any) stays zero: the spare worker is the
+        // integrity watchdog, not a gradient contributor.
+        Self { k, m, integrity, a, a_sq_inv, b, gamma }
+    }
+
+    /// Virtual batch size `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Noise vector count `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total encodings produced (`K+M`, `+1` with integrity).
+    pub fn num_encodings(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Whether a redundant integrity column exists.
+    pub fn has_integrity(&self) -> bool {
+        self.integrity
+    }
+
+    /// The public `B` row for worker `j` (what the paper ships to GPUs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn beta_row(&self, j: usize) -> Vec<F25> {
+        self.b.row(j).to_vec()
+    }
+
+    /// The secret noise block `A2` columns (white-box collusion audits
+    /// only; a deployment never reveals this).
+    pub fn a2_block(&self) -> FieldMatrix<P25> {
+        let rows: Vec<usize> = (self.k..self.k + self.m).collect();
+        let cols: Vec<usize> = (0..self.a.cols()).collect();
+        self.a.submatrix(&rows, &cols)
+    }
+
+    /// Encodes a virtual batch: `K` input vectors and `M` noise vectors,
+    /// all of length `n`, into `num_encodings()` masked vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts or lengths are inconsistent.
+    pub fn encode(&self, inputs: &[Vec<F25>], noise: &[Vec<F25>]) -> Vec<Vec<F25>> {
+        assert_eq!(inputs.len(), self.k, "expected K input vectors");
+        assert_eq!(noise.len(), self.m, "expected M noise vectors");
+        let n = inputs[0].len();
+        for v in inputs.iter().chain(noise) {
+            assert_eq!(v.len(), n, "all vectors must have equal length");
+        }
+        let s_cols = self.a.cols();
+        let mut out = vec![vec![F25::ZERO; n]; s_cols];
+        for (j, enc) in out.iter_mut().enumerate() {
+            for (i, x) in inputs.iter().enumerate() {
+                let c = self.a[(i, j)];
+                if c.is_zero() {
+                    continue;
+                }
+                for (e, &v) in enc.iter_mut().zip(x) {
+                    *e = F25::mul_add(c, v, *e);
+                }
+            }
+            for (t, r) in noise.iter().enumerate() {
+                let c = self.a[(self.k + t, j)];
+                if c.is_zero() {
+                    continue;
+                }
+                for (e, &v) in enc.iter_mut().zip(r) {
+                    *e = F25::mul_add(c, v, *e);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes GPU outputs `ȳ_j = ⟨W, x̄_j⟩` back to the `K` true
+    /// outputs, verifying the redundant equation when enabled.
+    ///
+    /// Returns the `K` decoded output vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`DarknightError::IntegrityViolation`] if the redundant equation
+    /// is inconsistent (some worker tampered with its result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output count or lengths are inconsistent.
+    pub fn decode_forward(
+        &self,
+        outputs: &[Vec<F25>],
+        layer_id: u64,
+    ) -> Result<Vec<Vec<F25>>, DarknightError> {
+        let s_sq = self.k + self.m;
+        assert_eq!(outputs.len(), self.num_encodings(), "one output per encoding");
+        let n = outputs[0].len();
+        for o in outputs {
+            assert_eq!(o.len(), n, "all outputs must have equal length");
+        }
+        // Y[e][c] = Σ_j ȳ_j[e] · A_sq_inv[j][c]  (Y = Ȳ · A_sq^{-1})
+        let mut y = vec![vec![F25::ZERO; n]; s_sq];
+        for (j, out_j) in outputs.iter().take(s_sq).enumerate() {
+            for (c, y_c) in y.iter_mut().enumerate() {
+                let w = self.a_sq_inv[(j, c)];
+                if w.is_zero() {
+                    continue;
+                }
+                for (acc, &v) in y_c.iter_mut().zip(out_j) {
+                    *acc = F25::mul_add(w, v, *acc);
+                }
+            }
+        }
+        if self.integrity {
+            // Predicted redundant output: Σ_c Y_c · A[c][last].
+            let last = self.a.cols() - 1;
+            let mut mismatches = 0usize;
+            let redundant = &outputs[last];
+            for e in 0..n {
+                let mut pred = F25::ZERO;
+                for (c, y_c) in y.iter().enumerate() {
+                    pred = F25::mul_add(self.a[(c, last)], y_c[e], pred);
+                }
+                if pred != redundant[e] {
+                    mismatches += 1;
+                }
+            }
+            if mismatches > 0 {
+                return Err(DarknightError::IntegrityViolation {
+                    layer_id,
+                    phase: "forward",
+                    mismatches,
+                });
+            }
+        }
+        y.truncate(self.k);
+        Ok(y)
+    }
+
+    /// Decodes the aggregate backward term: `Σ_j γ_j·Eq_j` over the
+    /// `K+M` gradient-bearing equations (Eq. 6). The result is
+    /// `Σ_i ⟨δ_i, x_i⟩` at product scale; the `1/K` averaging happens in
+    /// the float domain after dequantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the equation count or lengths are inconsistent.
+    pub fn decode_backward(&self, eqs: &[Vec<F25>]) -> Vec<F25> {
+        let s_sq = self.k + self.m;
+        assert!(eqs.len() >= s_sq, "need at least K+M equations");
+        let n = eqs[0].len();
+        let mut out = vec![F25::ZERO; n];
+        for (j, eq) in eqs.iter().take(s_sq).enumerate() {
+            assert_eq!(eq.len(), n, "all equations must have equal length");
+            let g = self.gamma[j];
+            for (o, &v) in out.iter_mut().zip(eq) {
+                *o = F25::mul_add(g, v, *o);
+            }
+        }
+        out
+    }
+
+    /// Verifies the defining relation `Bᵀ·Γ·Aᵀ = [I_K | 0]` (Eq. 5/13).
+    /// Exposed so tests can check every sampled instance.
+    pub fn verify_relation(&self) -> bool {
+        let s_cols = self.a.cols();
+        let gamma_diag = FieldMatrix::diagonal(&self.gamma);
+        let bt = self.b.transpose(); // K × S_cols
+        let product = &(&bt * &gamma_diag) * &self.a.transpose(); // K × (K+M)
+        for i in 0..self.k {
+            for c in 0..self.k + self.m {
+                let expect = if i == c { F25::ONE } else { F25::ZERO };
+                if product[(i, c)] != expect {
+                    return false;
+                }
+            }
+        }
+        let _ = s_cols;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_field::vandermonde::is_mds;
+
+    fn rng() -> FieldRng {
+        FieldRng::seed_from(0xC0DE)
+    }
+
+    /// Builds synthetic "GPU outputs" for a *scalar linear functional*
+    /// `f(v) = Σ_e w_e v_e`, which commutes with the encoding exactly
+    /// like any bilinear op.
+    fn apply_functional(w: &[F25], v: &[F25]) -> F25 {
+        w.iter().zip(v).map(|(&a, &b)| a * b).sum()
+    }
+
+    #[test]
+    fn encode_decode_round_trip_no_integrity() {
+        let mut r = rng();
+        for (k, m) in [(1, 1), (2, 1), (4, 1), (2, 3), (3, 2)] {
+            let scheme = EncodingScheme::generate(k, m, false, &mut r);
+            let n = 16;
+            let inputs: Vec<Vec<F25>> = (0..k).map(|_| r.uniform_vec::<P25>(n)).collect();
+            let noise: Vec<Vec<F25>> = (0..m).map(|_| r.uniform_vec::<P25>(n)).collect();
+            let encodings = scheme.encode(&inputs, &noise);
+            assert_eq!(encodings.len(), k + m);
+            // "GPU" applies a random linear functional elementwise — here
+            // we simply treat identity: ȳ_j = x̄_j (identity is bilinear
+            // with W = I).
+            let decoded = scheme.decode_forward(&encodings, 0).unwrap();
+            assert_eq!(decoded, inputs, "k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn decode_commutes_with_linear_op() {
+        let mut r = rng();
+        let (k, m, n, out_n) = (3, 2, 12, 5);
+        let scheme = EncodingScheme::generate(k, m, true, &mut r);
+        let inputs: Vec<Vec<F25>> = (0..k).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let noise: Vec<Vec<F25>> = (0..m).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let encodings = scheme.encode(&inputs, &noise);
+        // W is an out_n x n matrix; GPUs compute W · x̄_j.
+        let w: Vec<Vec<F25>> = (0..out_n).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let gpu = |v: &Vec<F25>| -> Vec<F25> { w.iter().map(|row| apply_functional(row, v)).collect() };
+        let outputs: Vec<Vec<F25>> = encodings.iter().map(gpu).collect();
+        let decoded = scheme.decode_forward(&outputs, 0).unwrap();
+        for i in 0..k {
+            assert_eq!(decoded[i], gpu(&inputs[i]), "input {i}");
+        }
+    }
+
+    #[test]
+    fn integrity_detects_single_corruption() {
+        let mut r = rng();
+        let scheme = EncodingScheme::generate(2, 1, true, &mut r);
+        let n = 8;
+        let inputs: Vec<Vec<F25>> = (0..2).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let noise = vec![r.uniform_vec::<P25>(n)];
+        let mut outputs = scheme.encode(&inputs, &noise); // identity op
+        // Corrupt one element of one worker's output.
+        outputs[1][3] = outputs[1][3] + F25::ONE;
+        let err = scheme.decode_forward(&outputs, 7).unwrap_err();
+        match err {
+            DarknightError::IntegrityViolation { layer_id, phase, mismatches } => {
+                assert_eq!(layer_id, 7);
+                assert_eq!(phase, "forward");
+                assert!(mismatches >= 1);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integrity_detects_corruption_of_every_worker() {
+        let mut r = rng();
+        let scheme = EncodingScheme::generate(2, 2, true, &mut r);
+        let n = 6;
+        let inputs: Vec<Vec<F25>> = (0..2).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let noise: Vec<Vec<F25>> = (0..2).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let clean = scheme.encode(&inputs, &noise);
+        for victim in 0..clean.len() {
+            let mut outputs = clean.clone();
+            outputs[victim][0] = outputs[victim][0] + F25::new(42);
+            assert!(
+                scheme.decode_forward(&outputs, 0).is_err(),
+                "corruption of worker {victim} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn integrity_detects_multi_worker_corruption() {
+        // (K'-1)-security: corrupt all but one worker.
+        let mut r = rng();
+        let scheme = EncodingScheme::generate(3, 1, true, &mut r);
+        let n = 6;
+        let inputs: Vec<Vec<F25>> = (0..3).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let noise = vec![r.uniform_vec::<P25>(n)];
+        let mut outputs = scheme.encode(&inputs, &noise);
+        for out in outputs.iter_mut().take(4) {
+            for v in out.iter_mut() {
+                *v = *v + r.uniform_nonzero::<P25>();
+            }
+        }
+        assert!(scheme.decode_forward(&outputs, 0).is_err());
+    }
+
+    #[test]
+    fn clean_outputs_pass_integrity() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let scheme = EncodingScheme::generate(2, 1, true, &mut r);
+            let inputs: Vec<Vec<F25>> = (0..2).map(|_| r.uniform_vec::<P25>(10)).collect();
+            let noise = vec![r.uniform_vec::<P25>(10)];
+            let outputs = scheme.encode(&inputs, &noise);
+            assert!(scheme.decode_forward(&outputs, 0).is_ok());
+        }
+    }
+
+    #[test]
+    fn relation_eq5_holds_for_every_instance() {
+        let mut r = rng();
+        for (k, m, integ) in [(1, 1, false), (2, 1, true), (4, 2, true), (3, 3, false)] {
+            for _ in 0..5 {
+                let scheme = EncodingScheme::generate(k, m, integ, &mut r);
+                assert!(scheme.verify_relation(), "k={k} m={m} integ={integ}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_decode_recovers_aggregate() {
+        // Scalar model: x_i, delta_i are vectors; Eq_j = ⟨Σ_i β_ji δ_i, x̄_j⟩
+        // as an outer-product-free scalar: use elementwise product then sum
+        // — i.e., the bilinear form is the dot product.
+        let mut r = rng();
+        let (k, m, n) = (3, 2, 10);
+        let scheme = EncodingScheme::generate(k, m, false, &mut r);
+        let inputs: Vec<Vec<F25>> = (0..k).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let noise: Vec<Vec<F25>> = (0..m).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let deltas: Vec<Vec<F25>> = (0..k).map(|_| r.uniform_vec::<P25>(n)).collect();
+        let encodings = scheme.encode(&inputs, &noise);
+        // Worker j computes Eq_j[e] = δ̃_j[e] * x̄_j[e] (elementwise
+        // bilinear form; decoding is elementwise too).
+        let eqs: Vec<Vec<F25>> = (0..scheme.num_encodings())
+            .map(|j| {
+                let beta = scheme.beta_row(j);
+                let mut dt = vec![F25::ZERO; n];
+                for (i, d) in deltas.iter().enumerate() {
+                    for (o, &v) in dt.iter_mut().zip(d) {
+                        *o = F25::mul_add(beta[i], v, *o);
+                    }
+                }
+                dt.iter().zip(&encodings[j]).map(|(&a, &b)| a * b).collect()
+            })
+            .collect();
+        let decoded = scheme.decode_backward(&eqs);
+        // Expected: Σ_i δ_i ⊙ x_i elementwise.
+        let mut expect = vec![F25::ZERO; n];
+        for i in 0..k {
+            for e in 0..n {
+                expect[e] = F25::mul_add(deltas[i][e], inputs[i][e], expect[e]);
+            }
+        }
+        assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn a2_block_is_mds() {
+        let mut r = rng();
+        for (k, m) in [(2, 1), (2, 3), (4, 2)] {
+            let scheme = EncodingScheme::generate(k, m, true, &mut r);
+            assert!(is_mds(&scheme.a2_block()), "k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn beta_rows_public_shape() {
+        let mut r = rng();
+        let scheme = EncodingScheme::generate(3, 1, true, &mut r);
+        assert_eq!(scheme.num_encodings(), 5);
+        for j in 0..5 {
+            assert_eq!(scheme.beta_row(j).len(), 3);
+        }
+        // The watchdog row is zero: it contributes no gradient.
+        assert!(scheme.beta_row(4).iter().all(|v| v.is_zero()));
+    }
+
+    #[test]
+    fn schemes_are_fresh_per_generation() {
+        let mut r = rng();
+        let s1 = EncodingScheme::generate(2, 1, false, &mut r);
+        let s2 = EncodingScheme::generate(2, 1, false, &mut r);
+        let x = vec![r.uniform_vec::<P25>(4), r.uniform_vec::<P25>(4)];
+        let noise = vec![r.uniform_vec::<P25>(4)];
+        assert_ne!(s1.encode(&x, &noise), s2.encode(&x, &noise));
+    }
+}

@@ -1,0 +1,964 @@
+//! The DarKnight session: the §3.1 execution flow.
+//!
+//! One session owns the (simulated) enclave and the GPU cluster and
+//! drives a [`dk_nn::Sequential`] model through private forward/backward
+//! passes:
+//!
+//! 1. activations are max-abs normalized and quantized into the field
+//!    (Algorithm 1) **inside the TEE**;
+//! 2. the virtual batch of `K` activations plus `M` fresh noise vectors
+//!    is masked by the current [`EncodingScheme`] and shipped to GPUs,
+//!    which also *store* the encodings for backward reuse (§6);
+//! 3. GPUs run the bilinear op; the TEE decodes with `A^{-1}`, checks
+//!    the redundant equation, dequantizes, adds bias and runs the
+//!    non-linear layers on plaintext floats;
+//! 4. backward: bias gradients and non-linear backprop stay in the TEE;
+//!    data gradients are offloaded unencoded (they carry no input
+//!    information, §4.2); weight gradients come back only as the
+//!    aggregate `∇W = (1/K)·Σ_j γ_j Eq_j`.
+//!
+//! Because the encoding mixes the `K` samples linearly, all samples of a
+//! virtual batch share one quantization scale per layer — otherwise the
+//! γ-weighted aggregate would blend incompatible fixed-point scales.
+//!
+//! Backward integrity: the paper dedicates the spare worker to
+//! "redundant computation to verify the results" (§4.5). Here the spare
+//! recomputes one TEE-chosen `Eq_{j*}` (the TEE regenerates `x̄_{j*}`
+//! from its retained quantized inputs and noise) and the session
+//! compares; it also recomputes the unencoded data-gradient job. A
+//! mismatch aborts the step.
+
+use crate::config::DarknightConfig;
+use crate::error::DarknightError;
+use crate::scheme::EncodingScheme;
+use dk_field::{F25, FieldRng, P25};
+use dk_gpu::{GpuCluster, LinearJob, WorkerId};
+use dk_linalg::{ops, Tensor};
+use dk_nn::layers::{Conv2d, Dense, Layer};
+use dk_nn::loss::softmax_cross_entropy;
+use dk_nn::optim::Sgd;
+use dk_nn::Sequential;
+use dk_tee::{Enclave, EpcConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters describing one session's offload traffic and work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Linear jobs dispatched to GPUs.
+    pub linear_jobs: u64,
+    /// Field elements produced by TEE encoding.
+    pub encoded_elems: u64,
+    /// Field elements consumed by TEE decoding.
+    pub decoded_elems: u64,
+    /// Bytes of masked data sent TEE→GPU.
+    pub bytes_to_gpus: u64,
+    /// Bytes of results received GPU→TEE.
+    pub bytes_from_gpus: u64,
+    /// Redundant-equation / spot checks performed.
+    pub integrity_checks: u64,
+    /// Elements processed by non-linear TEE ops.
+    pub nonlinear_elems: u64,
+    /// Layers repaired by TEE-side fault localization (recovery mode).
+    pub recoveries: u64,
+}
+
+/// Result of one private training step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepReport {
+    /// Mean softmax cross-entropy of the virtual batch.
+    pub loss: f32,
+    /// Training accuracy of the virtual batch.
+    pub accuracy: f32,
+}
+
+/// Per-linear-layer state the TEE keeps between forward and backward.
+#[derive(Debug, Clone)]
+struct LinearCtx {
+    norm_x: f32,
+    norm_w: f32,
+    input_shape: Vec<usize>,
+    weights_q: Arc<Tensor<F25>>,
+    /// Noise vectors used at this layer (needed to regenerate `x̄_{j*}`
+    /// for the backward spot check).
+    noise: Vec<Vec<F25>>,
+    /// Quantized inputs, kept for the same check.
+    inputs_q: Vec<Vec<F25>>,
+    enclave_bytes: usize,
+}
+
+/// A DarKnight execution session (see module docs).
+#[derive(Debug)]
+pub struct DarknightSession {
+    cfg: DarknightConfig,
+    enclave: Enclave,
+    cluster: GpuCluster,
+    rng: FieldRng,
+    scheme: EncodingScheme,
+    ctxs: HashMap<u64, LinearCtx>,
+    stats: SessionStats,
+    next_id: u64,
+    quarantined: Vec<WorkerId>,
+}
+
+impl DarknightSession {
+    /// Creates a session over the given cluster with the default SGXv1
+    /// enclave budget.
+    ///
+    /// # Errors
+    ///
+    /// [`DarknightError::InsufficientWorkers`] if the cluster is smaller
+    /// than `K + M (+1)`.
+    pub fn new(cfg: DarknightConfig, cluster: GpuCluster) -> Result<Self, DarknightError> {
+        Self::with_enclave(cfg, cluster, EpcConfig::default())
+    }
+
+    /// Creates a session with a custom enclave memory budget (memory
+    /// experiments shrink it to force paging).
+    ///
+    /// # Errors
+    ///
+    /// [`DarknightError::InsufficientWorkers`] if the cluster is smaller
+    /// than `K + M (+1)`.
+    pub fn with_enclave(
+        cfg: DarknightConfig,
+        cluster: GpuCluster,
+        epc: EpcConfig,
+    ) -> Result<Self, DarknightError> {
+        if cluster.len() < cfg.workers_required() {
+            return Err(DarknightError::InsufficientWorkers {
+                required: cfg.workers_required(),
+                available: cluster.len(),
+            });
+        }
+        let mut rng = FieldRng::seed_from(cfg.seed());
+        let scheme = EncodingScheme::generate(cfg.k(), cfg.m(), cfg.integrity(), &mut rng);
+        Ok(Self {
+            cfg,
+            enclave: Enclave::new(epc, b"darknight-enclave-v1"),
+            cluster,
+            rng,
+            scheme,
+            ctxs: HashMap::new(),
+            stats: SessionStats::default(),
+            next_id: 0,
+            quarantined: Vec::new(),
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &DarknightConfig {
+        &self.cfg
+    }
+
+    /// Offload/work counters so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Enclave memory statistics so far.
+    pub fn enclave_stats(&self) -> dk_tee::MemoryStats {
+        self.enclave.stats()
+    }
+
+    /// Mutable enclave access, used by the Algorithm 2 large-batch
+    /// trainer to seal/unseal gradient shards with the session's keys.
+    pub fn enclave_mut(&mut self) -> &mut Enclave {
+        &mut self.enclave
+    }
+
+    /// The cluster (e.g. to inspect worker observations in privacy
+    /// experiments).
+    pub fn cluster(&self) -> &GpuCluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access (e.g. to flip a worker malicious
+    /// mid-session — the paper's dynamic adversary).
+    pub fn cluster_mut(&mut self) -> &mut GpuCluster {
+        &mut self.cluster
+    }
+
+    /// The active encoding scheme (white-box privacy audits).
+    pub fn scheme(&self) -> &EncodingScheme {
+        &self.scheme
+    }
+
+    /// Workers caught lying by the recovery extension, in detection
+    /// order (duplicates removed). Empty unless recovery is enabled and
+    /// a violation occurred.
+    pub fn quarantined(&self) -> &[WorkerId] {
+        &self.quarantined
+    }
+
+    /// Starts a new virtual batch: regenerates `A`, `B`, `Γ` (§4.1) and
+    /// clears stored encodings and per-layer contexts.
+    pub fn begin_virtual_batch(&mut self) {
+        self.scheme =
+            EncodingScheme::generate(self.cfg.k(), self.cfg.m(), self.cfg.integrity(), &mut self.rng);
+        self.cluster.clear_encodings();
+        let retained: usize = self.ctxs.drain().map(|(_, c)| c.enclave_bytes).sum();
+        let _ = self.enclave.release(retained);
+        self.next_id = 0;
+    }
+
+    /// Private forward pass over one virtual batch (`x: [K, ...]`).
+    ///
+    /// # Errors
+    ///
+    /// Batch-shape mismatch, quantization failure, or an integrity
+    /// violation detected by the redundant equation.
+    pub fn private_forward(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor<f32>,
+        train: bool,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        if x.shape()[0] != self.cfg.k() {
+            return Err(DarknightError::BatchShape {
+                expected: self.cfg.k(),
+                actual: x.shape()[0],
+            });
+        }
+        self.next_id = 0;
+        self.forward_layers(model.layers_mut(), x.clone(), train)
+    }
+
+    /// Private backward pass from the loss gradient; accumulates all
+    /// parameter gradients (aggregate `∇W` for linear layers).
+    ///
+    /// # Errors
+    ///
+    /// Quantization failure or a backward integrity violation.
+    pub fn private_backward(
+        &mut self,
+        model: &mut Sequential,
+        dloss: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        self.backward_layers(model.layers_mut(), dloss.clone())
+    }
+
+    /// Full private training step on one virtual batch: forward, loss,
+    /// backward, SGD update.
+    ///
+    /// # Errors
+    ///
+    /// Any forward/backward error; on error no weight update happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != K`.
+    pub fn train_step(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor<f32>,
+        labels: &[usize],
+        sgd: &mut Sgd,
+    ) -> Result<StepReport, DarknightError> {
+        let report = self.accumulate_gradients_zeroing(model, x, labels, true)?;
+        sgd.step(model);
+        Ok(report)
+    }
+
+    /// Accumulates gradients for one virtual batch without updating
+    /// weights (used by the Algorithm 2 large-batch trainer, which
+    /// aggregates across virtual batches before stepping). Does *not*
+    /// zero existing gradients.
+    ///
+    /// # Errors
+    ///
+    /// Any forward/backward error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != K`.
+    pub fn accumulate_gradients(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor<f32>,
+        labels: &[usize],
+    ) -> Result<StepReport, DarknightError> {
+        self.accumulate_gradients_zeroing(model, x, labels, false)
+    }
+
+    fn accumulate_gradients_zeroing(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor<f32>,
+        labels: &[usize],
+        zero_first: bool,
+    ) -> Result<StepReport, DarknightError> {
+        assert_eq!(labels.len(), self.cfg.k(), "one label per virtual-batch sample");
+        self.begin_virtual_batch();
+        if zero_first {
+            model.zero_grad();
+        }
+        let logits = self.private_forward(model, x, true)?;
+        let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
+        let accuracy = dk_nn::loss::accuracy(&logits, labels);
+        self.private_backward(model, &dlogits)?;
+        Ok(StepReport { loss, accuracy })
+    }
+
+    /// Private inference over one virtual batch.
+    ///
+    /// # Errors
+    ///
+    /// Any forward error.
+    pub fn private_inference(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        self.begin_virtual_batch();
+        self.private_forward(model, x, false)
+    }
+
+    // -----------------------------------------------------------------
+    // Forward internals
+    // -----------------------------------------------------------------
+
+    fn forward_layers(
+        &mut self,
+        layers: &mut [Layer],
+        mut x: Tensor<f32>,
+        train: bool,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        for layer in layers.iter_mut() {
+            x = match layer {
+                Layer::Conv2d(conv) => {
+                    let id = self.take_id();
+                    self.forward_conv(id, conv, &x)?
+                }
+                Layer::Dense(dense) => {
+                    let id = self.take_id();
+                    self.forward_dense(id, dense, &x)?
+                }
+                Layer::Residual(res) => {
+                    let main = self.forward_layers(res.main_mut(), x.clone(), train)?;
+                    let short = if res.shortcut().is_empty() {
+                        x.clone()
+                    } else {
+                        self.forward_layers(res.shortcut_mut(), x.clone(), train)?
+                    };
+                    self.stats.nonlinear_elems += main.len() as u64;
+                    main.add(&short)
+                }
+                other => {
+                    self.stats.nonlinear_elems += x.len() as u64;
+                    other.forward(&x, train)
+                }
+            };
+        }
+        Ok(x)
+    }
+
+    fn take_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Max-abs normalization (the paper's §5 VGG strategy, applied
+    /// uniformly) followed by Algorithm 1 quantization.
+    fn normalize_quantize(&self, vals: &[f32]) -> Result<(Vec<F25>, f32), DarknightError> {
+        let max_abs = vals.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let norm = if max_abs > 0.0 { max_abs } else { 1.0 };
+        let q = self.cfg.quant();
+        let inv = 1.0 / norm;
+        let mut out = Vec::with_capacity(vals.len());
+        for &v in vals {
+            out.push(q.quantize::<P25>((v * inv) as f64)?);
+        }
+        Ok((out, norm))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn offload_forward(
+        &mut self,
+        layer_id: u64,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+        make_job: impl Fn(Arc<Tensor<F25>>, Tensor<F25>) -> LinearJob,
+        weight_shape: &[usize],
+        enc_shape: &[usize],
+    ) -> Result<(Vec<Vec<F25>>, LinearCtx, Vec<usize>), DarknightError> {
+        let k = self.cfg.k();
+        let m = self.cfg.m();
+        let (wq_flat, norm_w) = self.normalize_quantize(weights.as_slice())?;
+        let weights_q = Arc::new(Tensor::from_vec(weight_shape, wq_flat));
+        let (xq_flat, norm_x) = self.normalize_quantize(x.as_slice())?;
+        let rest: usize = x.shape()[1..].iter().product();
+        let inputs_q: Vec<Vec<F25>> =
+            (0..k).map(|i| xq_flat[i * rest..(i + 1) * rest].to_vec()).collect();
+        let noise: Vec<Vec<F25>> = (0..m).map(|_| self.rng.uniform_vec::<P25>(rest)).collect();
+        // Enclave working set: float input + quantized copies + noise +
+        // encodings.
+        let s_cols = self.scheme.num_encodings();
+        let work_bytes = x.len() * 4 + xq_flat.len() * 8 + (m + s_cols) * rest * 8;
+        let _paged = self.enclave.alloc_paged(work_bytes);
+        let encodings = self.scheme.encode(&inputs_q, &noise);
+        self.stats.encoded_elems += (s_cols * rest) as u64;
+        let enc_tensors: Vec<Tensor<F25>> =
+            encodings.into_iter().map(|e| Tensor::from_vec(enc_shape, e)).collect();
+        self.stats.bytes_to_gpus += (s_cols * rest * 8) as u64;
+        self.cluster.store_encodings(layer_id, enc_tensors.clone());
+        let jobs: Vec<LinearJob> =
+            enc_tensors.into_iter().map(|t| make_job(weights_q.clone(), t)).collect();
+        self.stats.linear_jobs += jobs.len() as u64;
+        let outputs = self.cluster.execute(&jobs);
+        let out_shape = outputs[0].shape().to_vec();
+        let out_rest: usize = out_shape.iter().product();
+        self.stats.bytes_from_gpus += (s_cols * out_rest * 8) as u64;
+        let mut out_vecs: Vec<Vec<F25>> = outputs.into_iter().map(Tensor::into_vec).collect();
+        if self.scheme.has_integrity() {
+            self.stats.integrity_checks += 1;
+        }
+        let decoded = match self.scheme.decode_forward(&out_vecs, layer_id) {
+            Ok(d) => d,
+            Err(violation @ DarknightError::IntegrityViolation { .. })
+                if self.cfg.recovery() =>
+            {
+                // Extension (crate::recovery): localize the liars by
+                // TEE recomputation, repair, and continue.
+                let outcome = crate::recovery::localize_and_repair(&jobs, &mut out_vecs);
+                if outcome.faulty.is_empty() {
+                    // Detection without a localizable fault should not
+                    // happen with explicit jobs; surface the original.
+                    return Err(violation);
+                }
+                for w in outcome.faulty {
+                    if !self.quarantined.contains(&w) {
+                        self.quarantined.push(w);
+                    }
+                }
+                self.stats.recoveries += 1;
+                self.scheme.decode_forward(&out_vecs, layer_id)?
+            }
+            Err(e) => return Err(e),
+        };
+        self.stats.decoded_elems += (decoded.len() * out_rest) as u64;
+        // Transient working set released; the retained context (noise +
+        // quantized inputs for the backward spot check) stays charged.
+        let retained = (m + k) * rest * 8;
+        self.enclave.release(work_bytes.saturating_sub(retained))?;
+        let ctx = LinearCtx {
+            norm_x,
+            norm_w,
+            input_shape: x.shape().to_vec(),
+            weights_q,
+            noise,
+            inputs_q,
+            enclave_bytes: retained,
+        };
+        Ok((decoded, ctx, out_shape))
+    }
+
+    fn forward_conv(
+        &mut self,
+        layer_id: u64,
+        conv: &mut Conv2d,
+        x: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        let shape = *conv.shape();
+        let enc_shape = [1, x.shape()[1], x.shape()[2], x.shape()[3]];
+        let (decoded, ctx, out_shape) = self.offload_forward(
+            layer_id,
+            x,
+            conv.weights(),
+            move |w, t| LinearJob::ConvForward { weights: w, x: t, shape },
+            &shape.weight_shape(),
+            &enc_shape,
+        )?;
+        let k = self.cfg.k();
+        let q = self.cfg.quant();
+        let scale = ctx.norm_w * ctx.norm_x;
+        let mut y = Tensor::zeros(&[k, out_shape[1], out_shape[2], out_shape[3]]);
+        for (i, dec) in decoded.iter().enumerate() {
+            for (dst, &v) in y.batch_item_mut(i).iter_mut().zip(dec) {
+                *dst = q.dequantize_product(v) as f32 * scale;
+            }
+        }
+        ops::add_bias_nchw(&mut y, conv.bias().as_slice());
+        self.stats.nonlinear_elems += y.len() as u64;
+        self.ctxs.insert(layer_id, ctx);
+        Ok(y)
+    }
+
+    fn forward_dense(
+        &mut self,
+        layer_id: u64,
+        dense: &mut Dense,
+        x: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        let in_f = dense.in_features();
+        let out_f = dense.out_features();
+        let enc_shape = [1, in_f];
+        let (decoded, ctx, _) = self.offload_forward(
+            layer_id,
+            x,
+            dense.weights(),
+            move |w, t| LinearJob::DenseForward { weights: w, x: t },
+            &[out_f, in_f],
+            &enc_shape,
+        )?;
+        let k = self.cfg.k();
+        let q = self.cfg.quant();
+        let scale = ctx.norm_w * ctx.norm_x;
+        let mut y = Tensor::zeros(&[k, out_f]);
+        for (i, dec) in decoded.iter().enumerate() {
+            for (dst, &v) in y.batch_item_mut(i).iter_mut().zip(dec) {
+                *dst = q.dequantize_product(v) as f32 * scale;
+            }
+        }
+        ops::add_bias_rows(&mut y, dense.bias().as_slice());
+        self.stats.nonlinear_elems += y.len() as u64;
+        self.ctxs.insert(layer_id, ctx);
+        Ok(y)
+    }
+
+    // -----------------------------------------------------------------
+    // Backward internals
+    // -----------------------------------------------------------------
+
+    fn backward_layers(
+        &mut self,
+        layers: &mut [Layer],
+        mut dy: Tensor<f32>,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        for layer in layers.iter_mut().rev() {
+            dy = match layer {
+                Layer::Conv2d(conv) => {
+                    let id = self.untake_id();
+                    self.backward_conv(id, conv, &dy)?
+                }
+                Layer::Dense(dense) => {
+                    let id = self.untake_id();
+                    self.backward_dense(id, dense, &dy)?
+                }
+                Layer::Residual(res) => {
+                    // Exact mirror of forward id assignment: forward
+                    // visited main then shortcut, so backward visits
+                    // shortcut then main.
+                    let ds = if res.shortcut().is_empty() {
+                        dy.clone()
+                    } else {
+                        self.backward_layers(res.shortcut_mut(), dy.clone())?
+                    };
+                    let dm = self.backward_layers(res.main_mut(), dy.clone())?;
+                    self.stats.nonlinear_elems += dm.len() as u64;
+                    dm.add(&ds)
+                }
+                other => {
+                    self.stats.nonlinear_elems += dy.len() as u64;
+                    other.backward(&dy)
+                }
+            };
+        }
+        Ok(dy)
+    }
+
+    fn quarantine(&mut self, w: WorkerId) {
+        if !self.quarantined.contains(&w) {
+            self.quarantined.push(w);
+        }
+    }
+
+    fn untake_id(&mut self) -> u64 {
+        debug_assert!(self.next_id > 0, "backward pass saw more linear layers than forward");
+        self.next_id -= 1;
+        self.next_id
+    }
+
+    /// Shared backward machinery: decodes the aggregate weight gradient
+    /// and (optionally) performs the spare-worker integrity checks.
+    fn offload_backward(
+        &mut self,
+        layer_id: u64,
+        dy: &Tensor<f32>,
+        wgrad_job: impl Fn(Arc<Tensor<F25>>, Vec<F25>) -> LinearJob,
+        explicit_wgrad_job: impl Fn(Tensor<F25>, Tensor<F25>) -> LinearJob,
+        data_job: impl Fn(Arc<Tensor<F25>>) -> LinearJob,
+        enc_shape: &[usize],
+        ctx: &LinearCtx,
+    ) -> Result<(Vec<F25>, f32, Tensor<F25>), DarknightError> {
+        let k = self.cfg.k();
+        let m = self.cfg.m();
+        let s_sq = k + m;
+        let (dq_flat, norm_d) = self.normalize_quantize(dy.as_slice())?;
+        let delta_q = Arc::new(Tensor::from_vec(dy.shape(), dq_flat));
+        // 1) Aggregate weight gradient via the encoded scheme.
+        let jobs: Vec<LinearJob> =
+            (0..s_sq).map(|j| wgrad_job(delta_q.clone(), self.scheme.beta_row(j))).collect();
+        self.stats.linear_jobs += jobs.len() as u64;
+        self.stats.bytes_to_gpus += (s_sq * delta_q.len() * 8) as u64;
+        let mut eqs = self.cluster.execute(&jobs);
+        let eq_len = eqs[0].len();
+        self.stats.bytes_from_gpus += (s_sq * eq_len * 8) as u64;
+        // 2) Backward integrity. Draw j* regardless of mode so the RNG
+        //    stream (and thus all later masks) is identical whether or
+        //    not recovery is enabled.
+        let jstar = self.rng.index(s_sq);
+        if self.cfg.recovery() && self.scheme.has_integrity() {
+            // Deterministic duplicate-dispatch verification (recovery
+            // extension): every Eq_j is recomputed by the *next* worker
+            // from the TEE-regenerated x̄_j; any pairwise mismatch is
+            // resolved by a TEE ground-truth recomputation. Note the
+            // privacy accounting: each worker additionally observes one
+            // neighbouring encoding, so an M-tolerant configuration
+            // effectively tolerates ⌊M/2⌋ colluders in this mode.
+            self.stats.integrity_checks += 1;
+            let enc = self.scheme.encode(&ctx.inputs_q, &ctx.noise);
+            for j in 0..s_sq {
+                let xbar = Tensor::from_vec(enc_shape, enc[j].clone());
+                let dtilde = dk_gpu::job::beta_combine(&delta_q, &self.scheme.beta_row(j));
+                let job = explicit_wgrad_job(dtilde, xbar);
+                let dup = self.cluster.execute_on(WorkerId((j + 1) % s_sq), &job);
+                if dup != eqs[j] {
+                    // TEE ground truth identifies the liar(s).
+                    let truth = job.execute();
+                    if truth != eqs[j] {
+                        self.quarantine(WorkerId(j));
+                    }
+                    if truth != dup {
+                        self.quarantine(WorkerId((j + 1) % s_sq));
+                    }
+                    eqs[j] = truth;
+                    self.stats.recoveries += 1;
+                }
+            }
+        } else if self.scheme.has_integrity() {
+            // Spare-worker spot check (probabilistic, the base mode).
+            self.stats.integrity_checks += 1;
+            // Regenerate x̄_{j*} inside the TEE from retained state.
+            let enc = self.scheme.encode(&ctx.inputs_q, &ctx.noise);
+            let xbar = Tensor::from_vec(enc_shape, enc[jstar].clone());
+            let dtilde = dk_gpu::job::beta_combine(&delta_q, &self.scheme.beta_row(jstar));
+            let spare = WorkerId(self.cluster.len() - 1);
+            let check = self.cluster.execute_on(spare, &explicit_wgrad_job(dtilde, xbar));
+            if check != eqs[jstar] {
+                let mismatches = check
+                    .as_slice()
+                    .iter()
+                    .zip(eqs[jstar].as_slice())
+                    .filter(|(a, b)| a != b)
+                    .count();
+                return Err(DarknightError::IntegrityViolation {
+                    layer_id,
+                    phase: "backward",
+                    mismatches,
+                });
+            }
+        }
+        let eq_vecs: Vec<Vec<F25>> = eqs.into_iter().map(Tensor::into_vec).collect();
+        let grad_field = self.scheme.decode_backward(&eq_vecs);
+        self.stats.decoded_elems += grad_field.len() as u64;
+        // 3) Data gradient: unencoded offload (worker 0), redundantly
+        //    recomputed on the spare when integrity is on.
+        let dj = data_job(delta_q.clone());
+        self.stats.linear_jobs += 1;
+        let mut dx_field = self.cluster.execute_on(WorkerId(0), &dj);
+        if self.scheme.has_integrity() {
+            let spare = WorkerId(self.cluster.len() - 1);
+            let check = self.cluster.execute_on(spare, &dj);
+            if check != dx_field {
+                if self.cfg.recovery() {
+                    let truth = dj.execute();
+                    if truth != dx_field {
+                        self.quarantine(WorkerId(0));
+                    }
+                    if truth != check {
+                        self.quarantine(spare);
+                    }
+                    dx_field = truth;
+                    self.stats.recoveries += 1;
+                } else {
+                    let mismatches = check
+                        .as_slice()
+                        .iter()
+                        .zip(dx_field.as_slice())
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    return Err(DarknightError::IntegrityViolation {
+                        layer_id,
+                        phase: "backward",
+                        mismatches,
+                    });
+                }
+            }
+        }
+        self.stats.bytes_from_gpus += (dx_field.len() * 8) as u64;
+        Ok((grad_field, norm_d, dx_field))
+    }
+
+    fn backward_conv(
+        &mut self,
+        layer_id: u64,
+        conv: &mut Conv2d,
+        dy: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        // Bias gradient: cheap float reduction inside the TEE.
+        let bg = ops::bias_grad_nchw(dy);
+        conv.accumulate_bias_grad(&Tensor::from_vec(&[bg.len()], bg));
+        self.stats.nonlinear_elems += dy.len() as u64;
+        let ctx = self.ctxs.remove(&layer_id).expect("backward without forward context");
+        let shape = *conv.shape();
+        let input_hw = (ctx.input_shape[2], ctx.input_shape[3]);
+        let enc_shape = [1, ctx.input_shape[1], ctx.input_shape[2], ctx.input_shape[3]];
+        let weights_q = ctx.weights_q.clone();
+        let (grad_field, norm_d, dx_field) = self.offload_backward(
+            layer_id,
+            dy,
+            |delta, beta| LinearJob::ConvWeightGradStored {
+                delta_batch: delta,
+                beta,
+                layer_id,
+                shape,
+            },
+            |dtilde, xbar| LinearJob::ConvWeightGrad { delta: dtilde, x: xbar, shape },
+            move |delta| LinearJob::ConvBackwardData {
+                weights: weights_q.clone(),
+                delta: (*delta).clone(),
+                shape,
+                input_hw,
+            },
+            &enc_shape,
+            &ctx,
+        )?;
+        let q = self.cfg.quant();
+        // Aggregate ∇W: dequantize and unscale. The 1/K of Eq. 3 is
+        // already folded into the mean-reduced loss gradients, so no
+        // extra averaging happens here.
+        let wscale = norm_d * ctx.norm_x;
+        let gw: Vec<f32> =
+            grad_field.iter().map(|&v| q.dequantize_product(v) as f32 * wscale).collect();
+        conv.accumulate_weight_grad(&Tensor::from_vec(&shape.weight_shape(), gw));
+        // dx: dequantize, unscale by norm_d · norm_w.
+        let dscale = norm_d * ctx.norm_w;
+        let dx = dx_field.map(|v| q.dequantize_product(v) as f32 * dscale);
+        let _ = self.enclave.release(ctx.enclave_bytes);
+        Ok(dx)
+    }
+
+    fn backward_dense(
+        &mut self,
+        layer_id: u64,
+        dense: &mut Dense,
+        dy: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        let bg = ops::bias_grad_rows(dy);
+        dense.accumulate_bias_grad(&Tensor::from_vec(&[bg.len()], bg));
+        self.stats.nonlinear_elems += dy.len() as u64;
+        let ctx = self.ctxs.remove(&layer_id).expect("backward without forward context");
+        let in_f = dense.in_features();
+        let out_f = dense.out_features();
+        let enc_shape = [1, in_f];
+        let weights_q = ctx.weights_q.clone();
+        let (grad_field, norm_d, dx_field) = self.offload_backward(
+            layer_id,
+            dy,
+            |delta, beta| LinearJob::DenseWeightGradStored { delta_batch: delta, beta, layer_id },
+            |dtilde, xbar| LinearJob::DenseWeightGrad { delta: dtilde, x: xbar },
+            move |delta| LinearJob::DenseBackwardData {
+                weights: weights_q.clone(),
+                delta: (*delta).clone(),
+            },
+            &enc_shape,
+            &ctx,
+        )?;
+        let q = self.cfg.quant();
+        let wscale = norm_d * ctx.norm_x;
+        let gw: Vec<f32> =
+            grad_field.iter().map(|&v| q.dequantize_product(v) as f32 * wscale).collect();
+        dense.accumulate_weight_grad(&Tensor::from_vec(&[out_f, in_f], gw));
+        let dscale = norm_d * ctx.norm_w;
+        let dx = dx_field.map(|v| q.dequantize_product(v) as f32 * dscale);
+        let _ = self.enclave.release(ctx.enclave_bytes);
+        Ok(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_gpu::Behavior;
+    use dk_nn::arch::{mini_mobilenet, mini_resnet, mini_vgg};
+    use dk_nn::layers::{Flatten, Relu};
+
+    fn small_model(seed: u64) -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(dk_linalg::Conv2dShape::simple(2, 4, 3, 1, 1), seed)),
+            Layer::Relu(Relu::new()),
+            Layer::Flatten(Flatten::new()),
+            Layer::Dense(Dense::new(4 * 6 * 6, 3, seed ^ 1)),
+        ])
+    }
+
+    fn input(k: usize) -> Tensor<f32> {
+        Tensor::from_fn(&[k, 2, 6, 6], |i| ((i % 13) as f32 - 6.0) * 0.07)
+    }
+
+    #[test]
+    fn private_forward_matches_plaintext() {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 5);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut private_model = small_model(3);
+        let mut plain_model = small_model(3);
+        let x = input(2);
+        let y_priv = session.private_inference(&mut private_model, &x).unwrap();
+        let y_plain = plain_model.forward(&x, false);
+        let diff = y_priv.max_abs_diff(&y_plain);
+        // l=6 quantization at two linear layers: generous tolerance.
+        assert!(diff < 0.05, "diff={diff}");
+    }
+
+    #[test]
+    fn private_gradients_match_plaintext() {
+        let cfg = DarknightConfig::new(2, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 6);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut private_model = small_model(4);
+        let mut plain_model = small_model(4);
+        let x = input(2);
+        let labels = [0usize, 2];
+
+        // Plaintext reference step gradients.
+        plain_model.zero_grad();
+        let logits = plain_model.forward(&x, true);
+        let (_, dl) = softmax_cross_entropy(&logits, &labels);
+        plain_model.backward(&dl);
+        let mut plain_grads = Vec::new();
+        plain_model.visit_params(&mut |_, g| plain_grads.push(g.clone()));
+
+        // Private step gradients.
+        private_model.zero_grad();
+        session.begin_virtual_batch();
+        let logits_p = session.private_forward(&mut private_model, &x, true).unwrap();
+        let (_, dlp) = softmax_cross_entropy(&logits_p, &labels);
+        session.private_backward(&mut private_model, &dlp).unwrap();
+        let mut priv_grads = Vec::new();
+        private_model.visit_params(&mut |_, g| priv_grads.push(g.clone()));
+
+        assert_eq!(plain_grads.len(), priv_grads.len());
+        for (i, (pg, qg)) in plain_grads.iter().zip(&priv_grads).enumerate() {
+            let scale = pg.max_abs().max(1e-3);
+            let rel = pg.max_abs_diff(qg) / scale;
+            assert!(rel < 0.08, "param {i}: relative grad diff {rel}");
+        }
+    }
+
+    #[test]
+    fn train_step_reduces_loss() {
+        let cfg = DarknightConfig::new(2, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 7);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(5);
+        let mut sgd = Sgd::new(0.05);
+        let x = input(2);
+        let labels = [1usize, 2];
+        let first = session.train_step(&mut model, &x, &labels, &mut sgd).unwrap();
+        let mut last = first;
+        for _ in 0..15 {
+            last = session.train_step(&mut model, &x, &labels, &mut sgd).unwrap();
+        }
+        assert!(last.loss < first.loss * 0.7, "first={} last={}", first.loss, last.loss);
+    }
+
+    #[test]
+    fn integrity_catches_malicious_forward() {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[1] = Behavior::SingleElement;
+        let cluster = GpuCluster::with_behaviors(&behaviors, 8);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(6);
+        let err = session.private_inference(&mut model, &input(2)).unwrap_err();
+        assert!(matches!(err, DarknightError::IntegrityViolation { phase: "forward", .. }));
+    }
+
+    #[test]
+    fn no_integrity_mode_is_silently_wrong_under_attack() {
+        // Demonstrates why the redundant equation matters: without it a
+        // malicious worker corrupts results undetected.
+        let cfg = DarknightConfig::new(2, 1).with_integrity(false);
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[0] = Behavior::AdditiveNoise;
+        let cluster = GpuCluster::with_behaviors(&behaviors, 9);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(7);
+        let mut clean_model = small_model(7);
+        let y_bad = session.private_inference(&mut model, &input(2)).unwrap();
+        let y_good = clean_model.forward(&input(2), false);
+        assert!(y_bad.max_abs_diff(&y_good) > 0.1, "corruption should distort outputs");
+    }
+
+    #[test]
+    fn insufficient_workers_rejected() {
+        let cfg = DarknightConfig::new(4, 2).with_integrity(true); // needs 7
+        let cluster = GpuCluster::honest(5, 1);
+        assert!(matches!(
+            DarknightSession::new(cfg, cluster),
+            Err(DarknightError::InsufficientWorkers { required: 7, available: 5 })
+        ));
+    }
+
+    #[test]
+    fn wrong_batch_size_rejected() {
+        let cfg = DarknightConfig::new(2, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 2);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(8);
+        let err = session.private_inference(&mut model, &input(3)).unwrap_err();
+        assert!(matches!(err, DarknightError::BatchShape { expected: 2, actual: 3 }));
+    }
+
+    #[test]
+    fn mini_models_run_privately() {
+        for (mut model, name) in [
+            (mini_vgg(8, 4, 11), "vgg"),
+            (mini_resnet(8, 4, 12), "resnet"),
+            (mini_mobilenet(8, 4, 13), "mobilenet"),
+        ] {
+            let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+            let cluster = GpuCluster::honest(cfg.workers_required(), 14);
+            let mut session = DarknightSession::new(cfg, cluster).unwrap();
+            let x = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 9) as f32 - 4.0) * 0.1);
+            let mut plain = model.clone();
+            let y_priv = session.private_inference(&mut model, &x).unwrap();
+            let y_plain = plain.forward(&x, false);
+            let diff = y_priv.max_abs_diff(&y_plain);
+            assert!(diff < 0.2, "{name}: diff={diff}");
+        }
+    }
+
+    #[test]
+    fn residual_model_trains_privately() {
+        let cfg = DarknightConfig::new(2, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 15);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = mini_resnet(8, 4, 16);
+        let mut sgd = Sgd::new(0.02);
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 7) as f32 - 3.0) * 0.1);
+        let labels = [0usize, 3];
+        for _ in 0..3 {
+            session.train_step(&mut model, &x, &labels, &mut sgd).unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 17);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(18);
+        let _ = session.private_inference(&mut model, &input(2)).unwrap();
+        let s = session.stats();
+        assert!(s.linear_jobs >= 8); // 2 linear layers x 4 encodings
+        assert!(s.encoded_elems > 0);
+        assert!(s.decoded_elems > 0);
+        assert!(s.bytes_to_gpus > 0);
+        assert_eq!(s.integrity_checks, 2);
+        assert!(session.enclave_stats().peak_bytes > 0);
+    }
+}

@@ -1,0 +1,422 @@
+//! Constant-modulus prime-field scalars.
+//!
+//! [`Fp<P>`] stores a canonical representative in `[0, P)` as a `u64` and
+//! performs all multiplication through `u128` intermediates, so any modulus
+//! below `2^64` is supported. DarKnight uses two concrete fields:
+//!
+//! * [`F25`] with `p = 2^25 − 39 = 33_554_393` — the paper's data-plane
+//!   prime (§5: "the largest prime with 25 bits"), chosen so that products
+//!   of two canonical elements fit comfortably in accelerator arithmetic.
+//! * [`F61`] with `p = 2^61 − 1` (Mersenne) — used by the TEE simulator for
+//!   its polynomial MAC and toy key exchange.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The DarKnight data-plane prime `2^25 − 39`, the largest 25-bit prime.
+pub const P25: u64 = (1 << 25) - 39;
+
+/// The Mersenne prime `2^61 − 1` used for MAC/key-exchange simulation.
+pub const P61: u64 = (1 << 61) - 1;
+
+/// An element of the prime field `F_P`, stored canonically in `[0, P)`.
+///
+/// All arithmetic is implemented with `u128` intermediates so it is exact
+/// for any prime modulus `P < 2^64`. The type is `Copy` and 8 bytes, so
+/// large tensors of field elements are cache-friendly.
+///
+/// # Example
+///
+/// ```
+/// use dk_field::F25;
+///
+/// let x = F25::from_i64(-3); // negative values map to p - 3
+/// assert_eq!(x.to_centered_i64(), -3);
+/// assert_eq!(x + F25::new(3), F25::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fp<const P: u64>(u64);
+
+/// DarKnight's data-plane field (`p = 2^25 − 39`).
+pub type F25 = Fp<P25>;
+
+/// The MAC-plane field (`p = 2^61 − 1`).
+pub type F61 = Fp<P61>;
+
+impl<const P: u64> Fp<P> {
+    /// The additive identity.
+    pub const ZERO: Self = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Self = Fp(1);
+    /// The field modulus.
+    pub const MODULUS: u64 = P;
+
+    /// Creates a field element, reducing `v` modulo `P`.
+    #[inline]
+    pub fn new(v: u64) -> Self {
+        Fp(v % P)
+    }
+
+    /// Creates a field element from a canonical representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `v >= P`.
+    #[inline]
+    pub fn from_canonical(v: u64) -> Self {
+        debug_assert!(v < P, "non-canonical representative {v} for modulus {P}");
+        Fp(v)
+    }
+
+    /// Maps a signed integer into the field: negatives become `P − |v| mod P`.
+    ///
+    /// This is the `Field` procedure of Algorithm 1 in the paper.
+    #[inline]
+    pub fn from_i64(v: i64) -> Self {
+        let m = v.rem_euclid(P as i64);
+        Fp(m as u64)
+    }
+
+    /// Maps a signed 128-bit integer into the field.
+    #[inline]
+    pub fn from_i128(v: i128) -> Self {
+        let m = v.rem_euclid(P as i128);
+        Fp(m as u64)
+    }
+
+    /// Returns the canonical representative in `[0, P)`.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Centered lift: returns the representative in `(−P/2, P/2]`.
+    ///
+    /// The paper's decoder "subtracts p from all the elements larger than
+    /// p/2 to restore negative numbers" (§5, Quantization); this is that
+    /// operation.
+    #[inline]
+    pub fn to_centered_i64(self) -> i64 {
+        if self.0 > P / 2 {
+            self.0 as i64 - P as i64
+        } else {
+            self.0 as i64
+        }
+    }
+
+    /// True if this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raises `self` to the power `e` by square-and-multiply.
+    pub fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// Returns `None` for zero, which has no inverse.
+    #[inline]
+    pub fn inv(self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.pow(P - 2))
+        }
+    }
+
+    /// Computes `a*b + c` with a single reduction.
+    #[inline]
+    pub fn mul_add(a: Self, b: Self, c: Self) -> Self {
+        let wide = a.0 as u128 * b.0 as u128 + c.0 as u128;
+        Fp((wide % P as u128) as u64)
+    }
+
+    /// Batch inversion (Montgomery's trick): inverts every nonzero element
+    /// of `xs` in place with one field inversion and `3n` multiplications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is zero.
+    pub fn batch_invert(xs: &mut [Self]) {
+        if xs.is_empty() {
+            return;
+        }
+        let mut prefix = Vec::with_capacity(xs.len());
+        let mut acc = Self::ONE;
+        for &x in xs.iter() {
+            assert!(!x.is_zero(), "batch_invert: zero element");
+            prefix.push(acc);
+            acc *= x;
+        }
+        let mut inv_acc = acc.inv().expect("product of nonzeros is nonzero");
+        for i in (0..xs.len()).rev() {
+            let orig = xs[i];
+            xs[i] = inv_acc * prefix[i];
+            inv_acc *= orig;
+        }
+    }
+}
+
+impl<const P: u64> Default for Fp<P> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const P: u64> fmt::Debug for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp<{P}>({})", self.0)
+    }
+}
+
+impl<const P: u64> fmt::Display for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl<const P: u64> Add for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let s = self.0 + rhs.0;
+        Fp(if s >= P { s - P } else { s })
+    }
+}
+
+impl<const P: u64> AddAssign for Fp<P> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const P: u64> Sub for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let s = self.0 + P - rhs.0;
+        Fp(if s >= P { s - P } else { s })
+    }
+}
+
+impl<const P: u64> SubAssign for Fp<P> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const P: u64> Mul for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Fp(((self.0 as u128 * rhs.0 as u128) % P as u128) as u64)
+    }
+}
+
+impl<const P: u64> MulAssign for Fp<P> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const P: u64> Div for Fp<P> {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv().expect("division by zero field element")
+    }
+}
+
+impl<const P: u64> DivAssign for Fp<P> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<const P: u64> Neg for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp(P - self.0)
+        }
+    }
+}
+
+impl<const P: u64> Sum for Fp<P> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<const P: u64> Product for Fp<P> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |a, b| a * b)
+    }
+}
+
+impl<const P: u64> From<u64> for Fp<P> {
+    fn from(v: u64) -> Self {
+        Self::new(v)
+    }
+}
+
+impl<const P: u64> From<u32> for Fp<P> {
+    fn from(v: u32) -> Self {
+        Self::new(v as u64)
+    }
+}
+
+impl<const P: u64> From<i64> for Fp<P> {
+    fn from(v: i64) -> Self {
+        Self::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulus_is_prime_sized() {
+        assert_eq!(P25, 33_554_393);
+        assert_eq!(P61, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let a = F25::new(P25 - 1);
+        assert_eq!(a + F25::ONE, F25::ZERO);
+        assert_eq!(a + F25::new(2), F25::ONE);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(F25::ZERO - F25::ONE, F25::new(P25 - 1));
+    }
+
+    #[test]
+    fn neg_zero_is_zero() {
+        assert_eq!(-F25::ZERO, F25::ZERO);
+        assert_eq!(-F25::ONE, F25::new(P25 - 1));
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let a = F25::new(12_345_678);
+        let b = F25::new(23_456_789);
+        let expect = (12_345_678u128 * 23_456_789u128 % P25 as u128) as u64;
+        assert_eq!((a * b).value(), expect);
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        for v in [1u64, 2, 3, 255, 65_537, P25 - 1] {
+            let x = F25::new(v);
+            assert_eq!(x * x.inv().unwrap(), F25::ONE, "v={v}");
+        }
+        assert!(F25::ZERO.inv().is_none());
+    }
+
+    #[test]
+    fn inverse_in_f61() {
+        let x = F61::new(1_234_567_890_123);
+        assert_eq!(x * x.inv().unwrap(), F61::ONE);
+    }
+
+    #[test]
+    fn from_i64_negative() {
+        let x = F25::from_i64(-1);
+        assert_eq!(x.value(), P25 - 1);
+        assert_eq!(x.to_centered_i64(), -1);
+    }
+
+    #[test]
+    fn centered_lift_boundaries() {
+        assert_eq!(F25::new(P25 / 2).to_centered_i64(), (P25 / 2) as i64);
+        assert_eq!(F25::new(P25 / 2 + 1).to_centered_i64(), -((P25 / 2) as i64));
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let x = F25::new(3);
+        let mut acc = F25::ONE;
+        for e in 0..20u64 {
+            assert_eq!(x.pow(e), acc);
+            acc *= x;
+        }
+    }
+
+    #[test]
+    fn batch_invert_matches_single() {
+        let mut xs: Vec<F25> = (1..100u64).map(F25::new).collect();
+        let expect: Vec<F25> = xs.iter().map(|x| x.inv().unwrap()).collect();
+        F25::batch_invert(&mut xs);
+        assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn batch_invert_empty_ok() {
+        let mut xs: Vec<F25> = vec![];
+        F25::batch_invert(&mut xs);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero element")]
+    fn batch_invert_rejects_zero() {
+        let mut xs = vec![F25::ONE, F25::ZERO];
+        F25::batch_invert(&mut xs);
+    }
+
+    #[test]
+    fn sum_and_product_traits() {
+        let xs = [F25::new(2), F25::new(3), F25::new(4)];
+        assert_eq!(xs.iter().copied().sum::<F25>(), F25::new(9));
+        assert_eq!(xs.iter().copied().product::<F25>(), F25::new(24));
+    }
+
+    #[test]
+    fn mul_add_single_reduction() {
+        let a = F25::new(P25 - 2);
+        let b = F25::new(P25 - 3);
+        let c = F25::new(P25 - 5);
+        assert_eq!(F25::mul_add(a, b, c), a * b + c);
+    }
+
+    #[test]
+    fn division() {
+        let a = F25::new(84);
+        let b = F25::new(12);
+        assert_eq!(a / b, F25::new(7));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<F25>();
+        assert_send_sync::<F61>();
+    }
+}

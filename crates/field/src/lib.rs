@@ -1,0 +1,42 @@
+//! Prime-field arithmetic and supporting linear algebra for DarKnight.
+//!
+//! DarKnight's privacy scheme (Hashemi et al., MICRO '21) operates over the
+//! finite field `F_p` with `p = 2^25 − 39`, the largest 25-bit prime. This
+//! crate provides:
+//!
+//! * [`Fp`] — a constant-modulus prime-field scalar with full arithmetic,
+//!   and the two concrete fields used by the framework:
+//!   [`F25`] (data plane, the paper's prime) and [`F61`] (MAC plane).
+//! * [`FieldMatrix`] — dense matrices over `F_p` with multiplication,
+//!   Gauss–Jordan inversion, rank, and submatrix extraction.
+//! * [`vandermonde`] — Vandermonde/MDS coefficient generators used to build
+//!   encoding matrices whose every square submatrix is invertible (the
+//!   collusion-tolerance requirement of §5 of the paper).
+//! * [`quant`] — the fixed-point quantization pipeline of Algorithm 1
+//!   (scale by `2^l`, map into the field, centered lift on decode).
+//!
+//! # Example
+//!
+//! ```
+//! use dk_field::{F25, FieldMatrix};
+//!
+//! let a = F25::new(7);
+//! let b = F25::new(12);
+//! assert_eq!((a * b).value(), 84);
+//! assert_eq!(a * a.inv().unwrap(), F25::ONE);
+//!
+//! // A random invertible matrix round-trips through its inverse.
+//! let m = FieldMatrix::<{ dk_field::P25 }>::identity(3);
+//! assert_eq!(&m * &m, m);
+//! ```
+
+pub mod fp;
+pub mod matrix;
+pub mod quant;
+pub mod rng;
+pub mod vandermonde;
+
+pub use fp::{Fp, F25, F61, P25, P61};
+pub use matrix::FieldMatrix;
+pub use quant::{QuantConfig, QuantError};
+pub use rng::FieldRng;

@@ -1,0 +1,319 @@
+//! Fixed-point quantization into the field (Algorithm 1 of the paper).
+//!
+//! DarKnight performs GPU linear algebra in `F_p`, so floating-point
+//! tensors are first converted to fixed point and mapped into the field:
+//!
+//! * inputs and weights are scaled by `2^l` and rounded
+//!   (`X_q = Field(Round(X · 2^l))`),
+//! * biases are scaled by `2^{2l}` so they align with the product scale,
+//! * after the linear operation the TEE applies the *centered lift*
+//!   (values above `p/2` become negative) and rescales:
+//!   `Y = Round(Y_q · 2^{-l}) · 2^{-l}`.
+//!
+//! The scheme is exact as long as the true integer result of the bilinear
+//! op stays inside `(−p/2, p/2)` — [`QuantConfig::max_dot_terms`] exposes
+//! that bound, and [`QuantConfig::normalize`] implements the paper's
+//! dynamic max-abs normalization used for VGG-style networks (§5).
+
+use crate::fp::Fp;
+
+/// Errors produced by the quantization pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// A value was too large to represent at the configured scale without
+    /// leaving the safe half-field range.
+    Overflow {
+        /// The offending value after scaling.
+        scaled: i128,
+        /// The representable bound (`p/2`).
+        bound: i128,
+    },
+    /// Input contained a NaN or infinity.
+    NotFinite,
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::Overflow { scaled, bound } => {
+                write!(f, "quantized value {scaled} exceeds field half-range {bound}")
+            }
+            QuantError::NotFinite => write!(f, "input value is NaN or infinite"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Fixed-point quantization parameters.
+///
+/// `frac_bits` is the paper's `l` (8 for their experiments). Smaller
+/// values trade precision for headroom against field overflow in layers
+/// with large fan-in.
+///
+/// # Example
+///
+/// ```
+/// use dk_field::{QuantConfig, P25};
+///
+/// let q = QuantConfig::new(8);
+/// let x = q.quantize::<P25>(1.5).unwrap();
+/// assert_eq!(q.dequantize_input(x), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantConfig {
+    frac_bits: u32,
+}
+
+impl Default for QuantConfig {
+    /// The paper's setting: `l = 8`.
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl QuantConfig {
+    /// Creates a configuration with `l = frac_bits` fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits > 20` (no prime we use could hold products).
+    pub fn new(frac_bits: u32) -> Self {
+        assert!(frac_bits <= 20, "frac_bits {frac_bits} leaves no field headroom");
+        Self { frac_bits }
+    }
+
+    /// The number of fractional bits `l`.
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// The input/weight scale `2^l`.
+    pub fn scale(self) -> f64 {
+        (1u64 << self.frac_bits) as f64
+    }
+
+    /// The paper's `Round`: round-half-up on the scaled value.
+    fn round_scaled(self, v: f64, scale: f64) -> Result<i128, QuantError> {
+        if !v.is_finite() {
+            return Err(QuantError::NotFinite);
+        }
+        let scaled = v * scale;
+        // Round half up, as written in Algorithm 1 (lines 12-17).
+        let r = (scaled + 0.5).floor();
+        Ok(r as i128)
+    }
+
+    /// Quantizes a single input/weight value: `Field(Round(v · 2^l))`.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NotFinite`] for NaN/inf; [`QuantError::Overflow`] if
+    /// the scaled value exceeds `p/2` in magnitude (it could not be
+    /// recovered by the centered lift).
+    pub fn quantize<const P: u64>(self, v: f64) -> Result<Fp<P>, QuantError> {
+        let scaled = self.round_scaled(v, self.scale())?;
+        self.into_field::<P>(scaled)
+    }
+
+    /// Quantizes a bias value at product scale: `Field(Round(v · 2^{2l}))`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantConfig::quantize`].
+    pub fn quantize_bias<const P: u64>(self, v: f64) -> Result<Fp<P>, QuantError> {
+        let scaled = self.round_scaled(v, self.scale() * self.scale())?;
+        self.into_field::<P>(scaled)
+    }
+
+    fn into_field<const P: u64>(self, scaled: i128) -> Result<Fp<P>, QuantError> {
+        let bound = (P / 2) as i128;
+        if scaled.abs() > bound {
+            return Err(QuantError::Overflow { scaled, bound });
+        }
+        Ok(Fp::from_i128(scaled))
+    }
+
+    /// Quantizes a slice of inputs/weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first element error encountered.
+    pub fn quantize_slice<const P: u64>(self, vs: &[f32]) -> Result<Vec<Fp<P>>, QuantError> {
+        vs.iter().map(|&v| self.quantize(v as f64)).collect()
+    }
+
+    /// Recovers a float from a quantized *input-scale* value (`2^l`).
+    pub fn dequantize_input<const P: u64>(self, x: Fp<P>) -> f64 {
+        x.to_centered_i64() as f64 / self.scale()
+    }
+
+    /// Recovers the result of a bilinear op on two quantized operands
+    /// (product scale `2^{2l}`), applying the paper's two-step rounding
+    /// `Round(Y_q · 2^{-l}) · 2^{-l}`.
+    pub fn dequantize_product<const P: u64>(self, y: Fp<P>) -> f64 {
+        let centered = y.to_centered_i64() as f64;
+        let first = (centered / self.scale() + 0.5).floor();
+        first / self.scale()
+    }
+
+    /// Recovers a slice of bilinear-op results.
+    pub fn dequantize_product_slice<const P: u64>(self, ys: &[Fp<P>]) -> Vec<f32> {
+        ys.iter().map(|&y| self.dequantize_product(y) as f32).collect()
+    }
+
+    /// The worst-case quantization error of a single value: `2^{-l-1}`.
+    pub fn unit_error(self) -> f64 {
+        0.5 / self.scale()
+    }
+
+    /// Overflow analysis: the maximum number of product terms `N` such
+    /// that a dot product of `N` terms with |w| ≤ `w_max`, |x| ≤ `x_max`
+    /// is guaranteed to stay inside `(−p/2, p/2)` at product scale.
+    ///
+    /// This is the real fidelity limit of the paper's scheme: with
+    /// `l = 8` and unit-magnitude operands in `F_{2^25−39}`, only ~256
+    /// terms fit, which is why the paper normalizes VGG activations.
+    pub fn max_dot_terms<const P: u64>(self, w_max: f64, x_max: f64) -> usize {
+        let per_term = (w_max * self.scale()).ceil() * (x_max * self.scale()).ceil();
+        if per_term <= 0.0 {
+            return usize::MAX;
+        }
+        ((P / 2) as f64 / per_term).floor() as usize
+    }
+
+    /// Dynamic max-abs normalization (the paper's VGG workaround):
+    /// divides the slice by its maximum absolute entry if that entry
+    /// exceeds `limit`, returning the divisor used (1.0 if untouched).
+    pub fn normalize(self, vs: &mut [f32], limit: f32) -> f32 {
+        let max = vs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if max > limit && max > 0.0 {
+            let inv = limit / max;
+            for v in vs.iter_mut() {
+                *v *= inv;
+            }
+            max / limit
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::{F25, P25};
+
+    #[test]
+    fn round_trip_exact_values() {
+        let q = QuantConfig::new(8);
+        for v in [-2.0, -0.5, 0.0, 0.25, 1.0, 3.75] {
+            let x = q.quantize::<P25>(v).unwrap();
+            assert_eq!(q.dequantize_input(x), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn round_trip_error_bounded() {
+        let q = QuantConfig::new(8);
+        for i in 0..1000 {
+            let v = (i as f64 - 500.0) * 0.00317;
+            let x = q.quantize::<P25>(v).unwrap();
+            let back = q.dequantize_input(x);
+            assert!((back - v).abs() <= q.unit_error() + 1e-12, "v={v} back={back}");
+        }
+    }
+
+    #[test]
+    fn bias_uses_product_scale() {
+        let q = QuantConfig::new(8);
+        let b = q.quantize_bias::<P25>(0.5).unwrap();
+        assert_eq!(b.to_centered_i64(), (0.5 * 65536.0) as i64);
+    }
+
+    #[test]
+    fn product_dequantization() {
+        let q = QuantConfig::new(8);
+        // (1.5 * 2.0) at product scale 2^16.
+        let w = q.quantize::<P25>(1.5).unwrap();
+        let x = q.quantize::<P25>(2.0).unwrap();
+        let y = w * x;
+        assert!((q.dequantize_product(y) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_product_dequantization() {
+        let q = QuantConfig::new(8);
+        let w = q.quantize::<P25>(-1.25).unwrap();
+        let x = q.quantize::<P25>(2.0).unwrap();
+        let y = w * x;
+        assert!((q.dequantize_product(y) + 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_product_in_field_matches_float() {
+        let q = QuantConfig::new(8);
+        let ws = [0.5f32, -0.25, 1.0, 0.125];
+        let xs = [1.0f32, 2.0, -0.5, 4.0];
+        let wq = q.quantize_slice::<P25>(&ws).unwrap();
+        let xq = q.quantize_slice::<P25>(&xs).unwrap();
+        let acc: F25 = wq.iter().zip(&xq).map(|(&a, &b)| a * b).sum();
+        let float: f32 = ws.iter().zip(&xs).map(|(a, b)| a * b).sum();
+        assert!((q.dequantize_product(acc) as f32 - float).abs() < 1e-4);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let q = QuantConfig::new(8);
+        let err = q.quantize::<P25>(1.0e9).unwrap_err();
+        assert!(matches!(err, QuantError::Overflow { .. }));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let q = QuantConfig::new(8);
+        assert_eq!(q.quantize::<P25>(f64::NAN).unwrap_err(), QuantError::NotFinite);
+    }
+
+    #[test]
+    fn max_dot_terms_matches_paper_headroom() {
+        let q = QuantConfig::new(8);
+        // |w|,|x| <= 1 at l=8: each product <= 2^16, half-field ~2^24
+        // => about 2^8 = 256 terms.
+        let n = q.max_dot_terms::<P25>(1.0, 1.0);
+        assert!((250..=260).contains(&n), "n={n}");
+    }
+
+    #[test]
+    fn overflow_bound_is_tight() {
+        let q = QuantConfig::new(8);
+        let n = q.max_dot_terms::<P25>(1.0, 1.0);
+        let one = q.quantize::<P25>(1.0).unwrap();
+        // Summing n products of 1.0*1.0 stays recoverable...
+        let acc: F25 = (0..n).map(|_| one * one).sum();
+        assert_eq!(q.dequantize_product(acc), n as f64);
+        // ...but ~2x that wraps around and becomes wrong.
+        let acc2: F25 = (0..2 * n + 10).map(|_| one * one).sum();
+        assert_ne!(q.dequantize_product(acc2), (2 * n + 10) as f64);
+    }
+
+    #[test]
+    fn normalize_rescales_when_needed() {
+        let q = QuantConfig::new(8);
+        let mut vs = vec![2.0f32, -8.0, 1.0];
+        let div = q.normalize(&mut vs, 4.0);
+        assert!((div - 2.0).abs() < 1e-6);
+        assert_eq!(vs, vec![1.0, -4.0, 0.5]);
+        // Already in range: untouched.
+        let mut vs2 = vec![0.5f32, -1.0];
+        assert_eq!(q.normalize(&mut vs2, 4.0), 1.0);
+        assert_eq!(vs2, vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn smaller_frac_bits_more_headroom() {
+        let q5 = QuantConfig::new(5);
+        let q8 = QuantConfig::new(8);
+        assert!(q5.max_dot_terms::<P25>(1.0, 1.0) > q8.max_dot_terms::<P25>(1.0, 1.0));
+    }
+}

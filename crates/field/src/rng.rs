@@ -1,0 +1,171 @@
+//! Uniform sampling of field elements.
+//!
+//! All randomness in the framework flows through [`FieldRng`], a thin
+//! wrapper over a seedable ChaCha PRNG, so that every experiment is
+//! reproducible from a single seed. Sampling uses rejection to guarantee a
+//! perfectly uniform distribution over `[0, P)` — a biased sampler would
+//! weaken the one-time-pad argument of the paper's Lemma 1.
+
+use crate::fp::Fp;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// A deterministic, seedable source of uniform field elements.
+///
+/// # Example
+///
+/// ```
+/// use dk_field::{FieldRng, F25};
+///
+/// let mut rng = FieldRng::seed_from(42);
+/// let x: F25 = rng.uniform();
+/// let y: F25 = rng.uniform();
+/// assert_ne!(x, y); // overwhelmingly likely
+/// ```
+#[derive(Debug, Clone)]
+pub struct FieldRng {
+    inner: ChaCha12Rng,
+}
+
+impl FieldRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self { inner: ChaCha12Rng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; used to give each subsystem
+    /// (encoder, noise, TEE, workers) its own stream from one master seed.
+    pub fn fork(&mut self, label: u64) -> Self {
+        let s = self.inner.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from(s)
+    }
+
+    /// Samples a uniformly random element of `F_P` (rejection sampling).
+    pub fn uniform<const P: u64>(&mut self) -> Fp<P> {
+        // Rejection zone: the largest multiple of P below 2^64.
+        let zone = u64::MAX - u64::MAX % P;
+        loop {
+            let v = self.inner.next_u64();
+            if v < zone {
+                return Fp::new(v % P);
+            }
+        }
+    }
+
+    /// Samples a uniformly random *nonzero* element of `F_P`.
+    pub fn uniform_nonzero<const P: u64>(&mut self) -> Fp<P> {
+        loop {
+            let x = self.uniform::<P>();
+            if !x.is_zero() {
+                return x;
+            }
+        }
+    }
+
+    /// Fills a vector with `n` uniform field elements.
+    pub fn uniform_vec<const P: u64>(&mut self, n: usize) -> Vec<Fp<P>> {
+        (0..n).map(|_| self.uniform()).collect()
+    }
+
+    /// Samples a uniform `f32` in `[lo, hi)`; used for float-domain
+    /// initialization and synthetic data.
+    pub fn uniform_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Samples an approximately standard-normal `f32` (sum of uniforms).
+    pub fn normal_f32(&mut self) -> f32 {
+        // Irwin–Hall with 12 uniforms: mean 6, variance 1.
+        let s: f32 = (0..12).map(|_| self.inner.gen::<f32>()).sum();
+        s - 6.0
+    }
+
+    /// Samples a uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Returns a raw `u64` from the underlying stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::{F25, P25};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = FieldRng::seed_from(7);
+        let mut b = FieldRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform::<P25>(), b.uniform::<P25>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FieldRng::seed_from(1);
+        let mut b = FieldRng::seed_from(2);
+        let same = (0..64).filter(|_| a.uniform::<P25>() == b.uniform::<P25>()).count();
+        assert!(same < 4, "streams should be independent, got {same} collisions");
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut root = FieldRng::seed_from(9);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let same = (0..64).filter(|_| c1.uniform::<P25>() == c2.uniform::<P25>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_is_in_range() {
+        let mut rng = FieldRng::seed_from(3);
+        for _ in 0..10_000 {
+            let x: F25 = rng.uniform();
+            assert!(x.value() < P25);
+        }
+    }
+
+    #[test]
+    fn nonzero_never_zero() {
+        let mut rng = FieldRng::seed_from(4);
+        for _ in 0..1_000 {
+            assert!(!rng.uniform_nonzero::<P25>().is_zero());
+        }
+    }
+
+    #[test]
+    fn uniformity_chi_square_rough() {
+        // 16 buckets over F_p; chi-square should be near 15 for uniform.
+        let mut rng = FieldRng::seed_from(5);
+        let n = 64_000usize;
+        let buckets = 16usize;
+        let mut counts = vec![0usize; buckets];
+        for _ in 0..n {
+            let x: F25 = rng.uniform();
+            let b = (x.value() as u128 * buckets as u128 / P25 as u128) as usize;
+            counts[b] += 1;
+        }
+        let expected = n as f64 / buckets as f64;
+        let chi2: f64 =
+            counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+        // df = 15; P(chi2 > 40) < 0.001 — generous bound to avoid flakiness.
+        assert!(chi2 < 40.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut rng = FieldRng::seed_from(6);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal_f32()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Vandermonde / MDS coefficient generators for encoding matrices.
+//!
+//! DarKnight's collusion tolerance (§4.5 / §5 of the paper) requires the
+//! noise block `A2 ∈ F_p^{M×S}` to have the property that *any* subset of
+//! at most `M` of its columns is full rank — otherwise a coalition of `M`
+//! GPUs could linearly combine their observations to cancel the noise.
+//! A rejection-sampled random matrix satisfies this only with high
+//! probability per subset; a Vandermonde matrix over distinct nonzero
+//! points satisfies it *for every subset, unconditionally*, because every
+//! square submatrix of a Vandermonde matrix with distinct points is
+//! invertible. We therefore build `A2` (and optionally the whole of `A`)
+//! from Vandermonde structure, and expose the generic generator here.
+
+use crate::fp::Fp;
+use crate::matrix::FieldMatrix;
+use crate::rng::FieldRng;
+
+/// Builds the `rows × cols` Vandermonde matrix `V[r][c] = points[c]^r`.
+///
+/// Every square submatrix of `V` formed by choosing any `rows` distinct
+/// columns is invertible when the points are distinct and nonzero.
+///
+/// # Panics
+///
+/// Panics if `points.len() != cols` or the points are not pairwise
+/// distinct.
+pub fn vandermonde<const P: u64>(rows: usize, points: &[Fp<P>]) -> FieldMatrix<P> {
+    for (i, a) in points.iter().enumerate() {
+        for b in &points[i + 1..] {
+            assert_ne!(a, b, "vandermonde points must be distinct");
+        }
+    }
+    FieldMatrix::from_fn(rows, points.len(), |r, c| points[c].pow(r as u64))
+}
+
+/// Samples `n` distinct nonzero field points.
+///
+/// # Panics
+///
+/// Panics if `n >= P` (cannot pick that many distinct nonzero points).
+pub fn distinct_points<const P: u64>(n: usize, rng: &mut FieldRng) -> Vec<Fp<P>> {
+    assert!((n as u64) < P, "cannot sample {n} distinct points in F_{P}");
+    let mut pts: Vec<Fp<P>> = Vec::with_capacity(n);
+    while pts.len() < n {
+        let x = rng.uniform_nonzero::<P>();
+        if !pts.contains(&x) {
+            pts.push(x);
+        }
+    }
+    pts
+}
+
+/// Builds an MDS matrix of shape `rows × cols` (`rows <= cols`): every
+/// `rows × rows` submatrix is invertible.
+///
+/// Implemented as a Vandermonde matrix over random distinct nonzero
+/// points, with each column scaled by a random nonzero constant (the
+/// scaling preserves the MDS property and removes the fixed `1` top row,
+/// improving statistical properties of the encoding).
+///
+/// # Panics
+///
+/// Panics if `rows > cols`.
+pub fn mds_matrix<const P: u64>(rows: usize, cols: usize, rng: &mut FieldRng) -> FieldMatrix<P> {
+    assert!(rows <= cols, "MDS requires rows <= cols");
+    let pts = distinct_points::<P>(cols, rng);
+    let v = vandermonde(rows, &pts);
+    let scales: Vec<Fp<P>> = (0..cols).map(|_| rng.uniform_nonzero::<P>()).collect();
+    FieldMatrix::from_fn(rows, cols, |r, c| v[(r, c)] * scales[c])
+}
+
+/// Verifies the MDS property by brute force over all `rows × rows`
+/// column subsets. Exponential in `cols` — intended for tests and small
+/// encoding matrices only (DarKnight's are at most ~10 columns).
+pub fn is_mds<const P: u64>(m: &FieldMatrix<P>) -> bool {
+    let r = m.rows();
+    let c = m.cols();
+    if r > c {
+        return false;
+    }
+    let rows: Vec<usize> = (0..r).collect();
+    let mut subset: Vec<usize> = (0..r).collect();
+    loop {
+        if m.submatrix(&rows, &subset).inverse().is_none() {
+            return false;
+        }
+        // Next combination.
+        let mut i = r;
+        loop {
+            if i == 0 {
+                return true;
+            }
+            i -= 1;
+            if subset[i] != i + c - r {
+                subset[i] += 1;
+                for j in i + 1..r {
+                    subset[j] = subset[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::{F25, P25};
+
+    #[test]
+    fn vandermonde_shape_and_entries() {
+        let pts = [F25::new(2), F25::new(3), F25::new(5)];
+        let v = vandermonde(3, &pts);
+        assert_eq!(v[(0, 0)], F25::ONE);
+        assert_eq!(v[(1, 1)], F25::new(3));
+        assert_eq!(v[(2, 2)], F25::new(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn vandermonde_rejects_duplicates() {
+        let pts = [F25::new(2), F25::new(2)];
+        let _ = vandermonde(2, &pts);
+    }
+
+    #[test]
+    fn square_vandermonde_invertible() {
+        let mut rng = FieldRng::seed_from(11);
+        for n in 1..=7 {
+            let pts = distinct_points::<P25>(n, &mut rng);
+            let v = vandermonde(n, &pts);
+            assert!(v.inverse().is_some(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn distinct_points_are_distinct_and_nonzero() {
+        let mut rng = FieldRng::seed_from(12);
+        let pts = distinct_points::<P25>(50, &mut rng);
+        for (i, a) in pts.iter().enumerate() {
+            assert!(!a.is_zero());
+            for b in &pts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn mds_property_holds() {
+        let mut rng = FieldRng::seed_from(13);
+        for (r, c) in [(1, 4), (2, 5), (3, 6), (2, 8)] {
+            let m = mds_matrix::<P25>(r, c, &mut rng);
+            assert!(is_mds(&m), "({r},{c})");
+        }
+    }
+
+    #[test]
+    fn non_mds_detected() {
+        // A matrix with a zero column can never be MDS.
+        let mut m = FieldMatrix::<P25>::zeros(2, 4);
+        m[(0, 0)] = F25::ONE;
+        m[(1, 1)] = F25::ONE;
+        assert!(!is_mds(&m));
+    }
+
+    #[test]
+    fn mds_rectangular_rank() {
+        let mut rng = FieldRng::seed_from(14);
+        let m = mds_matrix::<P25>(3, 7, &mut rng);
+        assert_eq!(m.rank(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! A cluster of `K'` workers and the dispatch logic.
+
+use crate::behavior::Behavior;
+use crate::job::{JobOutput, LinearJob};
+use crate::worker::{GpuWorker, WorkerId};
+
+/// A fleet of simulated accelerators.
+///
+/// DarKnight requires `K' >= K + M + 1` workers for a virtual batch of
+/// `K`, collusion tolerance `M` and one integrity-check equation (§4.5
+/// summary). The cluster enforces nothing itself — sizing is checked by
+/// the `dk-core` session — it just executes.
+#[derive(Debug)]
+pub struct GpuCluster {
+    workers: Vec<GpuWorker>,
+    parallel: bool,
+}
+
+impl GpuCluster {
+    /// Creates `n` honest workers.
+    pub fn honest(n: usize, seed: u64) -> Self {
+        Self::with_behaviors(&vec![Behavior::Honest; n], seed)
+    }
+
+    /// Creates workers with per-worker behaviours.
+    pub fn with_behaviors(behaviors: &[Behavior], seed: u64) -> Self {
+        let workers = behaviors
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| GpuWorker::new(WorkerId(i), b, seed))
+            .collect();
+        Self { workers, parallel: false }
+    }
+
+    /// Enables multi-threaded dispatch (one OS thread per worker, as the
+    /// real deployment drives GPUs concurrently).
+    pub fn with_parallel_dispatch(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Number of workers (`K'`).
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True if the cluster has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Immutable access to a worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn worker(&self, id: WorkerId) -> &GpuWorker {
+        &self.workers[id.0]
+    }
+
+    /// Mutable access to a worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn worker_mut(&mut self, id: WorkerId) -> &mut GpuWorker {
+        &mut self.workers[id.0]
+    }
+
+    /// All workers.
+    pub fn workers(&self) -> &[GpuWorker] {
+        &self.workers
+    }
+
+    /// Stores per-worker forward encodings (worker `i` receives
+    /// `encodings[i]`) under the given layer id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more encodings than workers are supplied.
+    pub fn store_encodings(&mut self, layer_id: u64, encodings: Vec<dk_linalg::Tensor<dk_field::F25>>) {
+        assert!(encodings.len() <= self.workers.len(), "more encodings than workers");
+        for (w, e) in self.workers.iter_mut().zip(encodings) {
+            w.store_encoding(layer_id, e);
+        }
+    }
+
+    /// Executes `jobs[i]` on worker `i`, returning outputs in worker
+    /// order. With parallel dispatch enabled the jobs run on OS threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more jobs than workers are supplied.
+    pub fn execute(&mut self, jobs: &[LinearJob]) -> Vec<JobOutput> {
+        assert!(jobs.len() <= self.workers.len(), "more jobs ({}) than workers ({})", jobs.len(), self.workers.len());
+        if self.parallel {
+            let workers = &mut self.workers[..jobs.len()];
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(jobs.len());
+                for (w, job) in workers.iter_mut().zip(jobs) {
+                    handles.push(scope.spawn(move |_| w.execute(job)));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+            })
+            .expect("dispatch scope panicked")
+        } else {
+            self.workers.iter_mut().zip(jobs).map(|(w, j)| w.execute(j)).collect()
+        }
+    }
+
+    /// Executes the same job on a single worker by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> JobOutput {
+        self.workers[id.0].execute(job)
+    }
+
+    /// Clears all stored encodings (virtual batch boundary).
+    pub fn clear_encodings(&mut self) {
+        for w in &mut self.workers {
+            w.clear_encodings();
+        }
+    }
+
+    /// Total MACs executed across all workers.
+    pub fn total_macs(&self) -> u64 {
+        self.workers.iter().map(|w| w.macs_executed()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_field::F25;
+    use dk_linalg::Tensor;
+    use std::sync::Arc;
+
+    fn dense_job(scale: u64) -> LinearJob {
+        LinearJob::DenseForward {
+            weights: Arc::new(Tensor::from_fn(&[2, 3], |i| F25::new(i as u64 + 1))),
+            x: Tensor::from_fn(&[1, 3], move |i| F25::new((i as u64 + 1) * scale)),
+        }
+    }
+
+    #[test]
+    fn dispatch_in_worker_order() {
+        let mut cluster = GpuCluster::honest(3, 1);
+        let jobs: Vec<_> = (1..=3).map(dense_job).collect();
+        let outs = cluster.execute(&jobs);
+        assert_eq!(outs.len(), 3);
+        // Output scales linearly with the input scale.
+        for k in 0..3 {
+            let expect = jobs[k].execute();
+            assert_eq!(outs[k], expect);
+        }
+    }
+
+    #[test]
+    fn parallel_dispatch_matches_sequential() {
+        let jobs: Vec<_> = (1..=4).map(dense_job).collect();
+        let mut seq = GpuCluster::honest(4, 2);
+        let mut par = GpuCluster::honest(4, 2).with_parallel_dispatch(true);
+        assert_eq!(seq.execute(&jobs), par.execute(&jobs));
+    }
+
+    #[test]
+    fn mixed_behaviors() {
+        let mut cluster = GpuCluster::with_behaviors(
+            &[Behavior::Honest, Behavior::ZeroOutput, Behavior::Honest],
+            3,
+        );
+        let jobs: Vec<_> = (1..=3).map(dense_job).collect();
+        let outs = cluster.execute(&jobs);
+        assert_eq!(outs[0], jobs[0].execute());
+        assert!(outs[1].as_slice().iter().all(|v| v.is_zero()));
+        assert_eq!(outs[2], jobs[2].execute());
+    }
+
+    #[test]
+    #[should_panic(expected = "more jobs")]
+    fn too_many_jobs_panics() {
+        let mut cluster = GpuCluster::honest(1, 4);
+        let jobs: Vec<_> = (1..=2).map(dense_job).collect();
+        let _ = cluster.execute(&jobs);
+    }
+
+    #[test]
+    fn encoding_storage_per_worker() {
+        let mut cluster = GpuCluster::honest(2, 5);
+        let encs = vec![
+            Tensor::from_fn(&[1, 2], |i| F25::new(i as u64)),
+            Tensor::from_fn(&[1, 2], |i| F25::new(i as u64 + 10)),
+        ];
+        cluster.store_encodings(3, encs.clone());
+        assert_eq!(cluster.worker(WorkerId(0)).stored_encoding(3), Some(&encs[0]));
+        assert_eq!(cluster.worker(WorkerId(1)).stored_encoding(3), Some(&encs[1]));
+        cluster.clear_encodings();
+        assert!(cluster.worker(WorkerId(0)).stored_encoding(3).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulated untrusted GPU accelerators for DarKnight.
+//!
+//! Real GPUs in the paper's deployment only ever see (a) the public
+//! quantized model weights, (b) masked field-domain activations
+//! `x̄ = XA + RA'`, (c) the public backward matrix `B`, and quantized
+//! gradients `δ` — and they only ever run *bilinear* operations on them.
+//! This crate reproduces exactly that interface:
+//!
+//! * [`job::LinearJob`] — the five bilinear operations DarKnight
+//!   offloads (conv forward / input-grad / weight-grad, dense forward /
+//!   weight-grad), all over `F_{2^25−39}`.
+//! * [`worker::GpuWorker`] — executes jobs, stores forward encodings for
+//!   backward reuse (§6, "Encoded Data Storage During Forward Pass"),
+//!   records everything it observes (for collusion analysis), and can be
+//!   configured with adversarial [`behavior::Behavior`]s that corrupt
+//!   results — the faults DarKnight's integrity check (§4.4) must catch.
+//! * [`cluster::GpuCluster`] — dispatches one encoding per worker
+//!   (the paper's "each GPU receives at most one encoded data") either
+//!   sequentially or across OS threads.
+//! * [`collusion`] — the empirical privacy harness: uniformity testing
+//!   of observations and a white-box noise-cancellation audit that
+//!   demonstrates the exact collusion-tolerance boundary `M`.
+
+pub mod behavior;
+pub mod cluster;
+pub mod collusion;
+pub mod job;
+pub mod worker;
+
+pub use behavior::Behavior;
+pub use cluster::GpuCluster;
+pub use job::{JobOutput, LinearJob};
+pub use worker::{GpuWorker, WorkerId};

@@ -1,0 +1,205 @@
+//! A single simulated GPU worker.
+
+use crate::behavior::Behavior;
+use crate::job::{JobOutput, LinearJob};
+use dk_field::{F25, FieldRng};
+use dk_linalg::Tensor;
+use std::collections::HashMap;
+
+/// Worker identity within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub usize);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// A simulated accelerator.
+///
+/// Besides executing jobs, the worker does two things a real deployment
+/// does:
+///
+/// * it **stores the forward encodings** it receives, keyed by layer, so
+///   the backward pass can reuse them without re-transmission (§6 of the
+///   paper: "our current implementation of DarKnight stores these
+///   encoded inputs within the GPU memory");
+/// * it **records every masked vector it observes**, which is exactly
+///   the adversary's view — the collusion analyzer consumes this.
+#[derive(Debug)]
+pub struct GpuWorker {
+    id: WorkerId,
+    behavior: Behavior,
+    rng: FieldRng,
+    stored_encodings: HashMap<u64, Tensor<F25>>,
+    observations: Vec<Vec<F25>>,
+    jobs_executed: u64,
+    macs_executed: u64,
+}
+
+impl GpuWorker {
+    /// Creates a worker with the given behaviour.
+    pub fn new(id: WorkerId, behavior: Behavior, seed: u64) -> Self {
+        Self {
+            id,
+            behavior,
+            rng: FieldRng::seed_from(seed ^ (id.0 as u64).wrapping_mul(0x9E37_79B9)),
+            stored_encodings: HashMap::new(),
+            observations: Vec::new(),
+            jobs_executed: 0,
+            macs_executed: 0,
+        }
+    }
+
+    /// The worker id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// The configured behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Reconfigures the behaviour (tests flip workers malicious
+    /// mid-session: the paper's *dynamic* adversary).
+    pub fn set_behavior(&mut self, b: Behavior) {
+        self.behavior = b;
+    }
+
+    /// Stores a forward encoding for later backward reuse and records it
+    /// as an observation.
+    pub fn store_encoding(&mut self, layer_id: u64, encoding: Tensor<F25>) {
+        self.observations.push(encoding.as_slice().to_vec());
+        self.stored_encodings.insert(layer_id, encoding);
+    }
+
+    /// Retrieves the stored encoding for a layer.
+    pub fn stored_encoding(&self, layer_id: u64) -> Option<&Tensor<F25>> {
+        self.stored_encodings.get(&layer_id)
+    }
+
+    /// Clears stored encodings (between virtual batches).
+    pub fn clear_encodings(&mut self) {
+        self.stored_encodings.clear();
+    }
+
+    /// Executes a job, applying the adversarial behaviour to the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `*Stored` job references a layer this worker has no
+    /// stored encoding for (a protocol violation by the dispatcher).
+    pub fn execute(&mut self, job: &LinearJob) -> JobOutput {
+        self.jobs_executed += 1;
+        self.macs_executed += job.macs();
+        // Record what the job reveals: the masked input (forward) or the
+        // stored encoding is already recorded; backward-data inputs are
+        // deltas, which the threat model treats as non-sensitive.
+        let honest = match (self.behavior, job) {
+            (Behavior::StaleInput, LinearJob::ConvForward { weights, x, shape }) => {
+                let zero = Tensor::zeros(x.shape());
+                LinearJob::ConvForward { weights: weights.clone(), x: zero, shape: *shape }
+                    .execute()
+            }
+            (_, LinearJob::ConvWeightGradStored { delta_batch, beta, layer_id, shape }) => {
+                let x = self
+                    .stored_encodings
+                    .get(layer_id)
+                    .unwrap_or_else(|| panic!("{} has no stored encoding for layer {layer_id}", self.id))
+                    .clone();
+                let delta = crate::job::beta_combine(delta_batch, beta);
+                LinearJob::ConvWeightGrad { delta, x, shape: *shape }.execute()
+            }
+            (_, LinearJob::DenseWeightGradStored { delta_batch, beta, layer_id }) => {
+                let x = self
+                    .stored_encodings
+                    .get(layer_id)
+                    .unwrap_or_else(|| panic!("{} has no stored encoding for layer {layer_id}", self.id))
+                    .clone();
+                let delta = crate::job::beta_combine(delta_batch, beta);
+                LinearJob::DenseWeightGrad { delta, x }.execute()
+            }
+            _ => job.execute(),
+        };
+        self.behavior.corrupt(honest, &mut self.rng)
+    }
+
+    /// Everything this worker has observed (the adversary's view).
+    pub fn observations(&self) -> &[Vec<F25>] {
+        &self.observations
+    }
+
+    /// Number of jobs executed.
+    pub fn jobs_executed(&self) -> u64 {
+        self.jobs_executed
+    }
+
+    /// Total MACs executed (perf accounting).
+    pub fn macs_executed(&self) -> u64 {
+        self.macs_executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_linalg::Conv2dShape;
+    use std::sync::Arc;
+
+    fn conv_job() -> LinearJob {
+        let shape = Conv2dShape::simple(1, 2, 3, 1, 1);
+        LinearJob::ConvForward {
+            weights: Arc::new(Tensor::from_fn(&shape.weight_shape(), |i| F25::new(i as u64))),
+            x: Tensor::from_fn(&[1, 1, 4, 4], |i| F25::new(i as u64)),
+            shape,
+        }
+    }
+
+    #[test]
+    fn honest_worker_matches_job() {
+        let mut w = GpuWorker::new(WorkerId(0), Behavior::Honest, 1);
+        let job = conv_job();
+        assert_eq!(w.execute(&job), job.execute());
+        assert_eq!(w.jobs_executed(), 1);
+        assert!(w.macs_executed() > 0);
+    }
+
+    #[test]
+    fn malicious_worker_corrupts() {
+        let mut w = GpuWorker::new(WorkerId(1), Behavior::AdditiveNoise, 2);
+        let job = conv_job();
+        assert_ne!(w.execute(&job), job.execute());
+    }
+
+    #[test]
+    fn stale_input_gives_zero_conv() {
+        let mut w = GpuWorker::new(WorkerId(2), Behavior::StaleInput, 3);
+        let job = conv_job();
+        let out = w.execute(&job);
+        assert!(out.as_slice().iter().all(|v| v.is_zero()));
+    }
+
+    #[test]
+    fn encoding_storage_round_trip() {
+        let mut w = GpuWorker::new(WorkerId(0), Behavior::Honest, 4);
+        let enc = Tensor::from_fn(&[1, 2, 2, 2], |i| F25::new(i as u64 * 11));
+        w.store_encoding(5, enc.clone());
+        assert_eq!(w.stored_encoding(5), Some(&enc));
+        assert!(w.stored_encoding(6).is_none());
+        w.clear_encodings();
+        assert!(w.stored_encoding(5).is_none());
+        // Observation survives clearing (the adversary remembers).
+        assert_eq!(w.observations().len(), 1);
+    }
+
+    #[test]
+    fn behavior_can_change_dynamically() {
+        let mut w = GpuWorker::new(WorkerId(0), Behavior::Honest, 5);
+        let job = conv_job();
+        assert_eq!(w.execute(&job), job.execute());
+        w.set_behavior(Behavior::ZeroOutput);
+        assert!(w.execute(&job).as_slice().iter().all(|v| v.is_zero()));
+    }
+}

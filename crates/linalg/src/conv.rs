@@ -1,0 +1,419 @@
+//! 2-D convolution: forward, input-gradient and weight-gradient passes.
+//!
+//! These are the three bilinear operations DarKnight offloads to GPUs:
+//! the forward `⟨W, x⟩`, the backward data term `⟨δ_{l+1}, g'⟩` and the
+//! backward weight term `⟨δ, x⟩` (Eq. 3 in the paper). All three are
+//! implemented once, generically over [`Scalar`], via im2col lowering, so
+//! the masked field execution is bit-identical in structure to the float
+//! reference.
+//!
+//! Grouped convolution is supported (`groups > 1`); depthwise convolution
+//! — the core of MobileNet — is the special case `groups == in_channels`.
+
+use crate::im2col::{col2im, im2col, out_hw};
+use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::scalar::Scalar;
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution layer.
+///
+/// Weights are laid out `[out_channels, in_channels/groups, kh, kw]` and
+/// activations `[n, channels, h, w]` (NCHW).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dShape {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count.
+    pub out_channels: usize,
+    /// Kernel height/width.
+    pub kernel: (usize, usize),
+    /// Stride.
+    pub stride: (usize, usize),
+    /// Symmetric zero padding.
+    pub padding: (usize, usize),
+    /// Channel groups (`in_channels` for depthwise).
+    pub groups: usize,
+}
+
+impl Conv2dShape {
+    /// Creates a shape descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide both channel counts, or any
+    /// dimension is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+        groups: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && groups > 0);
+        assert!(kernel.0 > 0 && kernel.1 > 0 && stride.0 > 0 && stride.1 > 0);
+        assert_eq!(in_channels % groups, 0, "groups must divide in_channels");
+        assert_eq!(out_channels % groups, 0, "groups must divide out_channels");
+        Self { in_channels, out_channels, kernel, stride, padding, groups }
+    }
+
+    /// Convenience constructor for an ungrouped square convolution.
+    pub fn simple(in_channels: usize, out_channels: usize, k: usize, stride: usize, pad: usize) -> Self {
+        Self::new(in_channels, out_channels, (k, k), (stride, stride), (pad, pad), 1)
+    }
+
+    /// Depthwise convolution: one filter per channel.
+    pub fn depthwise(channels: usize, k: usize, stride: usize, pad: usize) -> Self {
+        Self::new(channels, channels, (k, k), (stride, stride), (pad, pad), channels)
+    }
+
+    /// Input channels per group.
+    pub fn cg_in(&self) -> usize {
+        self.in_channels / self.groups
+    }
+
+    /// Output channels per group.
+    pub fn cg_out(&self) -> usize {
+        self.out_channels / self.groups
+    }
+
+    /// Output spatial size for the given input spatial size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_hw(&self, hw: (usize, usize)) -> (usize, usize) {
+        out_hw(hw, self.kernel, self.stride, self.padding)
+    }
+
+    /// The weight tensor shape `[oc, ic/g, kh, kw]`.
+    pub fn weight_shape(&self) -> [usize; 4] {
+        [self.out_channels, self.cg_in(), self.kernel.0, self.kernel.1]
+    }
+
+    /// Multiply-accumulate count of one forward pass over an `n`-sample
+    /// batch with the given input spatial size (used by the perf model).
+    pub fn forward_macs(&self, n: usize, hw: (usize, usize)) -> u64 {
+        let (oh, ow) = self.out_hw(hw);
+        (n * self.out_channels * oh * ow * self.cg_in() * self.kernel.0 * self.kernel.1) as u64
+    }
+
+    fn check_weights<T: Scalar>(&self, w: &Tensor<T>) {
+        assert_eq!(w.shape(), &self.weight_shape(), "weight tensor shape mismatch");
+    }
+
+    fn check_input<T: Scalar>(&self, x: &Tensor<T>) {
+        assert_eq!(x.ndim(), 4, "input must be NCHW");
+        assert_eq!(x.shape()[1], self.in_channels, "input channel mismatch");
+    }
+}
+
+/// Forward convolution `y = W ∗ x` (no bias; bias lives in the layer).
+///
+/// `x: [n, ic, h, w]`, `w: [oc, ic/g, kh, kw]` → `y: [n, oc, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_forward<T: Scalar>(x: &Tensor<T>, w: &Tensor<T>, s: &Conv2dShape) -> Tensor<T> {
+    s.check_input(x);
+    s.check_weights(w);
+    let n = x.shape()[0];
+    let hw = (x.shape()[2], x.shape()[3]);
+    let (oh, ow) = s.out_hw(hw);
+    let (cgi, cgo) = (s.cg_in(), s.cg_out());
+    let krows = cgi * s.kernel.0 * s.kernel.1;
+    let ocols = oh * ow;
+    let mut y = Tensor::zeros(&[n, s.out_channels, oh, ow]);
+    for ni in 0..n {
+        let xi = x.batch_item(ni);
+        let yi = y.batch_item_mut(ni);
+        for g in 0..s.groups {
+            let xg = &xi[g * cgi * hw.0 * hw.1..(g + 1) * cgi * hw.0 * hw.1];
+            let cols = im2col(xg, cgi, hw, s.kernel, s.stride, s.padding);
+            let wg = &w.as_slice()[g * cgo * krows..(g + 1) * cgo * krows];
+            let out = matmul(wg, &cols, cgo, krows, ocols);
+            yi[g * cgo * ocols..(g + 1) * cgo * ocols].copy_from_slice(&out);
+        }
+    }
+    y
+}
+
+/// Convolution input gradient: `dx = Wᵀ ⊛ dy`.
+///
+/// `dy: [n, oc, oh, ow]` → `dx: [n, ic, h, w]` for the original input
+/// spatial size `hw`.
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_backward_input<T: Scalar>(
+    dy: &Tensor<T>,
+    w: &Tensor<T>,
+    s: &Conv2dShape,
+    hw: (usize, usize),
+) -> Tensor<T> {
+    s.check_weights(w);
+    assert_eq!(dy.shape()[1], s.out_channels, "dy channel mismatch");
+    let n = dy.shape()[0];
+    let (oh, ow) = s.out_hw(hw);
+    assert_eq!((dy.shape()[2], dy.shape()[3]), (oh, ow), "dy spatial mismatch");
+    let (cgi, cgo) = (s.cg_in(), s.cg_out());
+    let krows = cgi * s.kernel.0 * s.kernel.1;
+    let ocols = oh * ow;
+    let mut dx = Tensor::zeros(&[n, s.in_channels, hw.0, hw.1]);
+    for ni in 0..n {
+        let dyi = dy.batch_item(ni);
+        let dxi = dx.batch_item_mut(ni);
+        for g in 0..s.groups {
+            let wg = &w.as_slice()[g * cgo * krows..(g + 1) * cgo * krows];
+            let dyg = &dyi[g * cgo * ocols..(g + 1) * cgo * ocols];
+            // dcol[krows x ocols] = wgᵀ[krows x cgo] · dyg[cgo x ocols]
+            let dcol = matmul_at_b(wg, dyg, krows, cgo, ocols);
+            let img = col2im(&dcol, cgi, hw, s.kernel, s.stride, s.padding);
+            let dst = &mut dxi[g * cgi * hw.0 * hw.1..(g + 1) * cgi * hw.0 * hw.1];
+            for (d, v) in dst.iter_mut().zip(img) {
+                *d += v;
+            }
+        }
+    }
+    dx
+}
+
+/// Convolution weight gradient: `dW = dy ⊛ x` summed over the batch.
+///
+/// This is the bilinear op of the paper's Eq. 3 — the one DarKnight's
+/// backward encoding protects.
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_backward_weight<T: Scalar>(
+    dy: &Tensor<T>,
+    x: &Tensor<T>,
+    s: &Conv2dShape,
+) -> Tensor<T> {
+    s.check_input(x);
+    assert_eq!(dy.shape()[1], s.out_channels, "dy channel mismatch");
+    let n = x.shape()[0];
+    assert_eq!(dy.shape()[0], n, "batch mismatch");
+    let hw = (x.shape()[2], x.shape()[3]);
+    let (oh, ow) = s.out_hw(hw);
+    let (cgi, cgo) = (s.cg_in(), s.cg_out());
+    let krows = cgi * s.kernel.0 * s.kernel.1;
+    let ocols = oh * ow;
+    let mut dw = Tensor::zeros(&s.weight_shape());
+    for ni in 0..n {
+        let xi = x.batch_item(ni);
+        let dyi = dy.batch_item(ni);
+        for g in 0..s.groups {
+            let xg = &xi[g * cgi * hw.0 * hw.1..(g + 1) * cgi * hw.0 * hw.1];
+            let cols = im2col(xg, cgi, hw, s.kernel, s.stride, s.padding);
+            let dyg = &dyi[g * cgo * ocols..(g + 1) * cgo * ocols];
+            // dwg[cgo x krows] = dyg[cgo x ocols] · colsᵀ[ocols x krows]
+            let dwg = matmul_a_bt(dyg, &cols, cgo, ocols, krows);
+            let dst = &mut dw.as_mut_slice()[g * cgo * krows..(g + 1) * cgo * krows];
+            for (d, v) in dst.iter_mut().zip(dwg) {
+                *d += v;
+            }
+        }
+    }
+    dw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_field::F25;
+
+    /// Direct (nested-loop) convolution reference used to validate the
+    /// im2col path.
+    fn conv_reference(x: &Tensor<f32>, w: &Tensor<f32>, s: &Conv2dShape) -> Tensor<f32> {
+        let n = x.shape()[0];
+        let (h, wd) = (x.shape()[2], x.shape()[3]);
+        let (oh, ow) = s.out_hw((h, wd));
+        let (cgi, cgo) = (s.cg_in(), s.cg_out());
+        let mut y = Tensor::zeros(&[n, s.out_channels, oh, ow]);
+        for ni in 0..n {
+            for oc in 0..s.out_channels {
+                let g = oc / cgo;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..cgi {
+                            let ic = g * cgi + ci;
+                            for ky in 0..s.kernel.0 {
+                                for kx in 0..s.kernel.1 {
+                                    let iy = (oy * s.stride.0 + ky) as isize - s.padding.0 as isize;
+                                    let ix = (ox * s.stride.1 + kx) as isize - s.padding.1 as isize;
+                                    if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < wd
+                                    {
+                                        acc += x.get(&[ni, ic, iy as usize, ix as usize])
+                                            * w.get(&[oc, ci, ky, kx]);
+                                    }
+                                }
+                            }
+                        }
+                        y.set(&[ni, oc, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    fn seq_tensor(shape: &[usize], scale: f32, offset: f32) -> Tensor<f32> {
+        Tensor::from_fn(shape, |i| (i as f32) * scale + offset)
+    }
+
+    #[test]
+    fn forward_matches_reference_basic() {
+        let s = Conv2dShape::simple(3, 4, 3, 1, 1);
+        let x = seq_tensor(&[2, 3, 5, 5], 0.01, -0.5);
+        let w = seq_tensor(&s.weight_shape(), 0.02, -0.3);
+        let y = conv2d_forward(&x, &w, &s);
+        let r = conv_reference(&x, &w, &s);
+        assert!(y.max_abs_diff(&r) < 1e-4, "diff={}", y.max_abs_diff(&r));
+    }
+
+    #[test]
+    fn forward_matches_reference_strided() {
+        let s = Conv2dShape::simple(2, 3, 3, 2, 1);
+        let x = seq_tensor(&[1, 2, 7, 7], 0.03, -1.0);
+        let w = seq_tensor(&s.weight_shape(), -0.01, 0.2);
+        assert!(conv2d_forward(&x, &w, &s).max_abs_diff(&conv_reference(&x, &w, &s)) < 1e-4);
+    }
+
+    #[test]
+    fn forward_matches_reference_depthwise() {
+        let s = Conv2dShape::depthwise(4, 3, 1, 1);
+        let x = seq_tensor(&[2, 4, 6, 6], 0.05, -0.7);
+        let w = seq_tensor(&s.weight_shape(), 0.04, -0.1);
+        assert!(conv2d_forward(&x, &w, &s).max_abs_diff(&conv_reference(&x, &w, &s)) < 1e-4);
+    }
+
+    #[test]
+    fn forward_matches_reference_grouped() {
+        let s = Conv2dShape::new(4, 6, (3, 3), (1, 1), (0, 0), 2);
+        let x = seq_tensor(&[1, 4, 5, 5], 0.02, 0.0);
+        let w = seq_tensor(&s.weight_shape(), 0.03, -0.2);
+        assert!(conv2d_forward(&x, &w, &s).max_abs_diff(&conv_reference(&x, &w, &s)) < 1e-4);
+    }
+
+    #[test]
+    fn pointwise_conv_is_channel_matmul() {
+        let s = Conv2dShape::simple(3, 2, 1, 1, 0);
+        let x = seq_tensor(&[1, 3, 2, 2], 1.0, 0.0);
+        let w = seq_tensor(&s.weight_shape(), 1.0, 0.0);
+        let y = conv2d_forward(&x, &w, &s);
+        // y[0,0,0,0] = sum_c w[0,c] * x[c,0,0] = 0*0 + 1*4 + 2*8 = 20
+        assert_eq!(y.get(&[0, 0, 0, 0]), 20.0);
+    }
+
+    #[test]
+    fn field_forward_matches_float_on_integers() {
+        let s = Conv2dShape::simple(2, 2, 3, 1, 1);
+        let xf = Tensor::<f32>::from_fn(&[1, 2, 4, 4], |i| (i % 5) as f32);
+        let wf = Tensor::<f32>::from_fn(&s.weight_shape(), |i| (i % 3) as f32);
+        let xq: Tensor<F25> = xf.map(|v| F25::new(v as u64));
+        let wq: Tensor<F25> = wf.map(|v| F25::new(v as u64));
+        let yf = conv2d_forward(&xf, &wf, &s);
+        let yq = conv2d_forward(&xq, &wq, &s);
+        for (a, b) in yf.as_slice().iter().zip(yq.as_slice()) {
+            assert_eq!(*a as u64, b.value());
+        }
+    }
+
+    /// Numerical-gradient check for the input gradient.
+    #[test]
+    fn backward_input_matches_numerical() {
+        let s = Conv2dShape::simple(2, 2, 3, 1, 1);
+        let x = seq_tensor(&[1, 2, 4, 4], 0.1, -0.5);
+        let w = seq_tensor(&s.weight_shape(), 0.1, -0.2);
+        // Loss = sum(y); dL/dy = ones.
+        let (oh, ow) = s.out_hw((4, 4));
+        let dy = Tensor::<f32>::ones(&[1, 2, oh, ow]);
+        let dx = conv2d_backward_input(&dy, &w, &s, (4, 4));
+        let eps = 1e-2;
+        for probe in [0usize, 7, 15, 20, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let lp = conv2d_forward(&xp, &w, &s).sum();
+            let lm = conv2d_forward(&xm, &w, &s).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dx.as_slice()[probe];
+            assert!((num - ana).abs() < 1e-2, "probe {probe}: num={num} ana={ana}");
+        }
+    }
+
+    /// Numerical-gradient check for the weight gradient.
+    #[test]
+    fn backward_weight_matches_numerical() {
+        let s = Conv2dShape::simple(2, 3, 3, 2, 1);
+        let x = seq_tensor(&[2, 2, 5, 5], 0.07, -0.4);
+        let w = seq_tensor(&s.weight_shape(), 0.05, -0.15);
+        let (oh, ow) = s.out_hw((5, 5));
+        let dy = Tensor::<f32>::ones(&[2, 3, oh, ow]);
+        let dw = conv2d_backward_weight(&dy, &x, &s);
+        let eps = 1e-2;
+        for probe in [0usize, 10, 25, 40, dw.len() - 1] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[probe] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[probe] -= eps;
+            let lp = conv2d_forward(&x, &wp, &s).sum();
+            let lm = conv2d_forward(&x, &wm, &s).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dw.as_slice()[probe];
+            assert!((num - ana).abs() < 2e-2, "probe {probe}: num={num} ana={ana}");
+        }
+    }
+
+    #[test]
+    fn backward_weight_depthwise_matches_numerical() {
+        let s = Conv2dShape::depthwise(3, 3, 1, 1);
+        let x = seq_tensor(&[1, 3, 4, 4], 0.09, -0.3);
+        let w = seq_tensor(&s.weight_shape(), 0.06, -0.1);
+        let (oh, ow) = s.out_hw((4, 4));
+        let dy = Tensor::<f32>::ones(&[1, 3, oh, ow]);
+        let dw = conv2d_backward_weight(&dy, &x, &s);
+        let eps = 1e-2;
+        for probe in 0..dw.len() {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[probe] += eps;
+            let lp = conv2d_forward(&x, &wp, &s).sum();
+            let mut wm = w.clone();
+            wm.as_mut_slice()[probe] -= eps;
+            let lm = conv2d_forward(&x, &wm, &s).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dw.as_slice()[probe]).abs() < 2e-2, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn macs_counting() {
+        // 3x3 conv, 3->4 channels, 5x5 input pad 1 -> 5x5 out.
+        let s = Conv2dShape::simple(3, 4, 3, 1, 1);
+        assert_eq!(s.forward_macs(1, (5, 5)), 4 * 25 * 3 * 9);
+        // Depthwise halves... exactly: per out channel only 1 in channel.
+        let d = Conv2dShape::depthwise(4, 3, 1, 1);
+        assert_eq!(d.forward_macs(1, (5, 5)), 4 * 25 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must divide")]
+    fn bad_groups_panics() {
+        let _ = Conv2dShape::new(3, 4, (3, 3), (1, 1), (1, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight tensor shape")]
+    fn bad_weight_shape_panics() {
+        let s = Conv2dShape::simple(3, 4, 3, 1, 1);
+        let x = Tensor::<f32>::zeros(&[1, 3, 5, 5]);
+        let w = Tensor::<f32>::zeros(&[4, 3, 2, 2]);
+        let _ = conv2d_forward(&x, &w, &s);
+    }
+}

@@ -1,0 +1,200 @@
+//! im2col / col2im lowering for 2-D convolution.
+//!
+//! Lowering convolution to matrix multiplication is how both the paper's
+//! GPU path (cuDNN-style) and its SGX path (Intel DNNL) execute conv
+//! layers, and it lets DarKnight reuse one masked matmul kernel for every
+//! bilinear op. The routines here are generic over [`Scalar`] so the
+//! identical lowering runs in the float and field domains.
+
+use crate::scalar::Scalar;
+
+/// Computes the output spatial size of a convolution/pooling window.
+///
+/// Returns `(out_h, out_w)` for input `(h, w)`, kernel `(kh, kw)`,
+/// stride `(sh, sw)` and symmetric zero padding `(ph, pw)`.
+///
+/// # Panics
+///
+/// Panics if the window does not fit (output would be empty).
+pub fn out_hw(
+    (h, w): (usize, usize),
+    (kh, kw): (usize, usize),
+    (sh, sw): (usize, usize),
+    (ph, pw): (usize, usize),
+) -> (usize, usize) {
+    assert!(h + 2 * ph >= kh && w + 2 * pw >= kw, "kernel larger than padded input");
+    ((h + 2 * ph - kh) / sh + 1, (w + 2 * pw - kw) / sw + 1)
+}
+
+/// Lowers one sample's channel block `[c, h, w]` to a column matrix of
+/// shape `[c*kh*kw, out_h*out_w]` (row-major, returned flat).
+///
+/// Out-of-bounds (padding) taps contribute `T::zero()`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != c*h*w`.
+pub fn im2col<T: Scalar>(
+    input: &[T],
+    c: usize,
+    (h, w): (usize, usize),
+    (kh, kw): (usize, usize),
+    (sh, sw): (usize, usize),
+    (ph, pw): (usize, usize),
+) -> Vec<T> {
+    assert_eq!(input.len(), c * h * w, "input volume mismatch");
+    let (oh, ow) = out_hw((h, w), (kh, kw), (sh, sw), (ph, pw));
+    let cols = oh * ow;
+    let mut out = vec![T::zero(); c * kh * kw * cols];
+    for ci in 0..c {
+        let plane = &input[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let dst = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // whole row stays zero
+                    }
+                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst[oy * ow + ox] = src_row[ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`im2col`]: scatter-adds a column matrix back into an
+/// image block of shape `[c, h, w]` (used by the convolution
+/// input-gradient pass, where overlapping windows accumulate).
+///
+/// # Panics
+///
+/// Panics if `cols.len()` is inconsistent with the geometry.
+pub fn col2im<T: Scalar>(
+    cols_mat: &[T],
+    c: usize,
+    (h, w): (usize, usize),
+    (kh, kw): (usize, usize),
+    (sh, sw): (usize, usize),
+    (ph, pw): (usize, usize),
+) -> Vec<T> {
+    let (oh, ow) = out_hw((h, w), (kh, kw), (sh, sw), (ph, pw));
+    let cols = oh * ow;
+    assert_eq!(cols_mat.len(), c * kh * kw * cols, "column matrix volume mismatch");
+    let mut out = vec![T::zero(); c * h * w];
+    for ci in 0..c {
+        let plane_off = ci * h * w;
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let src = &cols_mat[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        if ix >= 0 && ix < w as isize {
+                            out[plane_off + iy as usize * w + ix as usize] += src[oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_field::F25;
+
+    #[test]
+    fn out_hw_basic() {
+        assert_eq!(out_hw((4, 4), (3, 3), (1, 1), (0, 0)), (2, 2));
+        assert_eq!(out_hw((4, 4), (3, 3), (1, 1), (1, 1)), (4, 4));
+        assert_eq!(out_hw((8, 8), (2, 2), (2, 2), (0, 0)), (4, 4));
+        assert_eq!(out_hw((7, 7), (3, 3), (2, 2), (1, 1)), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn kernel_too_big_panics() {
+        let _ = out_hw((2, 2), (3, 3), (1, 1), (0, 0));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: col matrix == input.
+        let input: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let cols = im2col(&input, 3, (2, 2), (1, 1), (1, 1), (0, 0));
+        assert_eq!(cols, input);
+    }
+
+    #[test]
+    fn im2col_3x3_no_pad() {
+        // Single channel 3x3, kernel 2x2 stride 1 -> 2x2 output, 4 rows.
+        let input: Vec<f32> = (1..=9).map(|i| i as f32).collect();
+        let cols = im2col(&input, 1, (3, 3), (2, 2), (1, 1), (0, 0));
+        // rows: k(0,0), k(0,1), k(1,0), k(1,1); columns: 4 windows
+        assert_eq!(cols.len(), 4 * 4);
+        assert_eq!(&cols[0..4], &[1.0, 2.0, 4.0, 5.0]); // top-left tap of each window
+        assert_eq!(&cols[12..16], &[5.0, 6.0, 8.0, 9.0]); // bottom-right tap
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let input = vec![1.0f32; 4]; // 1ch 2x2 of ones
+        let cols = im2col(&input, 1, (2, 2), (3, 3), (1, 1), (1, 1));
+        // 2x2 output, each window has some zero (padding) taps.
+        let (oh, ow) = out_hw((2, 2), (3, 3), (1, 1), (1, 1));
+        assert_eq!((oh, ow), (2, 2));
+        // Tap (0,0) of window (0,0) is padding -> zero.
+        assert_eq!(cols[0], 0.0);
+        // Center tap (1,1) of window (0,0) is input(0,0) = 1.
+        let center_row = (1 * 3 + 1) * 4;
+        assert_eq!(cols[center_row], 1.0);
+    }
+
+    #[test]
+    fn col2im_roundtrip_counts_overlaps() {
+        // im2col then col2im multiplies each pixel by its window coverage.
+        let input: Vec<f32> = (1..=16).map(|i| i as f32).collect();
+        let geom = ((4, 4), (3, 3), (1, 1), (0, 0));
+        let cols = im2col(&input, 1, geom.0, geom.1, geom.2, geom.3);
+        let back = col2im(&cols, 1, geom.0, geom.1, geom.2, geom.3);
+        // Corner pixel participates in exactly 1 window, center in 4.
+        assert_eq!(back[0], input[0]);
+        assert_eq!(back[5], 4.0 * input[5]);
+    }
+
+    #[test]
+    fn field_domain_im2col_matches_f32_pattern() {
+        let input_f: Vec<f32> = (0..18).map(|i| i as f32).collect();
+        let input_q: Vec<F25> = (0..18).map(|i| F25::new(i as u64)).collect();
+        let cf = im2col(&input_f, 2, (3, 3), (2, 2), (1, 1), (0, 0));
+        let cq = im2col(&input_q, 2, (3, 3), (2, 2), (1, 1), (0, 0));
+        for (a, b) in cf.iter().zip(&cq) {
+            assert_eq!(*a as u64, b.value());
+        }
+    }
+
+    #[test]
+    fn strided_dims() {
+        let input = vec![0.5f32; 2 * 8 * 8];
+        let cols = im2col(&input, 2, (8, 8), (3, 3), (2, 2), (1, 1));
+        let (oh, ow) = out_hw((8, 8), (3, 3), (2, 2), (1, 1));
+        assert_eq!((oh, ow), (4, 4));
+        assert_eq!(cols.len(), 2 * 9 * oh * ow);
+    }
+}

@@ -1,0 +1,46 @@
+//! Tensors and linear-algebra kernels for DarKnight.
+//!
+//! DarKnight runs the *same* bilinear operations in two domains: `f32`
+//! inside the TEE (reference/non-linear path) and a prime field `F_p` on
+//! the untrusted GPUs (masked path). This crate therefore provides a
+//! generic [`Tensor<T>`] and generic convolution / matrix-multiplication /
+//! pooling kernels parameterized over a [`Scalar`] element, instantiated
+//! at both `f32` and [`dk_field::Fp`].
+//!
+//! Kernels included:
+//!
+//! * [`matmul()`] and its transpose variants,
+//! * im2col-based 2-D convolution with stride, padding and groups
+//!   (depthwise convolutions are `groups == in_channels`),
+//! * the three convolution passes a training step needs: forward,
+//!   input-gradient and weight-gradient,
+//! * max pooling (with argmax bookkeeping for the backward pass) and
+//!   global average pooling,
+//! * the elementwise operations used by the non-linear TEE path.
+//!
+//! # Example
+//!
+//! ```
+//! use dk_linalg::{Tensor, Conv2dShape, conv::conv2d_forward};
+//!
+//! let shape = Conv2dShape::new(1, 1, (3, 3), (1, 1), (1, 1), 1);
+//! let x = Tensor::<f32>::ones(&[1, 1, 4, 4]);
+//! let w = Tensor::<f32>::ones(&[1, 1, 3, 3]);
+//! let y = conv2d_forward(&x, &w, &shape);
+//! assert_eq!(y.shape(), &[1, 1, 4, 4]);
+//! assert_eq!(y.get(&[0, 0, 1, 1]), 9.0); // full 3x3 window of ones
+//! ```
+
+pub mod conv;
+pub mod im2col;
+pub mod matmul;
+pub mod ops;
+pub mod pool;
+pub mod scalar;
+pub mod tensor;
+
+pub use conv::Conv2dShape;
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use pool::Pool2dShape;
+pub use scalar::Scalar;
+pub use tensor::Tensor;

@@ -1,0 +1,214 @@
+//! Generic dense matrix multiplication kernels.
+//!
+//! Three orientations are provided because the convolution passes need
+//! all of them without materializing transposes:
+//!
+//! * [`matmul`] — `C[m×n] = A[m×k] · B[k×n]`
+//! * [`matmul_at_b`] — `C[m×n] = Aᵀ · B` with `A[k×m]`
+//! * [`matmul_a_bt`] — `C[m×n] = A · Bᵀ` with `B[n×k]`
+//!
+//! All use the i-k-j loop order so the inner loop streams contiguously
+//! through `B` and `C`, which is the cache-friendly order for row-major
+//! data in every domain.
+
+use crate::scalar::Scalar;
+
+/// `C[m×n] += A[m×k] · B[k×n]` over flat row-major slices.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_acc<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == T::zero() {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aip * bj;
+            }
+        }
+    }
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
+    let mut c = vec![T::zero(); m * n];
+    matmul_acc(a, b, &mut c, m, k, n);
+    c
+}
+
+/// `C[m×n] = Aᵀ · B` where `A` is stored as `k×m`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_at_b<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
+    assert_eq!(a.len(), k * m, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    let mut c = vec![T::zero(); m * n];
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &api) in arow.iter().enumerate() {
+            if api == T::zero() {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += api * bj;
+            }
+        }
+    }
+    c
+}
+
+/// `C[m×n] = A · Bᵀ` where `B` is stored as `n×k`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_a_bt<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), n * k, "B size");
+    let mut c = vec![T::zero(); m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = T::zero();
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Matrix–vector product `y[m] = A[m×k] · x[k]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matvec<T: Scalar>(a: &[T], x: &[T], m: usize, k: usize) -> Vec<T> {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(x.len(), k, "x size");
+    (0..m)
+        .map(|i| {
+            let mut acc = T::zero();
+            for (&aij, &xj) in a[i * k..(i + 1) * k].iter().zip(x) {
+                acc += aij * xj;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_field::F25;
+
+    fn naive<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
+        let mut c = vec![T::zero(); m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    let prod = a[i * k + p] * b[p * n + j];
+                    c[i * n + j] += prod;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive_f32() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32) * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.25 - 1.0).collect();
+        assert_eq!(matmul(&a, &b, m, k, n), naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn matmul_matches_naive_field() {
+        let (m, k, n) = (4, 3, 4);
+        let a: Vec<F25> = (0..m * k).map(|i| F25::new(i as u64 * 7 + 1)).collect();
+        let b: Vec<F25> = (0..k * n).map(|i| F25::new(i as u64 * 13 + 5)).collect();
+        assert_eq!(matmul(&a, &b, m, k, n), naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn at_b_matches_transposed_input() {
+        let (m, k, n) = (3, 4, 2);
+        // A stored k x m; build its transpose m x k and use plain matmul.
+        let a_kxm: Vec<f32> = (0..k * m).map(|i| i as f32).collect();
+        let mut a_mxk = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a_mxk[i * k + p] = a_kxm[p * m + i];
+            }
+        }
+        let b: Vec<f32> = (0..k * n).map(|i| (i * i) as f32).collect();
+        assert_eq!(matmul_at_b(&a_kxm, &b, m, k, n), matmul(&a_mxk, &b, m, k, n));
+    }
+
+    #[test]
+    fn a_bt_matches_transposed_input() {
+        let (m, k, n) = (2, 5, 3);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.1).collect();
+        let b_nxk: Vec<f32> = (0..n * k).map(|i| i as f32 - 4.0).collect();
+        let mut b_kxn = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b_kxn[p * n + j] = b_nxk[j * k + p];
+            }
+        }
+        assert_eq!(matmul_a_bt(&a, &b_nxk, m, k, n), matmul(&a, &b_kxn, m, k, n));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let (m, k) = (4, 6);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32).collect();
+        let x: Vec<f32> = (0..k).map(|i| i as f32).collect();
+        assert_eq!(matvec(&a, &x, m, k), matmul(&a, &x, m, k, 1));
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let n = 4;
+        let mut id = vec![0.0f32; n * n];
+        for i in 0..n {
+            id[i * n + i] = 1.0;
+        }
+        let b: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
+        assert_eq!(matmul(&id, &b, n, n, n), b);
+    }
+
+    #[test]
+    fn field_matmul_wraps_mod_p() {
+        let a = vec![F25::new(dk_field::P25 - 1)]; // -1
+        let b = vec![F25::new(dk_field::P25 - 1)]; // -1
+        assert_eq!(matmul(&a, &b, 1, 1, 1)[0], F25::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "A size")]
+    fn dimension_mismatch_panics() {
+        let a = vec![0.0f32; 5];
+        let b = vec![0.0f32; 6];
+        let _ = matmul(&a, &b, 2, 3, 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Elementwise and activation operations (TEE-side, float domain).
+//!
+//! ReLU, bias addition, softmax and friends are the paper's "non-linear"
+//! category: they always run inside the enclave on decoded plaintext
+//! (§3.1 step 6), so they are float-only.
+
+use crate::tensor::Tensor;
+
+/// ReLU forward: `max(0, x)` elementwise.
+pub fn relu(x: &Tensor<f32>) -> Tensor<f32> {
+    x.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// ReLU backward: gates `dy` by the sign of the forward *input*.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn relu_backward(dy: &Tensor<f32>, x: &Tensor<f32>) -> Tensor<f32> {
+    dy.zip_map(x, |g, v| if v > 0.0 { g } else { 0.0 })
+}
+
+/// Adds a per-output-channel bias to an NCHW tensor in place.
+///
+/// # Panics
+///
+/// Panics if `bias.len()` differs from the channel count.
+pub fn add_bias_nchw(y: &mut Tensor<f32>, bias: &[f32]) {
+    assert_eq!(y.ndim(), 4);
+    let (n, c, h, w) = (y.shape()[0], y.shape()[1], y.shape()[2], y.shape()[3]);
+    assert_eq!(bias.len(), c, "bias per channel");
+    let plane = h * w;
+    let ys = y.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let b = bias[ci];
+            let base = (ni * c + ci) * plane;
+            for v in &mut ys[base..base + plane] {
+                *v += b;
+            }
+        }
+    }
+}
+
+/// Adds a per-feature bias to a `[n, f]` matrix in place.
+///
+/// # Panics
+///
+/// Panics if `bias.len()` differs from the feature count.
+pub fn add_bias_rows(y: &mut Tensor<f32>, bias: &[f32]) {
+    assert_eq!(y.ndim(), 2);
+    let (n, f) = (y.shape()[0], y.shape()[1]);
+    assert_eq!(bias.len(), f, "bias per feature");
+    let ys = y.as_mut_slice();
+    for ni in 0..n {
+        for (v, &b) in ys[ni * f..(ni + 1) * f].iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Gradient of the NCHW bias: sums `dy` over batch and spatial dims.
+///
+/// # Panics
+///
+/// Panics if `dy` is not 4-D.
+pub fn bias_grad_nchw(dy: &Tensor<f32>) -> Vec<f32> {
+    assert_eq!(dy.ndim(), 4);
+    let (n, c, h, w) = (dy.shape()[0], dy.shape()[1], dy.shape()[2], dy.shape()[3]);
+    let plane = h * w;
+    let mut g = vec![0.0f32; c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            g[ci] += dy.as_slice()[base..base + plane].iter().sum::<f32>();
+        }
+    }
+    g
+}
+
+/// Gradient of the row bias: sums `dy` over the batch dimension.
+///
+/// # Panics
+///
+/// Panics if `dy` is not 2-D.
+pub fn bias_grad_rows(dy: &Tensor<f32>) -> Vec<f32> {
+    assert_eq!(dy.ndim(), 2);
+    let (n, f) = (dy.shape()[0], dy.shape()[1]);
+    let mut g = vec![0.0f32; f];
+    for ni in 0..n {
+        for (gi, &v) in g.iter_mut().zip(&dy.as_slice()[ni * f..(ni + 1) * f]) {
+            *gi += v;
+        }
+    }
+    g
+}
+
+/// Numerically-stable row softmax for a `[n, classes]` matrix.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D.
+pub fn softmax_rows(x: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(x.ndim(), 2);
+    let (n, f) = (x.shape()[0], x.shape()[1]);
+    let mut out = x.clone();
+    for ni in 0..n {
+        let row = &mut out.as_mut_slice()[ni * f..(ni + 1) * f];
+        let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut z = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Index of the maximum element of each row of a `[n, f]` matrix.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D or has zero-width rows.
+pub fn argmax_rows(x: &Tensor<f32>) -> Vec<usize> {
+    assert_eq!(x.ndim(), 2);
+    let (n, f) = (x.shape()[0], x.shape()[1]);
+    assert!(f > 0);
+    (0..n)
+        .map(|ni| {
+            let row = &x.as_slice()[ni * f..(ni + 1) * f];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                .map(|(i, _)| i)
+                .expect("nonempty row")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_gates() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.5, 2.0, -0.5]);
+        let dy = Tensor::from_vec(&[4], vec![10.0, 10.0, 10.0, 10.0]);
+        assert_eq!(relu_backward(&dy, &x).as_slice(), &[0.0, 10.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn bias_nchw_and_grad_are_adjoint() {
+        let mut y = Tensor::zeros(&[2, 3, 2, 2]);
+        add_bias_nchw(&mut y, &[1.0, 2.0, 3.0]);
+        assert_eq!(y.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.get(&[1, 2, 1, 1]), 3.0);
+        // grad of sum-loss wrt bias = count of elements per channel.
+        let dy = Tensor::ones(&[2, 3, 2, 2]);
+        assert_eq!(bias_grad_nchw(&dy), vec![8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn bias_rows_and_grad() {
+        let mut y = Tensor::zeros(&[2, 3]);
+        add_bias_rows(&mut y, &[1.0, 2.0, 3.0]);
+        assert_eq!(y.as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let dy = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(bias_grad_rows(&dy), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&x);
+        for ni in 0..2 {
+            let sum: f32 = s.as_slice()[ni * 3..(ni + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone in logits.
+        assert!(s.get(&[0, 2]) > s.get(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(&[1, 3], vec![1000.0, 1001.0, 1002.0]);
+        let b = Tensor::from_vec(&[1, 3], vec![0.0, 1.0, 2.0]);
+        let sa = softmax_rows(&a);
+        let sb = softmax_rows(&b);
+        assert!(sa.max_abs_diff(&sb) < 1e-6);
+        assert!(sa.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let x = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.2, 0.7, 0.1, 0.3]);
+        assert_eq!(argmax_rows(&x), vec![1, 0]);
+    }
+}

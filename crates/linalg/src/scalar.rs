@@ -1,0 +1,88 @@
+//! The element trait shared by the float and field compute domains.
+
+use dk_field::Fp;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A ring element the generic kernels can compute with.
+///
+/// Implemented for `f32`, `f64` and every [`dk_field::Fp`] modulus, so the
+/// identical im2col/matmul code paths serve both the TEE's float domain and
+/// the GPU workers' masked field domain.
+pub trait Scalar:
+    Copy
+    + Debug
+    + Default
+    + PartialEq
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+}
+
+impl Scalar for f32 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+}
+
+impl<const P: u64> Scalar for Fp<P> {
+    fn zero() -> Self {
+        Fp::ZERO
+    }
+    fn one() -> Self {
+        Fp::ONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_field::F25;
+
+    fn generic_dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+        let mut acc = T::zero();
+        for (&x, &y) in a.iter().zip(b) {
+            acc += x * y;
+        }
+        acc
+    }
+
+    #[test]
+    fn dot_works_in_both_domains() {
+        let af = [1.0f32, 2.0, 3.0];
+        let bf = [4.0f32, 5.0, 6.0];
+        assert_eq!(generic_dot(&af, &bf), 32.0);
+
+        let aq: Vec<F25> = [1u64, 2, 3].iter().map(|&v| F25::new(v)).collect();
+        let bq: Vec<F25> = [4u64, 5, 6].iter().map(|&v| F25::new(v)).collect();
+        assert_eq!(generic_dot(&aq, &bq), F25::new(32));
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(f32::zero() + f32::one(), 1.0);
+        assert_eq!(F25::zero() + F25::one(), F25::ONE);
+    }
+}

@@ -1,0 +1,69 @@
+//! Seeded weight initialization.
+
+use dk_field::FieldRng;
+use dk_linalg::Tensor;
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2/fan_in))`.
+///
+/// Deterministic given `seed`, so every experiment is reproducible.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn he_normal(shape: &[usize], fan_in: usize, seed: u64) -> Tensor<f32> {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0f32 / fan_in as f32).sqrt();
+    let mut rng = FieldRng::seed_from(seed ^ 0x48_45_5F_49_4E_49_54); // "HE_INIT"
+    Tensor::from_fn(shape, |_| rng.normal_f32() * std)
+}
+
+/// Xavier/Glorot uniform initialization: `U(±sqrt(6/(fan_in+fan_out)))`.
+///
+/// # Panics
+///
+/// Panics if both fans are zero.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor<f32> {
+    assert!(fan_in + fan_out > 0, "fans must not both be zero");
+    let limit = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    let mut rng = FieldRng::seed_from(seed ^ 0x58_41_56_49_45_52); // "XAVIER"
+    Tensor::from_fn(shape, |_| rng.uniform_f32(-limit, limit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_is_deterministic() {
+        let a = he_normal(&[4, 4], 16, 99);
+        let b = he_normal(&[4, 4], 16, 99);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn he_std_scales_with_fan_in() {
+        let big = he_normal(&[1000], 4, 1);
+        let small = he_normal(&[1000], 400, 1);
+        let var = |t: &Tensor<f32>| {
+            let m = t.mean();
+            t.as_slice().iter().map(|v| (v - m).powi(2)).sum::<f32>() / t.len() as f32
+        };
+        assert!((var(&big) - 0.5).abs() < 0.1, "var={}", var(&big));
+        assert!((var(&small) - 0.005).abs() < 0.002, "var={}", var(&small));
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let t = xavier_uniform(&[500], 8, 8, 3);
+        let limit = (6.0f32 / 16.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= limit));
+        assert!(t.max_abs() > limit * 0.8, "should fill the range");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = he_normal(&[16], 4, 1);
+        let b = he_normal(&[16], 4, 2);
+        assert!(a.max_abs_diff(&b) > 1e-4);
+    }
+}

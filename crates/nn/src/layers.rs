@@ -1,0 +1,832 @@
+//! The layer zoo.
+//!
+//! [`Layer`] is an *enum*, not a trait object: DarKnight's private
+//! executor (in `dk-core`) pattern-matches layers to route bilinear ops
+//! (conv, dense) to masked GPU workers and everything else (ReLU, pooling,
+//! batch norm — the paper's "non-linear" category) to the TEE. Each
+//! variant owns its parameters, gradients and forward caches.
+
+use crate::init;
+use dk_linalg::conv::{conv2d_backward_input, conv2d_backward_weight, conv2d_forward};
+use dk_linalg::ops;
+use dk_linalg::pool::{
+    global_avg_pool_backward, global_avg_pool_forward, maxpool2d_backward, maxpool2d_forward,
+};
+use dk_linalg::{matmul, matmul_a_bt, matmul_at_b, Conv2dShape, Pool2dShape, Tensor};
+
+/// A single network layer.
+///
+/// Construct variants with the provided constructors
+/// ([`Conv2d::new`], [`Dense::new`], …) and compose them in a
+/// [`crate::model::Sequential`].
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// 2-D convolution (bilinear — offloadable).
+    Conv2d(Conv2d),
+    /// Fully-connected layer (bilinear — offloadable).
+    Dense(Dense),
+    /// ReLU activation (TEE-side).
+    Relu(Relu),
+    /// Max pooling (TEE-side).
+    MaxPool2d(MaxPool2d),
+    /// Global average pooling (TEE-side).
+    GlobalAvgPool(GlobalAvgPool),
+    /// Batch normalization (TEE-side).
+    BatchNorm2d(BatchNorm2d),
+    /// Reshape `[n, c, h, w] → [n, c·h·w]`.
+    Flatten(Flatten),
+    /// Residual block with a main path and an optional projection
+    /// shortcut (empty shortcut = identity).
+    Residual(Residual),
+}
+
+impl Layer {
+    /// Runs the forward pass, caching whatever the backward pass needs.
+    ///
+    /// `train` selects batch-statistics (true) vs running-statistics
+    /// (false) behaviour in batch norm.
+    pub fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        match self {
+            Layer::Conv2d(l) => l.forward(x),
+            Layer::Dense(l) => l.forward(x),
+            Layer::Relu(l) => l.forward(x),
+            Layer::MaxPool2d(l) => l.forward(x),
+            Layer::GlobalAvgPool(l) => l.forward(x),
+            Layer::BatchNorm2d(l) => l.forward(x, train),
+            Layer::Flatten(l) => l.forward(x),
+            Layer::Residual(l) => l.forward(x, train),
+        }
+    }
+
+    /// Runs the backward pass, accumulating parameter gradients and
+    /// returning the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` (no cache).
+    pub fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        match self {
+            Layer::Conv2d(l) => l.backward(dy),
+            Layer::Dense(l) => l.backward(dy),
+            Layer::Relu(l) => l.backward(dy),
+            Layer::MaxPool2d(l) => l.backward(dy),
+            Layer::GlobalAvgPool(l) => l.backward(dy),
+            Layer::BatchNorm2d(l) => l.backward(dy),
+            Layer::Flatten(l) => l.backward(dy),
+            Layer::Residual(l) => l.backward(dy),
+        }
+    }
+
+    /// Visits every `(parameter, gradient)` pair in a fixed order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        match self {
+            Layer::Conv2d(l) => {
+                f(&mut l.w, &mut l.dw);
+                f(&mut l.b, &mut l.db);
+            }
+            Layer::Dense(l) => {
+                f(&mut l.w, &mut l.dw);
+                f(&mut l.b, &mut l.db);
+            }
+            Layer::BatchNorm2d(l) => {
+                f(&mut l.gamma, &mut l.dgamma);
+                f(&mut l.beta, &mut l.dbeta);
+            }
+            Layer::Residual(l) => {
+                for sub in l.main.iter_mut().chain(l.shortcut.iter_mut()) {
+                    sub.visit_params(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// True for the bilinear layers DarKnight offloads to GPUs.
+    pub fn is_linear(&self) -> bool {
+        matches!(self, Layer::Conv2d(_) | Layer::Dense(_))
+    }
+
+    /// A short human-readable kind name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "conv2d",
+            Layer::Dense(_) => "dense",
+            Layer::Relu(_) => "relu",
+            Layer::MaxPool2d(_) => "maxpool2d",
+            Layer::GlobalAvgPool(_) => "global_avg_pool",
+            Layer::BatchNorm2d(_) => "batchnorm2d",
+            Layer::Flatten(_) => "flatten",
+            Layer::Residual(_) => "residual",
+        }
+    }
+}
+
+/// 2-D convolution with bias.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    shape: Conv2dShape,
+    w: Tensor<f32>,
+    b: Tensor<f32>,
+    dw: Tensor<f32>,
+    db: Tensor<f32>,
+    x_cache: Option<Tensor<f32>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-initialized weights.
+    pub fn new(shape: Conv2dShape, seed: u64) -> Self {
+        let fan_in = shape.cg_in() * shape.kernel.0 * shape.kernel.1;
+        let w = init::he_normal(&shape.weight_shape(), fan_in, seed);
+        Self {
+            shape,
+            w,
+            b: Tensor::zeros(&[shape.out_channels]),
+            dw: Tensor::zeros(&shape.weight_shape()),
+            db: Tensor::zeros(&[shape.out_channels]),
+            x_cache: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn shape(&self) -> &Conv2dShape {
+        &self.shape
+    }
+
+    /// The weight tensor `[oc, ic/g, kh, kw]`.
+    pub fn weights(&self) -> &Tensor<f32> {
+        &self.w
+    }
+
+    /// Mutable weights (used by the private executor to apply decoded
+    /// aggregate updates).
+    pub fn weights_mut(&mut self) -> &mut Tensor<f32> {
+        &mut self.w
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor<f32> {
+        &self.b
+    }
+
+    /// Mutable bias.
+    pub fn bias_mut(&mut self) -> &mut Tensor<f32> {
+        &mut self.b
+    }
+
+    /// Accumulates an externally-computed weight gradient (DarKnight's
+    /// decoded aggregate `∇W`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dw` has the wrong shape.
+    pub fn accumulate_weight_grad(&mut self, dw: &Tensor<f32>) {
+        self.dw.add_assign(dw);
+    }
+
+    /// Accumulates an externally-computed bias gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db` has the wrong shape.
+    pub fn accumulate_bias_grad(&mut self, db: &Tensor<f32>) {
+        self.db.add_assign(db);
+    }
+
+    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        let mut y = conv2d_forward(x, &self.w, &self.shape);
+        ops::add_bias_nchw(&mut y, self.b.as_slice());
+        self.x_cache = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let x = self.x_cache.as_ref().expect("Conv2d::backward before forward");
+        let hw = (x.shape()[2], x.shape()[3]);
+        self.dw.add_assign(&conv2d_backward_weight(dy, x, &self.shape));
+        let bg = ops::bias_grad_nchw(dy);
+        self.db.add_assign(&Tensor::from_vec(&[bg.len()], bg));
+        conv2d_backward_input(dy, &self.w, &self.shape, hw)
+    }
+}
+
+/// Fully-connected layer `y = x·Wᵀ + b`, weights stored `[out, in]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    w: Tensor<f32>,
+    b: Tensor<f32>,
+    dw: Tensor<f32>,
+    db: Tensor<f32>,
+    x_cache: Option<Tensor<f32>>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialized weights.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let w = init::he_normal(&[out_features, in_features], in_features, seed);
+        Self {
+            in_features,
+            out_features,
+            w,
+            b: Tensor::zeros(&[out_features]),
+            dw: Tensor::zeros(&[out_features, in_features]),
+            db: Tensor::zeros(&[out_features]),
+            x_cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix `[out, in]`.
+    pub fn weights(&self) -> &Tensor<f32> {
+        &self.w
+    }
+
+    /// Mutable weights.
+    pub fn weights_mut(&mut self) -> &mut Tensor<f32> {
+        &mut self.w
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor<f32> {
+        &self.b
+    }
+
+    /// Mutable bias.
+    pub fn bias_mut(&mut self) -> &mut Tensor<f32> {
+        &mut self.b
+    }
+
+    /// Accumulates an externally-computed weight gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dw` has the wrong shape.
+    pub fn accumulate_weight_grad(&mut self, dw: &Tensor<f32>) {
+        self.dw.add_assign(dw);
+    }
+
+    /// Accumulates an externally-computed bias gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db` has the wrong shape.
+    pub fn accumulate_bias_grad(&mut self, db: &Tensor<f32>) {
+        self.db.add_assign(db);
+    }
+
+    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(x.ndim(), 2, "Dense expects [n, features]");
+        assert_eq!(x.shape()[1], self.in_features, "feature count mismatch");
+        let n = x.shape()[0];
+        let y = matmul_a_bt(x.as_slice(), self.w.as_slice(), n, self.in_features, self.out_features);
+        let mut y = Tensor::from_vec(&[n, self.out_features], y);
+        ops::add_bias_rows(&mut y, self.b.as_slice());
+        self.x_cache = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let x = self.x_cache.as_ref().expect("Dense::backward before forward");
+        let n = x.shape()[0];
+        // dW[out, in] = dyᵀ[out, n] · x[n, in]
+        let dw = matmul_at_b(dy.as_slice(), x.as_slice(), self.out_features, n, self.in_features);
+        self.dw.add_assign(&Tensor::from_vec(&[self.out_features, self.in_features], dw));
+        let bg = ops::bias_grad_rows(dy);
+        self.db.add_assign(&Tensor::from_vec(&[bg.len()], bg));
+        // dx[n, in] = dy[n, out] · W[out, in]
+        let dx = matmul(dy.as_slice(), self.w.as_slice(), n, self.out_features, self.in_features);
+        Tensor::from_vec(&[n, self.in_features], dx)
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    x_cache: Option<Tensor<f32>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.x_cache = Some(x.clone());
+        ops::relu(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let x = self.x_cache.as_ref().expect("Relu::backward before forward");
+        ops::relu_backward(dy, x)
+    }
+}
+
+/// Max pooling.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    shape: Pool2dShape,
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    pub fn new(shape: Pool2dShape) -> Self {
+        Self { shape, argmax: Vec::new(), in_shape: Vec::new() }
+    }
+
+    /// The pooling geometry.
+    pub fn shape(&self) -> &Pool2dShape {
+        &self.shape
+    }
+
+    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        let (y, arg) = maxpool2d_forward(x, &self.shape);
+        self.argmax = arg;
+        self.in_shape = x.shape().to_vec();
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        assert!(!self.in_shape.is_empty(), "MaxPool2d::backward before forward");
+        maxpool2d_backward(dy, &self.argmax, &self.in_shape)
+    }
+}
+
+/// Global average pooling `[n, c, h, w] → [n, c]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.in_shape = x.shape().to_vec();
+        global_avg_pool_forward(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        assert!(!self.in_shape.is_empty(), "GlobalAvgPool::backward before forward");
+        global_avg_pool_backward(dy, &self.in_shape)
+    }
+}
+
+/// Batch normalization over the channel dimension of NCHW tensors.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor<f32>,
+    beta: Tensor<f32>,
+    dgamma: Tensor<f32>,
+    dbeta: Tensor<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // caches
+    xhat: Option<Tensor<f32>>,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with `γ = 1`, `β = 0`.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            dgamma: Tensor::zeros(&[channels]),
+            dbeta: Tensor::zeros(&[channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            xhat: None,
+            inv_std: Vec::new(),
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        assert_eq!(x.ndim(), 4, "BatchNorm2d expects NCHW");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.channels, "channel mismatch");
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut y = Tensor::zeros(x.shape());
+        let mut xhat = Tensor::zeros(x.shape());
+        self.inv_std = vec![0.0; c];
+        for ci in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f32;
+                let mut sq = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for &v in &x.as_slice()[base..base + plane] {
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / count;
+                let var = (sq / count - mean * mean).max(0.0);
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            self.inv_std[ci] = inv_std;
+            let g = self.gamma.as_slice()[ci];
+            let b = self.beta.as_slice()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let xh = (x.as_slice()[i] - mean) * inv_std;
+                    xhat.as_mut_slice()[i] = xh;
+                    y.as_mut_slice()[i] = g * xh + b;
+                }
+            }
+        }
+        self.xhat = Some(xhat);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let xhat = self.xhat.as_ref().expect("BatchNorm2d::backward before forward");
+        let (n, c, h, w) = (dy.shape()[0], dy.shape()[1], dy.shape()[2], dy.shape()[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut dx = Tensor::zeros(dy.shape());
+        for ci in 0..c {
+            let g = self.gamma.as_slice()[ci];
+            let inv_std = self.inv_std[ci];
+            // First pass: per-channel sums.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let d = dy.as_slice()[i];
+                    sum_dy += d;
+                    sum_dy_xhat += d * xhat.as_slice()[i];
+                }
+            }
+            self.dbeta.as_mut_slice()[ci] += sum_dy;
+            self.dgamma.as_mut_slice()[ci] += sum_dy_xhat;
+            // Second pass: dx = g*inv_std/count * (count*dy − Σdy − xhat·Σ(dy·xhat))
+            let scale = g * inv_std / count;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let d = dy.as_slice()[i];
+                    let xh = xhat.as_slice()[i];
+                    dx.as_mut_slice()[i] = scale * (count * d - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        dx
+    }
+}
+
+/// Reshapes `[n, ...] → [n, prod(...)]`, remembering the original shape.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.in_shape = x.shape().to_vec();
+        let n = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        x.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        assert!(!self.in_shape.is_empty(), "Flatten::backward before forward");
+        dy.reshape(&self.in_shape)
+    }
+}
+
+/// A residual block: `y = main(x) + shortcut(x)`.
+///
+/// An empty shortcut is the identity. A projection shortcut (1×1 conv,
+/// possibly strided, as in ResNet) is expressed as a one-layer path.
+#[derive(Debug, Clone)]
+pub struct Residual {
+    main: Vec<Layer>,
+    shortcut: Vec<Layer>,
+}
+
+impl Residual {
+    /// Creates a residual block from a main path and a shortcut path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the main path is empty.
+    pub fn new(main: Vec<Layer>, shortcut: Vec<Layer>) -> Self {
+        assert!(!main.is_empty(), "residual main path must not be empty");
+        Self { main, shortcut }
+    }
+
+    /// The layers of the main path.
+    pub fn main(&self) -> &[Layer] {
+        &self.main
+    }
+
+    /// Mutable access to the main path (used by the private executor).
+    pub fn main_mut(&mut self) -> &mut [Layer] {
+        &mut self.main
+    }
+
+    /// The layers of the shortcut path (empty = identity).
+    pub fn shortcut(&self) -> &[Layer] {
+        &self.shortcut
+    }
+
+    /// Mutable access to the shortcut path.
+    pub fn shortcut_mut(&mut self) -> &mut [Layer] {
+        &mut self.shortcut
+    }
+
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let mut m = x.clone();
+        for l in &mut self.main {
+            m = l.forward(&m, train);
+        }
+        let mut s = x.clone();
+        for l in &mut self.shortcut {
+            s = l.forward(&s, train);
+        }
+        m.add(&s)
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let mut dm = dy.clone();
+        for l in self.main.iter_mut().rev() {
+            dm = l.backward(&dm);
+        }
+        let mut ds = dy.clone();
+        for l in self.shortcut.iter_mut().rev() {
+            ds = l.backward(&ds);
+        }
+        dm.add(&ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        layer: &mut Layer,
+        x: &Tensor<f32>,
+        probes: &[usize],
+        tol: f32,
+    ) {
+        // Loss = sum(forward(x)); compare analytic dx against central diff.
+        let y = layer.forward(x, true);
+        let dy = Tensor::ones(y.shape());
+        let dx = layer.backward(&dy);
+        let eps = 1e-2;
+        for &p in probes {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[p] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[p] -= eps;
+            let lp = layer.forward(&xp, true).sum();
+            let lm = layer.forward(&xm, true).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dx.as_slice()[p]).abs() < tol,
+                "probe {p}: num={num} ana={}",
+                dx.as_slice()[p]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_layer_forward_backward_shapes() {
+        let mut l = Layer::Conv2d(Conv2d::new(Conv2dShape::simple(3, 8, 3, 1, 1), 1));
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |i| (i % 13) as f32 * 0.1 - 0.5);
+        let y = l.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+        let dx = l.backward(&Tensor::ones(y.shape()));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn conv_layer_input_gradient_numerical() {
+        let mut l = Layer::Conv2d(Conv2d::new(Conv2dShape::simple(2, 3, 3, 1, 1), 2));
+        let x = Tensor::from_fn(&[1, 2, 5, 5], |i| ((i * 3 + 1) % 11) as f32 * 0.1 - 0.4);
+        finite_diff_check(&mut l, &x, &[0, 7, 23, 49], 1e-2);
+    }
+
+    #[test]
+    fn dense_layer_matches_manual() {
+        let mut d = Dense::new(3, 2, 7);
+        // Overwrite weights with known values.
+        *d.weights_mut() = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        *d.bias_mut() = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let mut l = Layer::Dense(d);
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, 0.0, -1.0]);
+        let y = l.forward(&x, true);
+        // y0 = 1 - 3 + 0.5 = -1.5 ; y1 = 4 - 6 - 0.5 = -2.5
+        assert_eq!(y.as_slice(), &[-1.5, -2.5]);
+    }
+
+    #[test]
+    fn dense_gradient_numerical() {
+        let mut l = Layer::Dense(Dense::new(4, 3, 9));
+        let x = Tensor::from_fn(&[2, 4], |i| (i as f32) * 0.3 - 1.0);
+        finite_diff_check(&mut l, &x, &[0, 3, 5, 7], 1e-2);
+    }
+
+    #[test]
+    fn dense_weight_gradient_accumulates() {
+        let mut d = Dense::new(2, 2, 3);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let mut l = Layer::Dense(d.clone());
+        let y = l.forward(&x, true);
+        l.backward(&Tensor::ones(y.shape()));
+        l.backward(&Tensor::ones(y.shape())); // accumulate twice
+        let mut grads = Vec::new();
+        l.visit_params(&mut |_, g| grads.push(g.clone()));
+        // dW = dyᵀ x twice = 2 * [[1,2],[1,2]]
+        assert_eq!(grads[0].as_slice(), &[2.0, 4.0, 2.0, 4.0]);
+        // keep clippy quiet about the clone above
+        let _ = &mut d;
+    }
+
+    #[test]
+    fn relu_layer_roundtrip() {
+        let mut l = Layer::Relu(Relu::new());
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let dx = l.backward(&Tensor::ones(&[4]));
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_in_train_mode() {
+        let mut l = Layer::BatchNorm2d(BatchNorm2d::new(2));
+        let x = Tensor::from_fn(&[4, 2, 3, 3], |i| (i % 7) as f32 * 2.0 + 1.0);
+        let y = l.forward(&x, true);
+        // Per-channel mean ~0, var ~1 after normalization.
+        let (n, c, plane) = (4, 2, 9);
+        for ci in 0..c {
+            let mut sum = 0.0;
+            let mut sq = 0.0;
+            for ni in 0..n {
+                for p in 0..plane {
+                    let v = y.as_slice()[(ni * c + ci) * plane + p];
+                    sum += v;
+                    sq += v * v;
+                }
+            }
+            let count = (n * plane) as f32;
+            let mean = sum / count;
+            let var = sq / count - mean * mean;
+            assert!(mean.abs() < 1e-4, "mean={mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var={var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_fn(&[8, 1, 2, 2], |i| i as f32);
+        // Train a few times to populate running stats.
+        for _ in 0..50 {
+            bn.forward(&x, true);
+        }
+        let y_eval = bn.forward(&x, false);
+        let y_train = bn.forward(&x, true);
+        // Same input: eval path should now closely match train path.
+        assert!(y_eval.max_abs_diff(&y_train) < 0.2);
+    }
+
+    #[test]
+    fn batchnorm_gradient_numerical() {
+        let mut l = Layer::BatchNorm2d(BatchNorm2d::new(2));
+        let x = Tensor::from_fn(&[2, 2, 2, 2], |i| ((i * 5 + 2) % 9) as f32 * 0.25);
+        // Loss = sum(y * mask) to break the symmetry (sum(y) has zero grad
+        // through normalization).
+        let y = l.forward(&x, true);
+        let mask = Tensor::from_fn(y.shape(), |i| if i % 3 == 0 { 1.0 } else { -0.5 });
+        let dx = l.backward(&mask);
+        let eps = 1e-2;
+        for p in [0usize, 5, 9, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[p] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[p] -= eps;
+            let lp: f32 = l
+                .forward(&xp, true)
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = l
+                .forward(&xm, true)
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dx.as_slice()[p]).abs() < 1e-2, "p={p} num={num} ana={}", dx.as_slice()[p]);
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut l = Layer::Flatten(Flatten::new());
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = l.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let dx = l.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn residual_identity_adds_input() {
+        // main = ReLU, shortcut = identity: y = relu(x) + x.
+        let mut l = Layer::Residual(Residual::new(vec![Layer::Relu(Relu::new())], vec![]));
+        let x = Tensor::from_vec(&[1, 1, 1, 2], vec![-2.0, 3.0]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.as_slice(), &[-2.0, 6.0]);
+        let dx = l.backward(&Tensor::ones(y.shape()));
+        // d/dx (relu(x) + x): 1 for x<0, 2 for x>0.
+        assert_eq!(dx.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_projection_shortcut_shapes() {
+        let main = vec![
+            Layer::Conv2d(Conv2d::new(Conv2dShape::simple(4, 8, 3, 2, 1), 10)),
+            Layer::Relu(Relu::new()),
+        ];
+        let shortcut = vec![Layer::Conv2d(Conv2d::new(Conv2dShape::simple(4, 8, 1, 2, 0), 11))];
+        let mut l = Layer::Residual(Residual::new(main, shortcut));
+        let x = Tensor::from_fn(&[1, 4, 8, 8], |i| (i % 5) as f32 * 0.1);
+        let y = l.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+        let dx = l.backward(&Tensor::ones(y.shape()));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn visit_params_counts() {
+        let mut count = 0;
+        let mut l = Layer::Residual(Residual::new(
+            vec![
+                Layer::Conv2d(Conv2d::new(Conv2dShape::simple(2, 2, 3, 1, 1), 1)),
+                Layer::BatchNorm2d(BatchNorm2d::new(2)),
+            ],
+            vec![Layer::Conv2d(Conv2d::new(Conv2dShape::simple(2, 2, 1, 1, 0), 2))],
+        ));
+        l.visit_params(&mut |_, _| count += 1);
+        // conv(w,b) + bn(gamma,beta) + conv(w,b) = 6
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn is_linear_classification() {
+        assert!(Layer::Conv2d(Conv2d::new(Conv2dShape::simple(1, 1, 1, 1, 0), 0)).is_linear());
+        assert!(Layer::Dense(Dense::new(1, 1, 0)).is_linear());
+        assert!(!Layer::Relu(Relu::new()).is_linear());
+        assert!(!Layer::BatchNorm2d(BatchNorm2d::new(1)).is_linear());
+    }
+}

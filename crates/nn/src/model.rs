@@ -1,0 +1,198 @@
+//! Sequential model composition.
+
+use crate::layers::Layer;
+use dk_linalg::Tensor;
+
+/// A feed-forward stack of [`Layer`]s.
+///
+/// # Example
+///
+/// ```
+/// use dk_nn::layers::{Layer, Dense, Relu};
+/// use dk_nn::Sequential;
+/// use dk_linalg::Tensor;
+///
+/// let mut m = Sequential::new(vec![
+///     Layer::Dense(Dense::new(4, 8, 1)),
+///     Layer::Relu(Relu::new()),
+///     Layer::Dense(Dense::new(8, 2, 2)),
+/// ]);
+/// let y = m.forward(&Tensor::zeros(&[3, 4]), false);
+/// assert_eq!(y.shape(), &[3, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+    name: String,
+}
+
+impl Sequential {
+    /// Creates a model from a layer stack.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Self { layers, name: "model".to_string() }
+    }
+
+    /// Creates a named model (the name shows up in reports).
+    pub fn named(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        Self { layers, name: name.into() }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (the private executor drives
+    /// layers individually).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Full forward pass.
+    pub fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let mut h = x.clone();
+        for l in &mut self.layers {
+            h = l.forward(&h, train);
+        }
+        h
+    }
+
+    /// Full backward pass from the loss gradient; accumulates parameter
+    /// gradients and returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dloss: &Tensor<f32>) -> Tensor<f32> {
+        let mut g = dloss.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    /// Visits every `(parameter, gradient)` pair in a fixed order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| {
+            for v in g.as_mut_slice() {
+                *v = 0.0;
+            }
+        });
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p, _| n += p.len());
+        n
+    }
+
+    /// Snapshots all parameters (for update-equivalence tests).
+    pub fn snapshot_params(&mut self) -> Vec<Tensor<f32>> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p, _| out.push(p.clone()));
+        out
+    }
+
+    /// Largest absolute difference between this model's parameters and a
+    /// snapshot taken earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot arity does not match.
+    pub fn max_param_diff(&mut self, snapshot: &[Tensor<f32>]) -> f32 {
+        let mut i = 0;
+        let mut worst = 0.0f32;
+        self.visit_params(&mut |p, _| {
+            worst = worst.max(p.max_abs_diff(&snapshot[i]));
+            i += 1;
+        });
+        assert_eq!(i, snapshot.len(), "snapshot arity mismatch");
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+
+    fn toy() -> Sequential {
+        Sequential::new(vec![
+            Layer::Dense(Dense::new(3, 5, 1)),
+            Layer::Relu(Relu::new()),
+            Layer::Dense(Dense::new(5, 2, 2)),
+        ])
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = toy();
+        let y = m.forward(&Tensor::zeros(&[4, 3]), true);
+        assert_eq!(y.shape(), &[4, 2]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut m = toy();
+        // (5*3+5) + (2*5+2) = 20 + 12 = 32
+        assert_eq!(m.num_params(), 32);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut m = toy();
+        let y = m.forward(&Tensor::ones(&[1, 3]), true);
+        m.backward(&Tensor::ones(y.shape()));
+        let mut nonzero = 0;
+        m.visit_params(&mut |_, g| nonzero += g.as_slice().iter().filter(|v| **v != 0.0).count());
+        assert!(nonzero > 0);
+        m.zero_grad();
+        let mut after = 0;
+        m.visit_params(&mut |_, g| after += g.as_slice().iter().filter(|v| **v != 0.0).count());
+        assert_eq!(after, 0);
+    }
+
+    #[test]
+    fn full_model_numerical_gradient() {
+        let mut m = toy();
+        let x = Tensor::from_fn(&[2, 3], |i| (i as f32) * 0.4 - 1.0);
+        let y = m.forward(&x, true);
+        let dx = m.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-2;
+        for p in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[p] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[p] -= eps;
+            let lp = m.forward(&xp, true).sum();
+            let lm = m.forward(&xm, true).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dx.as_slice()[p]).abs() < 1e-2, "p={p}");
+        }
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let mut m = toy();
+        let snap = m.snapshot_params();
+        assert_eq!(m.max_param_diff(&snap), 0.0);
+        // Perturb one weight.
+        m.visit_params(&mut |p, _| {
+            p.as_mut_slice()[0] += 0.5;
+        });
+        assert!(m.max_param_diff(&snap) >= 0.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! SGD optimizer (the paper trains with vanilla SGD, Eq. 3).
+
+use crate::model::Sequential;
+use dk_linalg::Tensor;
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+///
+/// Velocity buffers are keyed by parameter visit order, which is fixed
+/// for a given model, so the optimizer can be constructed independently
+/// of the model.
+///
+/// # Example
+///
+/// ```
+/// use dk_nn::optim::Sgd;
+/// let mut sgd = Sgd::new(0.01).with_momentum(0.9);
+/// assert_eq!(sgd.learning_rate(), 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor<f32>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, m: f32) -> Self {
+        assert!((0.0..1.0).contains(&m), "momentum must be in [0,1)");
+        self.momentum = m;
+        self
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// The current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step: `W ← W − η·(∇W + wd·W)` with momentum,
+    /// then leaves gradients untouched (call
+    /// [`Sequential::zero_grad`] separately, matching the usual
+    /// zero-grad / backward / step cycle).
+    pub fn step(&mut self, model: &mut Sequential) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        model.visit_params(&mut |p, g| {
+            if velocity.len() == idx {
+                velocity.push(Tensor::zeros(p.shape()));
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(v.shape(), p.shape(), "model/optimizer parameter order changed");
+            let (ps, gs, vs) = (p.as_mut_slice(), g.as_slice(), v.as_mut_slice());
+            for i in 0..ps.len() {
+                let grad = gs[i] + wd * ps[i];
+                vs[i] = momentum * vs[i] + grad;
+                ps[i] -= lr * vs[i];
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Layer};
+
+    fn one_param_model(w0: f32) -> Sequential {
+        let mut d = Dense::new(1, 1, 0);
+        *d.weights_mut() = Tensor::from_vec(&[1, 1], vec![w0]);
+        *d.bias_mut() = Tensor::from_vec(&[1], vec![0.0]);
+        Sequential::new(vec![Layer::Dense(d)])
+    }
+
+    fn get_w(m: &mut Sequential) -> f32 {
+        let mut w = 0.0;
+        let mut first = true;
+        m.visit_params(&mut |p, _| {
+            if first {
+                w = p.as_slice()[0];
+                first = false;
+            }
+        });
+        w
+    }
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut m = one_param_model(1.0);
+        // loss = w * 2.0 (x=2): dL/dw = 2
+        let y = m.forward(&Tensor::from_vec(&[1, 1], vec![2.0]), true);
+        m.backward(&Tensor::ones(y.shape()));
+        let mut sgd = Sgd::new(0.1);
+        sgd.step(&mut m);
+        assert!((get_w(&mut m) - (1.0 - 0.1 * 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut m = one_param_model(0.0);
+        let mut sgd = Sgd::new(0.1).with_momentum(0.5);
+        // Two steps with constant gradient 1: v1=1, v2=1.5 -> w = -(0.1 + 0.15)
+        for _ in 0..2 {
+            m.zero_grad();
+            let y = m.forward(&Tensor::from_vec(&[1, 1], vec![1.0]), true);
+            m.backward(&Tensor::ones(y.shape()));
+            sgd.step(&mut m);
+        }
+        assert!((get_w(&mut m) + 0.25).abs() < 1e-5, "w={}", get_w(&mut m));
+    }
+
+    #[test]
+    fn weight_decay_shrinks() {
+        let mut m = one_param_model(1.0);
+        let mut sgd = Sgd::new(0.1).with_weight_decay(0.5);
+        // Zero gradient, decay only: w <- w - lr*wd*w = 0.95
+        m.zero_grad();
+        sgd.step(&mut m);
+        assert!((get_w(&mut m) - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_descent_converges_quadratic() {
+        // Minimize (w*1 - 3)^2 via our Dense layer + manual loss grad.
+        let mut m = one_param_model(0.0);
+        let mut sgd = Sgd::new(0.2);
+        for _ in 0..100 {
+            m.zero_grad();
+            let y = m.forward(&Tensor::from_vec(&[1, 1], vec![1.0]), true);
+            let err = y.as_slice()[0] - 3.0;
+            m.backward(&Tensor::from_vec(&[1, 1], vec![2.0 * err]));
+            sgd.step(&mut m);
+        }
+        // Both w and b learn; the model output is what converges to 3.
+        let y = m.forward(&Tensor::from_vec(&[1, 1], vec![1.0]), false);
+        assert!((y.as_slice()[0] - 3.0).abs() < 1e-3, "y={}", y.as_slice()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_lr_panics() {
+        let _ = Sgd::new(0.0);
+    }
+}

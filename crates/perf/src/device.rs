@@ -1,0 +1,235 @@
+//! Device throughput profile, calibrated to the paper's Table 1.
+//!
+//! Table 1 (VGG16 on ImageNet, GTX 1080 Ti vs SGX Coffee Lake) is the
+//! calibration anchor:
+//!
+//! | op        | fwd speedup | bwd speedup |
+//! |-----------|-------------|-------------|
+//! | linear    | 126.85      | 149.13      |
+//! | maxpool   | 11.86       | 5.47        |
+//! | relu      | 119.60      | 6.59        |
+//!
+//! We pick plausible absolute SGX rates (enclave memory encryption makes
+//! SGX strongly bandwidth-bound) and set GPU rates via the ratios. Every
+//! other experiment then *derives* from these plus op counts.
+
+/// Throughputs and platform constants. Rates are GMAC/s for linear ops
+/// and Gelem/s for element-wise ops; bandwidths in GB/s.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceProfile {
+    /// SGX linear-op throughput, forward (GMAC/s).
+    pub sgx_linear_fwd: f64,
+    /// SGX linear-op throughput, backward (GMAC/s).
+    pub sgx_linear_bwd: f64,
+    /// GPU linear-op throughput, forward (GMAC/s).
+    pub gpu_linear_fwd: f64,
+    /// GPU linear-op throughput, backward (GMAC/s).
+    pub gpu_linear_bwd: f64,
+    /// SGX depthwise/grouped-conv throughput (GMAC/s) — depthwise convs
+    /// are memory-bound and collapse under EPC encryption.
+    pub sgx_linear_dw: f64,
+    /// GPU depthwise/grouped-conv throughput (GMAC/s) — GPUs also lose
+    /// most of their advantage on depthwise (low arithmetic intensity),
+    /// which is why the paper calls MobileNet its worst case.
+    pub gpu_linear_dw: f64,
+    /// SGX ReLU forward (Gelem/s).
+    pub sgx_relu_fwd: f64,
+    /// SGX ReLU backward (Gelem/s).
+    pub sgx_relu_bwd: f64,
+    /// GPU ReLU forward (Gelem/s).
+    pub gpu_relu_fwd: f64,
+    /// GPU ReLU backward (Gelem/s).
+    pub gpu_relu_bwd: f64,
+    /// SGX max-pool forward (Gelem/s).
+    pub sgx_pool_fwd: f64,
+    /// SGX max-pool backward (Gelem/s).
+    pub sgx_pool_bwd: f64,
+    /// GPU max-pool forward (Gelem/s).
+    pub gpu_pool_fwd: f64,
+    /// GPU max-pool backward (Gelem/s).
+    pub gpu_pool_bwd: f64,
+    /// SGX batch-norm throughput (Gelem/s); BN is never offloaded.
+    pub sgx_batchnorm: f64,
+    /// SGX elementwise-add throughput (Gelem/s).
+    pub sgx_add: f64,
+    /// TEE masking (encode/decode) bandwidth, Gelem/s of field elements
+    /// touched — SGX memory-encryption-bound, not MAC-bound.
+    pub sgx_mask_bw: f64,
+    /// TEE↔GPU link bandwidth (GB/s); the paper emulates 40 Gb/s
+    /// InfiniBand = 5 GB/s.
+    pub link_gb_s: f64,
+    /// Wire bytes per tensor element (quantized values pack in 4 B).
+    pub wire_bytes_per_elem: f64,
+    /// Usable enclave memory (bytes).
+    pub epc_bytes: f64,
+    /// Exponent of the paging penalty `(ws/epc)^paging_alpha` applied to
+    /// SGX-side work when the working set exceeds the EPC.
+    pub paging_alpha: f64,
+    /// Enclave sealing bandwidth (GB/s) — ChaCha+MAC plus EPC write-out.
+    pub seal_gb_s: f64,
+    /// Fixed overhead per seal/unseal call (seconds) — enclave
+    /// transitions and page bookkeeping.
+    pub seal_fixed_s: f64,
+    /// Rate relief for TEE ops under DarKnight's light memory footprint
+    /// vs the everything-resident baseline (§7.1 reports 1.89× faster
+    /// non-linear ops for DarKnight).
+    pub sgx_light_relief: f64,
+}
+
+impl DeviceProfile {
+    /// The calibrated profile (see module docs).
+    ///
+    /// Absolute SGX rates are chosen so that composing them with VGG16's
+    /// op counts reproduces the paper's Table 1 *totals* (119.03 fwd /
+    /// 124.56 bwd): the forward ReLU is EPC-bandwidth-bound (slow), the
+    /// backward ReLU and pooling are cheap masked copies (fast) — which
+    /// is also the only reading consistent with the paper's low measured
+    /// GPU speedups for exactly those ops.
+    pub fn calibrated() -> Self {
+        let sgx_linear_fwd = 20.0; // GMAC/s, DNNL inside the enclave
+        let sgx_linear_bwd = 20.0;
+        let sgx_relu_fwd = 0.14; // Gelem/s, EPC-bandwidth bound
+        let sgx_relu_bwd = 0.40;
+        let sgx_pool_fwd = 5.0;
+        let sgx_pool_bwd = 5.0;
+        Self {
+            sgx_linear_fwd,
+            sgx_linear_bwd,
+            gpu_linear_fwd: sgx_linear_fwd * 126.85,
+            gpu_linear_bwd: sgx_linear_bwd * 149.13,
+            sgx_linear_dw: 0.5,
+            gpu_linear_dw: 30.0,
+            sgx_relu_fwd,
+            sgx_relu_bwd,
+            gpu_relu_fwd: sgx_relu_fwd * 119.60,
+            gpu_relu_bwd: sgx_relu_bwd * 6.59,
+            sgx_pool_fwd,
+            sgx_pool_bwd,
+            gpu_pool_fwd: sgx_pool_fwd * 11.86,
+            gpu_pool_bwd: sgx_pool_bwd * 5.47,
+            sgx_batchnorm: 0.05,
+            sgx_add: 0.15,
+            sgx_mask_bw: 5.0,
+            link_gb_s: 5.0,
+            wire_bytes_per_elem: 4.0,
+            epc_bytes: 93.0 * 1024.0 * 1024.0,
+            paging_alpha: 1.4,
+            seal_gb_s: 2.5,
+            seal_fixed_s: 60e-6,
+            sgx_light_relief: 1.89,
+        }
+    }
+
+    /// Paging multiplier for an SGX working set of `ws` bytes.
+    ///
+    /// Piecewise: small overflows are penalized steeply (page-fault
+    /// storms on the hot loop, `1 + 6·(r − 1)` for `r = ws/epc ≤ 2`),
+    /// after which thrashing follows the power law `7·(r/2)^α`. The two
+    /// branches are continuous at `r = 2` and monotone throughout.
+    pub fn paging_multiplier(&self, ws: f64) -> f64 {
+        let r = ws / self.epc_bytes;
+        if r <= 1.0 {
+            1.0
+        } else if r <= 2.0 {
+            1.0 + 6.0 * (r - 1.0)
+        } else {
+            7.0 * (r / 2.0).powf(self.paging_alpha)
+        }
+    }
+
+    /// Enclave working set of DarKnight's masking stage for virtual
+    /// batch `k` and a model whose largest activation has
+    /// `max_act_elems` elements: `K` packed quantized inputs plus one
+    /// streaming encoding buffer, plus ~20 MB of fixed runtime.
+    pub fn masking_working_set(&self, k: usize, max_act_elems: f64) -> f64 {
+        (k as f64 + 1.0) * max_act_elems * 4.0 + 26.0 * 1024.0 * 1024.0
+    }
+
+    /// Transfer time for `elems` tensor elements over the link.
+    pub fn link_time(&self, elems: f64) -> f64 {
+        elems * self.wire_bytes_per_elem / (self.link_gb_s * 1e9)
+    }
+
+    /// TEE masking time for `elems` field elements touched.
+    pub fn mask_time(&self, elems: f64) -> f64 {
+        elems / (self.sgx_mask_bw * 1e9)
+    }
+
+    /// Seal or unseal time for `bytes` payload bytes.
+    pub fn seal_time(&self, bytes: f64) -> f64 {
+        bytes / (self.seal_gb_s * 1e9) + self.seal_fixed_s
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_ratios_are_encoded() {
+        let p = DeviceProfile::calibrated();
+        assert!((p.gpu_linear_fwd / p.sgx_linear_fwd - 126.85).abs() < 1e-6);
+        assert!((p.gpu_linear_bwd / p.sgx_linear_bwd - 149.13).abs() < 1e-6);
+        assert!((p.gpu_relu_fwd / p.sgx_relu_fwd - 119.60).abs() < 1e-6);
+        assert!((p.gpu_relu_bwd / p.sgx_relu_bwd - 6.59).abs() < 1e-6);
+        assert!((p.gpu_pool_fwd / p.sgx_pool_fwd - 11.86).abs() < 1e-6);
+        assert!((p.gpu_pool_bwd / p.sgx_pool_bwd - 5.47).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paging_is_identity_below_epc() {
+        let p = DeviceProfile::calibrated();
+        assert_eq!(p.paging_multiplier(p.epc_bytes * 0.5), 1.0);
+        assert_eq!(p.paging_multiplier(p.epc_bytes), 1.0);
+        assert!(p.paging_multiplier(p.epc_bytes * 2.0) > 1.5);
+    }
+
+    #[test]
+    fn paging_grows_monotonically() {
+        let p = DeviceProfile::calibrated();
+        let mut prev = 0.0;
+        for f in [1.0, 1.5, 2.0, 4.0, 8.0] {
+            let m = p.paging_multiplier(p.epc_bytes * f);
+            assert!(m >= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn small_overflow_is_penalized_steeply() {
+        let p = DeviceProfile::calibrated();
+        // 10% overflow already costs >1.2x (fault storm on the hot loop).
+        assert!(p.paging_multiplier(p.epc_bytes * 1.1) > 1.2);
+    }
+
+    #[test]
+    fn vgg16_masking_set_fits_at_k4_not_k5() {
+        // The Fig. 3 / Fig. 6b crossover: VGG16's largest activation is
+        // 64x224x224 = 3.21M elements.
+        let p = DeviceProfile::calibrated();
+        let act = 64.0 * 224.0 * 224.0;
+        assert!(p.masking_working_set(4, act) <= p.epc_bytes);
+        assert!(p.masking_working_set(5, act) > p.epc_bytes);
+    }
+
+    #[test]
+    fn link_time_scales() {
+        let p = DeviceProfile::calibrated();
+        // 5 GB/s, 4 B/elem: 1.25e9 elems/s.
+        let t = p.link_time(1.25e9);
+        assert!((t - 1.0).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn seal_has_fixed_floor() {
+        let p = DeviceProfile::calibrated();
+        assert!(p.seal_time(0.0) >= p.seal_fixed_s);
+        assert!(p.seal_time(1e9) > p.seal_time(1e6));
+    }
+}

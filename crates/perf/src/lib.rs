@@ -1,0 +1,31 @@
+//! Performance model and experiment generators for DarKnight.
+//!
+//! Our substrate is a simulator, not the paper's Coffee Lake + GTX 1080 Ti
+//! testbed, so absolute wall-clock comparisons are meaningless. Instead
+//! this crate follows the calibrate-then-derive discipline laid out in
+//! DESIGN.md:
+//!
+//! 1. [`device::DeviceProfile::calibrated`] fixes per-operation
+//!    SGX/GPU throughput *ratios* to the paper's **Table 1**
+//!    measurements (the only table we take as input), plus physically
+//!    grounded constants (40 Gb/s link, 93 MB usable EPC, sealing
+//!    bandwidth).
+//! 2. [`cost`] composes those rates with the *exact* layer-by-layer
+//!    operation counts of VGG16 / ResNet50 / MobileNetV1/V2 at 224×224
+//!    (`dk_nn::arch`) into end-to-end time breakdowns for every system:
+//!    SGX-only, DarKnight (pipelined & not), Slalom (±integrity),
+//!    non-private GPU.
+//! 3. [`experiments`] derives every other table and figure of the
+//!    paper's evaluation from those breakdowns — Table 3/4, Fig. 3, 5,
+//!    6a, 6b, 7 — so "who wins, by what factor, where the crossover
+//!    falls" is a model *output*, not a constant.
+//!
+//! [`report`] renders each experiment as the same rows/series the paper
+//! prints.
+
+pub mod cost;
+pub mod device;
+pub mod experiments;
+pub mod report;
+
+pub use device::DeviceProfile;

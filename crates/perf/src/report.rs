@@ -1,0 +1,209 @@
+//! Text rendering of every experiment, in the paper's row/series format.
+
+use crate::device::DeviceProfile;
+use crate::experiments;
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "●"
+    } else {
+        "○"
+    }
+}
+
+/// Renders Table 1.
+pub fn table1(p: &DeviceProfile) -> String {
+    let t = experiments::table1(p);
+    let mut s = String::from(
+        "Table 1: Speedup in GPU relative to SGX, VGG16 training on ImageNet\n\
+         (per-op rows are calibration inputs; Total is a model output)\n\n\
+         Operations        Forward    Backward\n",
+    );
+    for (op, fwd, bwd) in &t.rows {
+        s.push_str(&format!("{op:<16} {fwd:>8.2}  {bwd:>10.2}\n"));
+    }
+    s
+}
+
+/// Renders Table 2.
+pub fn table2() -> String {
+    let mut s = String::from(
+        "Table 2: capability matrix (● supported, ○ not)\n\n\
+         Method      Train Infer DP MPC HE TEE DataPriv MP(C) MP(S) Integ GPU LargeDNN\n",
+    );
+    for row in experiments::table2() {
+        s.push_str(&format!("{:<11}", row.method));
+        for (i, f) in row.flags.iter().enumerate() {
+            let width = [6, 6, 3, 4, 3, 4, 9, 6, 6, 6, 4, 8][i];
+            s.push_str(&format!("{:<width$}", flag(*f), width = width));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders Table 3.
+pub fn table3(p: &DeviceProfile) -> String {
+    let mut s = String::from(
+        "Table 3: ImageNet training time breakdown (fractions of total)\n\n\
+         Model        System     Linear  NonLinear  Enc-Dec  Comm\n",
+    );
+    for row in experiments::table3(p) {
+        let (dl, dn, dm, dc) = row.darknight;
+        let (bl, bn, bm, bc) = row.baseline;
+        s.push_str(&format!(
+            "{:<12} DarKnight  {dl:>6.2}  {dn:>9.2}  {dm:>7.2}  {dc:>5.2}\n",
+            row.model
+        ));
+        s.push_str(&format!(
+            "{:<12} Baseline   {bl:>6.2}  {bn:>9.2}  {bm:>7.2}  {bc:>5.2}\n",
+            ""
+        ));
+    }
+    s
+}
+
+/// Renders Table 4.
+pub fn table4(p: &DeviceProfile) -> String {
+    let mut s = String::from(
+        "Table 4: non-private 3-GPU training speedup\n\n\
+         Model         over DarKnight   over SGX-only\n",
+    );
+    for row in experiments::table4(p) {
+        s.push_str(&format!(
+            "{:<13} {:>13.2}  {:>14.2}\n",
+            row.model, row.over_darknight, row.over_sgx
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 3.
+pub fn fig3(p: &DeviceProfile) -> String {
+    let mut s = String::from(
+        "Fig. 3: aggregation speedup vs virtual batch size (batch 128, rel. K=1)\n\n\
+         Model          K=2    K=3    K=4    K=5\n",
+    );
+    for series in experiments::fig3(p) {
+        s.push_str(&format!("{:<13}", series.model));
+        for (_, v) in &series.points {
+            s.push_str(&format!(" {v:>5.2} "));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders Fig. 5.
+pub fn fig5(p: &DeviceProfile) -> String {
+    let mut s = String::from(
+        "Fig. 5: ImageNet training speedup over SGX-only (K=2, 3 GPUs)\n\n\
+         Model          Total(np)  Total(pipe)  Linear(np)  Linear(pipe)\n",
+    );
+    for row in experiments::fig5(p) {
+        s.push_str(&format!(
+            "{:<13} {:>9.2}  {:>11.2}  {:>10.2}  {:>12.2}\n",
+            row.model,
+            row.total_nonpipelined,
+            row.total_pipelined,
+            row.linear_nonpipelined,
+            row.linear_pipelined
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 6a.
+pub fn fig6a(p: &DeviceProfile) -> String {
+    let mut s = String::from(
+        "Fig. 6a: inference speedup over SGX-only\n\n\
+         Model          Slalom  DarKnight(4)  Slalom+Integ  DarKnight(3)+Integ\n",
+    );
+    for row in experiments::fig6a(p) {
+        s.push_str(&format!(
+            "{:<13} {:>7.2}  {:>12.2}  {:>12.2}  {:>18.2}\n",
+            row.model, row.slalom, row.darknight4, row.slalom_integrity, row.darknight3_integrity
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 6b.
+pub fn fig6b(p: &DeviceProfile) -> String {
+    let f = experiments::fig6b(p);
+    let mut s = String::from(
+        "Fig. 6b: VGG16 inference per-phase speedup relative to DarKnight(1)\n\n",
+    );
+    s.push_str("Phase        ");
+    for k in &f.ks {
+        s.push_str(&format!("  K={k:<3}"));
+    }
+    s.push('\n');
+    for (name, vals) in &f.series {
+        s.push_str(&format!("{name:<13}"));
+        for v in vals {
+            s.push_str(&format!(" {v:>5.2} "));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders Fig. 7.
+pub fn fig7(p: &DeviceProfile) -> String {
+    let mut s = String::from(
+        "Fig. 7: SGX-only VGG16 training latency vs threads (rel. 1 thread)\n\n\
+         Threads   Latency\n",
+    );
+    for (t, l) in experiments::fig7(p) {
+        s.push_str(&format!("{t:>7}   {l:>7.2}\n"));
+    }
+    s
+}
+
+/// Renders the headline summary.
+pub fn summary(p: &DeviceProfile) -> String {
+    let s = experiments::summary(p);
+    format!(
+        "Summary (paper: 6.5x avg training, 12.5x avg inference)\n\n\
+         Average training speedup:  {:.2}x\n\
+         Average inference speedup: {:.2}x\n",
+        s.avg_training_speedup, s.avg_inference_speedup
+    )
+}
+
+/// Renders every table/figure in order.
+pub fn full_report(p: &DeviceProfile) -> String {
+    [
+        table1(p),
+        table2(),
+        table3(p),
+        table4(p),
+        fig3(p),
+        fig5(p),
+        fig6a(p),
+        fig6b(p),
+        fig7(p),
+        summary(p),
+    ]
+    .join("\n----------------------------------------------------------------\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_report_renders_every_section() {
+        let p = DeviceProfile::calibrated();
+        let r = full_report(&p);
+        for needle in [
+            "Table 1", "Table 2", "Table 3", "Table 4", "Fig. 3", "Fig. 5", "Fig. 6a",
+            "Fig. 6b", "Fig. 7", "Summary",
+        ] {
+            assert!(r.contains(needle), "missing section {needle}");
+        }
+        assert!(r.contains("VGG16"));
+        assert!(r.contains("DarKnight"));
+    }
+}

@@ -1,0 +1,169 @@
+//! ChaCha20 stream cipher (RFC 8439), the confidentiality half of the
+//! enclave's sealing primitive.
+
+/// ChaCha20 keystream generator / XOR cipher.
+///
+/// Encryption and decryption are the same XOR operation.
+///
+/// # Example
+///
+/// ```
+/// use dk_tee::crypto::chacha::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let mut data = b"secret gradient shard".to_vec();
+/// ChaCha20::new(&key, &nonce).apply(&mut data);
+/// assert_ne!(&data, b"secret gradient shard");
+/// ChaCha20::new(&key, &nonce).apply(&mut data);
+/// assert_eq!(&data, b"secret gradient shard");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance with block counter 0.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        Self::with_counter(key, nonce, 0)
+    }
+
+    /// Creates a cipher instance starting at the given block counter.
+    pub fn with_counter(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        for i in 0..8 {
+            state[4 + i] =
+                u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                nonce[4 * i],
+                nonce[4 * i + 1],
+                nonce[4 * i + 2],
+                nonce[4 * i + 3],
+            ]);
+        }
+        Self { state }
+    }
+
+    #[inline]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn block(&mut self) -> [u8; 64] {
+        let mut working = self.state;
+        for _ in 0..10 {
+            // column rounds
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // diagonal rounds
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let v = working[i].wrapping_add(self.state[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        out
+    }
+
+    /// XORs the keystream into `data` in place (encrypts or decrypts).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(64) {
+            let ks = self.block();
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector: keystream block with the standard
+    /// key/nonce/counter.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut c = ChaCha20::with_counter(&key, &nonce, 1);
+        let block = c.block();
+        let expect_start = [0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];
+        assert_eq!(&block[..8], &expect_start);
+        let expect_end = [0xa2, 0x50, 0x3c, 0x4e];
+        assert_eq!(&block[60..], &expect_end);
+    }
+
+    /// RFC 8439 §2.4.2: full plaintext encryption vector (first bytes).
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        ChaCha20::with_counter(&key, &nonce, 1).apply(&mut data);
+        assert_eq!(&data[..8], &[0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80]);
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let mut data = original.clone();
+            ChaCha20::new(&key, &nonce).apply(&mut data);
+            if len > 8 {
+                assert_ne!(data, original, "len={len}");
+            }
+            ChaCha20::new(&key, &nonce).apply(&mut data);
+            assert_eq!(data, original, "len={len}");
+        }
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ChaCha20::new(&key, &[0u8; 12]).apply(&mut a);
+        ChaCha20::new(&key, &[1u8; 12]).apply(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_continuation_matches_streaming() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        let mut whole = vec![0u8; 128];
+        ChaCha20::new(&key, &nonce).apply(&mut whole);
+        let mut first = vec![0u8; 64];
+        ChaCha20::with_counter(&key, &nonce, 0).apply(&mut first);
+        let mut second = vec![0u8; 64];
+        ChaCha20::with_counter(&key, &nonce, 1).apply(&mut second);
+        assert_eq!(&whole[..64], &first[..]);
+        assert_eq!(&whole[64..], &second[..]);
+    }
+}

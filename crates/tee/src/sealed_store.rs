@@ -1,0 +1,133 @@
+//! The untrusted memory region of Algorithm 2.
+//!
+//! Between virtual batches DarKnight seals each `∇W_v` and evicts it
+//! here; after the last virtual batch the blobs are reloaded shard-wise
+//! and aggregated inside the enclave. The store is untrusted: tests use
+//! [`UntrustedStore::tamper`] to verify that a malicious host flipping
+//! bits is always detected by the seal MAC.
+
+use crate::crypto::SealedBlob;
+use std::collections::HashMap;
+
+/// Untrusted blob storage keyed by `(id)` (e.g. virtual-batch index, or
+/// `(batch, shard)` packed by the caller).
+#[derive(Debug, Default)]
+pub struct UntrustedStore {
+    blobs: HashMap<u64, SealedBlob>,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl UntrustedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or replaces) a blob under `id`.
+    pub fn put(&mut self, id: u64, blob: SealedBlob) {
+        self.bytes_written += blob.len() as u64;
+        self.blobs.insert(id, blob);
+    }
+
+    /// Fetches a blob by id.
+    pub fn get(&mut self, id: u64) -> Option<SealedBlob> {
+        let blob = self.blobs.get(&id).cloned();
+        if let Some(b) = &blob {
+            self.bytes_read += b.len() as u64;
+        }
+        blob
+    }
+
+    /// Removes a blob, returning it if present.
+    pub fn remove(&mut self, id: u64) -> Option<SealedBlob> {
+        self.blobs.remove(&id)
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// True if the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Total bytes written so far (traffic accounting for Fig. 3).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Adversarial mutation: XORs a byte of the stored ciphertext.
+    /// Returns false if the id is unknown.
+    pub fn tamper(&mut self, id: u64, byte_index: usize) -> bool {
+        match self.blobs.get_mut(&id) {
+            Some(blob) if !blob.ciphertext.is_empty() => {
+                let i = byte_index % blob.ciphertext.len();
+                blob.ciphertext[i] ^= 0x55;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::SealKey;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut key = SealKey::derive(b"k");
+        let mut store = UntrustedStore::new();
+        store.put(1, key.seal(b"grad shard"));
+        let blob = store.get(1).unwrap();
+        assert_eq!(key.unseal(&blob).unwrap(), b"grad shard");
+        assert!(store.get(2).is_none());
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut key = SealKey::derive(b"k");
+        let mut store = UntrustedStore::new();
+        let blob = key.seal(&vec![0u8; 100]);
+        let len = blob.len() as u64;
+        store.put(1, blob);
+        assert_eq!(store.bytes_written(), len);
+        let _ = store.get(1);
+        assert_eq!(store.bytes_read(), len);
+    }
+
+    #[test]
+    fn tamper_is_detected_on_unseal() {
+        let mut key = SealKey::derive(b"k");
+        let mut store = UntrustedStore::new();
+        store.put(7, key.seal(b"sensitive dW"));
+        assert!(store.tamper(7, 3));
+        let blob = store.get(7).unwrap();
+        assert!(key.unseal(&blob).is_err());
+    }
+
+    #[test]
+    fn tamper_unknown_id_is_noop() {
+        let mut store = UntrustedStore::new();
+        assert!(!store.tamper(42, 0));
+    }
+
+    #[test]
+    fn remove_clears_entry() {
+        let mut key = SealKey::derive(b"k");
+        let mut store = UntrustedStore::new();
+        store.put(1, key.seal(b"a"));
+        assert_eq!(store.len(), 1);
+        assert!(store.remove(1).is_some());
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Fault injection: a malicious GPU tampers with its results.
+//!
+//! Demonstrates §4.4: with the redundant equation enabled, DarKnight
+//! detects every corruption class a worker can mount; without it, the
+//! same attacks silently corrupt the output. Also shows the dynamic
+//! adversary (a worker turning malicious mid-session).
+//!
+//! Run with: `cargo run --release --example integrity_attack`
+
+use darknight::core::{DarknightConfig, DarknightError, DarknightSession};
+use darknight::gpu::{Behavior, GpuCluster, WorkerId};
+use darknight::linalg::Tensor;
+use darknight::nn::arch::mini_vgg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let x = Tensor::<f32>::from_fn(&[2, 3, 8, 8], |i| ((i % 9) as f32 - 4.0) * 0.1);
+    let attacks = [
+        ("additive noise on every element", Behavior::AdditiveNoise),
+        ("single corrupted element", Behavior::SingleElement),
+        ("all-zero (lazy) output", Behavior::ZeroOutput),
+        ("scaled output (x3)", Behavior::Scale(3)),
+        ("stale input replay", Behavior::StaleInput),
+    ];
+
+    println!("DarKnight integrity detection (§4.4)");
+    println!("------------------------------------");
+    for (name, behavior) in attacks {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[1] = behavior;
+        let cluster = GpuCluster::with_behaviors(&behaviors, 3);
+        let mut session = DarknightSession::new(cfg, cluster)?;
+        let mut model = mini_vgg(8, 4, 5);
+        match session.private_inference(&mut model, &x) {
+            Err(DarknightError::IntegrityViolation { layer_id, phase, mismatches }) => {
+                println!("  {name:<35} DETECTED at layer {layer_id} ({phase}, {mismatches} mismatches)");
+            }
+            Err(e) => println!("  {name:<35} error: {e}"),
+            Ok(_) => println!("  {name:<35} *** UNDETECTED ***"),
+        }
+    }
+
+    // Without the redundant equation the attack silently lands.
+    let cfg = DarknightConfig::new(2, 1).with_integrity(false);
+    let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+    behaviors[0] = Behavior::AdditiveNoise;
+    let cluster = GpuCluster::with_behaviors(&behaviors, 4);
+    let mut session = DarknightSession::new(cfg, cluster)?;
+    let mut model = mini_vgg(8, 4, 5);
+    let mut clean = model.clone();
+    let corrupted = session.private_inference(&mut model, &x)?;
+    let reference = clean.forward(&x, false);
+    println!(
+        "\nwithout integrity: inference 'succeeds' but outputs are wrong by {:.3} (silent corruption)",
+        corrupted.max_abs_diff(&reference)
+    );
+
+    // Recovery extension: localize the liar, repair in the TEE, continue.
+    let cfg = DarknightConfig::new(2, 1).with_integrity(true).with_recovery(true);
+    let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+    behaviors[1] = Behavior::AdditiveNoise;
+    let cluster = GpuCluster::with_behaviors(&behaviors, 8);
+    let mut session = DarknightSession::new(cfg, cluster)?;
+    let mut model = mini_vgg(8, 4, 5);
+    let mut clean = model.clone();
+    let repaired = session.private_inference(&mut model, &x)?;
+    println!(
+        "\nwith recovery: attacked inference completes correctly (|Δ| = {:.4}), quarantined: {:?}",
+        repaired.max_abs_diff(&clean.forward(&x, false)),
+        session.quarantined()
+    );
+
+    // Dynamic adversary: honest for one step, malicious the next.
+    let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+    let cluster = GpuCluster::honest(cfg.workers_required(), 9);
+    let mut session = DarknightSession::new(cfg, cluster)?;
+    let mut model = mini_vgg(8, 4, 5);
+    assert!(session.private_inference(&mut model, &x).is_ok());
+    session.cluster_mut().worker_mut(WorkerId(2)).set_behavior(Behavior::SingleElement);
+    let caught = session.private_inference(&mut model, &x).is_err();
+    println!("dynamic adversary (turns malicious mid-session): detected = {caught}");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Private end-to-end training (the paper's headline capability).
+//!
+//! Trains the same model twice from identical initialization — once on
+//! raw floats, once through DarKnight's masked TEE+GPU pipeline with
+//! Algorithm 2 large-batch aggregation — and prints the accuracy curves
+//! side by side (the paper's Fig. 4 claim: no degradation).
+//!
+//! Run with: `cargo run --release --example private_training`
+
+use darknight::core::virtual_batch::LargeBatchTrainer;
+use darknight::core::{DarknightConfig, DarknightSession};
+use darknight::gpu::GpuCluster;
+use darknight::nn::arch::mini_resnet;
+use darknight::nn::data::Dataset;
+use darknight::nn::optim::Sgd;
+use darknight::nn::train;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (classes, hw, epochs) = (5, 8, 10);
+    let data = Dataset::synthetic(classes, 30, (3, hw, hw), 0.5, 99);
+    let (train_set, eval_set) = data.split(0.8);
+
+    // Plaintext reference.
+    let mut raw_model = mini_resnet(hw, classes, 1234);
+    let mut sgd = Sgd::new(0.01);
+    let raw_report = train::train(&mut raw_model, &train_set, Some(&eval_set), epochs, 4, &mut sgd);
+
+    // DarKnight training with Algorithm 2: virtual batches of K=2
+    // aggregated into large batches of 4 via sealed eviction.
+    let cfg = DarknightConfig::new(2, 1).with_seed(5);
+    let cluster = GpuCluster::honest(cfg.workers_required(), 6);
+    let session = DarknightSession::new(cfg, cluster)?;
+    let mut trainer = LargeBatchTrainer::new(session, 4096);
+    let mut dk_model = mini_resnet(hw, classes, 1234); // same init
+    let mut sgd = Sgd::new(0.01);
+    let mut dk_acc = Vec::new();
+    let mut seal_ops = 0u64;
+    for _ in 0..epochs {
+        for (x, labels) in train_set.batches(4) {
+            let report = trainer.train_large_batch(&mut dk_model, &x, labels, &mut sgd)?;
+            seal_ops += report.seal_ops;
+        }
+        dk_acc.push(train::evaluate(&mut dk_model, &eval_set, 4));
+    }
+
+    println!("Private training (MiniResNet, synthetic 5-class task)");
+    println!("------------------------------------------------------");
+    println!("epoch      raw    darknight");
+    for e in 0..epochs {
+        println!(
+            "{:>5}   {:>6.2}   {:>9.2}",
+            e + 1,
+            raw_report.epoch_eval_acc[e],
+            dk_acc[e]
+        );
+    }
+    println!(
+        "\nfinal accuracy gap: {:+.3} (paper reports < 0.01 on CIFAR-10)",
+        raw_report.epoch_eval_acc[epochs - 1] - dk_acc[epochs - 1]
+    );
+    println!(
+        "note: DarKnight's batch-norm sees K=2 virtual-batch statistics while the raw run\n\
+         sees the full batch of 4, so convergence is slightly slower at equal step count\n\
+         (an inherent property of the paper's virtual-batch design, §6)."
+    );
+    println!("Algorithm 2 sealed {seal_ops} gradient shards to untrusted memory along the way.");
+    Ok(())
+}

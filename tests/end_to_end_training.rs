@@ -1,0 +1,179 @@
+//! Cross-crate integration: full private training against the plaintext
+//! reference, across all three mini architectures and the Algorithm 2
+//! large-batch path.
+
+use darknight::core::virtual_batch::LargeBatchTrainer;
+use darknight::core::{DarknightConfig, DarknightSession};
+use darknight::gpu::GpuCluster;
+use darknight::linalg::Tensor;
+use darknight::nn::arch::{mini_mobilenet, mini_resnet, mini_vgg};
+use darknight::nn::data::Dataset;
+use darknight::nn::loss::softmax_cross_entropy;
+use darknight::nn::optim::Sgd;
+use darknight::nn::{train, Sequential};
+
+fn session(k: usize, m: usize, seed: u64) -> DarknightSession {
+    let cfg = DarknightConfig::new(k, m).with_seed(seed);
+    let cluster = GpuCluster::honest(cfg.workers_required(), seed ^ 0xAA);
+    DarknightSession::new(cfg, cluster).expect("cluster sized from config")
+}
+
+/// Session with the paper's l=8 quantization (higher precision; the
+/// mini models' fan-in keeps worst-case dot products in range).
+fn session_l8(k: usize, m: usize, seed: u64) -> DarknightSession {
+    let cfg = DarknightConfig::new(k, m)
+        .with_seed(seed)
+        .with_quant(darknight::field::QuantConfig::new(8));
+    let cluster = GpuCluster::honest(cfg.workers_required(), seed ^ 0xAA);
+    DarknightSession::new(cfg, cluster).expect("cluster sized from config")
+}
+
+/// One gradient step computed privately must match the plaintext step to
+/// quantization error, for every architecture family.
+#[test]
+fn single_step_equivalence_all_architectures() {
+    let builders: [(&str, fn(usize, usize, u64) -> Sequential); 3] = [
+        ("mini_vgg", mini_vgg),
+        ("mini_resnet", mini_resnet),
+        ("mini_mobilenet", mini_mobilenet),
+    ];
+    for (name, build) in builders {
+        let x = Tensor::<f32>::from_fn(&[2, 3, 8, 8], |i| ((i * 7 % 23) as f32 - 11.0) * 0.04);
+        let labels = [0usize, 3];
+
+        let mut plain = build(8, 4, 77);
+        plain.zero_grad();
+        let logits = plain.forward(&x, true);
+        let (_, dl) = softmax_cross_entropy(&logits, &labels);
+        plain.backward(&dl);
+        let mut plain_grads = Vec::new();
+        plain.visit_params(&mut |_, g| plain_grads.push(g.clone()));
+
+        let mut sess = session_l8(2, 1, 99);
+        let mut private = build(8, 4, 77);
+        private.zero_grad();
+        sess.begin_virtual_batch();
+        let logits_p = sess.private_forward(&mut private, &x, true).unwrap();
+        let (_, dlp) = softmax_cross_entropy(&logits_p, &labels);
+        sess.private_backward(&mut private, &dlp).unwrap();
+        let mut priv_grads = Vec::new();
+        private.visit_params(&mut |_, g| priv_grads.push(g.clone()));
+
+        assert_eq!(plain_grads.len(), priv_grads.len(), "{name}");
+        // Gradient scale of the step: parameters whose true gradient is
+        // negligible relative to this carry no training signal, so
+        // relative metrics on them measure only quantization noise.
+        let global_scale = plain_grads
+            .iter()
+            .map(|g| g.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt())
+            .fold(0.0f32, f32::max);
+        for (i, (a, b)) in plain_grads.iter().zip(&priv_grads).enumerate() {
+            // Relative L2 error: robust to per-element quantization
+            // noise on the deepest (smallest-gradient) layers. The
+            // bound is quantization noise, not exactness; convergence
+            // parity is checked separately below.
+            let norm: f32 = a.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
+            let diff: f32 = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt();
+            let rel = diff / norm.max(0.05 * global_scale);
+            assert!(rel < 0.45, "{name} param {i}: relative L2 grad error {rel}");
+            // The update direction must agree for every gradient that
+            // carries real signal (this is what SGD correctness needs).
+            if norm > 0.05 * global_scale {
+                let dot: f32 = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum();
+                let norm_b: f32 = b.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
+                let cosine = dot / (norm * norm_b.max(1e-9));
+                assert!(cosine > 0.93, "{name} param {i}: gradient cosine {cosine}");
+            }
+        }
+    }
+}
+
+/// Training a model privately must reach the same accuracy as the
+/// plaintext reference (Fig. 4's claim), here on the VGG-style model
+/// where virtual-batch BN statistics play no role.
+#[test]
+fn training_accuracy_parity_minivgg() {
+    let data = Dataset::synthetic(4, 24, (3, 8, 8), 0.4, 555);
+    let (train_set, eval_set) = data.split(0.75);
+
+    let mut raw = mini_vgg(8, 4, 13);
+    let mut sgd = Sgd::new(0.01);
+    let raw_report = train::train(&mut raw, &train_set, Some(&eval_set), 8, 2, &mut sgd);
+
+    let mut sess = session(2, 1, 321);
+    let mut dk = mini_vgg(8, 4, 13);
+    let mut sgd = Sgd::new(0.01);
+    for _ in 0..8 {
+        for (x, labels) in train_set.batches(2) {
+            sess.train_step(&mut dk, &x, labels, &mut sgd).unwrap();
+        }
+    }
+    let dk_acc = train::evaluate(&mut dk, &eval_set, 2);
+    let raw_acc = raw_report.final_accuracy();
+    assert!(raw_acc > 0.7, "reference failed to learn: {raw_acc}");
+    assert!(
+        (raw_acc - dk_acc).abs() < 0.15,
+        "accuracy diverged: raw={raw_acc} darknight={dk_acc}"
+    );
+}
+
+/// Algorithm 2 path: multi-virtual-batch training with sealed gradient
+/// eviction converges and keeps all sealing counters consistent.
+#[test]
+fn large_batch_training_converges() {
+    let data = Dataset::synthetic(3, 16, (3, 8, 8), 0.3, 808);
+    let mut trainer = LargeBatchTrainer::new(session(2, 1, 11), 2048);
+    let mut model = mini_vgg(8, 3, 22);
+    let mut sgd = Sgd::new(0.02);
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..10 {
+        for (x, labels) in data.batches(8) {
+            let report = trainer.train_large_batch(&mut model, &x, labels, &mut sgd).unwrap();
+            assert_eq!(report.virtual_batches, 4);
+            assert_eq!(report.seal_ops, report.unseal_ops);
+            assert!(report.bytes_evicted >= report.bytes_reloaded);
+            last = report.mean_loss();
+            first.get_or_insert(last);
+        }
+    }
+    let first = first.unwrap();
+    assert!(last < first * 0.7, "no convergence: first={first} last={last}");
+}
+
+/// Inference in eval mode must be deterministic across repeated calls
+/// (fresh masks each time, same decoded result).
+#[test]
+fn repeated_private_inference_is_stable() {
+    let mut sess = session(2, 1, 2222);
+    let mut model = mini_resnet(8, 4, 5);
+    // Populate BN running stats once.
+    let x = Tensor::<f32>::from_fn(&[2, 3, 8, 8], |i| ((i % 11) as f32 - 5.0) * 0.09);
+    let first = sess.private_inference(&mut model, &x).unwrap();
+    for _ in 0..3 {
+        let again = sess.private_inference(&mut model, &x).unwrap();
+        // Fresh random masks every round; output identical up to fresh
+        // quantization noise.
+        assert!(first.max_abs_diff(&again) < 0.05);
+    }
+}
+
+/// Different collusion tolerances (M) must all decode correctly.
+#[test]
+fn higher_collusion_tolerance_still_exact() {
+    for m in 1..=3 {
+        let mut sess = session(2, m, 4000 + m as u64);
+        let mut model = mini_vgg(8, 4, 9);
+        let mut plain = model.clone();
+        let x = Tensor::<f32>::from_fn(&[2, 3, 8, 8], |i| ((i % 7) as f32 - 3.0) * 0.1);
+        let yp = sess.private_inference(&mut model, &x).unwrap();
+        let yr = plain.forward(&x, false);
+        assert!(yp.max_abs_diff(&yr) < 0.05, "m={m}: {}", yp.max_abs_diff(&yr));
+    }
+}
