@@ -491,7 +491,7 @@ impl SlalomSession {
             // Blind: x̄ = x_q + r.
             let mut blinded = xq[i * rest..(i + 1) * rest].to_vec();
             for (b, &rv) in blinded.iter_mut().zip(&r) {
-                *b = *b + rv;
+                *b += rv;
             }
             let xt = Tensor::from_vec(&[1, shape.in_channels, hw.0, hw.1], blinded.clone());
             let job = LinearJob::ConvForward { weights: weights_q.clone(), x: xt, shape };
@@ -561,7 +561,7 @@ impl SlalomSession {
             let (r, u) = self.take_pair(layer)?;
             let mut blinded = xq[i * in_f..(i + 1) * in_f].to_vec();
             for (b, &rv) in blinded.iter_mut().zip(&r) {
-                *b = *b + rv;
+                *b += rv;
             }
             let xt = Tensor::from_vec(&[1, in_f], blinded.clone());
             let job = LinearJob::DenseForward { weights: weights_q.clone(), x: xt };

@@ -51,11 +51,13 @@ pub mod error;
 pub mod pipeline;
 pub mod privacy;
 pub mod recovery;
+pub mod reference;
 pub mod scheme;
 pub mod session;
 pub mod virtual_batch;
 
 pub use config::DarknightConfig;
 pub use error::DarknightError;
+pub use reference::QuantizedReference;
 pub use scheme::EncodingScheme;
 pub use session::DarknightSession;

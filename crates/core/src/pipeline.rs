@@ -131,12 +131,12 @@ pub fn compare_pipelining(workload: PipelineWorkload, seed: u64) -> PipelineRepo
     let mut rng = FieldRng::seed_from(seed);
     let weights = make_weights(&workload.shape, &mut rng);
     let t0 = Instant::now();
-    let (enc_tx, enc_rx) = crossbeam::channel::bounded::<EncodedBatch>(2);
-    let (out_tx, out_rx) = crossbeam::channel::bounded::<(EncodingScheme, Vec<Vec<F25>>)>(2);
-    let pipelined = crossbeam::thread::scope(|scope| {
+    let (enc_tx, enc_rx) = std::sync::mpsc::sync_channel::<EncodedBatch>(2);
+    let (out_tx, out_rx) = std::sync::mpsc::sync_channel::<(EncodingScheme, Vec<Vec<F25>>)>(2);
+    let pipelined = std::thread::scope(|scope| {
         let wl = workload;
         let w2 = weights.clone();
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             let mut rng = rng;
             for _ in 0..wl.batches {
                 let b = encode_batch(&wl, &w2, quant, &mut rng);
@@ -145,7 +145,7 @@ pub fn compare_pipelining(workload: PipelineWorkload, seed: u64) -> PipelineRepo
                 }
             }
         });
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             for batch in enc_rx.iter() {
                 let outs = compute_batch(&batch);
                 if out_tx.send((batch.scheme, outs)).is_err() {
@@ -159,8 +159,7 @@ pub fn compare_pipelining(workload: PipelineWorkload, seed: u64) -> PipelineRepo
         }
         std::hint::black_box(sink);
         t0.elapsed()
-    })
-    .expect("pipeline threads panicked");
+    });
     PipelineReport { sequential, pipelined }
 }
 

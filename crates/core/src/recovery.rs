@@ -86,7 +86,7 @@ mod tests {
     fn single_fault_located_and_repaired() {
         let (jobs, mut outputs) = jobs_and_outputs(4);
         let clean = outputs.clone();
-        outputs[2][1] = outputs[2][1] + F25::ONE;
+        outputs[2][1] += F25::ONE;
         let outcome = localize_and_repair(&jobs, &mut outputs);
         assert_eq!(outcome.faulty, vec![WorkerId(2)]);
         assert_eq!(outputs, clean, "repair must restore honest outputs");
@@ -95,8 +95,8 @@ mod tests {
     #[test]
     fn multiple_faults_located() {
         let (jobs, mut outputs) = jobs_and_outputs(5);
-        outputs[0][0] = outputs[0][0] + F25::new(7);
-        outputs[4][2] = outputs[4][2] + F25::new(9);
+        outputs[0][0] += F25::new(7);
+        outputs[4][2] += F25::new(9);
         let outcome = localize_and_repair(&jobs, &mut outputs);
         assert_eq!(outcome.faulty, vec![WorkerId(0), WorkerId(4)]);
     }

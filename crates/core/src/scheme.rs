@@ -330,7 +330,7 @@ mod tests {
         let noise = vec![r.uniform_vec::<P25>(n)];
         let mut outputs = scheme.encode(&inputs, &noise); // identity op
         // Corrupt one element of one worker's output.
-        outputs[1][3] = outputs[1][3] + F25::ONE;
+        outputs[1][3] += F25::ONE;
         let err = scheme.decode_forward(&outputs, 7).unwrap_err();
         match err {
             DarknightError::IntegrityViolation { layer_id, phase, mismatches } => {
@@ -352,7 +352,7 @@ mod tests {
         let clean = scheme.encode(&inputs, &noise);
         for victim in 0..clean.len() {
             let mut outputs = clean.clone();
-            outputs[victim][0] = outputs[victim][0] + F25::new(42);
+            outputs[victim][0] += F25::new(42);
             assert!(
                 scheme.decode_forward(&outputs, 0).is_err(),
                 "corruption of worker {victim} undetected"
@@ -371,7 +371,7 @@ mod tests {
         let mut outputs = scheme.encode(&inputs, &noise);
         for out in outputs.iter_mut().take(4) {
             for v in out.iter_mut() {
-                *v = *v + r.uniform_nonzero::<P25>();
+                *v += r.uniform_nonzero::<P25>();
             }
         }
         assert!(scheme.decode_forward(&outputs, 0).is_err());

@@ -360,17 +360,11 @@ impl DarknightSession {
     }
 
     /// Max-abs normalization (the paper's §5 VGG strategy, applied
-    /// uniformly) followed by Algorithm 1 quantization.
+    /// uniformly) followed by Algorithm 1 quantization. Shared with
+    /// [`crate::reference::QuantizedReference`] so the private path and
+    /// the clear-text oracle can never drift numerically.
     fn normalize_quantize(&self, vals: &[f32]) -> Result<(Vec<F25>, f32), DarknightError> {
-        let max_abs = vals.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        let norm = if max_abs > 0.0 { max_abs } else { 1.0 };
-        let q = self.cfg.quant();
-        let inv = 1.0 / norm;
-        let mut out = Vec::with_capacity(vals.len());
-        for &v in vals {
-            out.push(q.quantize::<P25>((v * inv) as f64)?);
-        }
-        Ok((out, norm))
+        crate::reference::normalize_quantize(self.cfg.quant(), vals)
     }
 
     #[allow(clippy::type_complexity)]
@@ -572,6 +566,7 @@ impl DarknightSession {
 
     /// Shared backward machinery: decodes the aggregate weight gradient
     /// and (optionally) performs the spare-worker integrity checks.
+    #[allow(clippy::too_many_arguments)]
     fn offload_backward(
         &mut self,
         layer_id: u64,

@@ -113,7 +113,7 @@ impl LargeBatchTrainer {
         let n = x.shape()[0];
         assert_eq!(labels.len(), n, "one label per sample");
         let k = self.session.config().k();
-        if n % k != 0 || n == 0 {
+        if !n.is_multiple_of(k) || n == 0 {
             return Err(DarknightError::BatchShape { expected: k, actual: n });
         }
         let v_count = n / k;

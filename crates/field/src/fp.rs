@@ -241,6 +241,8 @@ impl<const P: u64> Div for Fp<P> {
     ///
     /// Panics on division by zero.
     #[inline]
+    // Field division IS multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv().expect("division by zero field element")
     }

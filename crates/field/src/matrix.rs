@@ -242,8 +242,8 @@ impl<const P: u64> FieldMatrix<P> {
                     for c in 0..n {
                         let ac = a[(col, c)];
                         let ic = inv[(col, c)];
-                        a[(r, c)] = a[(r, c)] - f * ac;
-                        inv[(r, c)] = inv[(r, c)] - f * ic;
+                        a[(r, c)] -= f * ac;
+                        inv[(r, c)] -= f * ic;
                     }
                 }
             }
@@ -273,7 +273,7 @@ impl<const P: u64> FieldMatrix<P> {
                     let f = a[(r, col)];
                     for c in col..a.cols {
                         let v = a[(row, c)];
-                        a[(r, c)] = a[(r, c)] - f * v;
+                        a[(r, c)] -= f * v;
                     }
                 }
             }

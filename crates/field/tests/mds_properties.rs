@@ -1,0 +1,105 @@
+//! Property tests for the §5 collusion-tolerance invariant: every
+//! square submatrix of a generated Vandermonde/MDS encoding matrix must
+//! be invertible. This is exactly the property that makes any coalition
+//! of ≤ M workers information-theoretically blind — a single singular
+//! square submatrix would be a privacy hole.
+
+use dk_field::vandermonde::{distinct_points, is_mds, mds_matrix, vandermonde};
+use dk_field::{FieldMatrix, FieldRng, P25};
+use proptest::prelude::*;
+
+/// Enumerates index subsets of size `k` from `0..n` (n and k are tiny).
+fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    if k == 0 || k > n {
+        return out;
+    }
+    loop {
+        out.push(idx.clone());
+        // Advance the combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Exhaustively checks the MDS property by direct submatrix inversion
+/// (independent of `is_mds`, so the two implementations cross-check).
+fn every_square_submatrix_invertible(m: &FieldMatrix<P25>) -> bool {
+    for size in 1..=m.rows().min(m.cols()) {
+        for rows in subsets(m.rows(), size) {
+            for cols in subsets(m.cols(), size) {
+                if m.submatrix(&rows, &cols).inverse().is_none() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator's output is MDS for every sampled geometry: all
+    /// square submatrices (every size, every row/column choice) invert.
+    #[test]
+    fn mds_matrix_every_square_submatrix_invertible(
+        seed in any::<u64>(),
+        rows in 1usize..4,
+        extra in 0usize..4,
+    ) {
+        let mut rng = FieldRng::seed_from(seed);
+        let cols = rows + extra;
+        let m = mds_matrix::<P25>(rows, cols, &mut rng);
+        prop_assert!(every_square_submatrix_invertible(&m));
+        // And the library's own checker agrees.
+        prop_assert!(is_mds(&m));
+    }
+
+    /// Raw Vandermonde matrices over distinct points have the same
+    /// property (they are what `mds_matrix` builds from).
+    #[test]
+    fn vandermonde_on_distinct_points_is_mds(
+        seed in any::<u64>(),
+        rows in 1usize..4,
+        extra in 0usize..3,
+    ) {
+        let mut rng = FieldRng::seed_from(seed);
+        let cols = rows + extra;
+        let points = distinct_points::<P25>(cols, &mut rng);
+        let m = vandermonde(rows, &points);
+        prop_assert!(every_square_submatrix_invertible(&m));
+    }
+
+    /// Sanity for the checker itself: planting a duplicated column in
+    /// an otherwise-MDS matrix must break the property (guards against
+    /// a vacuously-true `every_square_submatrix_invertible`).
+    #[test]
+    fn duplicated_column_breaks_mds(seed in any::<u64>(), rows in 2usize..4) {
+        let mut rng = FieldRng::seed_from(seed);
+        let cols = rows + 2;
+        let m = mds_matrix::<P25>(rows, cols, &mut rng);
+        let mut broken = m.clone();
+        for r in 0..rows {
+            broken[(r, cols - 1)] = broken[(r, 0)];
+        }
+        prop_assert!(!every_square_submatrix_invertible(&broken));
+        prop_assert!(!is_mds(&broken));
+    }
+}

@@ -44,7 +44,7 @@ impl Behavior {
             Behavior::Honest => honest,
             Behavior::AdditiveNoise => {
                 for v in honest.as_mut_slice() {
-                    *v = *v + rng.uniform::<{ dk_field::P25 }>();
+                    *v += rng.uniform::<{ dk_field::P25 }>();
                 }
                 honest
             }
@@ -53,7 +53,7 @@ impl Behavior {
                     let idx = rng.index(honest.len());
                     let bump = rng.uniform_nonzero::<{ dk_field::P25 }>();
                     let s = honest.as_mut_slice();
-                    s[idx] = s[idx] + bump;
+                    s[idx] += bump;
                 }
                 honest
             }
@@ -66,7 +66,7 @@ impl Behavior {
             Behavior::Scale(k) => {
                 let k = F25::new(k);
                 for v in honest.as_mut_slice() {
-                    *v = *v * k;
+                    *v *= k;
                 }
                 honest
             }

@@ -95,14 +95,13 @@ impl GpuCluster {
         assert!(jobs.len() <= self.workers.len(), "more jobs ({}) than workers ({})", jobs.len(), self.workers.len());
         if self.parallel {
             let workers = &mut self.workers[..jobs.len()];
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(jobs.len());
                 for (w, job) in workers.iter_mut().zip(jobs) {
-                    handles.push(scope.spawn(move |_| w.execute(job)));
+                    handles.push(scope.spawn(move || w.execute(job)));
                 }
                 handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
             })
-            .expect("dispatch scope panicked")
         } else {
             self.workers.iter_mut().zip(jobs).map(|(w, j)| w.execute(j)).collect()
         }

@@ -99,7 +99,7 @@ pub fn noise_cancellation_attack(
     for (obs, &cj) in observations.iter().zip(&c) {
         assert_eq!(obs.len(), n, "inconsistent observation lengths");
         for (r, &o) in recovered.iter_mut().zip(obs) {
-            *r = *r + o * cj;
+            *r += o * cj;
         }
     }
     AttackOutcome::InputCombinationRecovered { coefficients: c, recovered }
@@ -131,14 +131,14 @@ pub fn null_space_vector(m: &FieldMatrix<P25>) -> Option<Vec<F25>> {
         }
         let inv = a[(r, c)].inv().expect("pivot nonzero");
         for cc in 0..cols {
-            a[(r, cc)] = a[(r, cc)] * inv;
+            a[(r, cc)] *= inv;
         }
         for i in 0..rows {
             if i != r && !a[(i, c)].is_zero() {
                 let f = a[(i, c)];
                 for cc in 0..cols {
                     let v = a[(r, cc)];
-                    a[(i, cc)] = a[(i, cc)] - f * v;
+                    a[(i, cc)] -= f * v;
                 }
             }
         }
@@ -246,12 +246,12 @@ mod tests {
             let mut out = vec![F25::ZERO; n];
             for (i, xi) in x.iter().enumerate() {
                 for (o, &v) in out.iter_mut().zip(xi) {
-                    *o = *o + v * a1[(i, j)];
+                    *o += v * a1[(i, j)];
                 }
             }
             for (t, rt) in r.iter().enumerate() {
                 for (o, &v) in out.iter_mut().zip(rt) {
-                    *o = *o + v * a2[(t, j)];
+                    *o += v * a2[(t, j)];
                 }
             }
             out
@@ -270,10 +270,10 @@ mod tests {
         for (i, xi) in x.iter().enumerate() {
             let mut coeff = F25::ZERO;
             for (ci, &j) in coalition_cols.iter().enumerate() {
-                coeff = coeff + a1[(i, j)] * coefficients[ci];
+                coeff += a1[(i, j)] * coefficients[ci];
             }
             for (e, &v) in expect.iter_mut().zip(xi) {
-                *e = *e + v * coeff;
+                *e += v * coeff;
             }
         }
         assert_eq!(recovered, expect);

@@ -106,7 +106,7 @@ pub fn beta_combine(delta_batch: &Tensor<F25>, beta: &[F25]) -> Tensor<F25> {
     for (i, &b) in beta.iter().enumerate() {
         let src = delta_batch.batch_item(i);
         for (o, &d) in out.as_mut_slice().iter_mut().zip(src) {
-            *o = *o + b * d;
+            *o += b * d;
         }
     }
     out

@@ -162,7 +162,7 @@ mod tests {
         // Tap (0,0) of window (0,0) is padding -> zero.
         assert_eq!(cols[0], 0.0);
         // Center tap (1,1) of window (0,0) is input(0,0) = 1.
-        let center_row = (1 * 3 + 1) * 4;
+        let center_row = (3 + 1) * 4;
         assert_eq!(cols[center_row], 1.0);
     }
 

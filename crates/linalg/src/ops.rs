@@ -32,8 +32,7 @@ pub fn add_bias_nchw(y: &mut Tensor<f32>, bias: &[f32]) {
     let plane = h * w;
     let ys = y.as_mut_slice();
     for ni in 0..n {
-        for ci in 0..c {
-            let b = bias[ci];
+        for (ci, &b) in bias.iter().enumerate() {
             let base = (ni * c + ci) * plane;
             for v in &mut ys[base..base + plane] {
                 *v += b;
@@ -70,9 +69,9 @@ pub fn bias_grad_nchw(dy: &Tensor<f32>) -> Vec<f32> {
     let plane = h * w;
     let mut g = vec![0.0f32; c];
     for ni in 0..n {
-        for ci in 0..c {
+        for (ci, gc) in g.iter_mut().enumerate() {
             let base = (ni * c + ci) * plane;
-            g[ci] += dy.as_slice()[base..base + plane].iter().sum::<f32>();
+            *gc += dy.as_slice()[base..base + plane].iter().sum::<f32>();
         }
     }
     g

@@ -269,7 +269,7 @@ mod tests {
         let mut t = Tensor::<f32>::zeros(&[2, 3, 4]);
         t.set(&[1, 2, 3], 7.0);
         assert_eq!(t.get(&[1, 2, 3]), 7.0);
-        assert_eq!(t.offset(&[1, 2, 3]), 1 * 12 + 2 * 4 + 3);
+        assert_eq!(t.offset(&[1, 2, 3]), 12 + 2 * 4 + 3);
     }
 
     #[test]

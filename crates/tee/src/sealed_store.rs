@@ -97,7 +97,7 @@ mod tests {
     fn traffic_accounting() {
         let mut key = SealKey::derive(b"k");
         let mut store = UntrustedStore::new();
-        let blob = key.seal(&vec![0u8; 100]);
+        let blob = key.seal(&[0u8; 100]);
         let len = blob.len() as u64;
         store.put(1, blob);
         assert_eq!(store.bytes_written(), len);

@@ -1,0 +1,148 @@
+//! Offline vendored shim for `rand_chacha`: a real ChaCha12 block
+//! function driving a buffered PRNG.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! reimplements `ChaCha12Rng` against the workspace's `rand` shim. The
+//! core is the genuine ChaCha quarter-round/block construction (RFC
+//! 8439 layout, 12 rounds, 64-bit block counter + zero nonce), so the
+//! stream has the statistical quality the framework's uniformity tests
+//! (chi-square, stream independence) assume. It does *not* promise
+//! byte-for-byte compatibility with upstream `rand_chacha` output.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 12;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Runs the ChaCha block function: `input` is the 16-word initial
+/// state, the result is `input + permuted(input)` (the feed-forward
+/// that makes the permutation one-way).
+fn chacha_block(input: &[u32; 16]) -> [u32; 16] {
+    let mut s = *input;
+    for _ in 0..ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut s, 0, 4, 8, 12);
+        quarter_round(&mut s, 1, 5, 9, 13);
+        quarter_round(&mut s, 2, 6, 10, 14);
+        quarter_round(&mut s, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut s, 0, 5, 10, 15);
+        quarter_round(&mut s, 1, 6, 11, 12);
+        quarter_round(&mut s, 2, 7, 8, 13);
+        quarter_round(&mut s, 3, 4, 9, 14);
+    }
+    for (out, inp) in s.iter_mut().zip(input.iter()) {
+        *out = out.wrapping_add(*inp);
+    }
+    s
+}
+
+/// A ChaCha PRNG with 12 rounds, seeded from a 32-byte key.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means exhausted.
+    index: usize,
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Words 14/15: zero nonce (single-stream use).
+        self.buffer = chacha_block(&state);
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self { key, counter: 0, buffer: [0; 16], index: 16 }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let b = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&b[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        let mut b = ChaCha12Rng::seed_from_u64(7);
+        let mut c = ChaCha12Rng::seed_from_u64(8);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn blocks_differ_by_counter() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn bits_are_balanced() {
+        // Rough sanity: population count over 64k words near 50%.
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let ones: u64 = (0..65_536).map(|_| rng.next_u32().count_ones() as u64).sum();
+        let total = 65_536u64 * 32;
+        let frac = ones as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.01, "bit balance {frac}");
+    }
+}

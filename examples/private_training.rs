@@ -46,13 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Private training (MiniResNet, synthetic 5-class task)");
     println!("------------------------------------------------------");
     println!("epoch      raw    darknight");
-    for e in 0..epochs {
-        println!(
-            "{:>5}   {:>6.2}   {:>9.2}",
-            e + 1,
-            raw_report.epoch_eval_acc[e],
-            dk_acc[e]
-        );
+    for (e, (raw, dk)) in raw_report.epoch_eval_acc.iter().zip(&dk_acc).enumerate() {
+        println!("{:>5}   {raw:>6.2}   {dk:>9.2}", e + 1);
     }
     println!(
         "\nfinal accuracy gap: {:+.3} (paper reports < 0.01 on CIFAR-10)",

@@ -3,7 +3,7 @@
 //! large-batch path.
 
 use darknight::core::virtual_batch::LargeBatchTrainer;
-use darknight::core::{DarknightConfig, DarknightSession};
+use darknight::core::{DarknightConfig, DarknightSession, QuantizedReference};
 use darknight::gpu::GpuCluster;
 use darknight::linalg::Tensor;
 use darknight::nn::arch::{mini_mobilenet, mini_resnet, mini_vgg};
@@ -28,11 +28,21 @@ fn session_l8(k: usize, m: usize, seed: u64) -> DarknightSession {
     DarknightSession::new(cfg, cluster).expect("cluster sized from config")
 }
 
-/// One gradient step computed privately must match the plaintext step to
-/// quantization error, for every architecture family.
+/// One gradient step computed privately must match the *quantized*
+/// reference step exactly, for every architecture family.
+///
+/// The oracle is [`QuantizedReference`]: a clear-text executor running
+/// the identical Algorithm 1 normalize→quantize→field-op→dequantize
+/// pipeline with no masking. DarKnight's encoding/decoding is exact in
+/// `F_p`, so the private step and the reference step must agree bit for
+/// bit — comparing against the *float* model instead would conflate
+/// the privacy layer with fixed-point noise (including ReLU gates
+/// flipping on near-zero pre-activations, which perturbs downstream
+/// gradients by far more than one quantization ulp).
 #[test]
 fn single_step_equivalence_all_architectures() {
-    let builders: [(&str, fn(usize, usize, u64) -> Sequential); 3] = [
+    type Builder = fn(usize, usize, u64) -> Sequential;
+    let builders: [(&str, Builder); 3] = [
         ("mini_vgg", mini_vgg),
         ("mini_resnet", mini_resnet),
         ("mini_mobilenet", mini_mobilenet),
@@ -40,16 +50,17 @@ fn single_step_equivalence_all_architectures() {
     for (name, build) in builders {
         let x = Tensor::<f32>::from_fn(&[2, 3, 8, 8], |i| ((i * 7 % 23) as f32 - 11.0) * 0.04);
         let labels = [0usize, 3];
-
-        let mut plain = build(8, 4, 77);
-        plain.zero_grad();
-        let logits = plain.forward(&x, true);
-        let (_, dl) = softmax_cross_entropy(&logits, &labels);
-        plain.backward(&dl);
-        let mut plain_grads = Vec::new();
-        plain.visit_params(&mut |_, g| plain_grads.push(g.clone()));
-
         let mut sess = session_l8(2, 1, 99);
+
+        let mut reference = QuantizedReference::new(2, sess.config().quant());
+        let mut ref_model = build(8, 4, 77);
+        ref_model.zero_grad();
+        let logits_r = reference.forward(&mut ref_model, &x, true).unwrap();
+        let (_, dlr) = softmax_cross_entropy(&logits_r, &labels);
+        reference.backward(&mut ref_model, &dlr).unwrap();
+        let mut ref_grads = Vec::new();
+        ref_model.visit_params(&mut |_, g| ref_grads.push(g.clone()));
+
         let mut private = build(8, 4, 77);
         private.zero_grad();
         sess.begin_virtual_batch();
@@ -59,38 +70,35 @@ fn single_step_equivalence_all_architectures() {
         let mut priv_grads = Vec::new();
         private.visit_params(&mut |_, g| priv_grads.push(g.clone()));
 
-        assert_eq!(plain_grads.len(), priv_grads.len(), "{name}");
-        // Gradient scale of the step: parameters whose true gradient is
-        // negligible relative to this carry no training signal, so
-        // relative metrics on them measure only quantization noise.
-        let global_scale = plain_grads
-            .iter()
-            .map(|g| g.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt())
-            .fold(0.0f32, f32::max);
-        for (i, (a, b)) in plain_grads.iter().zip(&priv_grads).enumerate() {
-            // Relative L2 error: robust to per-element quantization
-            // noise on the deepest (smallest-gradient) layers. The
-            // bound is quantization noise, not exactness; convergence
-            // parity is checked separately below.
-            let norm: f32 = a.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
-            let diff: f32 = a
-                .as_slice()
-                .iter()
-                .zip(b.as_slice())
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f32>()
-                .sqrt();
-            let rel = diff / norm.max(0.05 * global_scale);
-            assert!(rel < 0.45, "{name} param {i}: relative L2 grad error {rel}");
-            // The update direction must agree for every gradient that
-            // carries real signal (this is what SGD correctness needs).
-            if norm > 0.05 * global_scale {
-                let dot: f32 = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum();
-                let norm_b: f32 = b.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
-                let cosine = dot / (norm * norm_b.max(1e-9));
-                assert!(cosine > 0.93, "{name} param {i}: gradient cosine {cosine}");
+        // The masking layer adds zero error: logits and every gradient
+        // agree exactly with the quantized reference.
+        assert_eq!(logits_p.max_abs_diff(&logits_r), 0.0, "{name}: logits diverged");
+        assert_eq!(ref_grads.len(), priv_grads.len(), "{name}");
+        for (i, (a, b)) in ref_grads.iter().zip(&priv_grads).enumerate() {
+            assert_eq!(a.max_abs_diff(b), 0.0, "{name} param {i}: private != reference");
+        }
+
+        // Sanity against the float model: the quantized step still
+        // points the same way overall. Per-parameter bounds would be
+        // chasing ReLU gate flips, so compare the concatenated
+        // gradient's direction, which is what one SGD step applies.
+        let mut plain = build(8, 4, 77);
+        plain.zero_grad();
+        let logits = plain.forward(&x, true);
+        let (_, dl) = softmax_cross_entropy(&logits, &labels);
+        plain.backward(&dl);
+        let mut plain_grads = Vec::new();
+        plain.visit_params(&mut |_, g| plain_grads.push(g.clone()));
+        let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+        for (a, b) in plain_grads.iter().zip(&priv_grads) {
+            for (&u, &v) in a.as_slice().iter().zip(b.as_slice()) {
+                dot += u as f64 * v as f64;
+                na += u as f64 * u as f64;
+                nb += v as f64 * v as f64;
             }
         }
+        let cosine = dot / (na.sqrt() * nb.sqrt()).max(1e-12);
+        assert!(cosine > 0.9, "{name}: overall gradient cosine vs float {cosine}");
     }
 }
 
@@ -164,16 +172,23 @@ fn repeated_private_inference_is_stable() {
     }
 }
 
-/// Different collusion tolerances (M) must all decode correctly.
+/// Different collusion tolerances (M) must all decode *exactly*: extra
+/// noise vectors change the masking, never the decoded result. The
+/// oracle is the quantization-matched reference (M plays no part in
+/// it); a loose float-model bound guards overall fidelity.
 #[test]
 fn higher_collusion_tolerance_still_exact() {
     for m in 1..=3 {
         let mut sess = session(2, m, 4000 + m as u64);
         let mut model = mini_vgg(8, 4, 9);
         let mut plain = model.clone();
+        let mut reference = QuantizedReference::new(2, sess.config().quant());
+        let mut ref_model = model.clone();
         let x = Tensor::<f32>::from_fn(&[2, 3, 8, 8], |i| ((i % 7) as f32 - 3.0) * 0.1);
         let yp = sess.private_inference(&mut model, &x).unwrap();
+        let yq = reference.forward(&mut ref_model, &x, false).unwrap();
+        assert_eq!(yp.max_abs_diff(&yq), 0.0, "m={m}: masking changed the decoded output");
         let yr = plain.forward(&x, false);
-        assert!(yp.max_abs_diff(&yr) < 0.05, "m={m}: {}", yp.max_abs_diff(&yr));
+        assert!(yp.max_abs_diff(&yr) < 0.1, "m={m}: {}", yp.max_abs_diff(&yr));
     }
 }

@@ -1,0 +1,99 @@
+//! Integrity regression suite: the §4.4 redundant-equation check as a
+//! detector, characterized across many fresh scheme instances.
+//!
+//! Two sides of the same guarantee:
+//!
+//! * **completeness** — a cluster with one tampering worker is caught,
+//!   whatever position the liar occupies and whichever minimal
+//!   corruption it applies;
+//! * **soundness** — an honest cluster never trips the detector, across
+//!   100 independently-seeded sessions (fresh `A`, `B`, `Γ`, masks and
+//!   noise each time), so the check cannot be dismissed as flaky.
+
+use darknight::core::{DarknightConfig, DarknightError, DarknightSession};
+use darknight::gpu::{Behavior, GpuCluster};
+use darknight::linalg::{Conv2dShape, Tensor};
+use darknight::nn::layers::{Conv2d, Dense, Flatten, Layer, Relu};
+use darknight::nn::optim::Sgd;
+use darknight::nn::Sequential;
+
+/// A small conv+dense model: one offloaded layer of each kind keeps the
+/// 100-seed sweep fast while still exercising both job shapes.
+fn model(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(Conv2dShape::simple(2, 4, 3, 1, 1), seed)),
+        Layer::Relu(Relu::new()),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(Dense::new(4 * 6 * 6, 3, seed ^ 1)),
+    ])
+}
+
+fn input(seed: u64) -> Tensor<f32> {
+    Tensor::from_fn(&[2, 2, 6, 6], |i| (((i as u64 * 31 + seed * 7) % 17) as f32 - 8.0) * 0.06)
+}
+
+/// Completeness: a single tampering worker — in any position, with the
+/// hardest-to-see corruption (one element, one layer) — is detected.
+#[test]
+fn single_tampering_worker_is_detected_in_every_position() {
+    let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+    for seed in 0..8u64 {
+        for victim in 0..cfg.workers_required() {
+            let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+            behaviors[victim] = Behavior::SingleElement;
+            let cluster = GpuCluster::with_behaviors(&behaviors, 1000 + seed);
+            let mut session =
+                DarknightSession::new(cfg.with_seed(seed), cluster).unwrap();
+            let result = session.private_inference(&mut model(seed), &input(seed));
+            assert!(
+                matches!(result, Err(DarknightError::IntegrityViolation { .. })),
+                "seed {seed}: tampering worker {victim} escaped the redundant-equation check"
+            );
+        }
+    }
+}
+
+/// Completeness during training: the backward-phase checks catch the
+/// liar too, and no weight update lands.
+#[test]
+fn tampering_worker_detected_during_training_step() {
+    let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+    for seed in 0..8u64 {
+        let victim = (seed as usize) % cfg.workers_required();
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[victim] = Behavior::AdditiveNoise;
+        let cluster = GpuCluster::with_behaviors(&behaviors, 2000 + seed);
+        let mut session = DarknightSession::new(cfg.with_seed(seed), cluster).unwrap();
+        let mut m = model(seed);
+        let snapshot = m.snapshot_params();
+        let mut sgd = Sgd::new(0.05);
+        let result = session.train_step(&mut m, &input(seed), &[0, 2], &mut sgd);
+        assert!(result.is_err(), "seed {seed}: corrupted training step must fail");
+        assert_eq!(
+            m.max_param_diff(&snapshot),
+            0.0,
+            "seed {seed}: weights must be untouched after a detected violation"
+        );
+    }
+}
+
+/// Soundness: across 100 independently-seeded sessions (each with fresh
+/// scheme matrices, masks, and noise), an honest cluster never triggers
+/// a violation — in inference or in a full training step.
+#[test]
+fn honest_cluster_never_false_positives_across_100_seeds() {
+    for seed in 0..100u64 {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true).with_seed(seed);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 3000 + seed);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut m = model(seed);
+        session
+            .private_inference(&mut m, &input(seed))
+            .unwrap_or_else(|e| panic!("seed {seed}: honest inference flagged: {e}"));
+        let mut sgd = Sgd::new(0.05);
+        session
+            .train_step(&mut m, &input(seed), &[1, 0], &mut sgd)
+            .unwrap_or_else(|e| panic!("seed {seed}: honest training step flagged: {e}"));
+        assert!(session.stats().integrity_checks > 0, "seed {seed}: checks must run");
+    }
+}

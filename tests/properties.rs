@@ -94,7 +94,7 @@ proptest! {
         let mut outputs = scheme.encode(&inputs, &noise);
         let victim = victim_sel as usize % outputs.len();
         let elem = elem_sel as usize % n;
-        outputs[victim][elem] = outputs[victim][elem] + F25::new(bump);
+        outputs[victim][elem] += F25::new(bump);
         prop_assert!(scheme.decode_forward(&outputs, 0).is_err());
     }
 
