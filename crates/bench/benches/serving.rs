@@ -1,0 +1,93 @@
+//! Served throughput vs direct session calls.
+//!
+//! The serving runtime adds aggregation, channels and a worker pool on
+//! top of `DarknightSession`; this bench prices that machinery at
+//! different batch-fill ratios. Bursts of 1/2/4 requests against K=4
+//! exercise 25/50/100% fill — partial bursts pay the aggregation
+//! deadline plus padded (wasted) encoding rows, full bursts take the
+//! hot path — and `direct_private_inference` is the no-runtime
+//! baseline: one synchronous session fed pre-formed full batches.
+//! Throughput lines are requests/second (real requests, not padded
+//! rows).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dk_core::{DarknightConfig, DarknightSession};
+use dk_gpu::GpuCluster;
+use dk_linalg::Tensor;
+use dk_nn::arch::mini_vgg;
+use dk_serve::{InferenceRequest, Server, ServerConfig, Ticket};
+use std::time::Duration;
+
+const HW: usize = 8;
+const K: usize = 4;
+
+fn sample(i: u64) -> Tensor<f32> {
+    Tensor::from_fn(&[3, HW, HW], |j| {
+        (((j as u64).wrapping_mul(i * 2 + 1) % 23) as f32 - 11.0) * 0.04
+    })
+}
+
+fn full_batch(base: u64) -> Tensor<f32> {
+    let mut x = Tensor::<f32>::zeros(&[K, 3, HW, HW]);
+    for r in 0..K {
+        x.batch_item_mut(r).copy_from_slice(sample(base + r as u64).as_slice());
+    }
+    x
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let model = mini_vgg(HW, 4, 5);
+    let cfg = DarknightConfig::new(K, 1);
+    let cluster = GpuCluster::honest(cfg.workers_required(), 6);
+    let mut g = c.benchmark_group("serving_throughput_minivgg");
+    g.sample_size(10);
+
+    // Baseline: one synchronous session, pre-formed full batches,
+    // shared-scale inference (the path a batch script would use).
+    g.throughput(Throughput::Elements(K as u64));
+    g.bench_function("direct_private_inference", |b| {
+        let mut session = DarknightSession::new(cfg, cluster.fork(1)).unwrap();
+        let mut m = model.clone();
+        let x = full_batch(0);
+        b.iter(|| black_box(session.private_inference(&mut m, &x).unwrap()))
+    });
+
+    // Served: bursts of `real` requests against K=4 force the target
+    // fill ratio — partial bursts dispatch on the aggregation deadline.
+    for &real in &[1usize, 2, 4] {
+        g.throughput(Throughput::Elements(real as u64));
+        g.bench_with_input(
+            BenchmarkId::new("served_fill", format!("{}pct", real * 100 / K)),
+            &real,
+            |b, &real| {
+                let server = Server::start(
+                    ServerConfig::new(cfg, &[3, HW, HW])
+                        .with_workers(2)
+                        .with_max_batch_wait(Duration::from_micros(300)),
+                    &model,
+                    &cluster,
+                )
+                .unwrap();
+                let handle = server.handle();
+                let mut i = 0u64;
+                b.iter(|| {
+                    let tickets: Vec<Ticket> = (0..real)
+                        .map(|_| {
+                            i += 1;
+                            handle.submit(InferenceRequest::new(sample(i))).unwrap()
+                        })
+                        .collect();
+                    for t in tickets {
+                        black_box(t.wait().unwrap());
+                    }
+                });
+                drop(handle);
+                server.shutdown();
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -95,6 +95,33 @@ impl QuantizedReference {
         self.forward_layers(model.layers_mut(), x.clone(), train)
     }
 
+    /// The serving-verification oracle: runs a single sample (no batch
+    /// dimension) through a fresh `k = 1` reference on a clone of
+    /// `model`, returning the output with the batch dimension stripped.
+    ///
+    /// `dk_serve` guarantees every served response is bit-for-bit equal
+    /// to this function's result for the same sample and quantization —
+    /// embedders (and this workspace's own tests/examples) use it to
+    /// audit a serving deployment end to end.
+    ///
+    /// # Errors
+    ///
+    /// Quantization failure (non-finite input).
+    pub fn forward_solo(
+        model: &Sequential,
+        x: &Tensor<f32>,
+        quant: QuantConfig,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        let mut shape = vec![1];
+        shape.extend_from_slice(x.shape());
+        let x1 = Tensor::from_vec(&shape, x.as_slice().to_vec());
+        let mut reference = Self::new(1, quant);
+        let mut model = model.clone();
+        let y = reference.forward(&mut model, &x1, false)?;
+        let row_shape = y.shape()[1..].to_vec();
+        Ok(Tensor::from_vec(&row_shape, y.into_vec()))
+    }
+
     /// Backward pass from the loss gradient; accumulates parameter
     /// gradients exactly as the private session does.
     ///

@@ -221,7 +221,7 @@ impl DarknightSession {
             });
         }
         self.next_id = 0;
-        self.forward_layers(model.layers_mut(), x.clone(), train)
+        self.forward_layers(model.layers_mut(), x.clone(), train, false)
     }
 
     /// Private backward pass from the loss gradient; accumulates all
@@ -318,28 +318,33 @@ impl DarknightSession {
     // Forward internals
     // -----------------------------------------------------------------
 
+    /// One pass over the layer list. `per_sample` selects the
+    /// quantization-scale policy of the linear layers: shared scale
+    /// (training; the backward γ-aggregate needs it) vs one scale per
+    /// row (serving inference; rows stay numerically independent).
     fn forward_layers(
         &mut self,
         layers: &mut [Layer],
         mut x: Tensor<f32>,
         train: bool,
+        per_sample: bool,
     ) -> Result<Tensor<f32>, DarknightError> {
         for layer in layers.iter_mut() {
             x = match layer {
                 Layer::Conv2d(conv) => {
                     let id = self.take_id();
-                    self.forward_conv(id, conv, &x)?
+                    self.forward_conv(id, conv, &x, per_sample)?
                 }
                 Layer::Dense(dense) => {
                     let id = self.take_id();
-                    self.forward_dense(id, dense, &x)?
+                    self.forward_dense(id, dense, &x, per_sample)?
                 }
                 Layer::Residual(res) => {
-                    let main = self.forward_layers(res.main_mut(), x.clone(), train)?;
+                    let main = self.forward_layers(res.main_mut(), x.clone(), train, per_sample)?;
                     let short = if res.shortcut().is_empty() {
                         x.clone()
                     } else {
-                        self.forward_layers(res.shortcut_mut(), x.clone(), train)?
+                        self.forward_layers(res.shortcut_mut(), x.clone(), train, per_sample)?
                     };
                     self.stats.nonlinear_elems += main.len() as u64;
                     main.add(&short)
@@ -367,7 +372,16 @@ impl DarknightSession {
         crate::reference::normalize_quantize(self.cfg.quant(), vals)
     }
 
-    #[allow(clippy::type_complexity)]
+    /// The forward offload round: quantize, mask, dispatch, decode.
+    ///
+    /// `per_sample` selects the quantization policy for the inputs —
+    /// one shared max-abs scale (training mode; retains a [`LinearCtx`]
+    /// for the backward pass) vs one scale per row (serving inference;
+    /// nothing retained). Returns the decoded per-sample field outputs,
+    /// the per-sample dequantize scale (`norm_w · norm_x_i`; all equal
+    /// in shared mode), the per-encoding output shape, and the
+    /// backward context (shared mode only).
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn offload_forward(
         &mut self,
         layer_id: u64,
@@ -376,20 +390,34 @@ impl DarknightSession {
         make_job: impl Fn(Arc<Tensor<F25>>, Tensor<F25>) -> LinearJob,
         weight_shape: &[usize],
         enc_shape: &[usize],
-    ) -> Result<(Vec<Vec<F25>>, LinearCtx, Vec<usize>), DarknightError> {
+        per_sample: bool,
+    ) -> Result<(Vec<Vec<F25>>, Vec<f32>, Vec<usize>, Option<LinearCtx>), DarknightError> {
         let k = self.cfg.k();
         let m = self.cfg.m();
         let (wq_flat, norm_w) = self.normalize_quantize(weights.as_slice())?;
         let weights_q = Arc::new(Tensor::from_vec(weight_shape, wq_flat));
-        let (xq_flat, norm_x) = self.normalize_quantize(x.as_slice())?;
         let rest: usize = x.shape()[1..].iter().product();
-        let inputs_q: Vec<Vec<F25>> =
-            (0..k).map(|i| xq_flat[i * rest..(i + 1) * rest].to_vec()).collect();
+        let (inputs_q, norms): (Vec<Vec<F25>>, Vec<f32>) = if per_sample {
+            let mut inputs_q = Vec::with_capacity(k);
+            let mut norms = Vec::with_capacity(k);
+            for i in 0..k {
+                let (xq, norm_x) =
+                    self.normalize_quantize(&x.as_slice()[i * rest..(i + 1) * rest])?;
+                inputs_q.push(xq);
+                norms.push(norm_x);
+            }
+            (inputs_q, norms)
+        } else {
+            let (xq_flat, norm_x) = self.normalize_quantize(x.as_slice())?;
+            let inputs_q =
+                (0..k).map(|i| xq_flat[i * rest..(i + 1) * rest].to_vec()).collect();
+            (inputs_q, vec![norm_x; k])
+        };
         let noise: Vec<Vec<F25>> = (0..m).map(|_| self.rng.uniform_vec::<P25>(rest)).collect();
         // Enclave working set: float input + quantized copies + noise +
         // encodings.
         let s_cols = self.scheme.num_encodings();
-        let work_bytes = x.len() * 4 + xq_flat.len() * 8 + (m + s_cols) * rest * 8;
+        let work_bytes = x.len() * 4 + k * rest * 8 + (m + s_cols) * rest * 8;
         let _paged = self.enclave.alloc_paged(work_bytes);
         let encodings = self.scheme.encode(&inputs_q, &noise);
         self.stats.encoded_elems += (s_cols * rest) as u64;
@@ -408,44 +436,70 @@ impl DarknightSession {
         if self.scheme.has_integrity() {
             self.stats.integrity_checks += 1;
         }
-        let decoded = match self.scheme.decode_forward(&out_vecs, layer_id) {
+        let decoded = match self.decode_forward_repairing(&jobs, &mut out_vecs, layer_id) {
             Ok(d) => d,
-            Err(violation @ DarknightError::IntegrityViolation { .. })
-                if self.cfg.recovery() =>
-            {
-                // Extension (crate::recovery): localize the liars by
-                // TEE recomputation, repair, and continue.
-                let outcome = crate::recovery::localize_and_repair(&jobs, &mut out_vecs);
+            Err(e) => {
+                // Don't leak the charged working set on an aborted
+                // batch: serving reuses one session across unboundedly
+                // many batches, so a leak here would grow
+                // `current_bytes` monotonically under attack and turn
+                // every later honest batch into pure paging traffic.
+                let _ = self.enclave.release(work_bytes);
+                return Err(e);
+            }
+        };
+        self.stats.decoded_elems += (decoded.len() * out_rest) as u64;
+        let scales: Vec<f32> = norms.iter().map(|&n| norm_w * n).collect();
+        let ctx = if per_sample {
+            // Inference retains nothing — no backward pass will revisit
+            // this layer — so the whole working set is released.
+            self.enclave.release(work_bytes)?;
+            None
+        } else {
+            // Transient working set released; the retained context
+            // (noise + quantized inputs for the backward spot check)
+            // stays charged.
+            let retained = (m + k) * rest * 8;
+            self.enclave.release(work_bytes.saturating_sub(retained))?;
+            Some(LinearCtx {
+                norm_x: norms[0],
+                norm_w,
+                input_shape: x.shape().to_vec(),
+                weights_q,
+                noise,
+                inputs_q,
+                enclave_bytes: retained,
+            })
+        };
+        Ok((decoded, scales, out_shape, ctx))
+    }
+
+    /// Decodes forward outputs, routing integrity violations through the
+    /// recovery extension (localize the liars by TEE recomputation,
+    /// repair, re-decode) when it is enabled.
+    fn decode_forward_repairing(
+        &mut self,
+        jobs: &[LinearJob],
+        out_vecs: &mut Vec<Vec<F25>>,
+        layer_id: u64,
+    ) -> Result<Vec<Vec<F25>>, DarknightError> {
+        match self.scheme.decode_forward(out_vecs, layer_id) {
+            Ok(d) => Ok(d),
+            Err(violation @ DarknightError::IntegrityViolation { .. }) if self.cfg.recovery() => {
+                let outcome = crate::recovery::localize_and_repair(jobs, out_vecs);
                 if outcome.faulty.is_empty() {
                     // Detection without a localizable fault should not
                     // happen with explicit jobs; surface the original.
                     return Err(violation);
                 }
                 for w in outcome.faulty {
-                    if !self.quarantined.contains(&w) {
-                        self.quarantined.push(w);
-                    }
+                    self.quarantine(w);
                 }
                 self.stats.recoveries += 1;
-                self.scheme.decode_forward(&out_vecs, layer_id)?
+                self.scheme.decode_forward(out_vecs, layer_id)
             }
-            Err(e) => return Err(e),
-        };
-        self.stats.decoded_elems += (decoded.len() * out_rest) as u64;
-        // Transient working set released; the retained context (noise +
-        // quantized inputs for the backward spot check) stays charged.
-        let retained = (m + k) * rest * 8;
-        self.enclave.release(work_bytes.saturating_sub(retained))?;
-        let ctx = LinearCtx {
-            norm_x,
-            norm_w,
-            input_shape: x.shape().to_vec(),
-            weights_q,
-            noise,
-            inputs_q,
-            enclave_bytes: retained,
-        };
-        Ok((decoded, ctx, out_shape))
+            Err(e) => Err(e),
+        }
     }
 
     fn forward_conv(
@@ -453,29 +507,32 @@ impl DarknightSession {
         layer_id: u64,
         conv: &mut Conv2d,
         x: &Tensor<f32>,
+        per_sample: bool,
     ) -> Result<Tensor<f32>, DarknightError> {
         let shape = *conv.shape();
         let enc_shape = [1, x.shape()[1], x.shape()[2], x.shape()[3]];
-        let (decoded, ctx, out_shape) = self.offload_forward(
+        let (decoded, scales, out_shape, ctx) = self.offload_forward(
             layer_id,
             x,
             conv.weights(),
             move |w, t| LinearJob::ConvForward { weights: w, x: t, shape },
             &shape.weight_shape(),
             &enc_shape,
+            per_sample,
         )?;
         let k = self.cfg.k();
         let q = self.cfg.quant();
-        let scale = ctx.norm_w * ctx.norm_x;
         let mut y = Tensor::zeros(&[k, out_shape[1], out_shape[2], out_shape[3]]);
-        for (i, dec) in decoded.iter().enumerate() {
+        for (i, (dec, &scale)) in decoded.iter().zip(&scales).enumerate() {
             for (dst, &v) in y.batch_item_mut(i).iter_mut().zip(dec) {
                 *dst = q.dequantize_product(v) as f32 * scale;
             }
         }
         ops::add_bias_nchw(&mut y, conv.bias().as_slice());
         self.stats.nonlinear_elems += y.len() as u64;
-        self.ctxs.insert(layer_id, ctx);
+        if let Some(ctx) = ctx {
+            self.ctxs.insert(layer_id, ctx);
+        }
         Ok(y)
     }
 
@@ -484,31 +541,79 @@ impl DarknightSession {
         layer_id: u64,
         dense: &mut Dense,
         x: &Tensor<f32>,
+        per_sample: bool,
     ) -> Result<Tensor<f32>, DarknightError> {
         let in_f = dense.in_features();
         let out_f = dense.out_features();
         let enc_shape = [1, in_f];
-        let (decoded, ctx, _) = self.offload_forward(
+        let (decoded, scales, _, ctx) = self.offload_forward(
             layer_id,
             x,
             dense.weights(),
             move |w, t| LinearJob::DenseForward { weights: w, x: t },
             &[out_f, in_f],
             &enc_shape,
+            per_sample,
         )?;
         let k = self.cfg.k();
         let q = self.cfg.quant();
-        let scale = ctx.norm_w * ctx.norm_x;
         let mut y = Tensor::zeros(&[k, out_f]);
-        for (i, dec) in decoded.iter().enumerate() {
+        for (i, (dec, &scale)) in decoded.iter().zip(&scales).enumerate() {
             for (dst, &v) in y.batch_item_mut(i).iter_mut().zip(dec) {
                 *dst = q.dequantize_product(v) as f32 * scale;
             }
         }
         ops::add_bias_rows(&mut y, dense.bias().as_slice());
         self.stats.nonlinear_elems += y.len() as u64;
-        self.ctxs.insert(layer_id, ctx);
+        if let Some(ctx) = ctx {
+            self.ctxs.insert(layer_id, ctx);
+        }
         Ok(y)
+    }
+
+    // -----------------------------------------------------------------
+    // Per-sample-scale inference (serving mode)
+    // -----------------------------------------------------------------
+
+    /// Private inference where every sample of the virtual batch is
+    /// quantized with its **own** max-abs scale instead of one scale
+    /// shared across the batch.
+    ///
+    /// The shared scale of [`DarknightSession::private_forward`] exists
+    /// for the backward pass — the γ-weighted aggregate of Eq. 4–6
+    /// cannot blend per-sample fixed-point scales — but it couples
+    /// samples numerically: row `i`'s quantization step depends on the
+    /// other rows' magnitudes. Forward-only execution has no such
+    /// constraint. The decode separates the `K` results exactly in the
+    /// field, so each row can be dequantized with its own scale, and
+    /// output row `i` is **bit-for-bit** identical to running that
+    /// sample alone through [`crate::reference::QuantizedReference`]
+    /// with `k = 1`, no matter what else shares the virtual batch.
+    /// `dk_serve` builds on exactly this property to aggregate
+    /// independent requests (including padded all-zero rows) into full
+    /// virtual batches without perturbing anyone's answer.
+    ///
+    /// Privacy and integrity are unchanged: the GPUs still see only
+    /// masked field vectors, and the redundant equation still covers
+    /// every offloaded layer.
+    ///
+    /// # Errors
+    ///
+    /// Batch-shape mismatch, quantization failure, or an integrity
+    /// violation detected by the redundant equation.
+    pub fn private_inference_per_sample(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, DarknightError> {
+        if x.shape()[0] != self.cfg.k() {
+            return Err(DarknightError::BatchShape {
+                expected: self.cfg.k(),
+                actual: x.shape()[0],
+            });
+        }
+        self.begin_virtual_batch();
+        self.forward_layers(model.layers_mut(), x.clone(), false, true)
     }
 
     // -----------------------------------------------------------------
@@ -701,7 +806,7 @@ impl DarknightSession {
         let input_hw = (ctx.input_shape[2], ctx.input_shape[3]);
         let enc_shape = [1, ctx.input_shape[1], ctx.input_shape[2], ctx.input_shape[3]];
         let weights_q = ctx.weights_q.clone();
-        let (grad_field, norm_d, dx_field) = self.offload_backward(
+        let offloaded = self.offload_backward(
             layer_id,
             dy,
             |delta, beta| LinearJob::ConvWeightGradStored {
@@ -719,7 +824,16 @@ impl DarknightSession {
             },
             &enc_shape,
             &ctx,
-        )?;
+        );
+        let (grad_field, norm_d, dx_field) = match offloaded {
+            Ok(v) => v,
+            Err(e) => {
+                // The ctx left the map above; release its retained
+                // bytes so an aborted step doesn't leak them.
+                let _ = self.enclave.release(ctx.enclave_bytes);
+                return Err(e);
+            }
+        };
         let q = self.cfg.quant();
         // Aggregate ∇W: dequantize and unscale. The 1/K of Eq. 3 is
         // already folded into the mean-reduced loss gradients, so no
@@ -749,7 +863,7 @@ impl DarknightSession {
         let out_f = dense.out_features();
         let enc_shape = [1, in_f];
         let weights_q = ctx.weights_q.clone();
-        let (grad_field, norm_d, dx_field) = self.offload_backward(
+        let offloaded = self.offload_backward(
             layer_id,
             dy,
             |delta, beta| LinearJob::DenseWeightGradStored { delta_batch: delta, beta, layer_id },
@@ -760,7 +874,14 @@ impl DarknightSession {
             },
             &enc_shape,
             &ctx,
-        )?;
+        );
+        let (grad_field, norm_d, dx_field) = match offloaded {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = self.enclave.release(ctx.enclave_bytes);
+                return Err(e);
+            }
+        };
         let q = self.cfg.quant();
         let wscale = norm_d * ctx.norm_x;
         let gw: Vec<f32> =
@@ -939,6 +1060,101 @@ mod tests {
         for _ in 0..3 {
             session.train_step(&mut model, &x, &labels, &mut sgd).unwrap();
         }
+    }
+
+    /// The serving-mode guarantee: with per-sample scales, each output
+    /// row is bit-identical to running that sample *alone* through the
+    /// quantized reference — even when the rows differ in magnitude by
+    /// orders of magnitude (which couples rows under the shared scale).
+    #[test]
+    fn per_sample_inference_matches_solo_reference_bitwise() {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 19);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(20);
+        let mut x = input(2);
+        for v in x.batch_item_mut(1) {
+            *v *= 931.0; // magnitude skew between rows
+        }
+        let y = session.private_inference_per_sample(&mut model, &x).unwrap();
+        for i in 0..2 {
+            let xi = Tensor::from_vec(&[1, 2, 6, 6], x.batch_item(i).to_vec());
+            let mut reference =
+                crate::reference::QuantizedReference::new(1, session.config().quant());
+            let mut ref_model = small_model(20);
+            let yi = reference.forward(&mut ref_model, &xi, false).unwrap();
+            assert_eq!(y.batch_item(i), yi.as_slice(), "row {i} diverged from solo reference");
+        }
+    }
+
+    /// The shared-scale path does *not* have the solo-equality property
+    /// (row 0's quantization step is set by row 1's magnitude) — the
+    /// contrast that motivates the per-sample mode.
+    #[test]
+    fn shared_scale_inference_couples_rows() {
+        let cfg = DarknightConfig::new(2, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 21);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(22);
+        let mut x = input(2);
+        for v in x.batch_item_mut(1) {
+            *v *= 931.0;
+        }
+        let y = session.private_inference(&mut model, &x).unwrap();
+        let x0 = Tensor::from_vec(&[1, 2, 6, 6], x.batch_item(0).to_vec());
+        let mut reference = crate::reference::QuantizedReference::new(1, session.config().quant());
+        let mut ref_model = small_model(22);
+        let y0 = reference.forward(&mut ref_model, &x0, false).unwrap();
+        assert_ne!(y.batch_item(0), y0.as_slice(), "shared scale unexpectedly decoupled rows");
+    }
+
+    #[test]
+    fn per_sample_inference_integrity_catches_tampering() {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[2] = Behavior::SingleElement;
+        let cluster = GpuCluster::with_behaviors(&behaviors, 23);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(24);
+        let err = session.private_inference_per_sample(&mut model, &input(2)).unwrap_err();
+        assert!(matches!(err, DarknightError::IntegrityViolation { phase: "forward", .. }));
+    }
+
+    /// Regression: an aborted batch must not leak its charged enclave
+    /// working set. A serving worker reuses one session across
+    /// unboundedly many batches, so a per-failure leak would grow
+    /// `current_bytes` monotonically under attack and corrupt every
+    /// later batch's paging accounting.
+    #[test]
+    fn aborted_batches_release_enclave_working_set() {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[1] = Behavior::SingleElement;
+        let cluster = GpuCluster::with_behaviors(&behaviors, 27);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(28);
+        for _ in 0..3 {
+            let _ = session.private_inference_per_sample(&mut model, &input(2)).unwrap_err();
+            session.begin_virtual_batch();
+            assert_eq!(
+                session.enclave_stats().current_bytes,
+                0,
+                "failed batch leaked enclave bytes"
+            );
+        }
+        // The session recovers fully once the fleet behaves.
+        session.cluster_mut().worker_mut(WorkerId(1)).set_behavior(Behavior::Honest);
+        session.private_inference_per_sample(&mut model, &input(2)).unwrap();
+    }
+
+    #[test]
+    fn per_sample_inference_rejects_wrong_batch() {
+        let cfg = DarknightConfig::new(2, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 25);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(26);
+        let err = session.private_inference_per_sample(&mut model, &input(3)).unwrap_err();
+        assert!(matches!(err, DarknightError::BatchShape { expected: 2, actual: 3 }));
     }
 
     #[test]

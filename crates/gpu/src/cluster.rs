@@ -10,7 +10,7 @@ use crate::worker::{GpuWorker, WorkerId};
 /// `K`, collusion tolerance `M` and one integrity-check equation (§4.5
 /// summary). The cluster enforces nothing itself — sizing is checked by
 /// the `dk-core` session — it just executes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GpuCluster {
     workers: Vec<GpuWorker>,
     parallel: bool,
@@ -37,6 +37,19 @@ impl GpuCluster {
     pub fn with_parallel_dispatch(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Creates a fresh cluster over the *same fleet* — identical worker
+    /// count and per-worker behaviours — but with reseeded worker RNGs
+    /// and no accumulated state (stored encodings, observations,
+    /// counters). Serving pools use this so every session thread drives
+    /// its own independent view of one shared deployment: behaviours
+    /// (including adversarial ones) follow the fleet, while execution
+    /// state stays per-session. Use [`Clone`] instead when the
+    /// accumulated state should travel too.
+    pub fn fork(&self, seed: u64) -> Self {
+        let behaviors: Vec<Behavior> = self.workers.iter().map(|w| w.behavior()).collect();
+        Self::with_behaviors(&behaviors, seed).with_parallel_dispatch(self.parallel)
     }
 
     /// Number of workers (`K'`).
@@ -175,6 +188,34 @@ mod tests {
         assert_eq!(outs[0], jobs[0].execute());
         assert!(outs[1].as_slice().iter().all(|v| v.is_zero()));
         assert_eq!(outs[2], jobs[2].execute());
+    }
+
+    #[test]
+    fn fork_preserves_fleet_but_not_state() {
+        let mut cluster = GpuCluster::with_behaviors(
+            &[Behavior::Honest, Behavior::Scale(3), Behavior::Honest],
+            6,
+        )
+        .with_parallel_dispatch(true);
+        let jobs: Vec<_> = (1..=3).map(dense_job).collect();
+        let _ = cluster.execute(&jobs);
+        cluster.store_encodings(0, vec![Tensor::from_fn(&[1, 2], |i| F25::new(i as u64))]);
+
+        let fork = cluster.fork(99);
+        assert_eq!(fork.len(), cluster.len());
+        for (a, b) in fork.workers().iter().zip(cluster.workers()) {
+            assert_eq!(a.behavior(), b.behavior());
+            assert_eq!(a.jobs_executed(), 0, "fork must start with fresh counters");
+            assert!(a.observations().is_empty(), "fork must not inherit observations");
+        }
+        assert!(fork.worker(WorkerId(0)).stored_encoding(0).is_none());
+        // A clone, by contrast, carries the accumulated state.
+        let clone = cluster.clone();
+        assert_eq!(clone.worker(WorkerId(0)).jobs_executed(), 1);
+        assert_eq!(
+            clone.worker(WorkerId(0)).stored_encoding(0),
+            cluster.worker(WorkerId(0)).stored_encoding(0)
+        );
     }
 
     #[test]

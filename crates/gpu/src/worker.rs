@@ -27,7 +27,7 @@ impl std::fmt::Display for WorkerId {
 ///   encoded inputs within the GPU memory");
 /// * it **records every masked vector it observes**, which is exactly
 ///   the adversary's view — the collusion analyzer consumes this.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GpuWorker {
     id: WorkerId,
     behavior: Behavior,

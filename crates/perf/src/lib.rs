@@ -27,5 +27,7 @@ pub mod cost;
 pub mod device;
 pub mod experiments;
 pub mod report;
+pub mod serving;
 
 pub use device::DeviceProfile;
+pub use serving::ServingRow;

@@ -161,6 +161,29 @@ pub fn fig7(p: &DeviceProfile) -> String {
     s
 }
 
+/// Renders measured serving configurations ([`crate::serving`]) as one
+/// table: throughput, queue-latency percentiles, batch fill, and
+/// shed/served counts per row.
+pub fn serving_table(rows: &[crate::ServingRow]) -> String {
+    let mut s = String::from(
+        "Serving: measured throughput and queue latency per configuration\n\n\
+         Configuration          req/s   p50(ms)   p95(ms)   fill  served   shed\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<20} {:>8.1}  {:>8.2}  {:>8.2}  {:>4.0}%  {:>6}  {:>5}\n",
+            r.label,
+            r.throughput_rps,
+            r.p50_queue_ms,
+            r.p95_queue_ms,
+            r.batch_fill * 100.0,
+            r.served,
+            r.shed
+        ));
+    }
+    s
+}
+
 /// Renders the headline summary.
 pub fn summary(p: &DeviceProfile) -> String {
     let s = experiments::summary(p);
@@ -192,6 +215,36 @@ pub fn full_report(p: &DeviceProfile) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serving_table_renders_rows() {
+        let rows = vec![
+            crate::ServingRow {
+                label: "pool=2 K=4".into(),
+                throughput_rps: 87.3,
+                p50_queue_ms: 0.8,
+                p95_queue_ms: 3.1,
+                batch_fill: 0.75,
+                served: 64,
+                shed: 2,
+            },
+            crate::ServingRow {
+                label: "direct session".into(),
+                throughput_rps: 40.0,
+                p50_queue_ms: 0.0,
+                p95_queue_ms: 0.0,
+                batch_fill: 1.0,
+                served: 64,
+                shed: 0,
+            },
+        ];
+        let s = serving_table(&rows);
+        assert!(s.contains("pool=2 K=4"));
+        assert!(s.contains("direct session"));
+        assert!(s.contains("75%"));
+        assert!(s.contains("87.3"));
+        assert!(s.lines().count() >= 4);
+    }
 
     #[test]
     fn full_report_renders_every_section() {

@@ -1,0 +1,51 @@
+//! Serving-side performance summaries.
+//!
+//! The analytical model in [`crate::cost`] predicts per-step times; a
+//! running `dk_serve` deployment *measures* them. This module is the
+//! meeting point: a [`ServingRow`] is the renderer-facing snapshot of
+//! one serving configuration (produced by `dk_serve::ServerMetrics`,
+//! or hand-built for what-if rows), and [`crate::report::serving_table`]
+//! prints a set of them in the same row format as the paper tables.
+//!
+//! The struct lives here rather than in `dk_serve` so the report layer
+//! has no dependency on the serving runtime (mirroring how the other
+//! report sections consume plain experiment rows).
+
+/// One measured (or modeled) serving configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRow {
+    /// Label for the row (e.g. `"pool=4 K=4"` or `"direct session"`).
+    pub label: String,
+    /// Sustained requests per second over the measurement window.
+    pub throughput_rps: f64,
+    /// Median queue wait (submission → batch dispatch), milliseconds.
+    pub p50_queue_ms: f64,
+    /// 95th-percentile queue wait, milliseconds.
+    pub p95_queue_ms: f64,
+    /// Real rows / total rows across dispatched virtual batches, in
+    /// `[0, 1]`; `1.0` means every batch was full (no padding).
+    pub batch_fill: f64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_is_plain_data() {
+        let row = ServingRow {
+            label: "pool=2 K=4".into(),
+            throughput_rps: 120.5,
+            p50_queue_ms: 1.2,
+            p95_queue_ms: 4.7,
+            batch_fill: 0.875,
+            served: 64,
+            shed: 3,
+        };
+        assert_eq!(row.clone(), row);
+    }
+}

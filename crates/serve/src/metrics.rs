@@ -1,0 +1,258 @@
+//! Serving metrics: recorded live by the server threads, snapshotted
+//! into [`ServerMetrics`], and rendered through
+//! `dk_perf::report::serving_table`.
+
+use dk_perf::ServingRow;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Queue-latency percentiles are computed over a sliding window of the
+/// most recent responses, so a long-running server neither grows
+/// without bound nor pays an ever-larger sort per snapshot.
+const QUEUE_WAIT_WINDOW: usize = 4096;
+
+/// Thread-shared recorder. One lock per event keeps this simple; the
+/// events are tiny compared to an encode/decode round, so contention is
+/// negligible at pool scale.
+#[derive(Debug)]
+pub(crate) struct MetricsRecorder {
+    started: Instant,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    submitted: u64,
+    served: u64,
+    shed: u64,
+    failed: u64,
+    batches: u64,
+    real_rows: u64,
+    padded_rows: u64,
+    repaired: u64,
+    /// Ring buffer of the last [`QUEUE_WAIT_WINDOW`] queue waits.
+    queue_waits_us: Vec<u64>,
+    /// Next overwrite position once the ring is full.
+    wait_cursor: usize,
+    last_response_at: Option<Instant>,
+}
+
+impl MetricsRecorder {
+    pub fn new() -> Self {
+        Self { started: Instant::now(), inner: Mutex::new(Inner::default()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("metrics lock poisoned")
+    }
+
+    pub fn record_submitted(&self) {
+        self.lock().submitted += 1;
+    }
+
+    pub fn record_shed(&self) {
+        self.lock().shed += 1;
+    }
+
+    pub fn record_batch(&self, real_rows: usize, padded_rows: usize) {
+        let mut g = self.lock();
+        g.batches += 1;
+        g.real_rows += real_rows as u64;
+        g.padded_rows += padded_rows as u64;
+    }
+
+    pub fn record_response(&self, queue_wait: Duration, ok: bool, repaired: bool) {
+        let mut g = self.lock();
+        if ok {
+            g.served += 1;
+        } else {
+            g.failed += 1;
+        }
+        if repaired {
+            g.repaired += 1;
+        }
+        let wait_us = queue_wait.as_micros() as u64;
+        if g.queue_waits_us.len() < QUEUE_WAIT_WINDOW {
+            g.queue_waits_us.push(wait_us);
+        } else {
+            let cursor = g.wait_cursor;
+            g.queue_waits_us[cursor] = wait_us;
+            g.wait_cursor = (cursor + 1) % QUEUE_WAIT_WINDOW;
+        }
+        g.last_response_at = Some(Instant::now());
+    }
+
+    pub fn snapshot(&self) -> ServerMetrics {
+        let g = self.lock();
+        let mut waits = g.queue_waits_us.clone();
+        waits.sort_unstable();
+        let wall = match g.last_response_at {
+            Some(t) => t.duration_since(self.started),
+            None => self.started.elapsed(),
+        };
+        let total_rows = g.real_rows + g.padded_rows;
+        ServerMetrics {
+            submitted: g.submitted,
+            served: g.served,
+            shed: g.shed,
+            failed: g.failed,
+            repaired: g.repaired,
+            batches: g.batches,
+            real_rows: g.real_rows,
+            padded_rows: g.padded_rows,
+            batch_fill_ratio: if total_rows == 0 {
+                1.0
+            } else {
+                g.real_rows as f64 / total_rows as f64
+            },
+            p50_queue: percentile(&waits, 0.50),
+            p95_queue: percentile(&waits, 0.95),
+            wall,
+            throughput_rps: if wall.is_zero() {
+                0.0
+            } else {
+                g.served as f64 / wall.as_secs_f64()
+            },
+        }
+    }
+}
+
+/// Nearest-rank percentile over pre-sorted microsecond samples.
+fn percentile(sorted_us: &[u64], q: f64) -> Duration {
+    if sorted_us.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    Duration::from_micros(sorted_us[idx])
+}
+
+/// A point-in-time summary of one server's traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerMetrics {
+    /// Requests accepted by admission control.
+    pub submitted: u64,
+    /// Requests answered with an output.
+    pub served: u64,
+    /// Requests refused by admission control.
+    pub shed: u64,
+    /// Requests whose batch failed (integrity violation or other
+    /// session error); they received an error response, not an output.
+    pub failed: u64,
+    /// Requests served out of a batch that tripped the redundant
+    /// equation and was repaired by the recovery extension — correct
+    /// outputs, but evidence of active tampering in the fleet.
+    pub repaired: u64,
+    /// Virtual batches dispatched.
+    pub batches: u64,
+    /// Real request rows across all dispatched batches.
+    pub real_rows: u64,
+    /// All-zero padding rows across all dispatched batches.
+    pub padded_rows: u64,
+    /// `real_rows / (real_rows + padded_rows)`; `1.0` when no batch
+    /// was dispatched (or none needed padding).
+    pub batch_fill_ratio: f64,
+    /// Median submission → dispatch wait over the most recent 4096
+    /// responses.
+    pub p50_queue: Duration,
+    /// 95th-percentile submission → dispatch wait over the most recent
+    /// 4096 responses.
+    pub p95_queue: Duration,
+    /// Server start → last routed response.
+    pub wall: Duration,
+    /// `served / wall`.
+    pub throughput_rps: f64,
+}
+
+impl ServerMetrics {
+    /// Converts to the renderer-facing row consumed by
+    /// `dk_perf::report::serving_table`.
+    pub fn row(&self, label: impl Into<String>) -> ServingRow {
+        ServingRow {
+            label: label.into(),
+            throughput_rps: self.throughput_rps,
+            p50_queue_ms: self.p50_queue.as_secs_f64() * 1e3,
+            p95_queue_ms: self.p95_queue.as_secs_f64() * 1e3,
+            batch_fill: self.batch_fill_ratio,
+            served: self.served,
+            shed: self.shed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_accumulates_and_snapshots() {
+        let rec = MetricsRecorder::new();
+        rec.record_submitted();
+        rec.record_submitted();
+        rec.record_shed();
+        rec.record_batch(2, 2);
+        rec.record_response(Duration::from_millis(2), true, false);
+        rec.record_response(Duration::from_millis(4), false, false);
+        let m = rec.snapshot();
+        assert_eq!(m.submitted, 2);
+        assert_eq!(m.served, 1);
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.batches, 1);
+        assert_eq!((m.real_rows, m.padded_rows), (2, 2));
+        assert!((m.batch_fill_ratio - 0.5).abs() < 1e-12);
+        assert!(m.p50_queue >= Duration::from_millis(2));
+        assert!(m.p95_queue >= m.p50_queue);
+        assert!(m.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let m = MetricsRecorder::new().snapshot();
+        assert_eq!(m.served, 0);
+        assert_eq!(m.batch_fill_ratio, 1.0);
+        assert_eq!(m.p50_queue, Duration::ZERO);
+        assert_eq!(m.throughput_rps, 0.0);
+    }
+
+    /// Regression: the wait buffer is a bounded ring — old samples are
+    /// overwritten, memory does not grow with uptime, and percentiles
+    /// reflect the recent window.
+    #[test]
+    fn queue_waits_are_a_bounded_sliding_window() {
+        let rec = MetricsRecorder::new();
+        for _ in 0..QUEUE_WAIT_WINDOW {
+            rec.record_response(Duration::ZERO, true, false);
+        }
+        for _ in 0..QUEUE_WAIT_WINDOW {
+            rec.record_response(Duration::from_millis(7), true, true);
+        }
+        let m = rec.snapshot();
+        assert_eq!(m.served, 2 * QUEUE_WAIT_WINDOW as u64, "counters still see everything");
+        assert_eq!(m.repaired, QUEUE_WAIT_WINDOW as u64);
+        assert_eq!(
+            m.p50_queue,
+            Duration::from_millis(7),
+            "window holds only the recent samples"
+        );
+        assert_eq!(rec.lock().queue_waits_us.len(), QUEUE_WAIT_WINDOW);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let us: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&us, 0.50), Duration::from_micros(51));
+        assert_eq!(percentile(&us, 0.95), Duration::from_micros(95));
+        assert_eq!(percentile(&us, 1.0), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn row_conversion_carries_fields() {
+        let rec = MetricsRecorder::new();
+        rec.record_batch(3, 1);
+        rec.record_response(Duration::from_millis(1), true, false);
+        let row = rec.snapshot().row("pool=1");
+        assert_eq!(row.label, "pool=1");
+        assert_eq!(row.served, 1);
+        assert!((row.batch_fill - 0.75).abs() < 1e-12);
+    }
+}

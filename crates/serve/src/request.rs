@@ -1,0 +1,226 @@
+//! Request and response types for the serving runtime.
+
+use dk_core::DarknightError;
+use dk_linalg::Tensor;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Identity of an accepted request, unique within one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Scheduling priority. When more requests are pending than fit in one
+/// virtual batch, higher-priority requests board first; within a
+/// priority class, arrival order (FIFO) breaks ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Boards before everything else.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Boards only when no higher-priority request is waiting.
+    Low,
+}
+
+impl Priority {
+    /// Rank for ordering: lower boards first.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// One inference request: a single sample (no batch dimension — e.g.
+/// `[C, H, W]` for the conv models), plus scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    pub(crate) input: Tensor<f32>,
+    pub(crate) priority: Priority,
+    pub(crate) max_wait: Option<Duration>,
+}
+
+impl InferenceRequest {
+    /// Wraps a single sample (sample shape, no leading batch dim).
+    pub fn new(input: Tensor<f32>) -> Self {
+        Self { input, priority: Priority::default(), max_wait: None }
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Caps how long the aggregator may hold this request while waiting
+    /// for the virtual batch to fill; on expiry the batch dispatches
+    /// partially filled (padded). Defaults to the server-wide
+    /// `max_batch_wait`.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = Some(max_wait);
+        self
+    }
+
+    /// The sample tensor.
+    pub fn input(&self) -> &Tensor<f32> {
+        &self.input
+    }
+
+    /// The scheduling priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+}
+
+/// Outcome of the integrity machinery for one served request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityVerdict {
+    /// The redundant equation held on every offloaded layer of the
+    /// batch this request rode in.
+    Verified,
+    /// The session ran without the redundant equation (integrity
+    /// disabled in the server's `DarknightConfig`).
+    Unchecked,
+    /// At least one layer of the batch failed the redundant equation,
+    /// but the session's recovery extension localized the tampering
+    /// workers and repaired their results in the TEE: the output is
+    /// correct, *and* the fleet is actively tampering — operators
+    /// should treat this as an alarm, not a success.
+    Repaired,
+    /// The batch failed an integrity check and no output is available.
+    Violated,
+}
+
+/// The served result routed back to one caller.
+#[derive(Debug)]
+pub struct Response {
+    /// Which request this answers.
+    pub id: RequestId,
+    /// The per-request output (sample shape, no batch dim), or the
+    /// session error that aborted its batch.
+    pub output: Result<Tensor<f32>, DarknightError>,
+    /// Integrity outcome of the batch this request rode in.
+    pub verdict: IntegrityVerdict,
+    /// Submission → batch-dispatch wait.
+    pub queue_wait: Duration,
+    /// Batch-dispatch → response time (the session's compute).
+    pub service_time: Duration,
+    /// Real rows / `K` of the virtual batch this request rode in.
+    pub batch_fill: f64,
+}
+
+impl Response {
+    /// The output tensor, if the request succeeded.
+    pub fn tensor(&self) -> Option<&Tensor<f32>> {
+        self.output.as_ref().ok()
+    }
+}
+
+/// Why admission control refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded ingress queue is full (overload).
+    QueueFull,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The input contains NaN/Inf values, which would abort the whole
+    /// virtual batch it rides in (quantization is only defined on
+    /// finite values) — rejected at admission so one poisoned request
+    /// cannot fail innocent batch-mates. Retrying without fixing the
+    /// input will not help.
+    NonFiniteInput,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "ingress queue full"),
+            ShedReason::ShuttingDown => write!(f, "server shutting down"),
+            ShedReason::NonFiniteInput => write!(f, "input contains non-finite values"),
+        }
+    }
+}
+
+/// A shed request: the reason plus the request handed back so the
+/// caller can retry or fail over.
+#[derive(Debug)]
+pub struct Shed {
+    /// Why the request was refused.
+    pub reason: ShedReason,
+    /// The refused request, returned to the caller intact.
+    pub request: InferenceRequest,
+}
+
+impl std::fmt::Display for Shed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request shed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Shed {}
+
+/// The caller's side of one accepted request: blocks until the routed
+/// [`Response`] arrives.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: RequestId,
+    pub(crate) rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// The id assigned at admission.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Blocks until the response arrives. Returns `None` only if the
+    /// server died without routing a response (worker panic).
+    pub fn wait(self) -> Option<Response> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ranks_order() {
+        assert!(Priority::High.rank() < Priority::Normal.rank());
+        assert!(Priority::Normal.rank() < Priority::Low.rank());
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn request_builder_chains() {
+        let r = InferenceRequest::new(Tensor::zeros(&[3, 4, 4]))
+            .with_priority(Priority::High)
+            .with_max_wait(Duration::from_millis(5));
+        assert_eq!(r.priority(), Priority::High);
+        assert_eq!(r.max_wait, Some(Duration::from_millis(5)));
+        assert_eq!(r.input().shape(), &[3, 4, 4]);
+    }
+
+    #[test]
+    fn shed_displays_reason() {
+        let shed = Shed {
+            reason: ShedReason::QueueFull,
+            request: InferenceRequest::new(Tensor::zeros(&[1])),
+        };
+        assert!(shed.to_string().contains("queue full"));
+    }
+}

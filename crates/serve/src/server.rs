@@ -1,0 +1,825 @@
+//! The serving runtime: admission → aggregation → session pool →
+//! response routing.
+//!
+//! Thread topology (all std, matching the workspace's no-crossbeam
+//! convention):
+//!
+//! ```text
+//! callers ──try_send──▶ ingress (bounded: admission control)
+//!                          │ recv / recv_timeout(next deadline)
+//!                      aggregator thread  [BatchAggregator]
+//!                          │ send (bounded: dispatch backpressure)
+//!                      dispatch queue
+//!                          │ shared Mutex<Receiver> (work stealing)
+//!            ┌─────────────┼─────────────┐
+//!        worker 0      worker 1  …   worker N-1    (one DarknightSession
+//!            │               │             │    + model clone + forked
+//!            └── per-request mpsc Sender ──┴──▶ Ticket::wait    cluster each)
+//! ```
+//!
+//! Backpressure is a chain: slow sessions fill the dispatch queue, a
+//! full dispatch queue blocks the aggregator, a blocked aggregator
+//! stops absorbing once its own backlog reaches the cap (it never
+//! hoards more than `max(K, queue_capacity)` pending requests), and
+//! the bounded ingress then fills — at which point `submit` sheds
+//! instead of queueing unboundedly (the overload policy). Outstanding
+//! admitted work is therefore bounded end to end.
+
+use crate::aggregator::{Batch, BatchAggregator, Pending};
+use crate::metrics::{MetricsRecorder, ServerMetrics};
+use crate::request::{
+    InferenceRequest, IntegrityVerdict, RequestId, Response, Shed, ShedReason, Ticket,
+};
+use dk_core::{DarknightConfig, DarknightError, DarknightSession};
+use dk_gpu::GpuCluster;
+use dk_linalg::Tensor;
+use dk_nn::Sequential;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Deployment parameters for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-worker session parameters; `session.k()` is the virtual
+    /// batch size requests are aggregated into.
+    pub session: DarknightConfig,
+    /// Shape of one request sample (no batch dimension).
+    pub sample_shape: Vec<usize>,
+    /// Session threads in the pool.
+    pub workers: usize,
+    /// Bounded ingress queue length; when full, `submit` sheds.
+    pub queue_capacity: usize,
+    /// Default cap on how long a request may wait for its batch to
+    /// fill before a padded partial batch dispatches.
+    pub max_batch_wait: Duration,
+    /// Bounded dispatch queue length between aggregator and pool.
+    pub dispatch_depth: usize,
+}
+
+impl ServerConfig {
+    /// A 2-worker pool with a 64-deep ingress queue and a 2 ms
+    /// aggregation deadline.
+    pub fn new(session: DarknightConfig, sample_shape: &[usize]) -> Self {
+        Self {
+            session,
+            sample_shape: sample_shape.to_vec(),
+            workers: 2,
+            queue_capacity: 64,
+            max_batch_wait: Duration::from_millis(2),
+            dispatch_depth: 2,
+        }
+    }
+
+    /// Sets the pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "a server needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the ingress queue bound (admission control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity == 0`.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        assert!(queue_capacity > 0, "ingress queue needs capacity");
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the default aggregation deadline.
+    pub fn with_max_batch_wait(mut self, max_batch_wait: Duration) -> Self {
+        self.max_batch_wait = max_batch_wait;
+        self
+    }
+
+    /// Sets the dispatch queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dispatch_depth == 0`.
+    pub fn with_dispatch_depth(mut self, dispatch_depth: usize) -> Self {
+        assert!(dispatch_depth > 0, "dispatch queue needs capacity");
+        self.dispatch_depth = dispatch_depth;
+        self
+    }
+}
+
+/// What flows through the ingress channel: requests, or the single
+/// stop signal [`Server::shutdown`] injects.
+enum Ingress {
+    Request(Pending),
+    Stop,
+}
+
+/// A caller-side handle: cheap to clone, shareable across client
+/// threads. All clones feed the same server.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    ingress: mpsc::SyncSender<Ingress>,
+    next_id: Arc<AtomicU64>,
+    metrics: Arc<MetricsRecorder>,
+    sample_shape: Vec<usize>,
+    max_batch_wait: Duration,
+}
+
+impl ServerHandle {
+    /// Submits a request. On acceptance returns a [`Ticket`] that
+    /// blocks until the response is routed back; on overload (ingress
+    /// queue full) or after shutdown the request is handed back in a
+    /// [`Shed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's input shape differs from the server's
+    /// configured `sample_shape` (a caller bug, not an overload
+    /// condition).
+    pub fn submit(&self, request: InferenceRequest) -> Result<Ticket, Shed> {
+        assert_eq!(
+            request.input.shape(),
+            &self.sample_shape[..],
+            "request sample shape does not match the server's model input"
+        );
+        // Reject non-finite inputs here, where only the offending
+        // caller pays: admitted into a batch, a single NaN row would
+        // abort quantization for the whole virtual batch and fail its
+        // innocent batch-mates.
+        if !request.input.as_slice().iter().all(|v| v.is_finite()) {
+            self.metrics.record_shed();
+            return Err(Shed { reason: ShedReason::NonFiniteInput, request });
+        }
+        let max_wait = request.max_wait;
+        let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let now = Instant::now();
+        // Clamp to a day so a huge caller-supplied max_wait (e.g.
+        // Duration::MAX as "no deadline") cannot overflow Instant
+        // arithmetic; a day already means "effectively never" here.
+        let wait = max_wait.unwrap_or(self.max_batch_wait).min(Duration::from_secs(86_400));
+        let pending = Pending {
+            id,
+            input: request.input,
+            priority: request.priority,
+            seq: 0, // assigned by the aggregator
+            enqueued: now,
+            deadline: now + wait,
+            reply: reply_tx,
+        };
+        match self.ingress.try_send(Ingress::Request(pending)) {
+            Ok(()) => {
+                self.metrics.record_submitted();
+                Ok(Ticket { id, rx: reply_rx })
+            }
+            Err(e) => {
+                let (reason, msg) = match e {
+                    TrySendError::Full(m) => (ShedReason::QueueFull, m),
+                    TrySendError::Disconnected(m) => (ShedReason::ShuttingDown, m),
+                };
+                let Ingress::Request(p) = msg else { unreachable!("submit only sends requests") };
+                self.metrics.record_shed();
+                Err(Shed {
+                    reason,
+                    request: InferenceRequest { input: p.input, priority: p.priority, max_wait },
+                })
+            }
+        }
+    }
+
+    /// Live metrics snapshot.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.metrics.snapshot()
+    }
+}
+
+/// A running serving deployment (see module docs for the topology).
+///
+/// Dropping a `Server` without calling [`Server::shutdown`] detaches
+/// its threads; they keep serving outstanding [`ServerHandle`] clones
+/// and exit when the last one is dropped.
+#[derive(Debug)]
+pub struct Server {
+    /// The prototype handle all caller handles are cloned from.
+    handle: ServerHandle,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the pool and starts serving.
+    ///
+    /// Every worker gets its own [`DarknightSession`] over a
+    /// [`GpuCluster::fork`] of `cluster` (same fleet behaviours,
+    /// independent execution state) and its own clone of `model`, with
+    /// per-worker session seeds so no two workers share a mask stream.
+    ///
+    /// # Errors
+    ///
+    /// [`DarknightError::InsufficientWorkers`] if `cluster` is smaller
+    /// than the session configuration requires.
+    pub fn start(
+        config: ServerConfig,
+        model: &Sequential,
+        cluster: &GpuCluster,
+    ) -> Result<Self, DarknightError> {
+        let k = config.session.k();
+        // Construct every session before spawning anything, so a bad
+        // configuration fails fast with no threads to clean up.
+        let mut sessions = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let seed = config.session.seed() ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let session_cfg = config.session.with_seed(seed);
+            sessions.push(DarknightSession::new(session_cfg, cluster.fork(seed ^ 0x5EED))?);
+        }
+
+        let metrics = Arc::new(MetricsRecorder::new());
+        let (ingress_tx, ingress_rx) = mpsc::sync_channel::<Ingress>(config.queue_capacity);
+        let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Batch>(config.dispatch_depth);
+        let dispatch_rx = Arc::new(Mutex::new(dispatch_rx));
+        let mut threads = Vec::with_capacity(config.workers + 1);
+
+        {
+            let metrics = metrics.clone();
+            let backlog_cap = config.queue_capacity.max(k);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("dk-serve-aggregator".into())
+                    .spawn(move || {
+                        aggregate_loop(k, backlog_cap, &ingress_rx, &dispatch_tx, &metrics)
+                    })
+                    .expect("spawn aggregator thread"),
+            );
+        }
+        for (w, session) in sessions.into_iter().enumerate() {
+            let rx = dispatch_rx.clone();
+            let metrics = metrics.clone();
+            let model = model.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dk-serve-worker-{w}"))
+                    .spawn(move || worker_loop(session, model, &rx, &metrics))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        Ok(Self {
+            handle: ServerHandle {
+                ingress: ingress_tx,
+                next_id: Arc::new(AtomicU64::new(0)),
+                metrics,
+                sample_shape: config.sample_shape,
+                max_batch_wait: config.max_batch_wait,
+            },
+            threads,
+        })
+    }
+
+    /// A new caller handle.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Live metrics snapshot.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.handle.metrics()
+    }
+
+    /// Stops the server: every request admitted before this call is
+    /// still served (partial batches dispatch padded), the pool is
+    /// joined, and the final metrics are returned.
+    ///
+    /// Outstanding [`ServerHandle`] clones remain valid but their
+    /// `submit` sheds with [`ShedReason::ShuttingDown`] once the stop
+    /// signal is processed; a submission racing the stop signal may
+    /// instead be accepted and dropped, in which case its
+    /// [`Ticket::wait`] returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    pub fn shutdown(self) -> ServerMetrics {
+        let Server { handle, threads } = self;
+        // A blocking send: the stop signal queues behind admitted
+        // requests, which is exactly the drain order we want. The
+        // server's own sender is dropped right after, ahead of the
+        // joins.
+        let _ = handle.ingress.send(Ingress::Stop);
+        let ServerHandle { metrics, .. } = handle;
+        for t in threads {
+            t.join().expect("server thread panicked");
+        }
+        metrics.snapshot()
+    }
+}
+
+/// The aggregator thread: blocks on ingress (bounded by the earliest
+/// pending deadline), drains greedily up to `backlog_cap`, dispatches
+/// full batches on the hot path and padded partial batches on deadline
+/// expiry.
+fn aggregate_loop(
+    k: usize,
+    backlog_cap: usize,
+    ingress: &mpsc::Receiver<Ingress>,
+    dispatch: &mpsc::SyncSender<Batch>,
+    metrics: &MetricsRecorder,
+) {
+    let mut agg = BatchAggregator::new(k);
+    let mut open = true;
+    while open {
+        // Wait for the next event: a new request, or the earliest
+        // deadline among pending requests.
+        match agg.next_deadline() {
+            None => match ingress.recv() {
+                Ok(Ingress::Request(p)) => agg.add(p),
+                Ok(Ingress::Stop) | Err(_) => open = false,
+            },
+            Some(d) => {
+                let now = Instant::now();
+                if d > now {
+                    match ingress.recv_timeout(d - now) {
+                        Ok(Ingress::Request(p)) => agg.add(p),
+                        Ok(Ingress::Stop) | Err(RecvTimeoutError::Disconnected) => open = false,
+                        Err(RecvTimeoutError::Timeout) => {}
+                    }
+                }
+            }
+        }
+        open &= absorb_available(ingress, &mut agg, backlog_cap);
+        // Hot path: dispatch full batches, re-absorbing arrivals after
+        // every (possibly blocking) send so a high-priority request can
+        // still overtake batches that have not boarded yet.
+        while let Some(batch) = agg.take_full(Instant::now()) {
+            if send_batch(dispatch, batch, metrics).is_err() {
+                return;
+            }
+            open &= absorb_available(ingress, &mut agg, backlog_cap);
+        }
+        // Deadline path: the oldest pending request is due — dispatch
+        // partially filled (the worker pads).
+        while let Some(batch) = agg.flush_due(Instant::now()) {
+            if send_batch(dispatch, batch, metrics).is_err() {
+                return;
+            }
+            open &= absorb_available(ingress, &mut agg, backlog_cap);
+        }
+    }
+    // Shutdown drain: every admitted request still gets served.
+    while let Some(batch) = agg.drain() {
+        if send_batch(dispatch, batch, metrics).is_err() {
+            return;
+        }
+    }
+}
+
+/// Non-blocking drain of what is already in the ingress queue, so
+/// bursts form full batches instead of trickling one recv at a time —
+/// but never beyond `backlog_cap` pending requests. The cap is what
+/// makes admission control real: without it, a backpressured
+/// aggregator would keep siphoning the (refilling) bounded ingress
+/// into an unbounded backlog, and `submit` would never shed. Requests
+/// left in the channel simply wait; a full channel sheds at `submit`.
+/// Returns `false` if the stop signal was absorbed.
+fn absorb_available(
+    ingress: &mpsc::Receiver<Ingress>,
+    agg: &mut BatchAggregator,
+    backlog_cap: usize,
+) -> bool {
+    while agg.len() < backlog_cap {
+        match ingress.try_recv() {
+            Ok(Ingress::Request(p)) => agg.add(p),
+            Ok(Ingress::Stop) => return false,
+            Err(_) => break,
+        }
+    }
+    true
+}
+
+fn send_batch(
+    dispatch: &mpsc::SyncSender<Batch>,
+    batch: Batch,
+    metrics: &MetricsRecorder,
+) -> Result<(), ()> {
+    metrics.record_batch(batch.entries.len(), batch.padded_rows());
+    // A send error means every worker died (panic); the entries'
+    // reply senders are dropped with the batch and callers observe the
+    // server as gone.
+    dispatch.send(batch).map_err(|_| ())
+}
+
+/// One pool worker: owns a session + model clone, executes batches
+/// from the shared dispatch queue, and routes per-request responses.
+fn worker_loop(
+    mut session: DarknightSession,
+    mut model: Sequential,
+    dispatch: &Mutex<mpsc::Receiver<Batch>>,
+    metrics: &MetricsRecorder,
+) {
+    let k = session.config().k();
+    let integrity = session.config().integrity();
+    loop {
+        // Holding the lock while blocked on recv is deliberate: idle
+        // workers queue on the mutex instead of the channel, and the
+        // lock is released the moment a batch (or disconnect) arrives.
+        let batch = match dispatch.lock().expect("dispatch lock poisoned").recv() {
+            Ok(b) => b,
+            Err(_) => return, // aggregator gone and queue drained
+        };
+        debug_assert!(!batch.entries.is_empty() && batch.entries.len() <= k);
+        let dispatched_at = Instant::now();
+        // Assemble [K, sample...]: real rows first, all-zero padding
+        // after. Per-sample quantization scales make the padding
+        // numerically invisible to the real rows.
+        let mut shape = vec![k];
+        shape.extend_from_slice(batch.entries[0].input.shape());
+        let mut x = Tensor::<f32>::zeros(&shape);
+        for (i, p) in batch.entries.iter().enumerate() {
+            x.batch_item_mut(i).copy_from_slice(p.input.as_slice());
+        }
+        let recoveries_before = session.stats().recoveries;
+        let result = session.private_inference_per_sample(&mut model, &x);
+        let service_time = dispatched_at.elapsed();
+        let fill = batch.fill();
+        match result {
+            Ok(y) => {
+                let row_shape = y.shape()[1..].to_vec();
+                // A successful decode that needed TEE-side repair is
+                // still evidence of active tampering: surface it as
+                // `Repaired`, never as a clean `Verified`.
+                let repaired = session.stats().recoveries > recoveries_before;
+                let verdict = if repaired {
+                    IntegrityVerdict::Repaired
+                } else if integrity {
+                    IntegrityVerdict::Verified
+                } else {
+                    IntegrityVerdict::Unchecked
+                };
+                // Padded rows y[entries.len()..K] are dropped here —
+                // only real requests receive responses.
+                for (i, p) in batch.entries.into_iter().enumerate() {
+                    let queue_wait = dispatched_at.duration_since(p.enqueued);
+                    metrics.record_response(queue_wait, true, repaired);
+                    let _ = p.reply.send(Response {
+                        id: p.id,
+                        output: Ok(Tensor::from_vec(&row_shape, y.batch_item(i).to_vec())),
+                        verdict,
+                        queue_wait,
+                        service_time,
+                        batch_fill: fill,
+                    });
+                }
+            }
+            Err(e) => {
+                let verdict = match &e {
+                    DarknightError::IntegrityViolation { .. } => IntegrityVerdict::Violated,
+                    _ => IntegrityVerdict::Unchecked,
+                };
+                for p in batch.entries {
+                    let queue_wait = dispatched_at.duration_since(p.enqueued);
+                    metrics.record_response(queue_wait, false, false);
+                    let _ = p.reply.send(Response {
+                        id: p.id,
+                        output: Err(e.clone()),
+                        verdict,
+                        queue_wait,
+                        service_time,
+                        batch_fill: fill,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+    use dk_core::QuantizedReference;
+    use dk_field::QuantConfig;
+    use dk_gpu::Behavior;
+    use dk_nn::arch::mini_vgg;
+
+    const HW: usize = 8;
+
+    fn sample(seed: u64) -> Tensor<f32> {
+        Tensor::from_fn(&[3, HW, HW], |i| {
+            (((i as u64).wrapping_mul(seed * 2 + 1) % 23) as f32 - 11.0) * 0.04
+        })
+    }
+
+    fn server(workers: usize, wait: Duration) -> (Server, Sequential, DarknightConfig) {
+        let model = mini_vgg(HW, 4, 77);
+        let cfg = DarknightConfig::new(4, 1).with_integrity(true);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 7);
+        let server = Server::start(
+            ServerConfig::new(cfg, &[3, HW, HW]).with_workers(workers).with_max_batch_wait(wait),
+            &model,
+            &cluster,
+        )
+        .unwrap();
+        (server, model, cfg)
+    }
+
+    fn solo_reference(model: &Sequential, x: &Tensor<f32>, quant: QuantConfig) -> Tensor<f32> {
+        QuantizedReference::forward_solo(model, x, quant).unwrap()
+    }
+
+    #[test]
+    fn full_batches_serve_exactly() {
+        let (server, model, cfg) = server(2, Duration::from_millis(50));
+        let handle = server.handle();
+        let tickets: Vec<(Tensor<f32>, Ticket)> = (0..8)
+            .map(|i| {
+                let x = sample(i);
+                let t = handle.submit(InferenceRequest::new(x.clone())).unwrap();
+                (x, t)
+            })
+            .collect();
+        for (x, t) in tickets {
+            let resp = t.wait().expect("server alive");
+            assert_eq!(resp.verdict, IntegrityVerdict::Verified);
+            let y = resp.output.expect("served");
+            assert_eq!(y.as_slice(), solo_reference(&model, &x, cfg.quant()).as_slice());
+        }
+        let m = server.shutdown();
+        assert_eq!(m.served, 8);
+        assert_eq!(m.failed, 0);
+        assert_eq!(m.shed, 0);
+        assert_eq!(m.real_rows, 8);
+    }
+
+    /// The padding satellite: a partial batch is padded with zero rows,
+    /// the padded rows are dropped before routing, and the real
+    /// response is still bit-exact.
+    #[test]
+    fn partial_batch_pads_and_drops_padding() {
+        let (server, model, cfg) = server(1, Duration::from_millis(1));
+        let handle = server.handle();
+        let x = sample(3);
+        let ticket = handle.submit(InferenceRequest::new(x.clone())).unwrap();
+        let resp = ticket.wait().expect("server alive");
+        assert!((resp.batch_fill - 0.25).abs() < 1e-12, "1 of K=4 rows is real");
+        let y = resp.output.expect("served");
+        assert_eq!(y.as_slice(), solo_reference(&model, &x, cfg.quant()).as_slice());
+        let m = server.shutdown();
+        assert_eq!(m.served, 1, "exactly one response for one request");
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.real_rows, 1);
+        assert_eq!(m.padded_rows, 3, "K-1 rows were padding");
+        assert!((m.batch_fill_ratio - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_request_is_served() {
+        // A legitimate all-zero input must be indistinguishable from
+        // padding handling-wise: it still gets its own response.
+        let (server, model, cfg) = server(1, Duration::from_millis(1));
+        let handle = server.handle();
+        let x = Tensor::<f32>::zeros(&[3, HW, HW]);
+        let resp = handle.submit(InferenceRequest::new(x.clone())).unwrap().wait().expect("alive");
+        let y = resp.output.expect("served");
+        assert_eq!(y.as_slice(), solo_reference(&model, &x, cfg.quant()).as_slice());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let (server, _model, _cfg) = server(2, Duration::from_secs(10));
+        let handle = server.handle();
+        // With a 10 s deadline and only 3 of K=4 requests, dispatch can
+        // only come from the shutdown drain.
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| handle.submit(InferenceRequest::new(sample(i))).unwrap())
+            .collect();
+        let m = server.shutdown();
+        assert_eq!(m.served, 3);
+        for t in tickets {
+            assert!(t.try_wait().is_some(), "drained response must be waiting");
+        }
+    }
+
+    /// Regression: a backpressured aggregator must not siphon the
+    /// (refilling) bounded ingress into an unbounded backlog — it
+    /// absorbs only up to the cap and leaves the rest in the channel,
+    /// which is what lets `submit` shed under sustained overload.
+    #[test]
+    fn absorb_respects_the_backlog_cap() {
+        let (tx, rx) = mpsc::sync_channel::<Ingress>(16);
+        let mut agg = BatchAggregator::new(4);
+        for i in 0..10u64 {
+            let (reply, _rx) = mpsc::channel();
+            let now = Instant::now();
+            tx.try_send(Ingress::Request(Pending {
+                id: RequestId(i),
+                input: Tensor::zeros(&[2]),
+                priority: Priority::Normal,
+                seq: 0,
+                enqueued: now,
+                deadline: now + Duration::from_secs(1),
+                reply,
+            }))
+            .unwrap();
+        }
+        assert!(absorb_available(&rx, &mut agg, 6), "no stop signal yet");
+        assert_eq!(agg.len(), 6, "absorption stops at the cap");
+        // The rest is still queued in the channel, not hoarded.
+        assert_eq!(rx.try_iter().count(), 4);
+        // A stop signal is reported once the backlog has room again.
+        tx.try_send(Ingress::Stop).unwrap();
+        assert!(!absorb_available(&rx, &mut agg, 12));
+    }
+
+    /// Regression: a poisoned (non-finite) input must be refused at
+    /// admission — admitted, it would abort quantization for the whole
+    /// virtual batch and fail its innocent batch-mates.
+    #[test]
+    fn non_finite_input_is_refused_and_cannot_poison_batch_mates() {
+        let (server, model, cfg) = server(1, Duration::from_millis(5));
+        let handle = server.handle();
+        let mut poison = sample(0);
+        poison.as_mut_slice()[7] = f32::NAN;
+        let shed = handle.submit(InferenceRequest::new(poison)).unwrap_err();
+        assert_eq!(shed.reason, ShedReason::NonFiniteInput);
+        // An innocent request submitted around it is served normally.
+        let x = sample(1);
+        let resp = handle.submit(InferenceRequest::new(x.clone())).unwrap().wait().expect("alive");
+        let y = resp.output.expect("innocent request must not fail");
+        assert_eq!(y.as_slice(), solo_reference(&model, &x, cfg.quant()).as_slice());
+        let m = server.shutdown();
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.served, 1);
+        assert_eq!(m.failed, 0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_sheds() {
+        let (server, _model, _cfg) = server(1, Duration::from_millis(1));
+        let handle = server.handle();
+        server.shutdown();
+        let shed = handle.submit(InferenceRequest::new(sample(1))).unwrap_err();
+        assert_eq!(shed.reason, ShedReason::ShuttingDown);
+        assert_eq!(shed.request.input().shape(), &[3, HW, HW], "request handed back intact");
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_queueing() {
+        let model = mini_vgg(HW, 4, 78);
+        let cfg = DarknightConfig::new(2, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 8);
+        let server = Server::start(
+            ServerConfig::new(cfg, &[3, HW, HW])
+                .with_workers(1)
+                .with_queue_capacity(2)
+                .with_dispatch_depth(1)
+                .with_max_batch_wait(Duration::from_secs(10)),
+            &model,
+            &cluster,
+        )
+        .unwrap();
+        let handle = server.handle();
+        let mut shed = 0;
+        let mut tickets = Vec::new();
+        // Far more submissions than the 2-deep ingress can absorb while
+        // the single worker grinds: some must shed.
+        for i in 0..64 {
+            match handle.submit(InferenceRequest::new(sample(i))) {
+                Ok(t) => tickets.push(t),
+                Err(s) => {
+                    assert_eq!(s.reason, ShedReason::QueueFull);
+                    shed += 1;
+                }
+            }
+        }
+        assert!(shed > 0, "bounded ingress must shed under overload");
+        let m = server.shutdown();
+        assert_eq!(m.shed, shed);
+        assert_eq!(m.served as usize, tickets.len(), "admitted requests all served");
+        for t in tickets {
+            assert!(t.try_wait().is_some());
+        }
+    }
+
+    #[test]
+    fn priority_rides_earlier_batches() {
+        // One slow worker, K=2, 1-deep dispatch: flood Low requests,
+        // then one High; the High request must overtake the tail.
+        let model = mini_vgg(HW, 4, 79);
+        let cfg = DarknightConfig::new(2, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 9);
+        let server = Server::start(
+            ServerConfig::new(cfg, &[3, HW, HW])
+                .with_workers(1)
+                .with_queue_capacity(32)
+                .with_dispatch_depth(1)
+                .with_max_batch_wait(Duration::from_millis(1)),
+            &model,
+            &cluster,
+        )
+        .unwrap();
+        let handle = server.handle();
+        let lows: Vec<Ticket> = (0..12)
+            .map(|i| {
+                handle
+                    .submit(InferenceRequest::new(sample(i)).with_priority(Priority::Low))
+                    .unwrap()
+            })
+            .collect();
+        let high = handle
+            .submit(InferenceRequest::new(sample(99)).with_priority(Priority::High))
+            .unwrap();
+        let high_id = high.id();
+        let m = server.shutdown();
+        assert_eq!(m.served, 13);
+        let high_wait = high.wait().unwrap().queue_wait;
+        let last_low_wait =
+            lows.into_iter().map(|t| t.wait().unwrap().queue_wait).max().unwrap();
+        assert!(
+            high_wait <= last_low_wait,
+            "high-priority {high_id} waited {high_wait:?}, longer than the slowest low \
+             ({last_low_wait:?})"
+        );
+    }
+
+    #[test]
+    fn integrity_violation_routes_error_verdicts() {
+        let model = mini_vgg(HW, 4, 80);
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[1] = Behavior::SingleElement;
+        let cluster = GpuCluster::with_behaviors(&behaviors, 10);
+        let server = Server::start(
+            ServerConfig::new(cfg, &[3, HW, HW])
+                .with_workers(1)
+                .with_max_batch_wait(Duration::from_millis(1)),
+            &model,
+            &cluster,
+        )
+        .unwrap();
+        let handle = server.handle();
+        let resp =
+            handle.submit(InferenceRequest::new(sample(5))).unwrap().wait().expect("alive");
+        assert_eq!(resp.verdict, IntegrityVerdict::Violated);
+        assert!(matches!(
+            resp.output,
+            Err(DarknightError::IntegrityViolation { phase: "forward", .. })
+        ));
+        let m = server.shutdown();
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.served, 0);
+    }
+
+    #[test]
+    fn recovery_mode_serves_through_tampering() {
+        let model = mini_vgg(HW, 4, 81);
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true).with_recovery(true);
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[0] = Behavior::AdditiveNoise;
+        let cluster = GpuCluster::with_behaviors(&behaviors, 11);
+        let server = Server::start(
+            ServerConfig::new(cfg, &[3, HW, HW])
+                .with_workers(1)
+                .with_max_batch_wait(Duration::from_millis(1)),
+            &model,
+            &cluster,
+        )
+        .unwrap();
+        let handle = server.handle();
+        let x = sample(6);
+        let resp = handle.submit(InferenceRequest::new(x.clone())).unwrap().wait().expect("alive");
+        assert_eq!(
+            resp.verdict,
+            IntegrityVerdict::Repaired,
+            "a repaired batch must not masquerade as cleanly Verified"
+        );
+        let y = resp.output.expect("repaired and served");
+        assert_eq!(y.as_slice(), solo_reference(&model, &x, cfg.quant()).as_slice());
+        let m = server.shutdown();
+        assert_eq!(m.repaired, 1);
+        assert_eq!(m.served, 1);
+    }
+
+    #[test]
+    fn insufficient_cluster_fails_fast() {
+        let model = mini_vgg(HW, 4, 82);
+        let cfg = DarknightConfig::new(4, 2).with_integrity(true); // needs 7
+        let cluster = GpuCluster::honest(5, 12);
+        assert!(matches!(
+            Server::start(ServerConfig::new(cfg, &[3, HW, HW]), &model, &cluster),
+            Err(DarknightError::InsufficientWorkers { required: 7, available: 5 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample shape")]
+    fn wrong_sample_shape_panics() {
+        let (server, _model, _cfg) = server(1, Duration::from_millis(1));
+        let handle = server.handle();
+        let _ = handle.submit(InferenceRequest::new(Tensor::zeros(&[3, HW + 2, HW])));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property test: serving never changes an answer.
+//!
+//! Every response routed through `dk_serve` — whatever virtual batch
+//! the request rode in, however full that batch was, whatever priority
+//! or deadline it carried — must be **bit-for-bit** equal to running
+//! `dk_core::QuantizedReference` on that request alone. This is the
+//! per-sample-quantization guarantee of
+//! `DarknightSession::private_inference_per_sample`, exercised here
+//! end-to-end across random request counts, virtual batch sizes, pool
+//! sizes, priorities, deadlines and input magnitudes (so batches mix
+//! rows of very different scales, the case a shared quantization scale
+//! would get wrong).
+
+use dk_core::{DarknightConfig, QuantizedReference};
+use dk_field::QuantConfig;
+use dk_gpu::GpuCluster;
+use dk_linalg::Tensor;
+use dk_nn::arch::mini_vgg;
+use dk_nn::Sequential;
+use dk_serve::{InferenceRequest, Priority, Server, ServerConfig, Ticket};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const HW: usize = 8;
+const CLASSES: usize = 4;
+
+/// Deterministic pseudo-random sample; `magnitude` decouples row scales.
+fn sample(case_seed: u64, i: u64) -> Tensor<f32> {
+    let magnitude = 0.02 * (1 + (case_seed ^ i) % 40) as f32;
+    Tensor::from_fn(&[3, HW, HW], |j| {
+        let h = (j as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case_seed.wrapping_mul(31).wrapping_add(i));
+        ((h % 29) as f32 - 14.0) * magnitude
+    })
+}
+
+fn priority_for(i: u64) -> Priority {
+    match i % 3 {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    }
+}
+
+fn solo_reference(model: &Sequential, x: &Tensor<f32>, quant: QuantConfig) -> Vec<f32> {
+    QuantizedReference::forward_solo(model, x, quant).unwrap().into_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn served_responses_match_solo_reference(
+        k in 2usize..5,
+        workers in 1usize..4,
+        n_requests in 1usize..20,
+        wait_ms in 1u64..4,
+        case_seed in 0u64..1_000_000,
+    ) {
+        let model = mini_vgg(HW, CLASSES, case_seed ^ 0xAB);
+        let cfg = DarknightConfig::new(k, 1).with_integrity(true).with_seed(case_seed);
+        let cluster = GpuCluster::honest(cfg.workers_required(), case_seed ^ 0xCD);
+        let server = Server::start(
+            ServerConfig::new(cfg, &[3, HW, HW])
+                .with_workers(workers)
+                .with_max_batch_wait(Duration::from_millis(wait_ms)),
+            &model,
+            &cluster,
+        )
+        .unwrap();
+        let handle = server.handle();
+        let tickets: Vec<(Tensor<f32>, Ticket)> = (0..n_requests as u64)
+            .map(|i| {
+                let x = sample(case_seed, i);
+                let req = InferenceRequest::new(x.clone()).with_priority(priority_for(i));
+                (x, handle.submit(req).unwrap())
+            })
+            .collect();
+        for (x, ticket) in tickets {
+            let resp = ticket.wait().expect("server alive");
+            prop_assert!(
+                resp.batch_fill > 0.0 && resp.batch_fill <= 1.0,
+                "fill out of range: {}",
+                resp.batch_fill
+            );
+            let y = resp.output.expect("honest cluster must serve");
+            prop_assert_eq!(y.as_slice(), &solo_reference(&model, &x, cfg.quant())[..]);
+        }
+        let metrics = server.shutdown();
+        prop_assert_eq!(metrics.served, n_requests as u64);
+        // Honest cluster: zero integrity false positives.
+        prop_assert_eq!(metrics.failed, 0);
+        prop_assert_eq!(metrics.real_rows, n_requests as u64);
+        // Row conservation: every dispatched row is a real request or
+        // accounted padding.
+        prop_assert_eq!(
+            metrics.real_rows + metrics.padded_rows,
+            metrics.batches * k as u64
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Concurrent private-inference serving with `dk_serve`.
+//!
+//! 96 requests from 8 concurrent client threads flow through a
+//! 3-worker session pool as K=4 virtual batches (full batches on the
+//! hot path, deadline-padded partials otherwise). Every client
+//! verifies every response **bit-for-bit** against
+//! `QuantizedReference` run on that request alone — aggregation,
+//! batch-mates, and padding must not perturb anyone's answer — and the
+//! redundant integrity equation runs on every offloaded layer with
+//! zero false positives.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use darknight::core::{DarknightConfig, DarknightSession, QuantizedReference};
+use darknight::field::QuantConfig;
+use darknight::gpu::GpuCluster;
+use darknight::linalg::Tensor;
+use darknight::nn::arch::mini_vgg;
+use darknight::nn::Sequential;
+use darknight::perf::report::serving_table;
+use darknight::perf::ServingRow;
+use darknight::serve::{InferenceRequest, Priority, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+const HW: usize = 8;
+const CLASSES: usize = 4;
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 12;
+const K: usize = 4;
+
+/// Deterministic per-request input; the magnitude factor varies wildly
+/// between requests so virtual batches mix rows of very different
+/// scales (the case per-sample quantization exists for).
+fn sample(client: u64, i: u64) -> Tensor<f32> {
+    let magnitude = 0.01 * (1 + (client * 7 + i * 13) % 60) as f32;
+    Tensor::from_fn(&[3, HW, HW], |j| {
+        let h = (j as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(client * 977 + i * 31);
+        ((h % 29) as f32 - 14.0) * magnitude
+    })
+}
+
+/// The exactness oracle: this request alone, quantization-matched.
+fn solo_reference(model: &Sequential, x: &Tensor<f32>, quant: QuantConfig) -> Tensor<f32> {
+    QuantizedReference::forward_solo(model, x, quant).expect("reference forward")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = mini_vgg(HW, CLASSES, 2024);
+    let cfg = DarknightConfig::new(K, 1).with_integrity(true);
+    let cluster = GpuCluster::honest(cfg.workers_required(), 9);
+    let server = Server::start(
+        ServerConfig::new(cfg, &[3, HW, HW])
+            .with_workers(3)
+            .with_queue_capacity(128)
+            .with_max_batch_wait(Duration::from_millis(2)),
+        &model,
+        &cluster,
+    )?;
+
+    println!("dk_serve: {CLIENTS} clients x {PER_CLIENT} requests -> 3-worker pool, K={K}");
+    println!("--------------------------------------------------------------------");
+
+    // Concurrent clients submit with mixed priorities and collect
+    // their responses; verification happens after shutdown so the
+    // serving window measures only the server.
+    let answered: Vec<(Tensor<f32>, Tensor<f32>)> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..CLIENTS as u64)
+            .map(|c| {
+                let handle = server.handle();
+                scope.spawn(move || {
+                    let tickets: Vec<_> = (0..PER_CLIENT as u64)
+                        .map(|i| {
+                            let x = sample(c, i);
+                            let priority = match (c + i) % 3 {
+                                0 => Priority::High,
+                                1 => Priority::Normal,
+                                _ => Priority::Low,
+                            };
+                            let req = InferenceRequest::new(x.clone()).with_priority(priority);
+                            (x, handle.submit(req).expect("admitted"))
+                        })
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|(x, ticket)| {
+                            let resp = ticket.wait().expect("server alive");
+                            let y = resp
+                                .output
+                                .expect("honest cluster: integrity must not fire (false positive)");
+                            (x, y)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        clients
+            .into_iter()
+            .flat_map(|c| c.join().expect("client thread"))
+            .collect()
+    });
+
+    let metrics = server.shutdown();
+    // Bit-for-bit verification of every response against the request
+    // run *alone* through the quantization-matched reference.
+    let mut verified = 0usize;
+    for (x, y) in &answered {
+        assert_eq!(
+            y.as_slice(),
+            solo_reference(&model, x, cfg.quant()).as_slice(),
+            "served response must be bit-identical to the solo reference"
+        );
+        verified += 1;
+    }
+    assert_eq!(verified, CLIENTS * PER_CLIENT, "every request verified");
+    assert_eq!(metrics.failed, 0, "zero integrity false positives");
+    assert_eq!(metrics.served as usize, CLIENTS * PER_CLIENT);
+
+    // Baseline: the same traffic pushed through one synchronous
+    // session as pre-formed full batches (no aggregation, no pool).
+    let mut direct = DarknightSession::new(cfg, cluster.fork(77))?;
+    let mut direct_model = model.clone();
+    let total = CLIENTS * PER_CLIENT;
+    let t0 = Instant::now();
+    for b in 0..(total / K) as u64 {
+        let mut x = Tensor::<f32>::zeros(&[K, 3, HW, HW]);
+        for r in 0..K as u64 {
+            let i = b * K as u64 + r;
+            x.batch_item_mut(r as usize)
+                .copy_from_slice(sample(i / PER_CLIENT as u64, i % PER_CLIENT as u64).as_slice());
+        }
+        direct.private_inference_per_sample(&mut direct_model, &x)?;
+    }
+    let direct_wall = t0.elapsed();
+    let direct_row = ServingRow {
+        label: "direct 1-session".into(),
+        throughput_rps: total as f64 / direct_wall.as_secs_f64(),
+        p50_queue_ms: 0.0,
+        p95_queue_ms: 0.0,
+        batch_fill: 1.0,
+        served: total as u64,
+        shed: 0,
+    };
+
+    println!("{}", serving_table(&[metrics.row("pool=3 K=4"), direct_row]));
+    println!(
+        "verified {verified}/{total} responses bit-for-bit against QuantizedReference \
+         (integrity checks: all passed, {} shed)",
+        metrics.shed
+    );
+    println!(
+        "batches: {} dispatched, fill ratio {:.1}% ({} real rows, {} padded)",
+        metrics.batches,
+        metrics.batch_fill_ratio * 100.0,
+        metrics.real_rows,
+        metrics.padded_rows
+    );
+    Ok(())
+}
