@@ -47,7 +47,7 @@ fn bench_matrix_ops(c: &mut Criterion) {
     let mut rng = FieldRng::seed_from(2);
     let mut g = c.benchmark_group("field_matrix");
     for n in [3usize, 5, 9] {
-        let m = FieldMatrix::<P25>::random_invertible(n, &mut rng);
+        let (m, _) = FieldMatrix::<P25>::random_invertible(n, &mut rng);
         g.bench_function(format!("inverse_{n}x{n}"), |b| b.iter(|| black_box(m.inverse())));
     }
     g.finish();

@@ -1,0 +1,279 @@
+//! Kernel/encoding/offload micro-benchmarks with machine-readable output.
+//!
+//! Measures the delayed-reduction fast kernels against the preserved
+//! per-MAC-reducing scalar baselines (`dk_linalg::reference`) on the
+//! shapes the offload path actually runs, and writes the before/after
+//! ops-per-second record to `BENCH_kernels.json` so the performance
+//! trajectory is tracked across PRs. CI runs it in `--fast` mode as a
+//! smoke test and uploads the JSON as an artifact.
+//!
+//! Usage: `cargo run --release -p dk_bench --bin dk_bench -- [--fast] [--out PATH]`
+
+use dk_core::scheme::EncodingScheme;
+use dk_field::{F25, FieldRng, P25};
+use dk_linalg::conv::conv2d_forward;
+use dk_linalg::im2col::im2col;
+use dk_linalg::reference::{naive_matmul, naive_matmul_a_bt, naive_matmul_at_b};
+use dk_linalg::{matmul, matmul_a_bt, matmul_at_b, Conv2dShape, Tensor};
+use std::time::Instant;
+
+/// Median ns/iteration: calibrate the batch to roughly `target_ms`, then
+/// take five samples.
+fn time_ns(target_ms: u64, mut f: impl FnMut()) -> f64 {
+    let target = std::time::Duration::from_millis(target_ms);
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let t = start.elapsed();
+        if t >= target || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct Entry {
+    name: String,
+    macs: u64,
+    baseline_ns: f64,
+    fast_ns: f64,
+}
+
+impl Entry {
+    fn mops(&self, ns: f64) -> f64 {
+        self.macs as f64 / ns * 1e3 // MACs/ns → M ops/s
+    }
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"macs\": {}, \"scalar_ns_per_op\": {:.1}, \"fast_ns_per_op\": {:.1}, \"scalar_mops\": {:.1}, \"fast_mops\": {:.1}, \"speedup\": {:.2}}}",
+            self.name,
+            self.macs,
+            self.baseline_ns,
+            self.fast_ns,
+            self.mops(self.baseline_ns),
+            self.mops(self.fast_ns),
+            self.baseline_ns / self.fast_ns
+        )
+    }
+}
+
+fn field_vec(rng: &mut FieldRng, len: usize) -> Vec<F25> {
+    rng.uniform_vec::<P25>(len)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let target_ms: u64 = if fast { 5 } else { 25 };
+    let mut rng = FieldRng::seed_from(0xBE4C);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // --- kernels: the three matmul orientations -------------------------
+    let (m, k, n) = (64usize, 128, 64);
+    let macs = (m * k * n) as u64;
+    let a = field_vec(&mut rng, m * k);
+    let b = field_vec(&mut rng, k * n);
+    entries.push(Entry {
+        name: format!("matmul_{m}x{k}x{n}/field"),
+        macs,
+        baseline_ns: time_ns(target_ms, || {
+            std::hint::black_box(naive_matmul(&a, &b, m, k, n));
+        }),
+        fast_ns: time_ns(target_ms, || {
+            std::hint::black_box(matmul(&a, &b, m, k, n));
+        }),
+    });
+    // The pre-optimization arithmetic in full: per-MAC `u128 %` division
+    // (the baselines above already use the new Barrett scalar multiply,
+    // so this entry records the complete before/after journey).
+    let divmod_matmul = || {
+        let mut c = vec![0u64; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p].value();
+                for j in 0..n {
+                    let wide = aip as u128 * b[p * n + j].value() as u128 + c[i * n + j] as u128;
+                    c[i * n + j] = (wide % P25 as u128) as u64;
+                }
+            }
+        }
+        std::hint::black_box(c);
+    };
+    entries.push(Entry {
+        name: format!("matmul_{m}x{k}x{n}/field_vs_divmod"),
+        macs,
+        baseline_ns: time_ns(target_ms, divmod_matmul),
+        fast_ns: time_ns(target_ms, || {
+            std::hint::black_box(matmul(&a, &b, m, k, n));
+        }),
+    });
+    let af: Vec<f32> = (0..m * k).map(|i| (i % 9) as f32 * 0.1).collect();
+    let bf: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.1).collect();
+    entries.push(Entry {
+        name: format!("matmul_{m}x{k}x{n}/f32"),
+        macs,
+        baseline_ns: time_ns(target_ms, || {
+            std::hint::black_box(naive_matmul(&af, &bf, m, k, n));
+        }),
+        fast_ns: time_ns(target_ms, || {
+            std::hint::black_box(matmul(&af, &bf, m, k, n));
+        }),
+    });
+    let at = field_vec(&mut rng, k * m);
+    entries.push(Entry {
+        name: format!("matmul_at_b_{m}x{k}x{n}/field"),
+        macs,
+        baseline_ns: time_ns(target_ms, || {
+            std::hint::black_box(naive_matmul_at_b(&at, &b, m, k, n));
+        }),
+        fast_ns: time_ns(target_ms, || {
+            std::hint::black_box(matmul_at_b(&at, &b, m, k, n));
+        }),
+    });
+    let bt = field_vec(&mut rng, n * k);
+    entries.push(Entry {
+        name: format!("matmul_a_bt_{m}x{k}x{n}/field"),
+        macs,
+        baseline_ns: time_ns(target_ms, || {
+            std::hint::black_box(naive_matmul_a_bt(&a, &bt, m, k, n));
+        }),
+        fast_ns: time_ns(target_ms, || {
+            std::hint::black_box(matmul_a_bt(&a, &bt, m, k, n));
+        }),
+    });
+
+    // --- conv2d forward (the GPU worker's hot job) ----------------------
+    let shape = Conv2dShape::simple(16, 32, 3, 1, 1);
+    let hw = if fast { 8usize } else { 16 };
+    let conv_macs = shape.forward_macs(1, (hw, hw));
+    let xq = Tensor::<F25>::from_fn(&[1, 16, hw, hw], |i| F25::new(i as u64 * 31 % P25));
+    let wq = Tensor::<F25>::from_fn(&shape.weight_shape(), |i| F25::new(i as u64 * 17 % P25));
+    // Baseline: the identical im2col lowering feeding the naive kernel.
+    let naive_conv = || {
+        let (oh, ow) = shape.out_hw((hw, hw));
+        let krows = shape.cg_in() * 9;
+        let cols = im2col(xq.batch_item(0), 16, (hw, hw), (3, 3), (1, 1), (1, 1));
+        std::hint::black_box(naive_matmul(wq.as_slice(), &cols, 32, krows, oh * ow));
+    };
+    entries.push(Entry {
+        name: format!("conv2d_forward_16c32c3x3_{hw}x{hw}/field"),
+        macs: conv_macs,
+        baseline_ns: time_ns(target_ms, naive_conv),
+        fast_ns: time_ns(target_ms, || {
+            std::hint::black_box(conv2d_forward(&xq, &wq, &shape));
+        }),
+    });
+
+    // --- encoding: Algorithm-1 masking as coefficient-matrix matmuls ----
+    let (ek, em) = (4usize, 2);
+    let en = if fast { 4096usize } else { 16384 };
+    let scheme = EncodingScheme::generate(ek, em, true, &mut rng);
+    let s_cols = scheme.num_encodings();
+    let inputs: Vec<Vec<F25>> = (0..ek).map(|_| field_vec(&mut rng, en)).collect();
+    let noise: Vec<Vec<F25>> = (0..em).map(|_| field_vec(&mut rng, en)).collect();
+    // Baseline: the old per-MAC-reducing loop ≡ naive Aᵀ·X of the same shape.
+    let enc_a = field_vec(&mut rng, (ek + em) * s_cols);
+    let enc_x: Vec<F25> = inputs.iter().chain(&noise).flatten().copied().collect();
+    entries.push(Entry {
+        name: format!("encode_k{ek}_m{em}_n{en}/field"),
+        macs: (s_cols * (ek + em) * en) as u64,
+        baseline_ns: time_ns(target_ms, || {
+            std::hint::black_box(naive_matmul_at_b(&enc_a, &enc_x, s_cols, ek + em, en));
+        }),
+        fast_ns: time_ns(target_ms, || {
+            std::hint::black_box(scheme.encode(&inputs, &noise));
+        }),
+    });
+    let encodings = scheme.encode(&inputs, &noise);
+    let s_sq = ek + em;
+    // Baseline: naive decode matmul + naive integrity-prediction matvec.
+    let dec_inv = field_vec(&mut rng, s_sq * s_sq);
+    let dec_y: Vec<F25> = encodings.iter().take(s_sq).flatten().copied().collect();
+    let dec_col = field_vec(&mut rng, s_sq);
+    entries.push(Entry {
+        name: format!("decode_forward_k{ek}_m{em}_n{en}/field"),
+        macs: ((s_sq * s_sq + s_sq) * en) as u64,
+        baseline_ns: time_ns(target_ms, || {
+            let y = naive_matmul_at_b(&dec_inv, &dec_y, s_sq, s_sq, en);
+            std::hint::black_box(naive_matmul(&dec_col, &y, 1, s_sq, en));
+        }),
+        fast_ns: time_ns(target_ms, || {
+            std::hint::black_box(scheme.decode_forward(&encodings, 0).unwrap());
+        }),
+    });
+
+    // --- offload: a dense-layer forward job (dk_serve's hot path) -------
+    let (dn, din, dout) = (1usize, 784, 256);
+    let w = field_vec(&mut rng, dout * din);
+    let x = field_vec(&mut rng, dn * din);
+    entries.push(Entry {
+        name: format!("dense_forward_{din}to{dout}/field"),
+        macs: (dn * din * dout) as u64,
+        baseline_ns: time_ns(target_ms, || {
+            std::hint::black_box(naive_matmul_a_bt(&x, &w, dn, din, dout));
+        }),
+        fast_ns: time_ns(target_ms, || {
+            std::hint::black_box(matmul_a_bt(&x, &w, dn, din, dout));
+        }),
+    });
+
+    // --- report ---------------------------------------------------------
+    println!("DarKnight kernel micro-benches ({} mode, DK threads = {})", if fast { "fast" } else { "full" }, dk_linalg::max_threads());
+    println!("{:<44} {:>12} {:>12} {:>8}", "bench", "scalar Mops", "fast Mops", "speedup");
+    for e in &entries {
+        println!(
+            "{:<44} {:>12.1} {:>12.1} {:>7.2}x",
+            e.name,
+            e.mops(e.baseline_ns),
+            e.mops(e.fast_ns),
+            e.baseline_ns / e.fast_ns
+        );
+    }
+
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"unix_time\": {},\n  \"dk_threads\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        if fast { "fast" } else { "full" },
+        ts,
+        dk_linalg::max_threads(),
+        entries.iter().map(Entry::to_json).collect::<Vec<_>>().join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("\nwrote {out_path}");
+
+    // Smoke check: the fast kernels must actually beat the scalar path on
+    // the field shapes (CI fails loudly if the optimization regresses).
+    let field_regressions: Vec<&Entry> = entries
+        .iter()
+        .filter(|e| e.name.ends_with("/field") && e.fast_ns > e.baseline_ns)
+        .collect();
+    if !field_regressions.is_empty() {
+        for e in field_regressions {
+            eprintln!("REGRESSION: {} fast path slower than scalar baseline", e.name);
+        }
+        std::process::exit(1);
+    }
+}

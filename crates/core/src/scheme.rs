@@ -21,6 +21,43 @@
 use crate::error::DarknightError;
 use dk_field::vandermonde::mds_matrix;
 use dk_field::{F25, FieldMatrix, FieldRng, P25};
+use dk_linalg::matmul;
+
+/// Stacks equal-length row vectors into one contiguous row-major matrix
+/// so the blocked matmul kernels can chew through them.
+fn stack_rows<'a>(rows: impl Iterator<Item = &'a [F25]>, count: usize, n: usize) -> Vec<F25> {
+    let mut flat = Vec::with_capacity(count * n);
+    for r in rows {
+        assert_eq!(r.len(), n, "all vectors must have equal length");
+        flat.extend_from_slice(r);
+    }
+    flat
+}
+
+/// `C = coeff[0..rows] · X` returned as row vectors.
+///
+/// On a multi-core host with enough work, one flat matmul lets the
+/// kernel fan rows out across threads (then splits the result, one copy
+/// per row); otherwise each row is computed serially straight into its
+/// own output vector, skipping the split copy entirely. Field
+/// arithmetic is exact, so both paths are bit-identical.
+fn coeff_rows_matmul(
+    coeff: &FieldMatrix<P25>,
+    rows: usize,
+    kdim: usize,
+    x: &[F25],
+    n: usize,
+) -> Vec<Vec<F25>> {
+    if n == 0 {
+        return vec![Vec::new(); rows];
+    }
+    if dk_linalg::threads::would_parallelize(rows, rows * kdim * n) {
+        let flat = matmul(&coeff.as_slice()[..rows * kdim], x, rows, kdim, n);
+        flat.chunks(n).map(<[F25]>::to_vec).collect()
+    } else {
+        (0..rows).map(|j| matmul(coeff.row(j), x, 1, kdim, n)).collect()
+    }
+}
 
 /// The per-virtual-batch masking scheme.
 #[derive(Debug, Clone)]
@@ -30,8 +67,16 @@ pub struct EncodingScheme {
     integrity: bool,
     /// `A ∈ F^{(K+M) × S_cols}`; columns are encodings.
     a: FieldMatrix<P25>,
-    /// Inverse of the square block `A[:, 0..K+M]`.
-    a_sq_inv: FieldMatrix<P25>,
+    /// `Aᵀ`, cached so each encoding row is one contiguous
+    /// coefficient-row × stacked-input matmul.
+    a_t: FieldMatrix<P25>,
+    /// `(A_sq⁻¹)ᵀ`, cached for row-at-a-time forward decoding.
+    a_sq_inv_t: FieldMatrix<P25>,
+    /// `A_sq⁻¹ · a_last`: folds the §4.4 integrity prediction into a
+    /// single row-matmul against the *raw* worker outputs
+    /// (`a_lastᵀ·Y = (A_sq⁻¹·a_last)ᵀ·Ȳ`, exactly, in the field).
+    /// Empty when integrity is off.
+    integrity_w: Vec<F25>,
     /// Public `B ∈ F^{S_cols × K}` (the redundant row, if any, is zero).
     b: FieldMatrix<P25>,
     /// Secret diagonal `Γ` entries.
@@ -63,10 +108,9 @@ impl EncodingScheme {
         };
         let gamma: Vec<F25> = (0..s_cols).map(|_| rng.uniform_nonzero::<P25>()).collect();
         // Bᵀ = [I_K | 0] · (Aᵀ_sq)^{-1} · Γ^{-1}, so Bᵀ·Γ·Aᵀ_sq = [I | 0].
-        let rows: Vec<usize> = (0..s_sq).collect();
-        let cols: Vec<usize> = (0..s_sq).collect();
-        let a_sq = a.submatrix(&rows, &cols);
-        let at_inv = a_sq.transpose().inverse().expect("A_sq invertible implies Aᵀ_sq invertible");
+        // (Aᵀ_sq)⁻¹ = (A_sq⁻¹)ᵀ — reuse the inverse the sampling loop
+        // already produced instead of running Gauss–Jordan a second time.
+        let at_inv = a_sq_inv.transpose();
         let mut i0 = FieldMatrix::<P25>::zeros(k, s_sq);
         for i in 0..k {
             i0[(i, i)] = F25::ONE;
@@ -85,7 +129,15 @@ impl EncodingScheme {
         }
         // Redundant row (if any) stays zero: the spare worker is the
         // integrity watchdog, not a gradient contributor.
-        Self { k, m, integrity, a, a_sq_inv, b, gamma }
+        let a_t = a.transpose();
+        let integrity_w = if integrity {
+            let last = a.cols() - 1;
+            let a_last: Vec<F25> = (0..s_sq).map(|c| a[(c, last)]).collect();
+            a_sq_inv.mul_vec(&a_last)
+        } else {
+            Vec::new()
+        };
+        Self { k, m, integrity, a, a_t, a_sq_inv_t: at_inv, integrity_w, b, gamma }
     }
 
     /// Virtual batch size `K`.
@@ -135,32 +187,14 @@ impl EncodingScheme {
         assert_eq!(inputs.len(), self.k, "expected K input vectors");
         assert_eq!(noise.len(), self.m, "expected M noise vectors");
         let n = inputs[0].len();
-        for v in inputs.iter().chain(noise) {
-            assert_eq!(v.len(), n, "all vectors must have equal length");
-        }
         let s_cols = self.a.cols();
-        let mut out = vec![vec![F25::ZERO; n]; s_cols];
-        for (j, enc) in out.iter_mut().enumerate() {
-            for (i, x) in inputs.iter().enumerate() {
-                let c = self.a[(i, j)];
-                if c.is_zero() {
-                    continue;
-                }
-                for (e, &v) in enc.iter_mut().zip(x) {
-                    *e = F25::mul_add(c, v, *e);
-                }
-            }
-            for (t, r) in noise.iter().enumerate() {
-                let c = self.a[(self.k + t, j)];
-                if c.is_zero() {
-                    continue;
-                }
-                for (e, &v) in enc.iter_mut().zip(r) {
-                    *e = F25::mul_add(c, v, *e);
-                }
-            }
-        }
-        out
+        // X̄ = Aᵀ[s_cols × (K+M)] · X[(K+M) × n] with the inputs and
+        // noise stacked as the rows of X: each encoding is one cached
+        // coefficient row of Aᵀ pushed through the blocked
+        // delayed-reduction kernel, written straight into its own output
+        // vector — instead of K+M per-MAC-reducing scaled-vector passes.
+        let x = stack_rows(inputs.iter().chain(noise).map(Vec::as_slice), self.k + self.m, n);
+        coeff_rows_matmul(&self.a_t, s_cols, self.k + self.m, &x, n)
     }
 
     /// Decodes GPU outputs `ȳ_j = ⟨W, x̄_j⟩` back to the `K` true
@@ -187,33 +221,17 @@ impl EncodingScheme {
         for o in outputs {
             assert_eq!(o.len(), n, "all outputs must have equal length");
         }
-        // Y[e][c] = Σ_j ȳ_j[e] · A_sq_inv[j][c]  (Y = Ȳ · A_sq^{-1})
-        let mut y = vec![vec![F25::ZERO; n]; s_sq];
-        for (j, out_j) in outputs.iter().take(s_sq).enumerate() {
-            for (c, y_c) in y.iter_mut().enumerate() {
-                let w = self.a_sq_inv[(j, c)];
-                if w.is_zero() {
-                    continue;
-                }
-                for (acc, &v) in y_c.iter_mut().zip(out_j) {
-                    *acc = F25::mul_add(w, v, *acc);
-                }
-            }
-        }
+        // Y = (A_sq⁻¹)ᵀ · Ȳ with the worker outputs stacked as the rows
+        // of Ȳ. Only the K true-output rows are ever returned, and the
+        // integrity check runs on Ȳ directly via the precomputed
+        // `A_sq⁻¹·a_last` (exactly `a_lastᵀ·Y` — field arithmetic is
+        // associative and exact), so the M dropped noise rows are never
+        // materialized at all.
+        let ybar = stack_rows(outputs.iter().take(s_sq).map(Vec::as_slice), s_sq, n);
         if self.integrity {
-            // Predicted redundant output: Σ_c Y_c · A[c][last].
-            let last = self.a.cols() - 1;
-            let mut mismatches = 0usize;
-            let redundant = &outputs[last];
-            for e in 0..n {
-                let mut pred = F25::ZERO;
-                for (c, y_c) in y.iter().enumerate() {
-                    pred = F25::mul_add(self.a[(c, last)], y_c[e], pred);
-                }
-                if pred != redundant[e] {
-                    mismatches += 1;
-                }
-            }
+            let pred = matmul(&self.integrity_w, &ybar, 1, s_sq, n);
+            let redundant = &outputs[self.a.cols() - 1];
+            let mismatches = pred.iter().zip(redundant.iter()).filter(|(p, r)| p != r).count();
             if mismatches > 0 {
                 return Err(DarknightError::IntegrityViolation {
                     layer_id,
@@ -222,8 +240,7 @@ impl EncodingScheme {
                 });
             }
         }
-        y.truncate(self.k);
-        Ok(y)
+        Ok(coeff_rows_matmul(&self.a_sq_inv_t, self.k, s_sq, &ybar, n))
     }
 
     /// Decodes the aggregate backward term: `Σ_j γ_j·Eq_j` over the
@@ -238,15 +255,9 @@ impl EncodingScheme {
         let s_sq = self.k + self.m;
         assert!(eqs.len() >= s_sq, "need at least K+M equations");
         let n = eqs[0].len();
-        let mut out = vec![F25::ZERO; n];
-        for (j, eq) in eqs.iter().take(s_sq).enumerate() {
-            assert_eq!(eq.len(), n, "all equations must have equal length");
-            let g = self.gamma[j];
-            for (o, &v) in out.iter_mut().zip(eq) {
-                *o = F25::mul_add(g, v, *o);
-            }
-        }
-        out
+        // γᵀ[1 × s_sq] · Eq[s_sq × n]: the γ-weighted sum as one matmul.
+        let eq_flat = stack_rows(eqs.iter().take(s_sq).map(Vec::as_slice), s_sq, n);
+        matmul(&self.gamma[..s_sq], &eq_flat, 1, s_sq, n)
     }
 
     /// Verifies the defining relation `Bᵀ·Γ·Aᵀ = [I_K | 0]` (Eq. 5/13).

@@ -1,0 +1,29 @@
+//! Serial-vs-threaded determinism of the encode/decode path.
+//!
+//! `coeff_rows_matmul` switches to one flat threadable matmul when the
+//! kernel policy would fan out; both layouts must be bit-identical.
+//! This lives in its own integration binary because the thread-cap
+//! override is process-global and unit tests run concurrently.
+
+use dk_core::scheme::EncodingScheme;
+use dk_field::{F25, FieldRng, P25};
+
+#[test]
+fn threaded_encode_decode_bit_identical_to_serial() {
+    // Large enough that `coeff_rows_matmul` takes the flat threaded
+    // path (rows ≥ 2, MACs ≥ 2^18) when the thread cap allows it.
+    let mut r = FieldRng::seed_from(0xC0DE);
+    let (k, m, n) = (3, 2, 32_768);
+    let scheme = EncodingScheme::generate(k, m, true, &mut r);
+    let inputs: Vec<Vec<F25>> = (0..k).map(|_| r.uniform_vec::<P25>(n)).collect();
+    let noise: Vec<Vec<F25>> = (0..m).map(|_| r.uniform_vec::<P25>(n)).collect();
+    dk_linalg::set_max_threads(1);
+    let enc_serial = scheme.encode(&inputs, &noise);
+    let dec_serial = scheme.decode_forward(&enc_serial, 0).unwrap();
+    dk_linalg::set_max_threads(4);
+    assert_eq!(scheme.encode(&inputs, &noise), enc_serial);
+    assert_eq!(scheme.decode_forward(&enc_serial, 0).unwrap(), dec_serial);
+    dk_linalg::set_max_threads(0);
+    // Identity-op round trip: decoding the encodings recovers the inputs.
+    assert_eq!(dec_serial, inputs);
+}

@@ -1,8 +1,11 @@
 //! Constant-modulus prime-field scalars.
 //!
-//! [`Fp<P>`] stores a canonical representative in `[0, P)` as a `u64` and
-//! performs all multiplication through `u128` intermediates, so any modulus
-//! below `2^64` is supported. DarKnight uses two concrete fields:
+//! [`Fp<P>`] stores a canonical representative in `[0, P)` as a `u64`.
+//! Any modulus below `2^64` is supported, and the reduction strategy is
+//! chosen per modulus at compile time: Barrett reduction (multiply +
+//! shift, no hardware division) for `P < 2^32`, shift-add folding for
+//! the Mersenne prime `2^61 − 1`, and a generic `u128 %` fallback
+//! otherwise. DarKnight uses two concrete fields:
 //!
 //! * [`F25`] with `p = 2^25 − 39 = 33_554_393` — the paper's data-plane
 //!   prime (§5: "the largest prime with 25 bits"), chosen so that products
@@ -52,10 +55,75 @@ impl<const P: u64> Fp<P> {
     /// The field modulus.
     pub const MODULUS: u64 = P;
 
+    /// Whether `P` is the Mersenne prime `2^61 − 1`, which reduces with
+    /// shift-and-add instead of division.
+    const IS_MERSENNE_61: bool = P == P61;
+    /// Whether `P < 2^32`, so products of canonical elements fit in a
+    /// `u64` and Barrett reduction applies to full-width `u64` values.
+    const FITS_BARRETT_U64: bool = P < (1 << 32);
+    /// Barrett reciprocal `⌊2^64 / P⌋` (used when `P < 2^32`).
+    const BARRETT_MU: u64 = ((1u128 << 64) / P as u128) as u64;
+
+    /// Reduces an arbitrary `u64` modulo `P` without a hardware division
+    /// when the modulus allows it.
+    ///
+    /// * `P < 2^32`: Barrett reduction — one widening multiply, one
+    ///   shift, one multiply-subtract and a conditional subtract.
+    /// * `P = 2^61 − 1`: Mersenne shift-add folding.
+    /// * otherwise: the generic `%` fallback.
+    ///
+    /// The branch on the modulus class is resolved at compile time, so
+    /// each instantiation contains exactly one reduction strategy.
+    #[inline]
+    pub fn reduce_u64(x: u64) -> Self {
+        if Self::FITS_BARRETT_U64 {
+            // q = ⌊x·µ / 2^64⌋ ∈ {⌊x/P⌋ − 1, ⌊x/P⌋}, so x − q·P ∈ [0, 2P).
+            let q = ((x as u128 * Self::BARRETT_MU as u128) >> 64) as u64;
+            let mut r = x - q * P;
+            if r >= P {
+                r -= P;
+            }
+            Fp(r)
+        } else if Self::IS_MERSENNE_61 {
+            let mut v = (x & P61) + (x >> 61);
+            if v >= P {
+                v -= P;
+            }
+            Fp(v)
+        } else {
+            Fp(x % P)
+        }
+    }
+
+    /// Reduces an arbitrary `u128` modulo `P`.
+    ///
+    /// For the Mersenne modulus this is pure shift-add folding; for
+    /// Barrett moduli values below `2^64` take the fast `u64` path and
+    /// only genuinely 128-bit values pay for a wide division.
+    #[inline]
+    pub fn reduce_u128(x: u128) -> Self {
+        if Self::IS_MERSENNE_61 {
+            let mask = P61 as u128;
+            let mut v = (x & mask) + (x >> 61);
+            while v >> 61 != 0 {
+                v = (v & mask) + (v >> 61);
+            }
+            let mut r = v as u64;
+            if r >= P {
+                r -= P;
+            }
+            Fp(r)
+        } else if x >> 64 == 0 {
+            Self::reduce_u64(x as u64)
+        } else {
+            Fp((x % P as u128) as u64)
+        }
+    }
+
     /// Creates a field element, reducing `v` modulo `P`.
     #[inline]
     pub fn new(v: u64) -> Self {
-        Fp(v % P)
+        Self::reduce_u64(v)
     }
 
     /// Creates a field element from a canonical representative.
@@ -140,8 +208,12 @@ impl<const P: u64> Fp<P> {
     /// Computes `a*b + c` with a single reduction.
     #[inline]
     pub fn mul_add(a: Self, b: Self, c: Self) -> Self {
-        let wide = a.0 as u128 * b.0 as u128 + c.0 as u128;
-        Fp((wide % P as u128) as u64)
+        if Self::FITS_BARRETT_U64 {
+            // a·b ≤ (2^32−1)^2 and c < 2^32, so the sum fits in a u64.
+            Self::reduce_u64(a.0 * b.0 + c.0)
+        } else {
+            Self::reduce_u128(a.0 as u128 * b.0 as u128 + c.0 as u128)
+        }
     }
 
     /// Batch inversion (Montgomery's trick): inverts every nonzero element
@@ -224,7 +296,13 @@ impl<const P: u64> Mul for Fp<P> {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Fp(((self.0 as u128 * rhs.0 as u128) % P as u128) as u64)
+        if Self::FITS_BARRETT_U64 {
+            // Both operands are canonical (< 2^32), so the product fits
+            // in a u64 and Barrett reduction avoids any division.
+            Self::reduce_u64(self.0 * rhs.0)
+        } else {
+            Self::reduce_u128(self.0 as u128 * rhs.0 as u128)
+        }
     }
 }
 
@@ -420,5 +498,61 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<F25>();
         assert_send_sync::<F61>();
+    }
+
+    #[test]
+    fn barrett_reduce_u64_matches_modulo() {
+        // Walk the full u64 range with a coarse stride plus the edges of
+        // every multiple-of-P window near powers of two.
+        let mut xs = vec![0u64, 1, P25 - 1, P25, P25 + 1, 2 * P25 - 1, u64::MAX, u64::MAX - 1];
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            xs.push(x);
+        }
+        for &v in &xs {
+            assert_eq!(F25::reduce_u64(v).value(), v % P25, "v={v}");
+        }
+    }
+
+    #[test]
+    fn mersenne_reduce_matches_modulo() {
+        let mut xs = vec![0u128, 1, P61 as u128, P61 as u128 + 1, (1u128 << 61), u128::MAX, u64::MAX as u128];
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            xs.push(x as u128 * x as u128);
+        }
+        for &v in &xs {
+            assert_eq!(F61::reduce_u128(v).value(), (v % P61 as u128) as u64, "v={v}");
+            assert_eq!(F61::reduce_u64(v as u64).value(), v as u64 % P61, "v={v}");
+        }
+    }
+
+    #[test]
+    fn reduce_u128_f25_matches_modulo() {
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let wide = x as u128 * x.rotate_left(17) as u128;
+            assert_eq!(F25::reduce_u128(wide).value(), (wide % P25 as u128) as u64);
+        }
+    }
+
+    #[test]
+    fn mul_exhaustive_boundary_products() {
+        // Products of near-modulus operands stress the Barrett bound.
+        for a in (P25 - 50)..P25 {
+            for b in (P25 - 50)..P25 {
+                let expect = (a as u128 * b as u128 % P25 as u128) as u64;
+                assert_eq!((F25::from_canonical(a) * F25::from_canonical(b)).value(), expect);
+            }
+        }
+        for a in (P61 - 20)..P61 {
+            for b in (P61 - 20)..P61 {
+                let expect = (a as u128 * b as u128 % P61 as u128) as u64;
+                assert_eq!((F61::from_canonical(a) * F61::from_canonical(b)).value(), expect);
+            }
+        }
     }
 }

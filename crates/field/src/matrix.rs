@@ -84,15 +84,19 @@ impl<const P: u64> FieldMatrix<P> {
         Self::from_vec(rows, cols, rng.uniform_vec(rows * cols))
     }
 
-    /// Samples a uniformly random *invertible* square matrix by rejection.
+    /// Samples a uniformly random *invertible* square matrix by rejection,
+    /// returning it **together with its inverse**.
     ///
-    /// For DarKnight's field (`p ≈ 2^25`) a uniform square matrix is
-    /// singular with probability ≈ `1/p`, so this almost never retries.
-    pub fn random_invertible(n: usize, rng: &mut FieldRng) -> Self {
+    /// The rejection test *is* a full Gauss–Jordan inversion, so throwing
+    /// the inverse away (as an earlier revision did) forced every caller
+    /// that needed `M⁻¹` to invert twice. For DarKnight's field
+    /// (`p ≈ 2^25`) a uniform square matrix is singular with probability
+    /// ≈ `1/p`, so this almost never retries.
+    pub fn random_invertible(n: usize, rng: &mut FieldRng) -> (Self, Self) {
         loop {
             let m = Self::random(n, n, rng);
-            if m.inverse().is_some() {
-                return m;
+            if let Some(inv) = m.inverse() {
+                return (m, inv);
             }
         }
     }
@@ -207,12 +211,19 @@ impl<const P: u64> FieldMatrix<P> {
                         acc %= P as u128;
                     }
                 }
-                Fp::new((acc % P as u128) as u64)
+                Fp::reduce_u128(acc)
             })
             .collect()
     }
 
     /// Gauss–Jordan inverse. Returns `None` if the matrix is singular.
+    ///
+    /// Pivot normalization is deferred: forward elimination runs
+    /// *division-free* (`row_r ← p·row_r − f·row_pivot`), the pivot
+    /// values are inverted in one [`Fp::batch_invert`] call, and back
+    /// substitution then works against unit pivots. This replaces the
+    /// `n` per-pivot Fermat inversions (25+ multiplies each) of the
+    /// naive algorithm with a single batched inversion.
     ///
     /// # Panics
     ///
@@ -222,36 +233,57 @@ impl<const P: u64> FieldMatrix<P> {
         let n = self.rows;
         let mut a = self.clone();
         let mut inv = Self::identity(n);
+        // Forward pass: division-free elimination below each pivot.
         for col in 0..n {
-            // Find pivot.
             let pivot = (col..n).find(|&r| !a[(r, col)].is_zero())?;
             if pivot != col {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);
             }
-            let pinv = a[(col, col)].inv()?;
-            // Normalize pivot row.
-            for c in 0..n {
-                a[(col, c)] *= pinv;
-                inv[(col, c)] *= pinv;
-            }
-            // Eliminate other rows.
-            for r in 0..n {
-                if r != col && !a[(r, col)].is_zero() {
-                    let f = a[(r, col)];
-                    for c in 0..n {
-                        let ac = a[(col, c)];
-                        let ic = inv[(col, c)];
-                        a[(r, c)] -= f * ac;
-                        inv[(r, c)] -= f * ic;
-                    }
+            let p = a[(col, col)];
+            for r in col + 1..n {
+                let f = a[(r, col)];
+                if f.is_zero() {
+                    continue;
                 }
+                for c in 0..n {
+                    let ac = a[(col, c)];
+                    let ic = inv[(col, c)];
+                    a[(r, c)] = Fp::mul_add(p, a[(r, c)], -(f * ac));
+                    inv[(r, c)] = Fp::mul_add(p, inv[(r, c)], -(f * ic));
+                }
+            }
+        }
+        // One batched inversion of all pivots, then normalize each row.
+        let mut pivots: Vec<Fp<P>> = (0..n).map(|i| a[(i, i)]).collect();
+        Fp::batch_invert(&mut pivots);
+        for (r, &pinv) in pivots.iter().enumerate() {
+            for c in 0..n {
+                a[(r, c)] *= pinv;
+                inv[(r, c)] *= pinv;
+            }
+        }
+        // Back substitution against unit pivots: no further inversions.
+        for col in (1..n).rev() {
+            for r in 0..col {
+                let f = a[(r, col)];
+                if f.is_zero() {
+                    continue;
+                }
+                for c in 0..n {
+                    let ic = inv[(col, c)];
+                    inv[(r, c)] -= f * ic;
+                }
+                a[(r, col)] = Fp::ZERO;
             }
         }
         Some(inv)
     }
 
     /// Rank via Gaussian elimination.
+    ///
+    /// Row scaling never changes rank, so elimination runs division-free
+    /// (`row_r ← p·row_r − f·row_pivot`): no pivot inversions at all.
     pub fn rank(&self) -> usize {
         let mut a = self.clone();
         let mut rank = 0;
@@ -264,17 +296,15 @@ impl<const P: u64> FieldMatrix<P> {
                 continue;
             };
             a.swap_rows(pivot, row);
-            let pinv = a[(row, col)].inv().expect("pivot nonzero");
-            for c in col..a.cols {
-                a[(row, c)] *= pinv;
-            }
-            for r in 0..a.rows {
-                if r != row && !a[(r, col)].is_zero() {
-                    let f = a[(r, col)];
-                    for c in col..a.cols {
-                        let v = a[(row, c)];
-                        a[(r, c)] -= f * v;
-                    }
+            let p = a[(row, col)];
+            for r in row + 1..a.rows {
+                let f = a[(r, col)];
+                if f.is_zero() {
+                    continue;
+                }
+                for c in col..a.cols {
+                    let v = a[(row, c)];
+                    a[(r, c)] = Fp::mul_add(p, a[(r, c)], -(f * v));
                 }
             }
             rank += 1;
@@ -413,11 +443,32 @@ mod tests {
     fn inverse_round_trip() {
         let mut r = rng();
         for n in 1..=8 {
-            let m = FieldMatrix::<P25>::random_invertible(n, &mut r);
+            let (m, inv_cached) = FieldMatrix::<P25>::random_invertible(n, &mut r);
             let inv = m.inverse().unwrap();
+            assert_eq!(inv, inv_cached, "cached inverse must equal a fresh inversion, n={n}");
             assert_eq!(&m * &inv, FieldMatrix::identity(n), "n={n}");
             assert_eq!(&inv * &m, FieldMatrix::identity(n), "n={n}");
         }
+    }
+
+    #[test]
+    fn inverse_matches_in_f61() {
+        // The Mersenne field exercises the shift-add reduction path.
+        let mut r = rng();
+        let (m, inv) = FieldMatrix::<{ crate::fp::P61 }>::random_invertible(6, &mut r);
+        assert_eq!(&m * &inv, FieldMatrix::identity(6));
+    }
+
+    #[test]
+    fn inverse_of_permuted_diagonal() {
+        // Forces row swaps plus the batched pivot normalization.
+        let mut m = FieldMatrix::<P25>::zeros(3, 3);
+        m[(0, 2)] = F25::new(2);
+        m[(1, 0)] = F25::new(3);
+        m[(2, 1)] = F25::new(5);
+        let inv = m.inverse().unwrap();
+        assert_eq!(&m * &inv, FieldMatrix::identity(3));
+        assert_eq!(&inv * &m, FieldMatrix::identity(3));
     }
 
     #[test]
@@ -466,7 +517,7 @@ mod tests {
     #[test]
     fn solve_recovers_solution() {
         let mut r = rng();
-        let m = FieldMatrix::<P25>::random_invertible(5, &mut r);
+        let (m, _) = FieldMatrix::<P25>::random_invertible(5, &mut r);
         let x = r.uniform_vec::<P25>(5);
         let b = m.mul_vec(&x);
         assert_eq!(m.solve(&b).unwrap(), x);

@@ -102,14 +102,14 @@ pub fn beta_combine(delta_batch: &Tensor<F25>, beta: &[F25]) -> Tensor<F25> {
     assert_eq!(beta.len(), k, "one beta per gradient");
     let mut shape = delta_batch.shape().to_vec();
     shape[0] = 1;
-    let mut out = Tensor::<F25>::zeros(&shape);
-    for (i, &b) in beta.iter().enumerate() {
-        let src = delta_batch.batch_item(i);
-        for (o, &d) in out.as_mut_slice().iter_mut().zip(src) {
-            *o += b * d;
-        }
+    if k == 0 {
+        return Tensor::zeros(&shape);
     }
-    out
+    // βᵀ[1 × k] · Δ[k × elems]: one delayed-reduction matmul instead of
+    // k scaled-vector passes over the output.
+    let elems = delta_batch.len() / k;
+    let combined = dk_linalg::matmul(beta, delta_batch.as_slice(), 1, k, elems);
+    Tensor::from_vec(&shape, combined)
 }
 
 /// The result of a [`LinearJob`].

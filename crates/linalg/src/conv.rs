@@ -11,7 +11,7 @@
 //! — the core of MobileNet — is the special case `groups == in_channels`.
 
 use crate::im2col::{col2im, im2col, out_hw};
-use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::matmul::{matmul_a_bt, matmul_acc, matmul_at_b};
 use crate::scalar::Scalar;
 use crate::tensor::Tensor;
 
@@ -132,8 +132,10 @@ pub fn conv2d_forward<T: Scalar>(x: &Tensor<T>, w: &Tensor<T>, s: &Conv2dShape) 
             let xg = &xi[g * cgi * hw.0 * hw.1..(g + 1) * cgi * hw.0 * hw.1];
             let cols = im2col(xg, cgi, hw, s.kernel, s.stride, s.padding);
             let wg = &w.as_slice()[g * cgo * krows..(g + 1) * cgo * krows];
-            let out = matmul(wg, &cols, cgo, krows, ocols);
-            yi[g * cgo * ocols..(g + 1) * cgo * ocols].copy_from_slice(&out);
+            // Accumulate straight into the (zeroed) output block — same
+            // blocked kernel, one less O(output) copy per group.
+            let yg = &mut yi[g * cgo * ocols..(g + 1) * cgo * ocols];
+            matmul_acc(wg, &cols, yg, cgo, krows, ocols);
         }
     }
     y

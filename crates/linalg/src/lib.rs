@@ -7,6 +7,13 @@
 //! pooling kernels parameterized over a [`Scalar`] element, instantiated
 //! at both `f32` and [`dk_field::Fp`].
 //!
+//! The dense kernels run over the unreduced accumulator of
+//! [`Scalar::Acc`] (delayed modular reduction with Barrett/Mersenne
+//! folds in the field domain) and fan out across rows with
+//! `std::thread::scope` on large shapes (`DK_THREADS` /
+//! [`set_max_threads`] bound the fan-out). Results are bit-for-bit
+//! identical to the per-MAC-reducing [`reference`] kernels.
+//!
 //! Kernels included:
 //!
 //! * [`matmul()`] and its transpose variants,
@@ -36,11 +43,14 @@ pub mod im2col;
 pub mod matmul;
 pub mod ops;
 pub mod pool;
+pub mod reference;
 pub mod scalar;
 pub mod tensor;
+pub mod threads;
 
 pub use conv::Conv2dShape;
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use matmul::{matmul, matmul_a_bt, matmul_acc, matmul_at_b, matvec};
 pub use pool::Pool2dShape;
 pub use scalar::Scalar;
 pub use tensor::Tensor;
+pub use threads::{max_threads, set_max_threads};

@@ -1,17 +1,117 @@
 //! Generic dense matrix multiplication kernels.
 //!
 //! Three orientations are provided because the convolution passes need
-//! all of them without materializing transposes:
+//! all of them without materializing transposes at the call sites:
 //!
 //! * [`matmul`] — `C[m×n] = A[m×k] · B[k×n]`
 //! * [`matmul_at_b`] — `C[m×n] = Aᵀ · B` with `A[k×m]`
 //! * [`matmul_a_bt`] — `C[m×n] = A · Bᵀ` with `B[n×k]`
 //!
-//! All use the i-k-j loop order so the inner loop streams contiguously
-//! through `B` and `C`, which is the cache-friendly order for row-major
-//! data in every domain.
+//! All kernels run over the **unreduced accumulator** of
+//! [`Scalar::Acc`]: in the field domain, per-MAC `%` is replaced by
+//! delayed reduction with one Barrett (or Mersenne shift-add) fold per
+//! [`Scalar::FOLD_INTERVAL`] products, which is where the order-of-
+//! magnitude speedup over the naive path comes from. Output tiles are
+//! column-blocked so the live accumulator strip stays L1-resident, and
+//! large products fan out across row ranges with `std::thread::scope`
+//! (capped by [`crate::threads::max_threads`], i.e. the `DK_THREADS`
+//! knob; small shapes stay serial).
+//!
+//! Every element is produced by the identical ascending-`k` recurrence
+//! the naive kernels use, so results are **bit-for-bit identical** to
+//! [`crate::reference`] in both domains and independent of the thread
+//! count — see `tests/kernel_equivalence.rs` and
+//! `tests/threaded_determinism.rs`.
 
 use crate::scalar::Scalar;
+use crate::threads::workers_for;
+
+/// Output-column tile width: the accumulator strip (≤ 16 B/element) plus
+/// one `B` row segment stays comfortably inside L1.
+const COL_TILE: usize = 512;
+
+/// Serial kernel: `C[rows×n] += A[rows×k] · B[k×n]` over one row range.
+fn matmul_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
+    let mut acc: Vec<T::Acc> = vec![T::acc_zero(); n.min(COL_TILE)];
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let jw = (n - j0).min(COL_TILE);
+            let acc = &mut acc[..jw];
+            for (aj, &cj) in acc.iter_mut().zip(&crow[j0..j0 + jw]) {
+                *aj = cj.acc_lift();
+            }
+            let mut unfolded = 0usize;
+            for (p, &aip) in arow.iter().enumerate() {
+                if aip == T::zero() {
+                    continue;
+                }
+                if unfolded == T::FOLD_INTERVAL {
+                    for aj in acc.iter_mut() {
+                        *aj = T::acc_fold(*aj);
+                    }
+                    unfolded = 0;
+                }
+                let brow = &b[p * n + j0..p * n + j0 + jw];
+                for (aj, &bj) in acc.iter_mut().zip(brow) {
+                    *aj = T::mac(*aj, aip, bj);
+                }
+                unfolded += 1;
+            }
+            for (cj, &aj) in crow[j0..j0 + jw].iter_mut().zip(acc.iter()) {
+                *cj = T::acc_finish(aj);
+            }
+            j0 += jw;
+        }
+    }
+}
+
+/// Serial kernel: `C[rows×n] = A[rows×k] · Bᵀ` with `B` stored `n×k`.
+fn a_bt_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = T::acc_zero();
+            let mut unfolded = 0usize;
+            for (&x, &y) in arow.iter().zip(brow) {
+                if T::SKIP_ZEROS && x == T::zero() {
+                    continue;
+                }
+                if unfolded == T::FOLD_INTERVAL {
+                    acc = T::acc_fold(acc);
+                    unfolded = 0;
+                }
+                acc = T::mac(acc, x, y);
+                unfolded += 1;
+            }
+            c[i * n + j] = T::acc_finish(acc);
+        }
+    }
+}
+
+/// Runs `block` over `c` split into contiguous row ranges, in parallel
+/// when the shape clears the threading threshold.
+fn run_row_partitioned<T, F>(a: &[T], c: &mut [T], m: usize, k: usize, n: usize, block: F)
+where
+    T: Scalar,
+    F: Fn(&[T], &mut [T], usize) + Sync,
+{
+    let workers = workers_for(m, m.saturating_mul(k.max(1)).saturating_mul(n));
+    if workers <= 1 {
+        block(a, c, m);
+        return;
+    }
+    let rows_per = m.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (achunk, cchunk) in a.chunks(rows_per * k.max(1)).zip(c.chunks_mut(rows_per * n)) {
+            let block = &block;
+            s.spawn(move || block(achunk, cchunk, cchunk.len() / n));
+        }
+    });
+}
 
 /// `C[m×n] += A[m×k] · B[k×n]` over flat row-major slices.
 ///
@@ -22,19 +122,10 @@ pub fn matmul_acc<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize, 
     assert_eq!(a.len(), m * k, "A size");
     assert_eq!(b.len(), k * n, "B size");
     assert_eq!(c.len(), m * n, "C size");
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &aip) in arow.iter().enumerate() {
-            if aip == T::zero() {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cj, &bj) in crow.iter_mut().zip(brow) {
-                *cj += aip * bj;
-            }
-        }
+    if m == 0 || n == 0 {
+        return;
     }
+    run_row_partitioned(a, c, m, k, n, |ach, cch, rows| matmul_block(ach, b, cch, rows, k, n));
 }
 
 /// `C[m×n] = A[m×k] · B[k×n]`.
@@ -50,27 +141,24 @@ pub fn matmul<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<
 
 /// `C[m×n] = Aᵀ · B` where `A` is stored as `k×m`.
 ///
+/// Materializes `Aᵀ` (an `O(km)` copy against an `O(mkn)` product) and
+/// reuses the blocked [`matmul`] kernel, so the delayed-reduction and
+/// threading machinery applies to this orientation too.
+///
 /// # Panics
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn matmul_at_b<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
     assert_eq!(a.len(), k * m, "A size");
     assert_eq!(b.len(), k * n, "B size");
-    let mut c = vec![T::zero(); m * n];
+    let mut at = vec![T::zero(); m * k];
     for p in 0..k {
         let arow = &a[p * m..(p + 1) * m];
-        let brow = &b[p * n..(p + 1) * n];
-        for (i, &api) in arow.iter().enumerate() {
-            if api == T::zero() {
-                continue;
-            }
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cj, &bj) in crow.iter_mut().zip(brow) {
-                *cj += api * bj;
-            }
+        for (i, &v) in arow.iter().enumerate() {
+            at[i * k + p] = v;
         }
     }
-    c
+    matmul(&at, b, m, k, n)
 }
 
 /// `C[m×n] = A · Bᵀ` where `B` is stored as `n×k`.
@@ -82,21 +170,19 @@ pub fn matmul_a_bt<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) ->
     assert_eq!(a.len(), m * k, "A size");
     assert_eq!(b.len(), n * k, "B size");
     let mut c = vec![T::zero(); m * n];
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = T::zero();
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            c[i * n + j] = acc;
-        }
+    if m == 0 || n == 0 {
+        return c;
     }
+    run_row_partitioned(a, &mut c, m, k, n, |ach, cch, rows| a_bt_block(ach, b, cch, rows, k, n));
     c
 }
 
 /// Matrix–vector product `y[m] = A[m×k] · x[k]`.
+///
+/// Routes through the `A·Bᵀ` dot kernel, whose zero-skip is gated on
+/// [`Scalar::SKIP_ZEROS`]: floats keep the branch-free loop of the
+/// original `matvec`, so non-finite inputs (`0.0 · ∞ = NaN`) propagate
+/// bit-identically to [`crate::reference::naive_matvec`].
 ///
 /// # Panics
 ///
@@ -104,15 +190,7 @@ pub fn matmul_a_bt<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) ->
 pub fn matvec<T: Scalar>(a: &[T], x: &[T], m: usize, k: usize) -> Vec<T> {
     assert_eq!(a.len(), m * k, "A size");
     assert_eq!(x.len(), k, "x size");
-    (0..m)
-        .map(|i| {
-            let mut acc = T::zero();
-            for (&aij, &xj) in a[i * k..(i + 1) * k].iter().zip(x) {
-                acc += aij * xj;
-            }
-            acc
-        })
-        .collect()
+    matmul_a_bt(a, x, m, k, 1)
 }
 
 #[cfg(test)]
@@ -146,6 +224,15 @@ mod tests {
         let (m, k, n) = (4, 3, 4);
         let a: Vec<F25> = (0..m * k).map(|i| F25::new(i as u64 * 7 + 1)).collect();
         let b: Vec<F25> = (0..k * n).map(|i| F25::new(i as u64 * 13 + 5)).collect();
+        assert_eq!(matmul(&a, &b, m, k, n), naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn matmul_wide_output_crosses_col_tiles() {
+        // n > COL_TILE exercises the column-tiling path.
+        let (m, k, n) = (2, 3, COL_TILE + 37);
+        let a: Vec<F25> = (0..m * k).map(|i| F25::new(i as u64 + 1)).collect();
+        let b: Vec<F25> = (0..k * n).map(|i| F25::new(i as u64 * 31 + 2)).collect();
         assert_eq!(matmul(&a, &b, m, k, n), naive(&a, &b, m, k, n));
     }
 
@@ -202,6 +289,30 @@ mod tests {
         let a = vec![F25::new(dk_field::P25 - 1)]; // -1
         let b = vec![F25::new(dk_field::P25 - 1)]; // -1
         assert_eq!(matmul(&a, &b, 1, 1, 1)[0], F25::ONE);
+    }
+
+    #[test]
+    fn empty_dims_are_fine() {
+        assert!(matmul::<F25>(&[], &[], 0, 3, 0).is_empty());
+        assert!(matmul::<F25>(&[], &[], 0, 0, 4).is_empty());
+        let c = matmul::<F25>(&[], &[], 3, 0, 5);
+        assert!(c.iter().all(|v| v.is_zero()));
+        assert!(matmul_a_bt::<f32>(&[], &[], 0, 2, 0).is_empty());
+        assert!(matmul_at_b::<f32>(&[], &[], 0, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn matmul_acc_accumulates_into_existing() {
+        let (m, k, n) = (2, 3, 2);
+        let a: Vec<F25> = (0..m * k).map(|i| F25::new(i as u64 + 2)).collect();
+        let b: Vec<F25> = (0..k * n).map(|i| F25::new(i as u64 * 5 + 1)).collect();
+        let mut c: Vec<F25> = (0..m * n).map(|i| F25::new(i as u64 * 100)).collect();
+        let base = c.clone();
+        matmul_acc(&a, &b, &mut c, m, k, n);
+        let prod = matmul(&a, &b, m, k, n);
+        for i in 0..m * n {
+            assert_eq!(c[i], base[i] + prod[i]);
+        }
     }
 
     #[test]

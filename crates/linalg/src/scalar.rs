@@ -1,14 +1,23 @@
 //! The element trait shared by the float and field compute domains.
+//!
+//! Besides ring arithmetic, every [`Scalar`] exposes an **unreduced
+//! accumulator** ([`Scalar::Acc`]) so the dense kernels can delay modular
+//! reduction: for the 25-bit DarKnight prime, products of two canonical
+//! elements fit in 50 bits, so a `u64` accumulator absorbs 2^14
+//! multiply-accumulates before a single Barrett fold; the Mersenne field
+//! `2^61 − 1` folds each product with two shift-adds into a `u128`
+//! accumulator. Floats use a trivial pass-through accumulator, so one
+//! generic kernel serves every domain with zero abstraction cost.
 
-use dk_field::Fp;
+use dk_field::{F25, F61, Fp, P25, P61};
 use std::fmt::Debug;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
 /// A ring element the generic kernels can compute with.
 ///
-/// Implemented for `f32`, `f64` and every [`dk_field::Fp`] modulus, so the
-/// identical im2col/matmul code paths serve both the TEE's float domain and
-/// the GPU workers' masked field domain.
+/// Implemented for `f32`, `f64` and DarKnight's two concrete fields
+/// ([`F25`], [`F61`]), so the identical im2col/matmul code paths serve
+/// both the TEE's float domain and the GPU workers' masked field domain.
 pub trait Scalar:
     Copy
     + Debug
@@ -23,43 +32,171 @@ pub trait Scalar:
     + Neg<Output = Self>
     + 'static
 {
+    /// The unreduced dot-product accumulator.
+    ///
+    /// Kernel contract: starting from [`Scalar::acc_lift`] of a canonical
+    /// value, at most [`Scalar::FOLD_INTERVAL`] [`Scalar::mac`] steps may
+    /// elapse before [`Scalar::acc_fold`] is called; [`Scalar::acc_finish`]
+    /// then produces the exact reduced result. Reduction is *deferred*,
+    /// never approximated — the final value is bit-identical to reducing
+    /// after every multiply.
+    type Acc: Copy + Send + Sync + 'static;
+
+    /// Maximum number of [`Scalar::mac`] steps between folds.
+    ///
+    /// `usize::MAX` means the accumulator can never overflow at realistic
+    /// sizes (floats; the Mersenne field's pre-folded products).
+    const FOLD_INTERVAL: usize;
+
+    /// Whether inner-loop kernels should branch around zero operands.
+    ///
+    /// Skipping `a == 0` terms is a win for field elements (it elides a
+    /// multiply + reduce and never changes the exact result) but poisons
+    /// float auto-vectorization, so floats keep the branch-free loop.
+    /// Per-*row* zero skips (one test covering `n` MACs) stay
+    /// unconditional in every domain.
+    const SKIP_ZEROS: bool;
+
     /// The additive identity.
     fn zero() -> Self;
     /// The multiplicative identity.
     fn one() -> Self;
+    /// An empty accumulator.
+    fn acc_zero() -> Self::Acc;
+    /// Lifts a canonical value into the accumulator domain.
+    fn acc_lift(self) -> Self::Acc;
+    /// One unreduced multiply-accumulate: `acc + a·b`.
+    fn mac(acc: Self::Acc, a: Self, b: Self) -> Self::Acc;
+    /// Compresses the accumulator back into canonical range (a no-op for
+    /// floats, a Barrett/Mersenne reduction for fields).
+    fn acc_fold(acc: Self::Acc) -> Self::Acc;
+    /// Final exact reduction back to the scalar domain.
+    fn acc_finish(acc: Self::Acc) -> Self;
 }
 
-impl Scalar for f32 {
-    fn zero() -> Self {
-        0.0
-    }
-    fn one() -> Self {
-        1.0
-    }
+macro_rules! impl_float_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            /// Floats accumulate natively; no folding is ever needed.
+            type Acc = $t;
+            const FOLD_INTERVAL: usize = usize::MAX;
+            const SKIP_ZEROS: bool = false;
+
+            fn zero() -> Self {
+                0.0
+            }
+            fn one() -> Self {
+                1.0
+            }
+            #[inline]
+            fn acc_zero() -> Self {
+                0.0
+            }
+            #[inline]
+            fn acc_lift(self) -> Self {
+                self
+            }
+            #[inline]
+            fn mac(acc: Self, a: Self, b: Self) -> Self {
+                acc + a * b
+            }
+            #[inline]
+            fn acc_fold(acc: Self) -> Self {
+                acc
+            }
+            #[inline]
+            fn acc_finish(acc: Self) -> Self {
+                acc
+            }
+        }
+    )*};
 }
 
-impl Scalar for f64 {
-    fn zero() -> Self {
-        0.0
-    }
-    fn one() -> Self {
-        1.0
-    }
+impl_float_scalar!(f32, f64);
+
+/// Largest `n` such that `(P−1) + n·(P−1)²` still fits in a `u64` — the
+/// number of unreduced MACs a `u64` accumulator absorbs. For
+/// `P = 2^25 − 39` this is exactly `2^14 = 16384`.
+const fn u64_fold_interval(p: u64) -> usize {
+    let max_term = (p - 1) as u128 * (p - 1) as u128;
+    ((u64::MAX as u128 - (p - 1) as u128) / max_term) as usize
 }
 
-impl<const P: u64> Scalar for Fp<P> {
+impl Scalar for F25 {
+    /// Products of canonical 25-bit elements fit in 50 bits, so a plain
+    /// `u64` absorbs 2^14 of them before one Barrett fold.
+    type Acc = u64;
+    const FOLD_INTERVAL: usize = u64_fold_interval(P25);
+    const SKIP_ZEROS: bool = true;
+
     fn zero() -> Self {
         Fp::ZERO
     }
     fn one() -> Self {
         Fp::ONE
     }
+    #[inline]
+    fn acc_zero() -> u64 {
+        0
+    }
+    #[inline]
+    fn acc_lift(self) -> u64 {
+        self.value()
+    }
+    #[inline]
+    fn mac(acc: u64, a: Self, b: Self) -> u64 {
+        acc + a.value() * b.value()
+    }
+    #[inline]
+    fn acc_fold(acc: u64) -> u64 {
+        F25::reduce_u64(acc).value()
+    }
+    #[inline]
+    fn acc_finish(acc: u64) -> Self {
+        F25::reduce_u64(acc)
+    }
+}
+
+impl Scalar for F61 {
+    /// Each 122-bit product is pre-folded to under 2^62 with two
+    /// shift-adds (Mersenne reduction), so the `u128` accumulator would
+    /// only overflow after ~2^66 MACs — beyond any addressable `k`.
+    type Acc = u128;
+    const FOLD_INTERVAL: usize = usize::MAX;
+    const SKIP_ZEROS: bool = true;
+
+    fn zero() -> Self {
+        Fp::ZERO
+    }
+    fn one() -> Self {
+        Fp::ONE
+    }
+    #[inline]
+    fn acc_zero() -> u128 {
+        0
+    }
+    #[inline]
+    fn acc_lift(self) -> u128 {
+        self.value() as u128
+    }
+    #[inline]
+    fn mac(acc: u128, a: Self, b: Self) -> u128 {
+        let wide = a.value() as u128 * b.value() as u128;
+        acc + ((wide & P61 as u128) + (wide >> 61))
+    }
+    #[inline]
+    fn acc_fold(acc: u128) -> u128 {
+        F61::reduce_u128(acc).value() as u128
+    }
+    #[inline]
+    fn acc_finish(acc: u128) -> Self {
+        F61::reduce_u128(acc)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dk_field::F25;
 
     fn generic_dot<T: Scalar>(a: &[T], b: &[T]) -> T {
         let mut acc = T::zero();
@@ -84,5 +221,44 @@ mod tests {
     fn identities() {
         assert_eq!(f32::zero() + f32::one(), 1.0);
         assert_eq!(F25::zero() + F25::one(), F25::ONE);
+    }
+
+    #[test]
+    fn f25_fold_interval_is_2_pow_14() {
+        assert_eq!(F25::FOLD_INTERVAL, 1 << 14);
+    }
+
+    #[test]
+    fn f25_acc_saturates_exactly_at_interval() {
+        // FOLD_INTERVAL worst-case MACs on top of a lifted canonical
+        // value must not overflow, and the fold must reduce exactly.
+        let big = F25::new(dk_field::P25 - 1);
+        let mut acc = big.acc_lift();
+        for _ in 0..F25::FOLD_INTERVAL {
+            acc = F25::mac(acc, big, big);
+        }
+        let expect = {
+            let mut v = big;
+            let sq = big * big;
+            for _ in 0..F25::FOLD_INTERVAL {
+                v += sq;
+            }
+            v
+        };
+        assert_eq!(F25::acc_finish(acc), expect);
+        assert_eq!(F25::acc_finish(F25::acc_fold(acc)), expect);
+    }
+
+    #[test]
+    fn f61_mac_chain_matches_reduced() {
+        let a = F61::new(dk_field::P61 - 3);
+        let b = F61::new(dk_field::P61 - 7);
+        let mut acc = F61::acc_zero();
+        let mut expect = F61::ZERO;
+        for _ in 0..1000 {
+            acc = F61::mac(acc, a, b);
+            expect += a * b;
+        }
+        assert_eq!(F61::acc_finish(acc), expect);
     }
 }

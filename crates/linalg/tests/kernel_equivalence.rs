@@ -1,0 +1,145 @@
+//! Fast-vs-naive kernel equivalence: the non-negotiable invariant of the
+//! delayed-reduction rewrite.
+//!
+//! Every blocked/threaded kernel must produce **bit-for-bit** the same
+//! output as the original per-MAC-reducing scalar path preserved in
+//! `dk_linalg::reference` — for all three matmul orientations, in the
+//! float domain (identical per-element accumulation order) and in both
+//! field domains (exact arithmetic: deferring reduction can never change
+//! the value mod p). Shapes cover the degenerate `m/k/n ∈ {0, 1}` edges
+//! and `k > 2^14`, which crosses the `F25` u64-accumulator fold boundary.
+
+use dk_field::{F25, F61, FieldRng, P25, P61};
+use dk_linalg::reference::{naive_matmul, naive_matmul_a_bt, naive_matmul_at_b, naive_matvec};
+use dk_linalg::{matmul, matmul_a_bt, matmul_at_b, matvec, Scalar};
+use proptest::prelude::*;
+
+/// Checks all three orientations plus matvec on one random shape.
+fn assert_equiv<T: Scalar>(mut gen: impl FnMut() -> T, m: usize, k: usize, n: usize) {
+    let a: Vec<T> = (0..m * k).map(|_| gen()).collect();
+    let b: Vec<T> = (0..k * n).map(|_| gen()).collect();
+    assert_eq!(matmul(&a, &b, m, k, n), naive_matmul(&a, &b, m, k, n), "matmul {m}x{k}x{n}");
+
+    let a_t: Vec<T> = (0..k * m).map(|_| gen()).collect();
+    assert_eq!(
+        matmul_at_b(&a_t, &b, m, k, n),
+        naive_matmul_at_b(&a_t, &b, m, k, n),
+        "at_b {m}x{k}x{n}"
+    );
+
+    let b_t: Vec<T> = (0..n * k).map(|_| gen()).collect();
+    assert_eq!(
+        matmul_a_bt(&a, &b_t, m, k, n),
+        naive_matmul_a_bt(&a, &b_t, m, k, n),
+        "a_bt {m}x{k}x{n}"
+    );
+
+    let x: Vec<T> = (0..k).map(|_| gen()).collect();
+    assert_eq!(matvec(&a, &x, m, k), naive_matvec(&a, &x, m, k), "matvec {m}x{k}");
+}
+
+/// Field generator with a deliberate sprinkling of zeros so the
+/// zero-skip paths get exercised.
+fn field_gen<const P: u64>(seed: u64) -> impl FnMut() -> dk_field::Fp<P> {
+    let mut rng = FieldRng::seed_from(seed);
+    move || {
+        let v = rng.uniform::<P>();
+        if v.value().is_multiple_of(7) {
+            dk_field::Fp::ZERO
+        } else {
+            v
+        }
+    }
+}
+
+/// Finite float generator (integers scaled down), also with zeros.
+fn float_gen(seed: u64) -> impl FnMut() -> f32 {
+    let mut rng = FieldRng::seed_from(seed);
+    move || {
+        let v = rng.uniform::<P25>().value();
+        if v.is_multiple_of(7) {
+            0.0
+        } else {
+            (v % 2001) as f32 * 0.125 - 125.0
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fast_matches_naive_f25(seed in any::<u64>(), m in 0usize..6, k in 0usize..24, n in 0usize..6) {
+        assert_equiv(field_gen::<P25>(seed), m, k, n);
+    }
+
+    #[test]
+    fn fast_matches_naive_f61(seed in any::<u64>(), m in 0usize..6, k in 0usize..24, n in 0usize..6) {
+        assert_equiv(field_gen::<P61>(seed), m, k, n);
+    }
+
+    #[test]
+    fn fast_matches_naive_f32(seed in any::<u64>(), m in 0usize..6, k in 0usize..24, n in 0usize..6) {
+        assert_equiv(float_gen(seed), m, k, n);
+    }
+
+    /// Wider, flatter shapes: k dominates, n crosses no tile boundary.
+    #[test]
+    fn fast_matches_naive_tall_k(seed in any::<u64>(), k in 200usize..600) {
+        assert_equiv(field_gen::<P25>(seed), 2, k, 3);
+        assert_equiv(float_gen(seed ^ 1), 2, k, 3);
+    }
+}
+
+/// `k` past the `F25` fold boundary (2^14 MACs per accumulator), with
+/// worst-case operands `p−1` so the u64 accumulator is driven right up
+/// to its overflow margin before the Barrett fold kicks in.
+#[test]
+fn f25_crosses_fold_boundary_with_worst_case_operands() {
+    let k = F25::FOLD_INTERVAL + 21;
+    let m = 1;
+    let n = 2;
+    let a = vec![F25::new(P25 - 1); m * k];
+    let b = vec![F25::new(P25 - 1); k * n];
+    assert_eq!(matmul(&a, &b, m, k, n), naive_matmul(&a, &b, m, k, n));
+    let b_t = vec![F25::new(P25 - 1); n * k];
+    assert_eq!(matmul_a_bt(&a, &b_t, m, k, n), naive_matmul_a_bt(&a, &b_t, m, k, n));
+    let a_t = vec![F25::new(P25 - 1); k * m];
+    assert_eq!(matmul_at_b(&a_t, &b, m, k, n), naive_matmul_at_b(&a_t, &b, m, k, n));
+}
+
+/// Same boundary crossing with random data, all orientations.
+#[test]
+fn f25_crosses_fold_boundary_random() {
+    assert_equiv(field_gen::<P25>(0xF01D), 2, (1 << 14) + 1, 2);
+}
+
+/// Float non-finite semantics: `matvec` and `matmul_a_bt` never skip
+/// zero operands for floats, so `0.0 · ∞ = NaN` propagates exactly as
+/// in the original scalar kernels.
+#[test]
+fn f32_non_finite_propagation_matches_naive() {
+    let a = [0.0f32, 1.0];
+    let x = [f32::INFINITY, 2.0];
+    let fast = matvec(&a, &x, 1, 2);
+    let naive = naive_matvec(&a, &x, 1, 2);
+    assert_eq!(fast[0].to_bits(), naive[0].to_bits());
+    assert!(fast[0].is_nan());
+
+    let b_t = [f32::NEG_INFINITY, 3.0]; // B stored n×k with n = 1
+    let fast = matmul_a_bt(&a, &b_t, 1, 2, 1);
+    let naive = naive_matmul_a_bt(&a, &b_t, 1, 2, 1);
+    assert_eq!(fast[0].to_bits(), naive[0].to_bits());
+    assert!(fast[0].is_nan());
+}
+
+/// The Mersenne field never folds (pre-folded products), but long chains
+/// must still reduce exactly.
+#[test]
+fn f61_long_chain_exact() {
+    let mut gen = field_gen::<P61>(0x61);
+    let k = 20_000;
+    let a: Vec<F61> = (0..k).map(|_| gen()).collect();
+    let b: Vec<F61> = (0..k).map(|_| gen()).collect();
+    assert_eq!(matmul(&a, &b, 1, k, 1), naive_matmul(&a, &b, 1, k, 1));
+}

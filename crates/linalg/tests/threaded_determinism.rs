@@ -1,0 +1,42 @@
+//! Serial-vs-threaded determinism.
+//!
+//! The row-partitioned fan-out must be invisible in the results: no
+//! accumulation order ever crosses a partition boundary, so any thread
+//! count produces bit-identical output — floats included. This lives in
+//! its own integration binary because the thread-cap override is
+//! process-global.
+
+use dk_field::{FieldRng, P25};
+use dk_linalg::{matmul, matmul_a_bt, matmul_at_b, set_max_threads, Scalar};
+
+fn data<T: Scalar>(mut gen: impl FnMut() -> T, len: usize) -> Vec<T> {
+    (0..len).map(|_| gen()).collect()
+}
+
+fn run_all<T: Scalar>(a: &[T], b: &[T], bt: &[T], m: usize, k: usize, n: usize) -> [Vec<T>; 3] {
+    [matmul(a, b, m, k, n), matmul_at_b(b, a, n, k, m), matmul_a_bt(a, bt, m, k, n)]
+}
+
+#[test]
+fn threaded_results_are_bit_identical_to_serial() {
+    // 64·160·48 ≈ 491k MACs: comfortably above the threading threshold.
+    let (m, k, n) = (64usize, 160, 48);
+    let mut rng = FieldRng::seed_from(0xDE7E);
+    let af = data(|| (rng.uniform::<P25>().value() % 4001) as f32 * 0.25 - 500.0, m * k);
+    let bf = data(|| (rng.uniform::<P25>().value() % 4001) as f32 * 0.125 - 250.0, k * n);
+    let btf = data(|| (rng.uniform::<P25>().value() % 4001) as f32 * 0.5 - 1000.0, n * k);
+    let aq = data(|| rng.uniform::<P25>(), m * k);
+    let bq = data(|| rng.uniform::<P25>(), k * n);
+    let btq = data(|| rng.uniform::<P25>(), n * k);
+
+    set_max_threads(1);
+    let serial_f = run_all(&af, &bf, &btf, m, k, n);
+    let serial_q = run_all(&aq, &bq, &btq, m, k, n);
+
+    for threads in [2, 3, 7] {
+        set_max_threads(threads);
+        assert_eq!(run_all(&af, &bf, &btf, m, k, n), serial_f, "f32, {threads} threads");
+        assert_eq!(run_all(&aq, &bq, &btq, m, k, n), serial_q, "F25, {threads} threads");
+    }
+    set_max_threads(0);
+}
