@@ -1,26 +1,49 @@
 //! Measured pipelined vs sequential execution (functional counterpart
-//! of Fig. 5's pipelining gains): encode / GPU-compute / decode stages
-//! overlapped on OS threads.
+//! of Fig. 5's pipelining gains): the real engine — TEE lanes over
+//! persistent GPU worker threads — against the blocking sequential
+//! session, on a real multi-layer model.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dk_core::pipeline::{compare_pipelining, PipelineWorkload};
-use dk_linalg::Conv2dShape;
+use dk_core::engine::{EngineOptions, PipelineEngine};
+use dk_core::{DarknightConfig, DarknightSession};
+use dk_gpu::GpuCluster;
+use dk_linalg::Tensor;
+use dk_nn::arch::mini_vgg;
+use dk_nn::Sequential;
 
-fn workload(batches: usize) -> PipelineWorkload {
-    PipelineWorkload {
-        k: 2,
-        m: 1,
-        shape: Conv2dShape::simple(8, 16, 3, 1, 1),
-        hw: (16, 16),
-        batches,
-    }
+fn inputs(batches: usize) -> Vec<Tensor<f32>> {
+    (0..batches)
+        .map(|b| Tensor::from_fn(&[2, 3, 8, 8], move |i| ((i + b) % 9) as f32 * 0.1 - 0.4))
+        .collect()
+}
+
+fn model() -> Sequential {
+    mini_vgg(8, 4, 42)
 }
 
 fn bench_pipeline(c: &mut Criterion) {
+    let cfg = DarknightConfig::new(2, 1).with_integrity(true);
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
-    g.bench_function("compare_3_batches", |b| {
-        b.iter(|| black_box(compare_pipelining(workload(3), 3)))
+    g.bench_function("sequential_4_batches", |b| {
+        let xs = inputs(4);
+        b.iter(|| {
+            let cluster = GpuCluster::honest(cfg.workers_required(), 3);
+            let mut session = DarknightSession::new(cfg, cluster).unwrap();
+            let mut m = model();
+            for x in &xs {
+                black_box(session.private_inference(&mut m, x).unwrap());
+            }
+        })
+    });
+    g.bench_function("pipelined_4_batches", |b| {
+        let xs = inputs(4);
+        b.iter(|| {
+            let cluster = GpuCluster::honest(cfg.workers_required(), 3);
+            let mut engine =
+                PipelineEngine::new(cfg, cluster, EngineOptions::default()).unwrap();
+            black_box(engine.infer_batches(&model(), &xs, false).unwrap());
+        })
     });
     g.finish();
 }

@@ -2,19 +2,26 @@
 //!
 //! Measures the delayed-reduction fast kernels against the preserved
 //! per-MAC-reducing scalar baselines (`dk_linalg::reference`) on the
-//! shapes the offload path actually runs, and writes the before/after
-//! ops-per-second record to `BENCH_kernels.json` so the performance
-//! trajectory is tracked across PRs. CI runs it in `--fast` mode as a
-//! smoke test and uploads the JSON as an artifact.
+//! shapes the offload path actually runs, **plus** the staged pipelined
+//! engine against the sequential session on a real multi-layer model
+//! (the §7.1 overlap claim, measured), and writes the records to
+//! `BENCH_kernels.json` so the performance trajectory is tracked across
+//! PRs. CI runs it in `--fast` mode as a smoke test and uploads the
+//! JSON as an artifact.
 //!
 //! Usage: `cargo run --release -p dk_bench --bin dk_bench -- [--fast] [--out PATH]`
 
+use dk_core::engine::{compare_inference_modes, compare_training_modes, EngineOptions};
 use dk_core::scheme::EncodingScheme;
+use dk_core::DarknightConfig;
 use dk_field::{F25, FieldRng, P25};
+use dk_gpu::{GpuCluster, LatencyModel};
 use dk_linalg::conv::conv2d_forward;
 use dk_linalg::im2col::im2col;
 use dk_linalg::reference::{naive_matmul, naive_matmul_a_bt, naive_matmul_at_b};
 use dk_linalg::{matmul, matmul_a_bt, matmul_at_b, Conv2dShape, Tensor};
+use dk_nn::arch::mini_vgg;
+use dk_perf::{DeviceProfile, PipelineRow};
 use std::time::Instant;
 
 /// Median ns/iteration: calibrate the batch to roughly `target_ms`, then
@@ -237,6 +244,67 @@ fn main() {
         }),
     });
 
+    // --- pipeline: staged engine vs sequential session ------------------
+    // The workers simulate GPUs on this host's CPU, so two flavours are
+    // measured: `compute-only` (pure host compute — overlap can only pay
+    // on a multi-core host) and `modeled-gpu` (workers additionally
+    // occupy wall-clock per the LatencyModel, standing in for real
+    // device execution/transfer time — the §7.1 "shadow of GPU
+    // execution" the TEE stages hide under, measurable even on one
+    // core). Both runs assert bit-identical results as they go.
+    let epochs = if fast { 1 } else { 3 };
+    let pcfg = DarknightConfig::new(2, 1).with_seed(0xBE4C);
+    let latency = LatencyModel { base_ns: 150_000, ns_per_kmac: 500 };
+    let pm = mini_vgg(8, 4, 42);
+    let px = Tensor::from_fn(&[8, 3, 8, 8], |i| ((i % 23) as f32 - 11.0) * 0.04);
+    let plabels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+    let analytical =
+        dk_perf::cost::darknight_training(&dk_nn::arch::vgg16(), &DeviceProfile::calibrated(), 2, 1, false)
+            .pipeline_gain();
+    let mut pipeline_rows: Vec<PipelineRow> = Vec::new();
+    // Median of three repetitions (one in --fast mode), matching the
+    // median-of-samples discipline of the kernel benches above — a
+    // single wall-clock pair is too noisy on a shared host.
+    let reps = if fast { 1 } else { 3 };
+    let mut pipeline_row = |label: &str, fleet: &GpuCluster, train: bool| {
+        let opts = EngineOptions::default();
+        let mut runs = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let (r, diff) = if train {
+                compare_training_modes(pcfg, fleet, &pm, &px, &plabels, epochs, 0.05, opts)
+                    .expect("pipeline training comparison")
+            } else {
+                let inputs: Vec<Tensor<f32>> = (0..4 * epochs)
+                    .map(|b| {
+                        Tensor::from_fn(&[2, 3, 8, 8], move |i| ((i + b) % 9) as f32 * 0.1 - 0.4)
+                    })
+                    .collect();
+                compare_inference_modes(pcfg, fleet, &pm, &inputs, opts)
+                    .expect("pipeline inference comparison")
+            };
+            assert_eq!(diff, 0.0, "{label}: pipelined execution diverged from sequential");
+            runs.push(r);
+        }
+        runs.sort_by(|a, b| a.speedup().total_cmp(&b.speedup()));
+        let r = runs[runs.len() / 2];
+        pipeline_rows.push(PipelineRow {
+            label: label.to_string(),
+            batches: r.batches,
+            sequential_ms: r.sequential.as_secs_f64() * 1e3,
+            pipelined_ms: r.pipelined.as_secs_f64() * 1e3,
+            measured_speedup: r.speedup(),
+            analytical_speedup: analytical,
+            analytical_arch: "VGG16".to_string(),
+        });
+    };
+    let plain_fleet = GpuCluster::honest(pcfg.workers_required(), 7);
+    let modeled_fleet = GpuCluster::honest(pcfg.workers_required(), 7)
+        .with_parallel_dispatch(true)
+        .with_latency(Some(latency));
+    pipeline_row("train/mini_vgg compute-only", &plain_fleet, true);
+    pipeline_row("train/mini_vgg modeled-gpu", &modeled_fleet, true);
+    pipeline_row("infer/mini_vgg modeled-gpu", &modeled_fleet, false);
+
     // --- report ---------------------------------------------------------
     println!("DarKnight kernel micro-benches ({} mode, DK threads = {})", if fast { "fast" } else { "full" }, dk_linalg::max_threads());
     println!("{:<44} {:>12} {:>12} {:>8}", "bench", "scalar Mops", "fast Mops", "speedup");
@@ -250,16 +318,36 @@ fn main() {
         );
     }
 
+    println!();
+    println!("{}", dk_perf::report::pipeline_table(&pipeline_rows));
+
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let pipeline_json = pipeline_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"batches\": {}, \"sequential_ms\": {:.1}, \"pipelined_ms\": {:.1}, \"speedup\": {:.2}, \"analytical_fig5_gain\": {:.2}, \"analytical_arch\": \"{}\"}}",
+                r.label,
+                r.batches,
+                r.sequential_ms,
+                r.pipelined_ms,
+                r.measured_speedup,
+                r.analytical_speedup,
+                r.analytical_arch
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"mode\": \"{}\",\n  \"unix_time\": {},\n  \"dk_threads\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"mode\": \"{}\",\n  \"unix_time\": {},\n  \"dk_threads\": {},\n  \"benches\": [\n{}\n  ],\n  \"pipeline\": [\n{}\n  ]\n}}\n",
         if fast { "fast" } else { "full" },
         ts,
         dk_linalg::max_threads(),
-        entries.iter().map(Entry::to_json).collect::<Vec<_>>().join(",\n")
+        entries.iter().map(Entry::to_json).collect::<Vec<_>>().join(",\n"),
+        pipeline_json
     );
     std::fs::write(&out_path, json).expect("write bench json");
     println!("\nwrote {out_path}");
@@ -275,5 +363,16 @@ fn main() {
             eprintln!("REGRESSION: {} fast path slower than scalar baseline", e.name);
         }
         std::process::exit(1);
+    }
+    // And the staged engine must not lose to the sequential path under
+    // modeled accelerator latency (where the §7.1 overlap must pay).
+    for r in pipeline_rows.iter().filter(|r| r.label.contains("modeled-gpu")) {
+        if r.measured_speedup < 1.0 {
+            eprintln!(
+                "REGRESSION: {} pipelined slower than sequential ({:.2}x)",
+                r.label, r.measured_speedup
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -8,8 +8,11 @@
 //! Usage: `cargo run -p dk-bench --bin report [--quick|--full]`
 
 use dk_bench::{fig4, render_fig4, Fig4Config};
-use dk_core::pipeline::{compare_pipelining, PipelineWorkload};
-use dk_linalg::Conv2dShape;
+use dk_core::engine::{compare_training_modes, EngineOptions};
+use dk_core::DarknightConfig;
+use dk_gpu::{GpuCluster, LatencyModel};
+use dk_linalg::Tensor;
+use dk_nn::arch::mini_vgg;
 use dk_perf::{report, DeviceProfile};
 
 fn main() {
@@ -31,19 +34,25 @@ fn main() {
 
     println!("----------------------------------------------------------------\n");
     println!("Measured pipelining (this host; functional analogue of Fig. 5):\n");
-    // A workload where TEE masking time is comparable to accelerator
-    // compute (large K, 1x1 conv), so stage overlap is visible even on
-    // a small host.
-    let workload = PipelineWorkload {
-        k: 8,
-        m: 1,
-        shape: Conv2dShape::simple(16, 16, 1, 1, 0),
-        hw: (32, 32),
-        batches: if mode == "--quick" { 6 } else { 16 },
-    };
-    let r = compare_pipelining(workload, 7);
+    // Real Algorithm 2 training on a multi-layer model, sequential
+    // trainer vs the pipelined engine, over a fleet with a modeled
+    // accelerator latency (the workers simulate GPUs on this CPU; the
+    // latency model is what makes wall clock reflect device occupancy —
+    // see dk_gpu::LatencyModel).
+    let epochs = if mode == "--quick" { 1 } else { 3 };
+    let cfg = DarknightConfig::new(2, 1).with_seed(7);
+    let fleet = GpuCluster::honest(cfg.workers_required(), 7)
+        .with_parallel_dispatch(true)
+        .with_latency(Some(LatencyModel { base_ns: 120_000, ns_per_kmac: 600 }));
+    let model = mini_vgg(8, 4, 42);
+    let x = Tensor::from_fn(&[8, 3, 8, 8], |i| ((i % 23) as f32 - 11.0) * 0.04);
+    let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+    let (r, diff) =
+        compare_training_modes(cfg, &fleet, &model, &x, &labels, epochs, 0.05, EngineOptions::default())
+            .expect("pipeline comparison failed");
+    assert_eq!(diff, 0.0, "pipelined training diverged from sequential");
     println!(
-        "  sequential: {:>8.1?}   pipelined: {:>8.1?}   speedup: {:.2}x\n",
+        "  sequential: {:>8.1?}   pipelined: {:>8.1?}   speedup: {:.2}x  (bit-identical weights)\n",
         r.sequential,
         r.pipelined,
         r.speedup()

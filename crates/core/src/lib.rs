@@ -22,10 +22,15 @@
 //! Entry points:
 //!
 //! * [`session::DarknightSession`] — the §3.1 flow: private forward,
-//!   private backward, full train step, private inference.
+//!   private backward, full train step, private inference. The
+//!   blocking, one-batch-at-a-time **sequential reference**.
+//! * [`engine::PipelineEngine`] — the overlapped (pipelined) execution
+//!   mode of §7.1: TEE encode of batch `t+1` under the shadow of GPU
+//!   work for batch `t`, bit-for-bit identical to the sequential path.
+//!   This is what the Algorithm 2 trainer and `dk_serve` workers run on.
 //! * [`virtual_batch::LargeBatchTrainer`] — Algorithm 2: per-virtual-
-//!   batch gradient sealing/eviction and shard-wise aggregation.
-//! * [`pipeline`] — the overlapped (pipelined) execution mode of §7.1.
+//!   batch gradient sealing/eviction and shard-wise aggregation, in
+//!   sequential or pipelined mode.
 //! * [`privacy`] — empirical privacy validation (uniformity of the GPU
 //!   view; collusion-boundary audits).
 //!
@@ -47,8 +52,8 @@
 //! ```
 
 pub mod config;
+pub mod engine;
 pub mod error;
-pub mod pipeline;
 pub mod privacy;
 pub mod recovery;
 pub mod reference;
@@ -57,6 +62,7 @@ pub mod session;
 pub mod virtual_batch;
 
 pub use config::DarknightConfig;
+pub use engine::{EngineOptions, PipelineEngine, StepPlan};
 pub use error::DarknightError;
 pub use reference::QuantizedReference;
 pub use scheme::EncodingScheme;

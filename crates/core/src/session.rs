@@ -1,8 +1,8 @@
 //! The DarKnight session: the §3.1 execution flow.
 //!
-//! One session owns the (simulated) enclave and the GPU cluster and
-//! drives a [`dk_nn::Sequential`] model through private forward/backward
-//! passes:
+//! One session owns the (simulated) enclave and an execution backend
+//! over the GPU fleet, and drives a [`dk_nn::Sequential`] model through
+//! private forward/backward passes:
 //!
 //! 1. activations are max-abs normalized and quantized into the field
 //!    (Algorithm 1) **inside the TEE**;
@@ -27,12 +27,38 @@
 //! from its retained quantized inputs and noise) and the session
 //! compares; it also recomputes the unencoded data-gradient job. A
 //! mismatch aborts the step.
+//!
+//! # Execution backends and determinism
+//!
+//! The session is generic over a [`GpuExec`] backend. With the default
+//! [`GpuCluster`] it is the **sequential reference**: one virtual batch
+//! in flight, blocking dispatch. The pipelined engine
+//! ([`crate::engine`]) runs the *same* session code over a
+//! [`dk_gpu::DispatchClient`], with several numbered batches in flight
+//! on different TEE lanes.
+//!
+//! What makes the two modes bit-for-bit identical is that **all
+//! per-batch randomness is derived statelessly**: batch `b` of a session
+//! seeded `s` draws its scheme from `derive(s, b)` and its layer-`l`
+//! noise from `derive(derive(s, b), l)` — never from a shared mutable
+//! RNG stream whose position would depend on execution order. The same
+//! derivation also makes recovery/replay deterministic.
+//!
+//! # Virtual-batch lifecycle
+//!
+//! [`DarknightSession::begin_virtual_batch`] is the *single owner* of
+//! batch state: it retires the previous batch (contexts, stored
+//! encodings, retained enclave bytes) and installs the next numbered
+//! batch. Every public pass entry point routes through it — a pass on a
+//! batch that already ran one auto-begins the next batch, so stale
+//! contexts can never be reused across entry points.
 
 use crate::config::DarknightConfig;
+use crate::engine::StepPlan;
 use crate::error::DarknightError;
 use crate::scheme::EncodingScheme;
-use dk_field::{F25, FieldRng, P25};
-use dk_gpu::{GpuCluster, LinearJob, WorkerId};
+use dk_field::{derive_seed, F25, FieldRng, P25};
+use dk_gpu::{GpuCluster, GpuExec, LinearJob, WorkerId};
 use dk_linalg::{ops, Tensor};
 use dk_nn::layers::{Conv2d, Dense, Layer};
 use dk_nn::loss::softmax_cross_entropy;
@@ -41,6 +67,11 @@ use dk_nn::Sequential;
 use dk_tee::{Enclave, EpcConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Domain separators for the stateless per-batch seed derivation.
+const DOMAIN_SCHEME: u64 = 0x5343_4845;
+const DOMAIN_NOISE: u64 = 0x4e4f_4953;
+const DOMAIN_JSTAR: u64 = 0x4a53_5441;
 
 /// Counters describing one session's offload traffic and work.
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,6 +92,21 @@ pub struct SessionStats {
     pub nonlinear_elems: u64,
     /// Layers repaired by TEE-side fault localization (recovery mode).
     pub recoveries: u64,
+}
+
+impl SessionStats {
+    /// Adds another session's counters into this one (the pipelined
+    /// engine aggregates its lanes this way).
+    pub fn merge(&mut self, o: &SessionStats) {
+        self.linear_jobs += o.linear_jobs;
+        self.encoded_elems += o.encoded_elems;
+        self.decoded_elems += o.decoded_elems;
+        self.bytes_to_gpus += o.bytes_to_gpus;
+        self.bytes_from_gpus += o.bytes_from_gpus;
+        self.integrity_checks += o.integrity_checks;
+        self.nonlinear_elems += o.nonlinear_elems;
+        self.recoveries += o.recoveries;
+    }
 }
 
 /// Result of one private training step.
@@ -87,21 +133,38 @@ struct LinearCtx {
     enclave_bytes: usize,
 }
 
-/// A DarKnight execution session (see module docs).
+/// A DarKnight execution session (see module docs). Generic over the
+/// [`GpuExec`] backend; `DarknightSession` (the default) is the blocking
+/// sequential reference over a [`GpuCluster`].
 #[derive(Debug)]
-pub struct DarknightSession {
+pub struct DarknightSession<X: GpuExec = GpuCluster> {
     cfg: DarknightConfig,
     enclave: Enclave,
-    cluster: GpuCluster,
-    rng: FieldRng,
+    cluster: X,
     scheme: EncodingScheme,
     ctxs: HashMap<u64, LinearCtx>,
     stats: SessionStats,
+    /// Number of the installed virtual batch; batch `b`'s randomness is
+    /// derived from `(cfg.seed, b)` alone.
+    batch_index: u64,
+    batch_seed: u64,
+    /// Context ids of the installed batch start here (`batch << 32`),
+    /// so concurrently in-flight batches never collide on a worker.
+    ctx_base: u64,
     next_id: u64,
+    /// True once a pass ran on the installed batch: the next pass entry
+    /// auto-begins a fresh batch instead of reusing stale contexts.
+    pass_started: bool,
+    /// Context ids whose encodings the backend currently stores for this
+    /// batch (released when the batch retires).
+    stored_ctxs: Vec<u64>,
+    /// Optional pre-quantized weights for the current step (weights are
+    /// frozen within a step, so the engine extracts them once).
+    plan: Option<Arc<StepPlan>>,
     quarantined: Vec<WorkerId>,
 }
 
-impl DarknightSession {
+impl DarknightSession<GpuCluster> {
     /// Creates a session over the given cluster with the default SGXv1
     /// enclave budget.
     ///
@@ -125,23 +188,54 @@ impl DarknightSession {
         cluster: GpuCluster,
         epc: EpcConfig,
     ) -> Result<Self, DarknightError> {
-        if cluster.len() < cfg.workers_required() {
+        Self::with_backend(cfg, cluster, epc)
+    }
+}
+
+impl<X: GpuExec> DarknightSession<X> {
+    /// Creates a session over an arbitrary execution backend (the
+    /// pipelined engine builds its TEE lanes this way, sharing one
+    /// [`dk_gpu::GpuDispatcher`] across lanes).
+    ///
+    /// # Errors
+    ///
+    /// [`DarknightError::InsufficientWorkers`] if the backend exposes
+    /// fewer workers than `K + M (+1)`.
+    pub fn with_backend(
+        cfg: DarknightConfig,
+        cluster: X,
+        epc: EpcConfig,
+    ) -> Result<Self, DarknightError> {
+        if cluster.num_workers() < cfg.workers_required() {
             return Err(DarknightError::InsufficientWorkers {
                 required: cfg.workers_required(),
-                available: cluster.len(),
+                available: cluster.num_workers(),
             });
         }
-        let mut rng = FieldRng::seed_from(cfg.seed());
-        let scheme = EncodingScheme::generate(cfg.k(), cfg.m(), cfg.integrity(), &mut rng);
+        // Batch-0 state, built once (identical to `install_batch(0)`).
+        let batch_seed = derive_seed(cfg.seed(), 0);
+        let scheme = EncodingScheme::generate(
+            cfg.k(),
+            cfg.m(),
+            cfg.integrity(),
+            &mut FieldRng::derived(batch_seed, DOMAIN_SCHEME),
+        );
         Ok(Self {
             cfg,
             enclave: Enclave::new(epc, b"darknight-enclave-v1"),
             cluster,
-            rng,
             scheme,
             ctxs: HashMap::new(),
             stats: SessionStats::default(),
+            batch_index: 0,
+            batch_seed,
+            ctx_base: 0,
             next_id: 0,
+            // A fresh session's first pass must open batch 1, not run
+            // on the constructor's batch-0 state.
+            pass_started: true,
+            stored_ctxs: Vec::new(),
+            plan: None,
             quarantined: Vec::new(),
         })
     }
@@ -167,21 +261,26 @@ impl DarknightSession {
         &mut self.enclave
     }
 
-    /// The cluster (e.g. to inspect worker observations in privacy
-    /// experiments).
-    pub fn cluster(&self) -> &GpuCluster {
+    /// The execution backend (e.g. to inspect worker observations in
+    /// privacy experiments).
+    pub fn cluster(&self) -> &X {
         &self.cluster
     }
 
-    /// Mutable cluster access (e.g. to flip a worker malicious
+    /// Mutable backend access (e.g. to flip a worker malicious
     /// mid-session — the paper's dynamic adversary).
-    pub fn cluster_mut(&mut self) -> &mut GpuCluster {
+    pub fn cluster_mut(&mut self) -> &mut X {
         &mut self.cluster
     }
 
     /// The active encoding scheme (white-box privacy audits).
     pub fn scheme(&self) -> &EncodingScheme {
         &self.scheme
+    }
+
+    /// The number of the currently installed virtual batch.
+    pub fn batch_index(&self) -> u64 {
+        self.batch_index
     }
 
     /// Workers caught lying by the recovery extension, in detection
@@ -191,18 +290,78 @@ impl DarknightSession {
         &self.quarantined
     }
 
-    /// Starts a new virtual batch: regenerates `A`, `B`, `Γ` (§4.1) and
-    /// clears stored encodings and per-layer contexts.
+    /// Installs (or clears, with `None`) a pre-quantized weight plan for
+    /// the current step. The plan must have been extracted from the
+    /// exact weights the passes will run with; callers are responsible
+    /// for clearing it when weights change (e.g. after an SGD step).
+    pub fn set_step_plan(&mut self, plan: Option<Arc<StepPlan>>) {
+        self.plan = plan;
+    }
+
+    /// Starts the next virtual batch: derives the fresh `A`, `B`, `Γ`
+    /// (§4.1) for batch number `batch_index + 1` and retires the
+    /// previous batch's contexts, stored encodings and retained enclave
+    /// bytes. This is the single owner of batch lifecycle — every public
+    /// pass entry point routes through it.
     pub fn begin_virtual_batch(&mut self) {
-        self.scheme =
-            EncodingScheme::generate(self.cfg.k(), self.cfg.m(), self.cfg.integrity(), &mut self.rng);
-        self.cluster.clear_encodings();
+        let next = self.batch_index + 1;
+        self.begin_numbered_batch(next);
+    }
+
+    /// Starts a specific numbered virtual batch. The pipelined engine
+    /// assigns numbers in stream order so lane scheduling cannot change
+    /// any batch's masks.
+    pub(crate) fn begin_numbered_batch(&mut self, index: u64) {
+        self.retire_batch();
+        self.install_batch(index);
+    }
+
+    /// Retires the installed batch: drops per-layer contexts, releases
+    /// their retained enclave bytes and the backend-stored encodings.
+    /// Also runs on drop — a pipelined lane's backend (the shared
+    /// dispatcher with its persistent workers) outlives the lane
+    /// session, so the final batch's encodings must not be left behind.
+    fn retire_batch(&mut self) {
         let retained: usize = self.ctxs.drain().map(|(_, c)| c.enclave_bytes).sum();
         let _ = self.enclave.release(retained);
-        self.next_id = 0;
+        let ids = std::mem::take(&mut self.stored_ctxs);
+        if !ids.is_empty() {
+            self.cluster.release_contexts(&ids);
+        }
+    }
+
+    fn install_batch(&mut self, index: u64) {
+        self.batch_index = index;
+        self.batch_seed = derive_seed(self.cfg.seed(), index);
+        let mut srng = FieldRng::derived(self.batch_seed, DOMAIN_SCHEME);
+        self.scheme =
+            EncodingScheme::generate(self.cfg.k(), self.cfg.m(), self.cfg.integrity(), &mut srng);
+        self.ctx_base = index << 32;
+        self.next_id = self.ctx_base;
+        self.pass_started = false;
+    }
+
+    /// Marks a pass as running on the installed batch, auto-beginning a
+    /// fresh batch first if one already ran (so no entry point can reuse
+    /// stale contexts).
+    fn start_pass(&mut self) {
+        if self.pass_started {
+            self.begin_virtual_batch();
+        }
+        self.pass_started = true;
+    }
+
+    /// A deterministic per-(batch, layer) stream: independent of
+    /// execution order by construction.
+    fn layer_rng(&self, domain: u64, ordinal: u64) -> FieldRng {
+        FieldRng::derived(derive_seed(self.batch_seed, domain), ordinal)
     }
 
     /// Private forward pass over one virtual batch (`x: [K, ...]`).
+    ///
+    /// Runs on the installed virtual batch if no pass has used it yet
+    /// (e.g. right after [`DarknightSession::begin_virtual_batch`]);
+    /// otherwise begins the next batch first.
     ///
     /// # Errors
     ///
@@ -220,8 +379,8 @@ impl DarknightSession {
                 actual: x.shape()[0],
             });
         }
-        self.next_id = 0;
-        self.forward_layers(model.layers_mut(), x.clone(), train, false)
+        self.start_pass();
+        self.forward_layers(model.layers_mut(), x, train, false)
     }
 
     /// Private backward pass from the loss gradient; accumulates all
@@ -235,7 +394,7 @@ impl DarknightSession {
         model: &mut Sequential,
         dloss: &Tensor<f32>,
     ) -> Result<Tensor<f32>, DarknightError> {
-        self.backward_layers(model.layers_mut(), dloss.clone())
+        self.backward_layers(model.layers_mut(), dloss)
     }
 
     /// Full private training step on one virtual batch: forward, loss,
@@ -289,7 +448,6 @@ impl DarknightSession {
         zero_first: bool,
     ) -> Result<StepReport, DarknightError> {
         assert_eq!(labels.len(), self.cfg.k(), "one label per virtual-batch sample");
-        self.begin_virtual_batch();
         if zero_first {
             model.zero_grad();
         }
@@ -310,7 +468,6 @@ impl DarknightSession {
         model: &mut Sequential,
         x: &Tensor<f32>,
     ) -> Result<Tensor<f32>, DarknightError> {
-        self.begin_virtual_batch();
         self.private_forward(model, x, false)
     }
 
@@ -322,40 +479,49 @@ impl DarknightSession {
     /// quantization-scale policy of the linear layers: shared scale
     /// (training; the backward γ-aggregate needs it) vs one scale per
     /// row (serving inference; rows stay numerically independent).
+    ///
+    /// The walk borrows its input — only layer outputs are materialized,
+    /// no defensive clones of the activations travelling through.
     fn forward_layers(
         &mut self,
         layers: &mut [Layer],
-        mut x: Tensor<f32>,
+        x: &Tensor<f32>,
         train: bool,
         per_sample: bool,
     ) -> Result<Tensor<f32>, DarknightError> {
+        let mut cur: Option<Tensor<f32>> = None;
         for layer in layers.iter_mut() {
-            x = match layer {
+            let input = cur.as_ref().unwrap_or(x);
+            let next = match layer {
                 Layer::Conv2d(conv) => {
                     let id = self.take_id();
-                    self.forward_conv(id, conv, &x, per_sample)?
+                    self.forward_conv(id, conv, input, per_sample)?
                 }
                 Layer::Dense(dense) => {
                     let id = self.take_id();
-                    self.forward_dense(id, dense, &x, per_sample)?
+                    self.forward_dense(id, dense, input, per_sample)?
                 }
                 Layer::Residual(res) => {
-                    let main = self.forward_layers(res.main_mut(), x.clone(), train, per_sample)?;
+                    let main = self.forward_layers(res.main_mut(), input, train, per_sample)?;
                     let short = if res.shortcut().is_empty() {
-                        x.clone()
+                        None
                     } else {
-                        self.forward_layers(res.shortcut_mut(), x.clone(), train, per_sample)?
+                        Some(self.forward_layers(res.shortcut_mut(), input, train, per_sample)?)
                     };
                     self.stats.nonlinear_elems += main.len() as u64;
-                    main.add(&short)
+                    match short {
+                        Some(s) => main.add(&s),
+                        None => main.add(input),
+                    }
                 }
                 other => {
-                    self.stats.nonlinear_elems += x.len() as u64;
-                    other.forward(&x, train)
+                    self.stats.nonlinear_elems += input.len() as u64;
+                    other.forward(input, train)
                 }
             };
+            cur = Some(next);
         }
-        Ok(x)
+        Ok(cur.unwrap_or_else(|| x.clone()))
     }
 
     fn take_id(&mut self) -> u64 {
@@ -370,6 +536,23 @@ impl DarknightSession {
     /// the clear-text oracle can never drift numerically.
     fn normalize_quantize(&self, vals: &[f32]) -> Result<(Vec<F25>, f32), DarknightError> {
         crate::reference::normalize_quantize(self.cfg.quant(), vals)
+    }
+
+    /// Quantized weights for the layer: from the step plan when one is
+    /// installed (weights are frozen within a step, so the engine
+    /// quantizes them once), freshly computed otherwise. Identical bits
+    /// either way — same floats, same pipeline.
+    fn layer_weights(
+        &self,
+        ordinal: u64,
+        weights: &Tensor<f32>,
+        weight_shape: &[usize],
+    ) -> Result<(Arc<Tensor<F25>>, f32), DarknightError> {
+        if let Some(planned) = self.plan.as_ref().and_then(|p| p.linear(ordinal)) {
+            return Ok((planned.weights_q.clone(), planned.norm_w));
+        }
+        let (wq_flat, norm_w) = self.normalize_quantize(weights.as_slice())?;
+        Ok((Arc::new(Tensor::from_vec(weight_shape, wq_flat)), norm_w))
     }
 
     /// The forward offload round: quantize, mask, dispatch, decode.
@@ -394,8 +577,8 @@ impl DarknightSession {
     ) -> Result<(Vec<Vec<F25>>, Vec<f32>, Vec<usize>, Option<LinearCtx>), DarknightError> {
         let k = self.cfg.k();
         let m = self.cfg.m();
-        let (wq_flat, norm_w) = self.normalize_quantize(weights.as_slice())?;
-        let weights_q = Arc::new(Tensor::from_vec(weight_shape, wq_flat));
+        let ordinal = layer_id - self.ctx_base;
+        let (weights_q, norm_w) = self.layer_weights(ordinal, weights, weight_shape)?;
         let rest: usize = x.shape()[1..].iter().product();
         let (inputs_q, norms): (Vec<Vec<F25>>, Vec<f32>) = if per_sample {
             let mut inputs_q = Vec::with_capacity(k);
@@ -413,7 +596,11 @@ impl DarknightSession {
                 (0..k).map(|i| xq_flat[i * rest..(i + 1) * rest].to_vec()).collect();
             (inputs_q, vec![norm_x; k])
         };
-        let noise: Vec<Vec<F25>> = (0..m).map(|_| self.rng.uniform_vec::<P25>(rest)).collect();
+        // Per-(batch, layer) derived noise: the masks of batch `b`,
+        // layer `l` are a pure function of (seed, b, l), so pipelined
+        // lanes draw exactly the masks sequential execution would.
+        let mut nrng = self.layer_rng(DOMAIN_NOISE, ordinal);
+        let noise: Vec<Vec<F25>> = (0..m).map(|_| nrng.uniform_vec::<P25>(rest)).collect();
         // Enclave working set: float input + quantized copies + noise +
         // encodings.
         let s_cols = self.scheme.num_encodings();
@@ -425,10 +612,11 @@ impl DarknightSession {
             encodings.into_iter().map(|e| Tensor::from_vec(enc_shape, e)).collect();
         self.stats.bytes_to_gpus += (s_cols * rest * 8) as u64;
         self.cluster.store_encodings(layer_id, enc_tensors.clone());
+        self.stored_ctxs.push(layer_id);
         let jobs: Vec<LinearJob> =
             enc_tensors.into_iter().map(|t| make_job(weights_q.clone(), t)).collect();
         self.stats.linear_jobs += jobs.len() as u64;
-        let outputs = self.cluster.execute(&jobs);
+        let outputs = self.cluster.execute(layer_id, &jobs);
         let out_shape = outputs[0].shape().to_vec();
         let out_rest: usize = out_shape.iter().product();
         self.stats.bytes_from_gpus += (s_cols * out_rest * 8) as u64;
@@ -612,8 +800,8 @@ impl DarknightSession {
                 actual: x.shape()[0],
             });
         }
-        self.begin_virtual_batch();
-        self.forward_layers(model.layers_mut(), x.clone(), false, true)
+        self.start_pass();
+        self.forward_layers(model.layers_mut(), x, false, true)
     }
 
     // -----------------------------------------------------------------
@@ -623,38 +811,44 @@ impl DarknightSession {
     fn backward_layers(
         &mut self,
         layers: &mut [Layer],
-        mut dy: Tensor<f32>,
+        dy: &Tensor<f32>,
     ) -> Result<Tensor<f32>, DarknightError> {
+        let mut cur: Option<Tensor<f32>> = None;
         for layer in layers.iter_mut().rev() {
-            dy = match layer {
+            let grad = cur.as_ref().unwrap_or(dy);
+            let next = match layer {
                 Layer::Conv2d(conv) => {
                     let id = self.untake_id();
-                    self.backward_conv(id, conv, &dy)?
+                    self.backward_conv(id, conv, grad)?
                 }
                 Layer::Dense(dense) => {
                     let id = self.untake_id();
-                    self.backward_dense(id, dense, &dy)?
+                    self.backward_dense(id, dense, grad)?
                 }
                 Layer::Residual(res) => {
                     // Exact mirror of forward id assignment: forward
                     // visited main then shortcut, so backward visits
                     // shortcut then main.
                     let ds = if res.shortcut().is_empty() {
-                        dy.clone()
+                        None
                     } else {
-                        self.backward_layers(res.shortcut_mut(), dy.clone())?
+                        Some(self.backward_layers(res.shortcut_mut(), grad)?)
                     };
-                    let dm = self.backward_layers(res.main_mut(), dy.clone())?;
+                    let dm = self.backward_layers(res.main_mut(), grad)?;
                     self.stats.nonlinear_elems += dm.len() as u64;
-                    dm.add(&ds)
+                    match ds {
+                        Some(s) => dm.add(&s),
+                        None => dm.add(grad),
+                    }
                 }
                 other => {
-                    self.stats.nonlinear_elems += dy.len() as u64;
-                    other.backward(&dy)
+                    self.stats.nonlinear_elems += grad.len() as u64;
+                    other.backward(grad)
                 }
             };
+            cur = Some(next);
         }
-        Ok(dy)
+        Ok(cur.unwrap_or_else(|| dy.clone()))
     }
 
     fn quarantine(&mut self, w: WorkerId) {
@@ -664,7 +858,10 @@ impl DarknightSession {
     }
 
     fn untake_id(&mut self) -> u64 {
-        debug_assert!(self.next_id > 0, "backward pass saw more linear layers than forward");
+        debug_assert!(
+            self.next_id > self.ctx_base,
+            "backward pass saw more linear layers than forward"
+        );
         self.next_id -= 1;
         self.next_id
     }
@@ -692,13 +889,14 @@ impl DarknightSession {
             (0..s_sq).map(|j| wgrad_job(delta_q.clone(), self.scheme.beta_row(j))).collect();
         self.stats.linear_jobs += jobs.len() as u64;
         self.stats.bytes_to_gpus += (s_sq * delta_q.len() * 8) as u64;
-        let mut eqs = self.cluster.execute(&jobs);
+        let mut eqs = self.cluster.execute(layer_id, &jobs);
         let eq_len = eqs[0].len();
         self.stats.bytes_from_gpus += (s_sq * eq_len * 8) as u64;
-        // 2) Backward integrity. Draw j* regardless of mode so the RNG
-        //    stream (and thus all later masks) is identical whether or
-        //    not recovery is enabled.
-        let jstar = self.rng.index(s_sq);
+        // 2) Backward integrity. `j*` is derived per (batch, layer), so
+        //    it is identical whether the batch runs sequentially or on a
+        //    pipeline lane — and whether or not recovery is enabled.
+        let ordinal = layer_id - self.ctx_base;
+        let jstar = self.layer_rng(DOMAIN_JSTAR, ordinal).index(s_sq);
         if self.cfg.recovery() && self.scheme.has_integrity() {
             // Deterministic duplicate-dispatch verification (recovery
             // extension): every Eq_j is recomputed by the *next* worker
@@ -734,7 +932,7 @@ impl DarknightSession {
             let enc = self.scheme.encode(&ctx.inputs_q, &ctx.noise);
             let xbar = Tensor::from_vec(enc_shape, enc[jstar].clone());
             let dtilde = dk_gpu::job::beta_combine(&delta_q, &self.scheme.beta_row(jstar));
-            let spare = WorkerId(self.cluster.len() - 1);
+            let spare = WorkerId(self.cluster.num_workers() - 1);
             let check = self.cluster.execute_on(spare, &explicit_wgrad_job(dtilde, xbar));
             if check != eqs[jstar] {
                 let mismatches = check
@@ -759,7 +957,7 @@ impl DarknightSession {
         self.stats.linear_jobs += 1;
         let mut dx_field = self.cluster.execute_on(WorkerId(0), &dj);
         if self.scheme.has_integrity() {
-            let spare = WorkerId(self.cluster.len() - 1);
+            let spare = WorkerId(self.cluster.num_workers() - 1);
             let check = self.cluster.execute_on(spare, &dj);
             if check != dx_field {
                 if self.cfg.recovery() {
@@ -891,6 +1089,12 @@ impl DarknightSession {
         let dx = dx_field.map(|v| q.dequantize_product(v) as f32 * dscale);
         let _ = self.enclave.release(ctx.enclave_bytes);
         Ok(dx)
+    }
+}
+
+impl<X: GpuExec> Drop for DarknightSession<X> {
+    fn drop(&mut self) {
+        self.retire_batch();
     }
 }
 
@@ -1171,5 +1375,54 @@ mod tests {
         assert!(s.bytes_to_gpus > 0);
         assert_eq!(s.integrity_checks, 2);
         assert!(session.enclave_stats().peak_bytes > 0);
+    }
+
+    /// Satellite regression: consecutive passes through *any* mix of
+    /// entry points get fresh batches — no entry point can replay
+    /// context ids against a stale `ctxs` map.
+    #[test]
+    fn consecutive_passes_never_reuse_batch_state() {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 31);
+        let mut session = DarknightSession::new(cfg, cluster).unwrap();
+        let mut model = small_model(32);
+        let x = input(2);
+        // Forward in train mode retains contexts for a backward pass...
+        session.begin_virtual_batch();
+        let b1 = session.batch_index();
+        let _ = session.private_forward(&mut model, &x, true).unwrap();
+        // ...but a second forward without backward must not reuse them.
+        let _ = session.private_forward(&mut model, &x, true).unwrap();
+        assert_eq!(session.batch_index(), b1 + 1, "second pass must open a fresh batch");
+        // Mixing entry points keeps advancing the batch number.
+        let _ = session.private_inference(&mut model, &x).unwrap();
+        assert_eq!(session.batch_index(), b1 + 2);
+        let _ = session.private_inference_per_sample(&mut model, &x).unwrap();
+        assert_eq!(session.batch_index(), b1 + 3);
+        // And an explicit begin is honoured by the next pass (no double
+        // begin).
+        session.begin_virtual_batch();
+        let fresh = session.batch_index();
+        let _ = session.private_inference(&mut model, &x).unwrap();
+        assert_eq!(session.batch_index(), fresh);
+    }
+
+    /// A step plan (weights quantized once, up front) must be invisible
+    /// to the results: same bits as quantizing per batch.
+    #[test]
+    fn step_plan_is_bit_transparent() {
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let x = input(2);
+        let mut model_a = small_model(40);
+        let mut model_b = small_model(40);
+        let mut plain = DarknightSession::new(cfg, GpuCluster::honest(cfg.workers_required(), 41))
+            .unwrap();
+        let mut planned = DarknightSession::new(cfg, GpuCluster::honest(cfg.workers_required(), 41))
+            .unwrap();
+        let plan = crate::engine::StepPlan::extract(&model_b, cfg.quant()).unwrap();
+        planned.set_step_plan(Some(Arc::new(plan)));
+        let ya = plain.private_inference(&mut model_a, &x).unwrap();
+        let yb = planned.private_inference(&mut model_b, &x).unwrap();
+        assert_eq!(ya.as_slice(), yb.as_slice());
     }
 }

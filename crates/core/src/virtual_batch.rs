@@ -15,6 +15,7 @@
 //! shard regardless of model size — the paper's "pipelined approach to
 //! shard-wise aggregation".
 
+use crate::engine::PipelineEngine;
 use crate::error::DarknightError;
 use crate::session::{DarknightSession, StepReport};
 use dk_linalg::Tensor;
@@ -53,42 +54,105 @@ impl LargeBatchReport {
     }
 }
 
+/// How the trainer executes its virtual batches.
+#[derive(Debug)]
+enum Backend {
+    /// Blocking reference: one batch at a time on one session.
+    Sequential(Box<DarknightSession>),
+    /// Overlapped execution on the pipelined engine ([`crate::engine`]);
+    /// bit-for-bit identical results.
+    Pipelined(Box<PipelineEngine>),
+}
+
 /// Trains on batches larger than the virtual batch by aggregating
-/// sealed per-virtual-batch gradients (Algorithm 2).
+/// sealed per-virtual-batch gradients (Algorithm 2), sequentially or —
+/// the production path — pipelined across TEE lanes and persistent GPU
+/// worker threads.
 #[derive(Debug)]
 pub struct LargeBatchTrainer {
-    session: DarknightSession,
+    backend: Backend,
     store: UntrustedStore,
     shard_elems: usize,
 }
 
 impl LargeBatchTrainer {
-    /// Wraps a session. `shard_elems` is the shard granularity for
-    /// sealed gradient blobs (Algorithm 2's sharding; the paper uses
-    /// "a set of DNN layers" per shard — element-granular shards
-    /// subsume that).
+    /// Wraps a session (sequential reference mode). `shard_elems` is the
+    /// shard granularity for sealed gradient blobs (Algorithm 2's
+    /// sharding; the paper uses "a set of DNN layers" per shard —
+    /// element-granular shards subsume that).
     ///
     /// # Panics
     ///
     /// Panics if `shard_elems == 0`.
     pub fn new(session: DarknightSession, shard_elems: usize) -> Self {
         assert!(shard_elems > 0, "shard size must be positive");
-        Self { session, store: UntrustedStore::new(), shard_elems }
+        Self { backend: Backend::Sequential(Box::new(session)), store: UntrustedStore::new(), shard_elems }
     }
 
-    /// The wrapped session.
+    /// Wraps a pipelined engine: gradient accumulation streams the
+    /// virtual batches of each large batch across the engine's lanes
+    /// (weights are frozen until the step, so the batches are
+    /// independent), with results bit-for-bit equal to
+    /// [`LargeBatchTrainer::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_elems == 0`.
+    pub fn pipelined(engine: PipelineEngine, shard_elems: usize) -> Self {
+        assert!(shard_elems > 0, "shard size must be positive");
+        Self { backend: Backend::Pipelined(Box::new(engine)), store: UntrustedStore::new(), shard_elems }
+    }
+
+    /// The wrapped session (sequential mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics in pipelined mode — use [`LargeBatchTrainer::engine`].
     pub fn session(&self) -> &DarknightSession {
-        &self.session
+        match &self.backend {
+            Backend::Sequential(s) => s,
+            Backend::Pipelined(_) => panic!("pipelined trainer has no single session"),
+        }
     }
 
-    /// Mutable access to the wrapped session.
+    /// Mutable access to the wrapped session (sequential mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics in pipelined mode — use [`LargeBatchTrainer::engine_mut`].
     pub fn session_mut(&mut self) -> &mut DarknightSession {
-        &mut self.session
+        match &mut self.backend {
+            Backend::Sequential(s) => s,
+            Backend::Pipelined(_) => panic!("pipelined trainer has no single session"),
+        }
     }
 
-    /// Consumes the trainer, returning the session.
+    /// The wrapped engine, if this trainer is pipelined.
+    pub fn engine(&self) -> Option<&PipelineEngine> {
+        match &self.backend {
+            Backend::Pipelined(e) => Some(e),
+            Backend::Sequential(_) => None,
+        }
+    }
+
+    /// Mutable access to the wrapped engine, if pipelined.
+    pub fn engine_mut(&mut self) -> Option<&mut PipelineEngine> {
+        match &mut self.backend {
+            Backend::Pipelined(e) => Some(e),
+            Backend::Sequential(_) => None,
+        }
+    }
+
+    /// Consumes the trainer, returning the session (sequential mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics in pipelined mode.
     pub fn into_session(self) -> DarknightSession {
-        self.session
+        match self.backend {
+            Backend::Sequential(s) => *s,
+            Backend::Pipelined(_) => panic!("pipelined trainer has no single session"),
+        }
     }
 
     /// Runs one large-batch step: `x` is `[N, ...]` with
@@ -110,9 +174,31 @@ impl LargeBatchTrainer {
         labels: &[usize],
         sgd: &mut Sgd,
     ) -> Result<LargeBatchReport, DarknightError> {
+        let shard_elems = self.shard_elems;
+        match &mut self.backend {
+            Backend::Pipelined(engine) => {
+                engine.train_large_batch(model, x, labels, sgd, shard_elems)
+            }
+            Backend::Sequential(_) => self.train_sequential(model, x, labels, sgd),
+        }
+    }
+
+    /// The blocking reference implementation of Algorithm 2.
+    fn train_sequential(
+        &mut self,
+        model: &mut Sequential,
+        x: &Tensor<f32>,
+        labels: &[usize],
+        sgd: &mut Sgd,
+    ) -> Result<LargeBatchReport, DarknightError> {
+        let shard_elems = self.shard_elems;
+        let store = &mut self.store;
+        let Backend::Sequential(session) = &mut self.backend else {
+            unreachable!("train_sequential called on a pipelined trainer")
+        };
         let n = x.shape()[0];
         assert_eq!(labels.len(), n, "one label per sample");
-        let k = self.session.config().k();
+        let k = session.config().k();
         if !n.is_multiple_of(k) || n == 0 {
             return Err(DarknightError::BatchShape { expected: k, actual: n });
         }
@@ -134,36 +220,35 @@ impl LargeBatchTrainer {
             // Compute ∇W_v (gradients land in the model's grad buffers).
             model.zero_grad();
             let StepReport { loss, accuracy } =
-                self.session.accumulate_gradients(model, &vb, vb_labels)?;
+                session.accumulate_gradients(model, &vb, vb_labels)?;
             report.losses.push(loss);
             report.accuracies.push(accuracy);
             // Extract, shard, seal, evict (Algorithm 2 lines 8–10).
-            let flat = Self::extract_grads(model);
-            shard_count = flat.len().div_ceil(self.shard_elems);
+            let flat = model.grad_vector();
+            shard_count = flat.len().div_ceil(shard_elems);
             for s in 0..shard_count {
-                let lo = s * self.shard_elems;
-                let hi = (lo + self.shard_elems).min(flat.len());
-                let blob = self.session.enclave_mut().seal(&f32s_to_bytes(&flat[lo..hi]));
+                let lo = s * shard_elems;
+                let hi = (lo + shard_elems).min(flat.len());
+                let blob = session.enclave_mut().seal(&f32s_to_bytes(&flat[lo..hi]));
                 report.seal_ops += 1;
                 report.bytes_evicted += blob.len() as u64;
-                self.store.put(Self::blob_id(v, s), blob);
+                store.put(Self::blob_id(v, s), blob);
             }
         }
 
         // UpdateAggregation (Algorithm 2 lines 14–21), shard-wise so the
         // enclave only ever holds one shard of the aggregate.
-        let total = Self::extract_grads(model).len();
+        let total = model.grad_vector().len();
         let mut aggregate = vec![0.0f32; total];
         for s in 0..shard_count {
-            let lo = s * self.shard_elems;
+            let lo = s * shard_elems;
             let mut acc: Vec<f32> = Vec::new();
             for v in 0..v_count {
-                let blob = self
-                    .store
+                let blob = store
                     .remove(Self::blob_id(v, s))
                     .expect("sealed shard disappeared from untrusted store");
                 report.bytes_reloaded += blob.len() as u64;
-                let bytes = self.session.enclave_mut().unseal(&blob)?;
+                let bytes = session.enclave_mut().unseal(&blob)?;
                 report.unseal_ops += 1;
                 let shard = bytes_to_f32s(&bytes);
                 if acc.is_empty() {
@@ -182,29 +267,13 @@ impl LargeBatchTrainer {
         for g in aggregate.iter_mut() {
             *g *= inv_v;
         }
-        Self::install_grads(model, &aggregate);
+        model.set_grad_vector(&aggregate);
         sgd.step(model);
         Ok(report)
     }
 
     fn blob_id(v: usize, s: usize) -> u64 {
         ((v as u64) << 32) | s as u64
-    }
-
-    fn extract_grads(model: &mut Sequential) -> Vec<f32> {
-        let mut flat = Vec::new();
-        model.visit_params(&mut |_, g| flat.extend_from_slice(g.as_slice()));
-        flat
-    }
-
-    fn install_grads(model: &mut Sequential, flat: &[f32]) {
-        let mut off = 0;
-        model.visit_params(&mut |_, g| {
-            let n = g.len();
-            g.as_mut_slice().copy_from_slice(&flat[off..off + n]);
-            off += n;
-        });
-        assert_eq!(off, flat.len(), "gradient vector arity changed");
     }
 }
 
@@ -327,6 +396,30 @@ mod tests {
             last = t.train_large_batch(&mut m, &x, &labels, &mut sgd).unwrap().mean_loss();
         }
         assert!(last < first * 0.6, "first={first} last={last}");
+    }
+
+    #[test]
+    fn pipelined_trainer_is_bitwise_equal_to_sequential() {
+        use crate::engine::{EngineOptions, PipelineEngine};
+        let (x, labels) = batch(8);
+        let mut m_seq = model(9);
+        let mut m_pipe = model(9);
+        let mut sgd_a = Sgd::new(0.1);
+        let mut sgd_b = Sgd::new(0.1);
+        let mut seq = trainer(2, 7);
+        let cfg = DarknightConfig::new(2, 1).with_seed(77);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 21);
+        let engine = PipelineEngine::new(cfg, cluster, EngineOptions::default()).unwrap();
+        let mut pipe = LargeBatchTrainer::pipelined(engine, 7);
+        assert!(pipe.engine().is_some());
+        for _ in 0..3 {
+            let ra = seq.train_large_batch(&mut m_seq, &x, &labels, &mut sgd_a).unwrap();
+            let rb = pipe.train_large_batch(&mut m_pipe, &x, &labels, &mut sgd_b).unwrap();
+            assert_eq!(ra.losses, rb.losses, "per-batch losses must match bitwise");
+            assert_eq!(ra.seal_ops, rb.seal_ops);
+            assert_eq!(ra.bytes_evicted, rb.bytes_evicted);
+            assert_eq!(m_seq.max_param_diff(&m_pipe.snapshot_params()), 0.0);
+        }
     }
 
     #[test]

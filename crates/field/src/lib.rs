@@ -39,4 +39,4 @@ pub mod vandermonde;
 pub use fp::{Fp, F25, F61, P25, P61};
 pub use matrix::FieldMatrix;
 pub use quant::{QuantConfig, QuantError};
-pub use rng::FieldRng;
+pub use rng::{derive_seed, FieldRng};

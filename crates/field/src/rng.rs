@@ -10,6 +10,23 @@ use crate::fp::Fp;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
+/// Deterministically mixes a seed with a label into a new seed
+/// (splitmix64 finalizer over the xor-folded pair).
+///
+/// This is the workspace's *stateless* seed-derivation primitive: unlike
+/// [`FieldRng::fork`], which consumes state from a running stream,
+/// `derive_seed(seed, label)` depends only on its arguments. The
+/// pipelined executor leans on this to give every `(virtual batch,
+/// layer)` pair its own mask stream no matter which thread — or in what
+/// order — the batch is processed, which is what makes overlapped
+/// execution bit-for-bit identical to sequential execution.
+pub fn derive_seed(seed: u64, label: u64) -> u64 {
+    let mut z = seed ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A deterministic, seedable source of uniform field elements.
 ///
 /// # Example
@@ -31,6 +48,12 @@ impl FieldRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         Self { inner: ChaCha12Rng::seed_from_u64(seed) }
+    }
+
+    /// Creates a generator from a statelessly derived seed — shorthand
+    /// for `seed_from(derive_seed(seed, label))`.
+    pub fn derived(seed: u64, label: u64) -> Self {
+        Self::seed_from(derive_seed(seed, label))
     }
 
     /// Derives an independent child generator; used to give each subsystem
@@ -111,6 +134,17 @@ mod tests {
         let mut b = FieldRng::seed_from(2);
         let same = (0..64).filter(|_| a.uniform::<P25>() == b.uniform::<P25>()).count();
         assert!(same < 4, "streams should be independent, got {same} collisions");
+    }
+
+    #[test]
+    fn derive_seed_is_stateless_and_label_sensitive() {
+        assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+        assert_ne!(derive_seed(7, 3), derive_seed(7, 4));
+        assert_ne!(derive_seed(7, 3), derive_seed(8, 3));
+        let mut a = FieldRng::derived(9, 1);
+        let mut b = FieldRng::derived(9, 2);
+        let same = (0..64).filter(|_| a.uniform::<P25>() == b.uniform::<P25>()).count();
+        assert!(same < 4, "derived streams should be independent, got {same}");
     }
 
     #[test]

@@ -32,11 +32,41 @@ impl GpuCluster {
         Self { workers, parallel: false }
     }
 
+    /// Reassembles a cluster from workers previously moved into a
+    /// dispatcher (state intact).
+    pub(crate) fn from_workers(workers: Vec<GpuWorker>, parallel: bool) -> Self {
+        Self { workers, parallel }
+    }
+
     /// Enables multi-threaded dispatch (one OS thread per worker, as the
     /// real deployment drives GPUs concurrently).
     pub fn with_parallel_dispatch(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Attaches a modeled accelerator latency profile to every worker
+    /// (see [`crate::LatencyModel`]); `None` removes it. Used by the
+    /// pipeline experiments so wall-clock comparisons reflect device
+    /// occupancy rather than simulation speed.
+    pub fn with_latency(mut self, latency: Option<crate::LatencyModel>) -> Self {
+        for w in &mut self.workers {
+            w.set_latency(latency);
+        }
+        self
+    }
+
+    /// Moves the fleet into a [`crate::GpuDispatcher`]: one persistent
+    /// OS thread per worker behind a `queue_depth`-bounded inbox. This
+    /// is the primary execution interface for pipelined workloads;
+    /// [`crate::GpuDispatcher::join`] returns the fleet with all
+    /// accumulated state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth == 0`.
+    pub fn into_dispatcher(self, queue_depth: usize) -> crate::GpuDispatcher {
+        crate::GpuDispatcher::spawn(self.workers, queue_depth, self.parallel)
     }
 
     /// Creates a fresh cluster over the *same fleet* — identical worker
@@ -49,7 +79,11 @@ impl GpuCluster {
     /// accumulated state should travel too.
     pub fn fork(&self, seed: u64) -> Self {
         let behaviors: Vec<Behavior> = self.workers.iter().map(|w| w.behavior()).collect();
-        Self::with_behaviors(&behaviors, seed).with_parallel_dispatch(self.parallel)
+        let mut fork = Self::with_behaviors(&behaviors, seed).with_parallel_dispatch(self.parallel);
+        for (w, old) in fork.workers.iter_mut().zip(&self.workers) {
+            w.set_latency(old.latency());
+        }
+        fork
     }
 
     /// Number of workers (`K'`).
@@ -139,6 +173,34 @@ impl GpuCluster {
     /// Total MACs executed across all workers.
     pub fn total_macs(&self) -> u64 {
         self.workers.iter().map(|w| w.macs_executed()).sum()
+    }
+}
+
+/// The blocking reference backend: one virtual batch in flight, jobs run
+/// to completion inside `execute`.
+impl crate::GpuExec for GpuCluster {
+    fn num_workers(&self) -> usize {
+        self.len()
+    }
+
+    fn execute(&mut self, _tag: u64, jobs: &[LinearJob]) -> Vec<JobOutput> {
+        GpuCluster::execute(self, jobs)
+    }
+
+    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> JobOutput {
+        GpuCluster::execute_on(self, id, job)
+    }
+
+    fn store_encodings(&mut self, ctx_id: u64, encodings: Vec<dk_linalg::Tensor<dk_field::F25>>) {
+        GpuCluster::store_encodings(self, ctx_id, encodings);
+    }
+
+    fn release_contexts(&mut self, ctx_ids: &[u64]) {
+        for w in &mut self.workers {
+            for &c in ctx_ids {
+                w.remove_encoding(c);
+            }
+        }
     }
 }
 

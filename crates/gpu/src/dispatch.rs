@@ -1,0 +1,402 @@
+//! Asynchronous job dispatch over persistent per-worker OS threads.
+//!
+//! This is the primary execution interface of the fleet (the blocking
+//! [`GpuCluster::execute`](crate::GpuCluster::execute) remains as the
+//! sequential reference): a [`GpuDispatcher`] owns one long-lived OS
+//! thread per worker, each fed by a bounded channel. Callers
+//! [`submit`](GpuDispatcher::submit) a virtual batch of jobs and get a
+//! [`Ticket`] back immediately; [`complete`](GpuDispatcher::complete)
+//! blocks until the results are in. Between the two calls the submitting
+//! (TEE) thread is free to encode the next virtual batch or decode the
+//! previous one — the §7.1 overlap, for real.
+//!
+//! Guarantees:
+//!
+//! * **Per-worker FIFO.** Messages to one worker are processed in send
+//!   order, so a stored encoding is always visible to the `*Stored` jobs
+//!   submitted after it by the same thread.
+//! * **Bounded queues.** Each worker's channel holds at most `depth`
+//!   messages; a flooded fleet backpressures encoders instead of
+//!   buffering unboundedly.
+//! * **State fidelity.** Workers keep their full state (behaviour, RNG,
+//!   stored encodings, observations, counters) across the dispatcher's
+//!   lifetime; [`join`](GpuDispatcher::join) reassembles the original
+//!   [`GpuCluster`] with everything the workers accumulated.
+
+use crate::cluster::GpuCluster;
+use crate::exec::GpuExec;
+use crate::job::{JobOutput, LinearJob};
+use crate::worker::{GpuWorker, WorkerId};
+use dk_field::F25;
+use dk_linalg::Tensor;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Identifies the virtual batch a submission belongs to (tracing and
+/// bookkeeping; uniqueness is the submitter's concern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchTag(pub u64);
+
+/// What flows to a worker thread.
+enum WorkerMsg {
+    Run { job: Box<LinearJob>, reply: mpsc::Sender<JobOutput> },
+    Store { ctx_id: u64, encoding: Tensor<F25> },
+    Release { ctx_id: u64 },
+}
+
+/// A pending virtual-batch submission: redeem with
+/// [`GpuDispatcher::complete`].
+#[derive(Debug)]
+pub struct Ticket {
+    tag: BatchTag,
+    replies: Vec<mpsc::Receiver<JobOutput>>,
+}
+
+impl Ticket {
+    /// The tag this submission was made under.
+    pub fn tag(&self) -> BatchTag {
+        self.tag
+    }
+
+    /// Number of jobs in flight under this ticket.
+    pub fn len(&self) -> usize {
+        self.replies.len()
+    }
+
+    /// True if the ticket covers no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.replies.is_empty()
+    }
+}
+
+/// A pending single-job submission: redeem with
+/// [`GpuDispatcher::complete_one`].
+#[derive(Debug)]
+pub struct JobTicket {
+    reply: mpsc::Receiver<JobOutput>,
+}
+
+/// Persistent-thread asynchronous dispatcher over a worker fleet (see
+/// module docs). Created with
+/// [`GpuCluster::into_dispatcher`](crate::GpuCluster::into_dispatcher).
+///
+/// All methods take `&self`: the dispatcher is shared between the TEE
+/// stage threads of a pipelined engine (typically behind an [`Arc`]).
+#[derive(Debug)]
+pub struct GpuDispatcher {
+    senders: Vec<mpsc::SyncSender<WorkerMsg>>,
+    handles: Vec<JoinHandle<GpuWorker>>,
+    parallel: bool,
+}
+
+fn worker_main(mut worker: GpuWorker, rx: mpsc::Receiver<WorkerMsg>) -> GpuWorker {
+    for msg in rx.iter() {
+        match msg {
+            WorkerMsg::Run { job, reply } => {
+                // A send error means the submitter gave up on the
+                // ticket; the job still ran (state advanced), which
+                // mirrors a real accelerator that cannot be recalled.
+                let _ = reply.send(worker.execute(&job));
+            }
+            WorkerMsg::Store { ctx_id, encoding } => worker.store_encoding(ctx_id, encoding),
+            WorkerMsg::Release { ctx_id } => worker.remove_encoding(ctx_id),
+        }
+    }
+    worker
+}
+
+impl GpuDispatcher {
+    /// Spawns one thread per worker with a `depth`-bounded inbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` or thread spawning fails.
+    pub(crate) fn spawn(workers: Vec<GpuWorker>, depth: usize, parallel: bool) -> Self {
+        assert!(depth > 0, "worker queues need capacity");
+        let mut senders = Vec::with_capacity(workers.len());
+        let mut handles = Vec::with_capacity(workers.len());
+        for w in workers {
+            let (tx, rx) = mpsc::sync_channel(depth);
+            let name = format!("dk-gpu-{}", w.id());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_main(w, rx))
+                    .expect("spawn gpu worker thread"),
+            );
+            senders.push(tx);
+        }
+        Self { senders, handles, parallel }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True if the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    fn send(&self, w: usize, msg: WorkerMsg) {
+        self.senders[w].send(msg).expect("gpu worker thread terminated early");
+    }
+
+    /// Submits `jobs[i]` to worker `i` and returns immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more jobs than workers are supplied, or if a worker
+    /// thread has died.
+    pub fn submit(&self, tag: BatchTag, jobs: Vec<LinearJob>) -> Ticket {
+        assert!(
+            jobs.len() <= self.senders.len(),
+            "more jobs ({}) than workers ({})",
+            jobs.len(),
+            self.senders.len()
+        );
+        let mut replies = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            self.send(i, WorkerMsg::Run { job: Box::new(job), reply: tx });
+            replies.push(rx);
+        }
+        Ticket { tag, replies }
+    }
+
+    /// Blocks until every job under the ticket finished; outputs are in
+    /// worker order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread died mid-job.
+    pub fn complete(&self, ticket: Ticket) -> Vec<JobOutput> {
+        ticket
+            .replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("gpu worker thread dropped a job"))
+            .collect()
+    }
+
+    /// Submits one job to a specific worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the worker thread has died.
+    pub fn submit_on(&self, id: WorkerId, job: LinearJob) -> JobTicket {
+        let (tx, rx) = mpsc::channel();
+        self.send(id.0, WorkerMsg::Run { job: Box::new(job), reply: tx });
+        JobTicket { reply: rx }
+    }
+
+    /// Blocks until a single-job submission finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread died mid-job.
+    pub fn complete_one(&self, ticket: JobTicket) -> JobOutput {
+        ticket.reply.recv().expect("gpu worker thread dropped a job")
+    }
+
+    /// Stores per-worker forward encodings under a context id (worker
+    /// `i` receives `encodings[i]`). Per-worker FIFO ordering makes the
+    /// encoding visible to any job this thread submits afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more encodings than workers are supplied.
+    pub fn store_encodings(&self, ctx_id: u64, encodings: Vec<Tensor<F25>>) {
+        assert!(encodings.len() <= self.senders.len(), "more encodings than workers");
+        for (i, e) in encodings.into_iter().enumerate() {
+            self.send(i, WorkerMsg::Store { ctx_id, encoding: e });
+        }
+    }
+
+    /// Releases the stored encodings of a retired virtual-batch context
+    /// on every worker.
+    pub fn release_context(&self, ctx_id: u64) {
+        for i in 0..self.senders.len() {
+            self.send(i, WorkerMsg::Release { ctx_id });
+        }
+    }
+
+    fn shutdown(&mut self) -> Vec<GpuWorker> {
+        self.senders.clear(); // closing every inbox ends the worker loops
+        std::mem::take(&mut self.handles)
+            .into_iter()
+            .map(|h| h.join().expect("gpu worker thread panicked"))
+            .collect()
+    }
+
+    /// Stops the worker threads and reassembles the fleet, with all the
+    /// state the workers accumulated (counters, observations, stored
+    /// encodings, behaviours).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn join(mut self) -> GpuCluster {
+        let workers = self.shutdown();
+        let parallel = self.parallel;
+        GpuCluster::from_workers(workers, parallel)
+    }
+}
+
+impl Drop for GpuDispatcher {
+    fn drop(&mut self) {
+        // Idempotent with `join` (which empties the handle list first).
+        let _ = self.shutdown();
+    }
+}
+
+/// A cloneable [`GpuExec`] backend over a shared dispatcher. Each
+/// pipelined TEE lane holds one client; all clients feed the same
+/// persistent worker threads.
+#[derive(Debug, Clone)]
+pub struct DispatchClient {
+    inner: Arc<GpuDispatcher>,
+}
+
+impl DispatchClient {
+    /// Wraps a shared dispatcher.
+    pub fn new(inner: Arc<GpuDispatcher>) -> Self {
+        Self { inner }
+    }
+
+    /// The underlying dispatcher.
+    pub fn dispatcher(&self) -> &Arc<GpuDispatcher> {
+        &self.inner
+    }
+}
+
+impl GpuExec for DispatchClient {
+    fn num_workers(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn execute(&mut self, tag: u64, jobs: &[LinearJob]) -> Vec<JobOutput> {
+        let ticket = self.inner.submit(BatchTag(tag), jobs.to_vec());
+        self.inner.complete(ticket)
+    }
+
+    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> JobOutput {
+        self.inner.complete_one(self.inner.submit_on(id, job.clone()))
+    }
+
+    fn store_encodings(&mut self, ctx_id: u64, encodings: Vec<Tensor<F25>>) {
+        self.inner.store_encodings(ctx_id, encodings);
+    }
+
+    fn release_contexts(&mut self, ctx_ids: &[u64]) {
+        for &c in ctx_ids {
+            self.inner.release_context(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use std::sync::Arc as StdArc;
+
+    fn dense_job(scale: u64) -> LinearJob {
+        LinearJob::DenseForward {
+            weights: StdArc::new(Tensor::from_fn(&[2, 3], |i| F25::new(i as u64 + 1))),
+            x: Tensor::from_fn(&[1, 3], move |i| F25::new((i as u64 + 1) * scale)),
+        }
+    }
+
+    #[test]
+    fn submit_complete_matches_blocking_execute() {
+        let jobs: Vec<_> = (1..=3).map(dense_job).collect();
+        let mut blocking = GpuCluster::honest(3, 1);
+        let expect = blocking.execute(&jobs);
+        let d = GpuCluster::honest(3, 1).into_dispatcher(4);
+        let outs = d.complete(d.submit(BatchTag(1), jobs));
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn interleaved_batches_keep_worker_order() {
+        let d = GpuCluster::honest(2, 2).into_dispatcher(4);
+        let t1 = d.submit(BatchTag(1), (1..=2).map(dense_job).collect());
+        let t2 = d.submit(BatchTag(2), (3..=4).map(dense_job).collect());
+        let o2 = d.complete(t2);
+        let o1 = d.complete(t1);
+        assert_eq!(o1[0], dense_job(1).execute());
+        assert_eq!(o1[1], dense_job(2).execute());
+        assert_eq!(o2[0], dense_job(3).execute());
+        assert_eq!(o2[1], dense_job(4).execute());
+    }
+
+    #[test]
+    fn store_then_stored_job_sees_encoding() {
+        let d = GpuCluster::honest(1, 3).into_dispatcher(4);
+        let enc = Tensor::from_fn(&[1, 3], |i| F25::new(i as u64 + 2));
+        d.store_encodings(77, vec![enc.clone()]);
+        let delta = StdArc::new(Tensor::from_fn(&[1, 2], |i| F25::new(i as u64 + 1)));
+        let job = LinearJob::DenseWeightGradStored {
+            delta_batch: delta.clone(),
+            beta: vec![F25::ONE],
+            layer_id: 77,
+        };
+        let out = d.complete_one(d.submit_on(WorkerId(0), job));
+        let expect = LinearJob::DenseWeightGrad {
+            delta: (*delta).clone(),
+            x: enc,
+        }
+        .execute();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn release_context_drops_encoding() {
+        let mut cluster = GpuCluster::honest(1, 4);
+        let d = cluster.clone().into_dispatcher(4);
+        d.store_encodings(5, vec![Tensor::from_fn(&[1, 2], |i| F25::new(i as u64))]);
+        d.release_context(5);
+        cluster = d.join();
+        assert!(cluster.worker(WorkerId(0)).stored_encoding(5).is_none());
+        // But the observation (the adversary's view) survives.
+        assert_eq!(cluster.worker(WorkerId(0)).observations().len(), 1);
+    }
+
+    #[test]
+    fn join_preserves_worker_state() {
+        let d = GpuCluster::with_behaviors(&[Behavior::Honest, Behavior::Scale(2)], 5)
+            .into_dispatcher(4);
+        let _ = d.complete(d.submit(BatchTag(0), (1..=2).map(dense_job).collect()));
+        let cluster = d.join();
+        assert_eq!(cluster.len(), 2);
+        assert_eq!(cluster.worker(WorkerId(0)).jobs_executed(), 1);
+        assert_eq!(cluster.worker(WorkerId(1)).behavior(), Behavior::Scale(2));
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_fleet() {
+        let d = StdArc::new(GpuCluster::honest(2, 6).into_dispatcher(2));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let d = d.clone();
+                s.spawn(move || {
+                    for r in 0..8u64 {
+                        let jobs: Vec<_> = (1..=2).map(|i| dense_job(i + t + r)).collect();
+                        let expect: Vec<_> = jobs.iter().map(LinearJob::execute).collect();
+                        let outs = d.complete(d.submit(BatchTag(t), jobs));
+                        assert_eq!(outs, expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "more jobs")]
+    fn too_many_jobs_panics() {
+        let d = GpuCluster::honest(1, 7).into_dispatcher(2);
+        let _ = d.submit(BatchTag(0), (1..=2).map(dense_job).collect());
+    }
+}

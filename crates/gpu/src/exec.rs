@@ -1,0 +1,48 @@
+//! The execution-backend abstraction the TEE-side protocol is generic
+//! over.
+//!
+//! `dk-core`'s session implements DarKnight's §3.1 flow once, against
+//! this trait; the backend decides *how* the linear jobs reach the
+//! accelerators:
+//!
+//! * [`crate::GpuCluster`] — the blocking reference backend: jobs run to
+//!   completion inside `execute` (serially, or on one ephemeral thread
+//!   per worker). One virtual batch is in flight at a time.
+//! * [`crate::DispatchClient`] — the pipelined backend: jobs are
+//!   submitted to a shared [`crate::GpuDispatcher`] whose persistent
+//!   per-worker threads serve *several* virtual batches concurrently.
+//!
+//! Context ids are the protocol's handle for stored forward encodings
+//! (§6 backward reuse). Sequential execution could key them by layer
+//! alone, but pipelined execution has many batches resident on each
+//! worker at once, so ids are globally unique per `(virtual batch,
+//! layer)` and released per batch rather than wholesale.
+
+use crate::job::{JobOutput, LinearJob};
+use crate::worker::WorkerId;
+use dk_field::F25;
+use dk_linalg::Tensor;
+
+/// An execution backend for the offloaded linear operations.
+pub trait GpuExec {
+    /// Number of workers (`K'`).
+    fn num_workers(&self) -> usize;
+
+    /// Executes `jobs[i]` on worker `i` and returns outputs in worker
+    /// order. `tag` identifies the virtual-batch context the jobs belong
+    /// to (used for tracing and queue bookkeeping by asynchronous
+    /// backends; the blocking backend ignores it).
+    fn execute(&mut self, tag: u64, jobs: &[LinearJob]) -> Vec<JobOutput>;
+
+    /// Executes a single job on a specific worker (spot checks and the
+    /// unencoded data-gradient offload).
+    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> JobOutput;
+
+    /// Stores per-worker forward encodings (worker `i` receives
+    /// `encodings[i]`) under the given context id for backward reuse.
+    fn store_encodings(&mut self, ctx_id: u64, encodings: Vec<Tensor<F25>>);
+
+    /// Releases stored encodings for the given context ids (virtual
+    /// batch retired).
+    fn release_contexts(&mut self, ctx_ids: &[u64]);
+}

@@ -14,9 +14,16 @@
 //!   records everything it observes (for collusion analysis), and can be
 //!   configured with adversarial [`behavior::Behavior`]s that corrupt
 //!   results — the faults DarKnight's integrity check (§4.4) must catch.
-//! * [`cluster::GpuCluster`] — dispatches one encoding per worker
-//!   (the paper's "each GPU receives at most one encoded data") either
-//!   sequentially or across OS threads.
+//! * [`dispatch::GpuDispatcher`] — the **primary** execution interface:
+//!   asynchronous `submit(batch_tag, jobs) → Ticket` /
+//!   `complete(Ticket)` dispatch over persistent per-worker OS threads
+//!   with bounded queues, so TEE encode/decode work overlaps accelerator
+//!   execution (§7.1's pipelined mode).
+//! * [`cluster::GpuCluster`] — the fleet container; also offers the
+//!   legacy blocking `execute` used by the sequential reference path.
+//! * [`exec::GpuExec`] — the backend abstraction the `dk-core` session
+//!   is generic over: the same TEE-side protocol code drives either a
+//!   blocking cluster or a shared dispatcher.
 //! * [`collusion`] — the empirical privacy harness: uniformity testing
 //!   of observations and a white-box noise-cancellation audit that
 //!   demonstrates the exact collusion-tolerance boundary `M`.
@@ -24,10 +31,40 @@
 pub mod behavior;
 pub mod cluster;
 pub mod collusion;
+pub mod dispatch;
+pub mod exec;
 pub mod job;
 pub mod worker;
 
 pub use behavior::Behavior;
 pub use cluster::GpuCluster;
+pub use dispatch::{BatchTag, DispatchClient, GpuDispatcher, JobTicket, Ticket};
+pub use exec::GpuExec;
 pub use job::{JobOutput, LinearJob};
 pub use worker::{GpuWorker, WorkerId};
+
+/// A modeled accelerator execution-latency profile.
+///
+/// The workers in this crate *simulate* GPUs on the host CPU, so by
+/// default a job takes however long the host needs to run the field
+/// kernels — which says nothing about real accelerator timing. Attaching
+/// a `LatencyModel` makes every job additionally occupy the worker for
+/// `base_ns + macs·ns_per_kmac/1000` of wall-clock time (a fixed
+/// dispatch/transfer overhead plus a throughput term), without consuming
+/// host CPU. Pipeline experiments use this to measure *overlap*: TEE
+/// encode/decode compute can genuinely hide under the modeled device
+/// time, exactly as §7.1 hides it under real GPU execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed per-job overhead (kernel launch + PCIe transfer), in ns.
+    pub base_ns: u64,
+    /// Throughput term: nanoseconds per thousand MACs.
+    pub ns_per_kmac: u64,
+}
+
+impl LatencyModel {
+    /// The modeled wall-clock occupancy of a job with `macs` MACs.
+    pub fn delay(&self, macs: u64) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.base_ns + macs.saturating_mul(self.ns_per_kmac) / 1000)
+    }
+}

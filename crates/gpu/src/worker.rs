@@ -36,6 +36,7 @@ pub struct GpuWorker {
     observations: Vec<Vec<F25>>,
     jobs_executed: u64,
     macs_executed: u64,
+    latency: Option<crate::LatencyModel>,
 }
 
 impl GpuWorker {
@@ -49,7 +50,22 @@ impl GpuWorker {
             observations: Vec::new(),
             jobs_executed: 0,
             macs_executed: 0,
+            latency: None,
         }
+    }
+
+    /// Attaches (or clears) a modeled execution-latency profile. When
+    /// set, [`GpuWorker::execute`] sleeps for the modeled accelerator
+    /// time after computing the (host-CPU-simulated) result, so
+    /// wall-clock measurements reflect device latency rather than the
+    /// speed of the simulation itself.
+    pub fn set_latency(&mut self, latency: Option<crate::LatencyModel>) {
+        self.latency = latency;
+    }
+
+    /// The modeled latency profile, if any.
+    pub fn latency(&self) -> Option<crate::LatencyModel> {
+        self.latency
     }
 
     /// The worker id.
@@ -83,6 +99,13 @@ impl GpuWorker {
     /// Clears stored encodings (between virtual batches).
     pub fn clear_encodings(&mut self) {
         self.stored_encodings.clear();
+    }
+
+    /// Removes one stored encoding by context id. Pipelined execution
+    /// keys contexts per `(virtual batch, layer)` and releases them
+    /// individually, since several batches share the worker at once.
+    pub fn remove_encoding(&mut self, ctx_id: u64) {
+        self.stored_encodings.remove(&ctx_id);
     }
 
     /// Executes a job, applying the adversarial behaviour to the result.
@@ -123,6 +146,9 @@ impl GpuWorker {
             }
             _ => job.execute(),
         };
+        if let Some(l) = self.latency {
+            std::thread::sleep(l.delay(job.macs()));
+        }
         self.behavior.corrupt(honest, &mut self.rng)
     }
 

@@ -402,6 +402,11 @@ pub struct BatchNorm2d {
     // caches
     xhat: Option<Tensor<f32>>,
     inv_std: Vec<f32>,
+    /// Per-channel `(mean, var)` of the last train-mode forward, kept so
+    /// a pipelined trainer can replay running-stat updates onto the real
+    /// model in virtual-batch order (lane clones compute batches out of
+    /// order, but the running-average chain is order-sensitive).
+    last_batch_stats: Option<(Vec<f32>, Vec<f32>)>,
 }
 
 impl BatchNorm2d {
@@ -419,12 +424,32 @@ impl BatchNorm2d {
             running_var: vec![1.0; channels],
             xhat: None,
             inv_std: Vec::new(),
+            last_batch_stats: None,
         }
     }
 
     /// Channel count.
     pub fn channels(&self) -> usize {
         self.channels
+    }
+
+    /// Takes the per-channel `(mean, var)` recorded by the last
+    /// train-mode forward (None if none happened since the last take).
+    pub fn take_batch_stats(&mut self) -> Option<(Vec<f32>, Vec<f32>)> {
+        self.last_batch_stats.take()
+    }
+
+    /// Folds one batch's `(mean, var)` into the running statistics —
+    /// the exact update a train-mode forward performs, exposed so
+    /// out-of-order (pipelined) execution can replay updates in batch
+    /// order and end bit-for-bit equal to sequential training.
+    pub fn apply_running_update(&mut self, mean: &[f32], var: &[f32]) {
+        for ci in 0..self.channels {
+            self.running_mean[ci] =
+                (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+            self.running_var[ci] =
+                (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+        }
     }
 
     fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
@@ -436,6 +461,8 @@ impl BatchNorm2d {
         let mut y = Tensor::zeros(x.shape());
         let mut xhat = Tensor::zeros(x.shape());
         self.inv_std = vec![0.0; c];
+        let mut batch_means = vec![0.0f32; c];
+        let mut batch_vars = vec![0.0f32; c];
         for ci in 0..c {
             let (mean, var) = if train {
                 let mut sum = 0.0f32;
@@ -449,10 +476,8 @@ impl BatchNorm2d {
                 }
                 let mean = sum / count;
                 let var = (sq / count - mean * mean).max(0.0);
-                self.running_mean[ci] =
-                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
-                self.running_var[ci] =
-                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                batch_means[ci] = mean;
+                batch_vars[ci] = var;
                 (mean, var)
             } else {
                 (self.running_mean[ci], self.running_var[ci])
@@ -469,6 +494,10 @@ impl BatchNorm2d {
                     y.as_mut_slice()[i] = g * xh + b;
                 }
             }
+        }
+        if train {
+            self.apply_running_update(&batch_means, &batch_vars);
+            self.last_batch_stats = Some((batch_means, batch_vars));
         }
         self.xhat = Some(xhat);
         y

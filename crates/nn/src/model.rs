@@ -83,6 +83,49 @@ impl Sequential {
         }
     }
 
+    /// Visits every *leaf* layer in execution order, descending into
+    /// [`crate::layers::Residual`] blocks (main path first, then
+    /// shortcut — the same order the private executor walks them).
+    pub fn visit_leaf_layers_mut(&mut self, f: &mut dyn FnMut(&mut Layer)) {
+        fn walk(layers: &mut [Layer], f: &mut dyn FnMut(&mut Layer)) {
+            for l in layers {
+                if let Layer::Residual(r) = l {
+                    walk(r.main_mut(), f);
+                    walk(r.shortcut_mut(), f);
+                } else {
+                    f(l);
+                }
+            }
+        }
+        walk(&mut self.layers, f);
+    }
+
+    /// Flattens all accumulated gradients into one vector, in
+    /// [`Sequential::visit_params`] order (Algorithm 2 sharding operates
+    /// on this layout).
+    pub fn grad_vector(&mut self) -> Vec<f32> {
+        let mut flat = Vec::new();
+        self.visit_params(&mut |_, g| flat.extend_from_slice(g.as_slice()));
+        flat
+    }
+
+    /// Installs a flat gradient vector produced by
+    /// [`Sequential::grad_vector`] (or an aggregate of several) back
+    /// into the per-parameter gradient buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match the parameter arity.
+    pub fn set_grad_vector(&mut self, flat: &[f32]) {
+        let mut off = 0;
+        self.visit_params(&mut |_, g| {
+            let n = g.len();
+            g.as_mut_slice().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
+        assert_eq!(off, flat.len(), "gradient vector arity changed");
+    }
+
     /// Zeroes all accumulated gradients.
     pub fn zero_grad(&mut self) {
         self.visit_params(&mut |_, g| {

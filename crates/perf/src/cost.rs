@@ -45,6 +45,15 @@ impl Breakdown {
         let t = self.total_serial().max(1e-30);
         (self.linear / t, self.nonlinear / t, self.maskio / t, self.comm / t)
     }
+
+    /// The Fig.-5 pipelining gain this breakdown predicts:
+    /// `total_serial / total_pipelined` — how much wall clock the §7.1
+    /// overlap recovers. The measured counterpart is
+    /// `dk_core::engine::PipelineReport::speedup`, and
+    /// [`crate::report::pipeline_table`] renders the two side by side.
+    pub fn pipeline_gain(&self) -> f64 {
+        self.total_serial() / self.total_pipelined().max(1e-30)
+    }
 }
 
 /// Per-layer SGX linear rate (GMAC/s): grouped/depthwise convs are

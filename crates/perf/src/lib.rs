@@ -31,3 +31,32 @@ pub mod serving;
 
 pub use device::DeviceProfile;
 pub use serving::ServingRow;
+
+/// One measured-vs-analytical pipelining comparison row (rendered by
+/// [`report::pipeline_table`]).
+///
+/// `measured_speedup` comes from actually running the staged engine
+/// against the sequential session (`dk_core::engine`); `analytical`
+/// is the Fig.-5 overlap gain the cost model predicts for a reference
+/// architecture ([`cost::Breakdown::pipeline_gain`]). The two describe
+/// different hosts — the measured row is this machine's simulation, the
+/// analytical row the paper's calibrated testbed — so the comparison is
+/// directional (both must show overlap paying), not an identity.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Workload label (model, mode, latency profile).
+    pub label: String,
+    /// Virtual batches executed per mode.
+    pub batches: usize,
+    /// Sequential wall clock, milliseconds.
+    pub sequential_ms: f64,
+    /// Pipelined wall clock, milliseconds.
+    pub pipelined_ms: f64,
+    /// Measured `sequential / pipelined`.
+    pub measured_speedup: f64,
+    /// The cost model's predicted overlap gain for the named reference
+    /// architecture.
+    pub analytical_speedup: f64,
+    /// Which architecture the analytical column refers to.
+    pub analytical_arch: String,
+}

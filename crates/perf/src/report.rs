@@ -184,6 +184,29 @@ pub fn serving_table(rows: &[crate::ServingRow]) -> String {
     s
 }
 
+/// Renders measured pipelined-vs-sequential runs ([`crate::PipelineRow`])
+/// next to the cost model's analytical Fig.-5 overlap gain, so the two
+/// views of §7.1 pipelining cross-check each other.
+pub fn pipeline_table(rows: &[crate::PipelineRow]) -> String {
+    let mut s = String::from(
+        "Pipelining: measured engine speedup vs analytical Fig.-5 overlap gain\n\n\
+         Workload                        batches   seq(ms)  pipe(ms)  measured  analytical\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<30} {:>8}  {:>8.1}  {:>8.1}  {:>7.2}x  {:>6.2}x ({})\n",
+            r.label,
+            r.batches,
+            r.sequential_ms,
+            r.pipelined_ms,
+            r.measured_speedup,
+            r.analytical_speedup,
+            r.analytical_arch
+        ));
+    }
+    s
+}
+
 /// Renders the headline summary.
 pub fn summary(p: &DeviceProfile) -> String {
     let s = experiments::summary(p);
@@ -244,6 +267,31 @@ mod tests {
         assert!(s.contains("75%"));
         assert!(s.contains("87.3"));
         assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn pipeline_table_renders_measured_and_analytical() {
+        let rows = vec![crate::PipelineRow {
+            label: "train/mini_vgg modeled-gpu".into(),
+            batches: 12,
+            sequential_ms: 840.0,
+            pipelined_ms: 430.0,
+            measured_speedup: 1.95,
+            analytical_speedup: 1.42,
+            analytical_arch: "VGG16".into(),
+        }];
+        let s = pipeline_table(&rows);
+        assert!(s.contains("train/mini_vgg modeled-gpu"));
+        assert!(s.contains("1.95x"));
+        assert!(s.contains("1.42x (VGG16)"));
+    }
+
+    #[test]
+    fn analytical_pipeline_gain_is_positive_overlap() {
+        let p = DeviceProfile::calibrated();
+        let b = crate::cost::darknight_training(&dk_nn::arch::vgg16(), &p, 2, 1, false);
+        let g = b.pipeline_gain();
+        assert!(g > 1.0 && g < 3.0, "gain {g}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The serving runtime: admission → aggregation → session pool →
-//! response routing.
+//! The serving runtime: admission → aggregation → pipelined engine pool
+//! → response routing.
 //!
 //! Thread topology (all std, matching the workspace's no-crossbeam
 //! convention):
@@ -12,28 +12,43 @@
 //!                      dispatch queue
 //!                          │ shared Mutex<Receiver> (work stealing)
 //!            ┌─────────────┼─────────────┐
-//!        worker 0      worker 1  …   worker N-1    (one DarknightSession
-//!            │               │             │    + model clone + forked
-//!            └── per-request mpsc Sender ──┴──▶ Ticket::wait    cluster each)
+//!        worker 0      worker 1  …   worker N-1
+//!        (each: feeder ▶ PipelineEngine lanes ▶ router)
+//!            │               │             │
+//!            └── per-request mpsc Sender ──┴──▶ Ticket::wait
 //! ```
 //!
-//! Backpressure is a chain: slow sessions fill the dispatch queue, a
+//! Every pool worker owns a [`dk_core::PipelineEngine`] over a
+//! [`GpuCluster::fork`] of one shared fleet: a feeder thread pulls
+//! batches off the shared dispatch queue into the engine's input stream,
+//! `pipeline_lanes` TEE lane threads serve them concurrently over the
+//! engine's persistent GPU worker threads — so the TEE encodes batch
+//! `t+1` while the fleet computes batch `t` (§7.1) — and a router
+//! thread sends per-request responses back in completion order.
+//! Responses are bit-for-bit unchanged from the sequential path (the
+//! engine's determinism guarantee) — per-sample quantization scales make
+//! every answer identical to running that request alone.
+//!
+//! Backpressure is a chain: slow engines fill the dispatch queue, a
 //! full dispatch queue blocks the aggregator, a blocked aggregator
 //! stops absorbing once its own backlog reaches the cap (it never
 //! hoards more than `max(K, queue_capacity)` pending requests), and
 //! the bounded ingress then fills — at which point `submit` sheds
 //! instead of queueing unboundedly (the overload policy). Outstanding
-//! admitted work is therefore bounded end to end.
+//! admitted work is therefore bounded end to end (the engine's input
+//! channel is bounded by its lane count).
 
 use crate::aggregator::{Batch, BatchAggregator, Pending};
 use crate::metrics::{MetricsRecorder, ServerMetrics};
 use crate::request::{
     InferenceRequest, IntegrityVerdict, RequestId, Response, Shed, ShedReason, Ticket,
 };
-use dk_core::{DarknightConfig, DarknightError, DarknightSession};
+use dk_core::engine::InferenceOutcome;
+use dk_core::{DarknightConfig, DarknightError, EngineOptions, PipelineEngine};
 use dk_gpu::GpuCluster;
 use dk_linalg::Tensor;
 use dk_nn::Sequential;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -57,6 +72,9 @@ pub struct ServerConfig {
     pub max_batch_wait: Duration,
     /// Bounded dispatch queue length between aggregator and pool.
     pub dispatch_depth: usize,
+    /// In-flight virtual batches per worker engine (TEE lane threads);
+    /// 1 disables overlap.
+    pub pipeline_lanes: usize,
 }
 
 impl ServerConfig {
@@ -70,6 +88,7 @@ impl ServerConfig {
             queue_capacity: 64,
             max_batch_wait: Duration::from_millis(2),
             dispatch_depth: 2,
+            pipeline_lanes: 2,
         }
     }
 
@@ -109,6 +128,18 @@ impl ServerConfig {
     pub fn with_dispatch_depth(mut self, dispatch_depth: usize) -> Self {
         assert!(dispatch_depth > 0, "dispatch queue needs capacity");
         self.dispatch_depth = dispatch_depth;
+        self
+    }
+
+    /// Sets the per-worker pipeline lane count (in-flight virtual
+    /// batches; 1 disables stage overlap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipeline_lanes == 0`.
+    pub fn with_pipeline_lanes(mut self, pipeline_lanes: usize) -> Self {
+        assert!(pipeline_lanes > 0, "an engine needs at least one lane");
+        self.pipeline_lanes = pipeline_lanes;
         self
     }
 }
@@ -214,10 +245,12 @@ pub struct Server {
 impl Server {
     /// Builds the pool and starts serving.
     ///
-    /// Every worker gets its own [`DarknightSession`] over a
+    /// Every worker gets its own [`PipelineEngine`] over a
     /// [`GpuCluster::fork`] of `cluster` (same fleet behaviours,
     /// independent execution state) and its own clone of `model`, with
     /// per-worker session seeds so no two workers share a mask stream.
+    /// Within each engine, `pipeline_lanes` TEE threads stream batches
+    /// over persistent per-(simulated-)GPU dispatch threads.
     ///
     /// # Errors
     ///
@@ -229,13 +262,19 @@ impl Server {
         cluster: &GpuCluster,
     ) -> Result<Self, DarknightError> {
         let k = config.session.k();
-        // Construct every session before spawning anything, so a bad
+        // Fail fast on a model whose weights cannot survive Algorithm 1
+        // quantization: the engines extract this exact plan inside
+        // their workers, and a worker dying there would silently strand
+        // every request routed to it.
+        let _ = dk_core::StepPlan::extract(model, config.session.quant())?;
+        // Construct every engine before spawning anything, so a bad
         // configuration fails fast with no threads to clean up.
-        let mut sessions = Vec::with_capacity(config.workers);
+        let opts = EngineOptions::default().with_lanes(config.pipeline_lanes);
+        let mut engines = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let seed = config.session.seed() ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let session_cfg = config.session.with_seed(seed);
-            sessions.push(DarknightSession::new(session_cfg, cluster.fork(seed ^ 0x5EED))?);
+            engines.push(PipelineEngine::new(session_cfg, cluster.fork(seed ^ 0x5EED), opts)?);
         }
 
         let metrics = Arc::new(MetricsRecorder::new());
@@ -256,14 +295,14 @@ impl Server {
                     .expect("spawn aggregator thread"),
             );
         }
-        for (w, session) in sessions.into_iter().enumerate() {
+        for (w, engine) in engines.into_iter().enumerate() {
             let rx = dispatch_rx.clone();
             let metrics = metrics.clone();
             let model = model.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("dk-serve-worker-{w}"))
-                    .spawn(move || worker_loop(session, model, &rx, &metrics))
+                    .spawn(move || worker_loop(engine, model, &rx, &metrics))
                     .expect("spawn worker thread"),
             );
         }
@@ -412,85 +451,148 @@ fn send_batch(
     dispatch.send(batch).map_err(|_| ())
 }
 
-/// One pool worker: owns a session + model clone, executes batches
-/// from the shared dispatch queue, and routes per-request responses.
+/// Per-batch metadata the router needs to turn an engine outcome back
+/// into per-request responses.
+struct InFlight {
+    entries: Vec<Pending>,
+    dispatched_at: Instant,
+    fill: f64,
+}
+
+/// One pool worker: a feeder thread pulls batches off the shared
+/// dispatch queue into its [`PipelineEngine`]'s input stream, the
+/// engine's TEE lanes serve them concurrently (encode of batch `t+1`
+/// under the shadow of GPU work for batch `t`), and a router thread
+/// sends per-request responses in completion order.
 fn worker_loop(
-    mut session: DarknightSession,
-    mut model: Sequential,
+    mut engine: PipelineEngine,
+    model: Sequential,
     dispatch: &Mutex<mpsc::Receiver<Batch>>,
     metrics: &MetricsRecorder,
 ) {
-    let k = session.config().k();
-    let integrity = session.config().integrity();
-    loop {
-        // Holding the lock while blocked on recv is deliberate: idle
-        // workers queue on the mutex instead of the channel, and the
-        // lock is released the moment a batch (or disconnect) arrives.
-        let batch = match dispatch.lock().expect("dispatch lock poisoned").recv() {
-            Ok(b) => b,
-            Err(_) => return, // aggregator gone and queue drained
-        };
-        debug_assert!(!batch.entries.is_empty() && batch.entries.len() <= k);
-        let dispatched_at = Instant::now();
-        // Assemble [K, sample...]: real rows first, all-zero padding
-        // after. Per-sample quantization scales make the padding
-        // numerically invisible to the real rows.
-        let mut shape = vec![k];
-        shape.extend_from_slice(batch.entries[0].input.shape());
-        let mut x = Tensor::<f32>::zeros(&shape);
-        for (i, p) in batch.entries.iter().enumerate() {
-            x.batch_item_mut(i).copy_from_slice(p.input.as_slice());
-        }
-        let recoveries_before = session.stats().recoveries;
-        let result = session.private_inference_per_sample(&mut model, &x);
-        let service_time = dispatched_at.elapsed();
-        let fill = batch.fill();
-        match result {
-            Ok(y) => {
-                let row_shape = y.shape()[1..].to_vec();
-                // A successful decode that needed TEE-side repair is
-                // still evidence of active tampering: surface it as
-                // `Repaired`, never as a clean `Verified`.
-                let repaired = session.stats().recoveries > recoveries_before;
-                let verdict = if repaired {
-                    IntegrityVerdict::Repaired
-                } else if integrity {
-                    IntegrityVerdict::Verified
-                } else {
-                    IntegrityVerdict::Unchecked
+    let k = engine.config().k();
+    let integrity = engine.config().integrity();
+    let lanes = engine.options().lanes;
+    let (in_tx, in_rx) = mpsc::sync_channel::<(u64, Tensor<f32>)>(lanes);
+    let (out_tx, out_rx) = mpsc::channel::<InferenceOutcome>();
+    let in_flight: Mutex<HashMap<u64, InFlight>> = Mutex::new(HashMap::new());
+    std::thread::scope(|scope| {
+        // Feeder: dispatch queue → engine input. The bounded engine
+        // input keeps the backpressure chain intact: full lanes block
+        // the feeder, which leaves batches in the dispatch queue.
+        let in_flight_ref = &in_flight;
+        scope.spawn(move || {
+            let mut seq = 0u64;
+            loop {
+                // Holding the lock while blocked on recv is deliberate:
+                // idle workers queue on the mutex instead of the
+                // channel, and the lock is released the moment a batch
+                // (or disconnect) arrives.
+                let batch = match dispatch.lock().expect("dispatch lock poisoned").recv() {
+                    Ok(b) => b,
+                    Err(_) => return, // aggregator gone and queue drained
                 };
-                // Padded rows y[entries.len()..K] are dropped here —
-                // only real requests receive responses.
-                for (i, p) in batch.entries.into_iter().enumerate() {
-                    let queue_wait = dispatched_at.duration_since(p.enqueued);
-                    metrics.record_response(queue_wait, true, repaired);
-                    let _ = p.reply.send(Response {
-                        id: p.id,
-                        output: Ok(Tensor::from_vec(&row_shape, y.batch_item(i).to_vec())),
-                        verdict,
-                        queue_wait,
-                        service_time,
-                        batch_fill: fill,
-                    });
+                debug_assert!(!batch.entries.is_empty() && batch.entries.len() <= k);
+                let dispatched_at = Instant::now();
+                // Assemble [K, sample...]: real rows first, all-zero
+                // padding after. Per-sample quantization scales make the
+                // padding numerically invisible to the real rows.
+                let mut shape = vec![k];
+                shape.extend_from_slice(batch.entries[0].input.shape());
+                let mut x = Tensor::<f32>::zeros(&shape);
+                for (i, p) in batch.entries.iter().enumerate() {
+                    x.batch_item_mut(i).copy_from_slice(p.input.as_slice());
                 }
+                let fill = batch.fill();
+                in_flight_ref.lock().expect("in-flight lock").insert(
+                    seq,
+                    InFlight { entries: batch.entries, dispatched_at, fill },
+                );
+                if in_tx.send((seq, x)).is_err() {
+                    return; // engine gone (plan extraction failed)
+                }
+                seq += 1;
             }
-            Err(e) => {
-                let verdict = match &e {
-                    DarknightError::IntegrityViolation { .. } => IntegrityVerdict::Violated,
-                    _ => IntegrityVerdict::Unchecked,
-                };
-                for p in batch.entries {
-                    let queue_wait = dispatched_at.duration_since(p.enqueued);
-                    metrics.record_response(queue_wait, false, false);
-                    let _ = p.reply.send(Response {
-                        id: p.id,
-                        output: Err(e.clone()),
-                        verdict,
-                        queue_wait,
-                        service_time,
-                        batch_fill: fill,
-                    });
-                }
+        });
+        // Router: engine outcomes → per-request responses.
+        let in_flight_ref = &in_flight;
+        scope.spawn(move || {
+            for o in out_rx.iter() {
+                let InFlight { entries, dispatched_at, fill } = in_flight_ref
+                    .lock()
+                    .expect("in-flight lock")
+                    .remove(&o.seq)
+                    .expect("engine outcome for unknown batch");
+                route_batch(o, entries, dispatched_at, fill, integrity, metrics);
+            }
+        });
+        // The engine's TEE lanes run on this thread's scope; returns
+        // when the feeder closes the input (server drained).
+        if engine.pump_inference(&model, true, in_rx, out_tx).is_err() {
+            // Weight quantization failed at plan extraction: senders
+            // are dropped, the feeder and router unwind, and waiting
+            // tickets observe the worker as gone.
+        }
+    });
+}
+
+/// Turns one engine outcome into per-request responses, dropping padded
+/// rows (only real requests receive responses).
+fn route_batch(
+    outcome: InferenceOutcome,
+    entries: Vec<Pending>,
+    dispatched_at: Instant,
+    fill: f64,
+    integrity: bool,
+    metrics: &MetricsRecorder,
+) {
+    // Measured from the dispatch-queue pull, not from lane pickup
+    // (`outcome.service`): time spent waiting in the engine's bounded
+    // input channel is real latency the client observes, and
+    // queue_wait + service_time must cover the whole journey.
+    let service_time = dispatched_at.elapsed();
+    match outcome.output {
+        Ok(y) => {
+            let row_shape = y.shape()[1..].to_vec();
+            // A successful decode that needed TEE-side repair is still
+            // evidence of active tampering: surface it as `Repaired`,
+            // never as a clean `Verified`.
+            let verdict = if outcome.repaired {
+                IntegrityVerdict::Repaired
+            } else if integrity {
+                IntegrityVerdict::Verified
+            } else {
+                IntegrityVerdict::Unchecked
+            };
+            for (i, p) in entries.into_iter().enumerate() {
+                let queue_wait = dispatched_at.duration_since(p.enqueued);
+                metrics.record_response(queue_wait, true, outcome.repaired);
+                let _ = p.reply.send(Response {
+                    id: p.id,
+                    output: Ok(Tensor::from_vec(&row_shape, y.batch_item(i).to_vec())),
+                    verdict,
+                    queue_wait,
+                    service_time,
+                    batch_fill: fill,
+                });
+            }
+        }
+        Err(e) => {
+            let verdict = match &e {
+                DarknightError::IntegrityViolation { .. } => IntegrityVerdict::Violated,
+                _ => IntegrityVerdict::Unchecked,
+            };
+            for p in entries {
+                let queue_wait = dispatched_at.duration_since(p.enqueued);
+                metrics.record_response(queue_wait, false, false);
+                let _ = p.reply.send(Response {
+                    id: p.id,
+                    output: Err(e.clone()),
+                    verdict,
+                    queue_wait,
+                    service_time,
+                    batch_fill: fill,
+                });
             }
         }
     }

@@ -40,6 +40,8 @@ impl Default for EpcConfig {
 /// Counters describing enclave memory behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryStats {
+    // NOTE: every field participates in [`MemoryStats::merge`] below —
+    // keep the two in sync when adding counters.
     /// Bytes currently allocated inside the enclave.
     pub current_bytes: usize,
     /// Peak allocation.
@@ -59,6 +61,24 @@ pub struct MemoryStats {
     pub seal_count: u64,
     /// Number of unseal operations.
     pub unseal_count: u64,
+}
+
+impl MemoryStats {
+    /// Adds another enclave's counters into this one. Used to aggregate
+    /// across co-resident enclaves (e.g. the pipelined engine's lanes);
+    /// peaks and current bytes are summed because the enclaves occupy
+    /// protected memory simultaneously.
+    pub fn merge(&mut self, o: &MemoryStats) {
+        self.current_bytes += o.current_bytes;
+        self.peak_bytes += o.peak_bytes;
+        self.alloc_count += o.alloc_count;
+        self.paging_events += o.paging_events;
+        self.paged_bytes += o.paged_bytes;
+        self.sealed_out_bytes += o.sealed_out_bytes;
+        self.sealed_in_bytes += o.sealed_in_bytes;
+        self.seal_count += o.seal_count;
+        self.unseal_count += o.unseal_count;
+    }
 }
 
 /// Errors from enclave operations.

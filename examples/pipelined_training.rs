@@ -1,0 +1,58 @@
+//! Pipelined private training (§7.1): the staged engine vs the
+//! sequential session, on the same Algorithm 2 workload.
+//!
+//! The engine streams independent virtual batches through three stages —
+//! TEE encode, GPU linear ops, TEE decode + integrity check — so the
+//! enclave encodes batch `t+1` "under the shadow of GPU execution time"
+//! for batch `t`. The GPU fleet here is simulated on the host CPU, so
+//! the workers carry a modeled accelerator latency profile
+//! (`dk_gpu::LatencyModel`): wall clock then reflects device occupancy,
+//! and the overlap is measurable exactly as it would be against real
+//! hardware.
+//!
+//! The punchline is printed twice: the measured speedup, and the proof
+//! that it costs nothing — final weights are **bit-for-bit identical**
+//! between the two modes (per-(batch, layer) seed derivation makes the
+//! masks independent of execution order).
+//!
+//! Run with: `cargo run --release --example pipelined_training`
+
+use darknight::core::engine::{compare_training_modes, EngineOptions};
+use darknight::core::DarknightConfig;
+use darknight::gpu::{GpuCluster, LatencyModel};
+use darknight::linalg::Tensor;
+use darknight::nn::arch::mini_vgg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = DarknightConfig::new(2, 1).with_seed(1234);
+    // One fleet model for both modes: parallel dispatch (the paper's
+    // K' concurrent GPUs) plus a modeled per-job device latency.
+    let fleet = GpuCluster::honest(cfg.workers_required(), 99)
+        .with_parallel_dispatch(true)
+        .with_latency(Some(LatencyModel { base_ns: 150_000, ns_per_kmac: 500 }));
+    let model = mini_vgg(8, 4, 7);
+    let x = Tensor::from_fn(&[8, 3, 8, 8], |i| ((i % 23) as f32 - 11.0) * 0.04);
+    let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+
+    let epochs = 3;
+    let (report, diff) = compare_training_modes(
+        cfg,
+        &fleet,
+        &model,
+        &x,
+        &labels,
+        epochs,
+        0.05,
+        EngineOptions::default(),
+    )?;
+
+    println!("Pipelined Algorithm 2 training (MiniVGG, {} virtual batches)", report.batches);
+    println!("---------------------------------------------------------------");
+    println!("sequential session : {:>10.1?}", report.sequential);
+    println!("pipelined engine   : {:>10.1?}", report.pipelined);
+    println!("speedup            : {:>9.2}x", report.speedup());
+    println!("max weight diff    : {diff} (bit-for-bit equality required)");
+    assert_eq!(diff, 0.0, "pipelined training diverged from sequential");
+    println!("\nBoth modes produced identical weights — the overlap is free.");
+    Ok(())
+}

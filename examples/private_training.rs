@@ -7,8 +7,9 @@
 //!
 //! Run with: `cargo run --release --example private_training`
 
+use darknight::core::engine::{EngineOptions, PipelineEngine};
 use darknight::core::virtual_batch::LargeBatchTrainer;
-use darknight::core::{DarknightConfig, DarknightSession};
+use darknight::core::DarknightConfig;
 use darknight::gpu::GpuCluster;
 use darknight::nn::arch::mini_resnet;
 use darknight::nn::data::Dataset;
@@ -26,11 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw_report = train::train(&mut raw_model, &train_set, Some(&eval_set), epochs, 4, &mut sgd);
 
     // DarKnight training with Algorithm 2: virtual batches of K=2
-    // aggregated into large batches of 4 via sealed eviction.
+    // aggregated into large batches of 4 via sealed eviction, executed
+    // on the pipelined engine (TEE lanes over persistent GPU worker
+    // threads — bit-for-bit equal to the sequential session).
     let cfg = DarknightConfig::new(2, 1).with_seed(5);
     let cluster = GpuCluster::honest(cfg.workers_required(), 6);
-    let session = DarknightSession::new(cfg, cluster)?;
-    let mut trainer = LargeBatchTrainer::new(session, 4096);
+    let engine = PipelineEngine::new(cfg, cluster, EngineOptions::default())?;
+    let mut trainer = LargeBatchTrainer::pipelined(engine, 4096);
     let mut dk_model = mini_resnet(hw, classes, 1234); // same init
     let mut sgd = Sgd::new(0.01);
     let mut dk_acc = Vec::new();
