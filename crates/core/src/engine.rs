@@ -177,6 +177,11 @@ impl EngineOptions {
 pub struct InferenceOutcome {
     /// The caller-assigned sequence number of the input batch.
     pub seq: u64,
+    /// The input batch, handed back so the producer can recycle its
+    /// buffer for the next batch (the `dk_serve` feeder keeps a pool of
+    /// these — steady-state serving stops allocating batch tensors).
+    /// `Option` so consumers can `take()` it without a sentinel.
+    pub input: Option<Tensor<f32>>,
     /// The decoded logits, or the error that aborted the batch.
     pub output: Result<Tensor<f32>, DarknightError>,
     /// True if the batch needed TEE-side repair (recovery mode caught
@@ -468,6 +473,7 @@ impl PipelineEngine {
                         if out
                             .send(InferenceOutcome {
                                 seq,
+                                input: Some(x),
                                 output: result,
                                 repaired,
                                 quarantined,

@@ -38,14 +38,29 @@ pub(crate) fn normalize_quantize(
     quant: QuantConfig,
     vals: &[f32],
 ) -> Result<(Vec<F25>, f32), DarknightError> {
+    let mut out = Vec::with_capacity(vals.len());
+    let norm = normalize_quantize_into(quant, vals, &mut out)?;
+    Ok((out, norm))
+}
+
+/// [`normalize_quantize`] writing into a caller-provided (cleared)
+/// buffer — the allocation-free form the session hot path uses with
+/// workspace-recycled buffers. Element math is shared, so the two forms
+/// can never diverge numerically.
+pub(crate) fn normalize_quantize_into(
+    quant: QuantConfig,
+    vals: &[f32],
+    out: &mut Vec<F25>,
+) -> Result<f32, DarknightError> {
     let max_abs = vals.iter().fold(0.0f32, |m, v| m.max(v.abs()));
     let norm = if max_abs > 0.0 { max_abs } else { 1.0 };
     let inv = 1.0 / norm;
-    let mut out = Vec::with_capacity(vals.len());
+    out.clear();
+    out.reserve(vals.len());
     for &v in vals {
         out.push(quant.quantize::<P25>((v * inv) as f64)?);
     }
-    Ok((out, norm))
+    Ok(norm)
 }
 
 /// Per-linear-layer state retained between forward and backward.

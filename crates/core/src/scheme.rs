@@ -21,17 +21,21 @@
 use crate::error::DarknightError;
 use dk_field::vandermonde::mds_matrix;
 use dk_field::{F25, FieldMatrix, FieldRng, P25};
-use dk_linalg::matmul;
+use dk_linalg::{matmul, matmul_acc, Workspace};
 
 /// Stacks equal-length row vectors into one contiguous row-major matrix
-/// so the blocked matmul kernels can chew through them.
-fn stack_rows<'a>(rows: impl Iterator<Item = &'a [F25]>, count: usize, n: usize) -> Vec<F25> {
-    let mut flat = Vec::with_capacity(count * n);
+/// (in a caller-provided buffer, cleared first) so the blocked matmul
+/// kernels can chew through them.
+fn stack_rows_into<'a>(
+    rows: impl Iterator<Item = &'a [F25]>,
+    n: usize,
+    flat: &mut Vec<F25>,
+) {
+    flat.clear();
     for r in rows {
         assert_eq!(r.len(), n, "all vectors must have equal length");
         flat.extend_from_slice(r);
     }
-    flat
 }
 
 /// `C = coeff[0..rows] · X` returned as row vectors.
@@ -57,6 +61,42 @@ fn coeff_rows_matmul(
     } else {
         (0..rows).map(|j| matmul(coeff.row(j), x, 1, kdim, n)).collect()
     }
+}
+
+/// [`coeff_rows_matmul`] with every output row (and the outer vector)
+/// drawn from the workspace — callers give the rows back once
+/// consumed, so steady-state decoding allocates nothing.
+fn coeff_rows_matmul_ws(
+    coeff: &FieldMatrix<P25>,
+    rows: usize,
+    kdim: usize,
+    x: &[F25],
+    n: usize,
+    ws: &mut Workspace,
+) -> Vec<Vec<F25>> {
+    let mut out: Vec<Vec<F25>> = ws.take_cleared(rows);
+    if n == 0 {
+        out.resize_with(rows, Vec::new);
+        return out;
+    }
+    if dk_linalg::threads::would_parallelize(rows, rows * kdim * n) {
+        // `matmul_acc` over a freshly zeroed buffer is exactly `matmul`
+        // (that is how the allocating wrapper is built) without the
+        // redundant re-zeroing pass `matmul_into` would add.
+        let mut flat = ws.take_zeroed::<F25>(rows * n);
+        matmul_acc(&coeff.as_slice()[..rows * kdim], x, &mut flat, rows, kdim, n);
+        for chunk in flat.chunks(n) {
+            out.push(ws.take_copy(chunk));
+        }
+        ws.give(flat);
+    } else {
+        for j in 0..rows {
+            let mut row = ws.take_zeroed::<F25>(n);
+            matmul_acc(coeff.row(j), x, &mut row, 1, kdim, n);
+            out.push(row);
+        }
+    }
+    out
 }
 
 /// The per-virtual-batch masking scheme.
@@ -184,6 +224,23 @@ impl EncodingScheme {
     ///
     /// Panics if counts or lengths are inconsistent.
     pub fn encode(&self, inputs: &[Vec<F25>], noise: &[Vec<F25>]) -> Vec<Vec<F25>> {
+        self.encode_ws(inputs, noise, &mut Workspace::new())
+    }
+
+    /// [`EncodingScheme::encode`] with the transient input-stacking
+    /// buffer drawn from `ws`. The encodings themselves are freshly
+    /// allocated — they leave the TEE for the accelerators and never
+    /// return to this pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts or lengths are inconsistent.
+    pub fn encode_ws(
+        &self,
+        inputs: &[Vec<F25>],
+        noise: &[Vec<F25>],
+        ws: &mut Workspace,
+    ) -> Vec<Vec<F25>> {
         assert_eq!(inputs.len(), self.k, "expected K input vectors");
         assert_eq!(noise.len(), self.m, "expected M noise vectors");
         let n = inputs[0].len();
@@ -193,8 +250,39 @@ impl EncodingScheme {
         // coefficient row of Aᵀ pushed through the blocked
         // delayed-reduction kernel, written straight into its own output
         // vector — instead of K+M per-MAC-reducing scaled-vector passes.
-        let x = stack_rows(inputs.iter().chain(noise).map(Vec::as_slice), self.k + self.m, n);
-        coeff_rows_matmul(&self.a_t, s_cols, self.k + self.m, &x, n)
+        let mut x = ws.take_cleared::<F25>((self.k + self.m) * n);
+        stack_rows_into(inputs.iter().chain(noise).map(Vec::as_slice), n, &mut x);
+        let enc = coeff_rows_matmul(&self.a_t, s_cols, self.k + self.m, &x, n);
+        ws.give(x);
+        enc
+    }
+
+    /// Computes a single encoding `x̄_j` — bit-identical to
+    /// `encode(...)[j]`, at `1/num_encodings()` of the work. The
+    /// backward spot check regenerates exactly one TEE-chosen encoding,
+    /// so it calls this instead of materializing the whole batch. The
+    /// row is written into a workspace buffer; give it back when done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or counts/lengths are inconsistent.
+    pub fn encode_row_ws(
+        &self,
+        j: usize,
+        inputs: &[Vec<F25>],
+        noise: &[Vec<F25>],
+        ws: &mut Workspace,
+    ) -> Vec<F25> {
+        assert!(j < self.a.cols(), "encoding index out of range");
+        assert_eq!(inputs.len(), self.k, "expected K input vectors");
+        assert_eq!(noise.len(), self.m, "expected M noise vectors");
+        let n = inputs[0].len();
+        let mut x = ws.take_cleared::<F25>((self.k + self.m) * n);
+        stack_rows_into(inputs.iter().chain(noise).map(Vec::as_slice), n, &mut x);
+        let mut row = ws.take_zeroed::<F25>(n);
+        matmul_acc(self.a_t.row(j), &x, &mut row, 1, self.k + self.m, n);
+        ws.give(x);
+        row
     }
 
     /// Decodes GPU outputs `ȳ_j = ⟨W, x̄_j⟩` back to the `K` true
@@ -215,6 +303,28 @@ impl EncodingScheme {
         outputs: &[Vec<F25>],
         layer_id: u64,
     ) -> Result<Vec<Vec<F25>>, DarknightError> {
+        self.decode_forward_ws(outputs, layer_id, &mut Workspace::new())
+    }
+
+    /// [`EncodingScheme::decode_forward`] with the stacking buffer, the
+    /// integrity-prediction row and the decoded output rows all drawn
+    /// from `ws`. Give the returned rows (and their outer vector) back
+    /// once consumed to keep the steady state allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`DarknightError::IntegrityViolation`] if the redundant equation
+    /// is inconsistent (some worker tampered with its result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output count or lengths are inconsistent.
+    pub fn decode_forward_ws(
+        &self,
+        outputs: &[Vec<F25>],
+        layer_id: u64,
+        ws: &mut Workspace,
+    ) -> Result<Vec<Vec<F25>>, DarknightError> {
         let s_sq = self.k + self.m;
         assert_eq!(outputs.len(), self.num_encodings(), "one output per encoding");
         let n = outputs[0].len();
@@ -227,12 +337,16 @@ impl EncodingScheme {
         // `A_sq⁻¹·a_last` (exactly `a_lastᵀ·Y` — field arithmetic is
         // associative and exact), so the M dropped noise rows are never
         // materialized at all.
-        let ybar = stack_rows(outputs.iter().take(s_sq).map(Vec::as_slice), s_sq, n);
+        let mut ybar = ws.take_cleared::<F25>(s_sq * n);
+        stack_rows_into(outputs.iter().take(s_sq).map(Vec::as_slice), n, &mut ybar);
         if self.integrity {
-            let pred = matmul(&self.integrity_w, &ybar, 1, s_sq, n);
+            let mut pred = ws.take_zeroed::<F25>(n);
+            matmul_acc(&self.integrity_w, &ybar, &mut pred, 1, s_sq, n);
             let redundant = &outputs[self.a.cols() - 1];
             let mismatches = pred.iter().zip(redundant.iter()).filter(|(p, r)| p != r).count();
+            ws.give(pred);
             if mismatches > 0 {
+                ws.give(ybar);
                 return Err(DarknightError::IntegrityViolation {
                     layer_id,
                     phase: "forward",
@@ -240,7 +354,9 @@ impl EncodingScheme {
                 });
             }
         }
-        Ok(coeff_rows_matmul(&self.a_sq_inv_t, self.k, s_sq, &ybar, n))
+        let decoded = coeff_rows_matmul_ws(&self.a_sq_inv_t, self.k, s_sq, &ybar, n, ws);
+        ws.give(ybar);
+        Ok(decoded)
     }
 
     /// Decodes the aggregate backward term: `Σ_j γ_j·Eq_j` over the
@@ -252,12 +368,27 @@ impl EncodingScheme {
     ///
     /// Panics if the equation count or lengths are inconsistent.
     pub fn decode_backward(&self, eqs: &[Vec<F25>]) -> Vec<F25> {
+        self.decode_backward_ws(eqs, &mut Workspace::new())
+    }
+
+    /// [`EncodingScheme::decode_backward`] with the stacking buffer and
+    /// the aggregate row drawn from `ws` (give the returned row back
+    /// once dequantized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the equation count or lengths are inconsistent.
+    pub fn decode_backward_ws(&self, eqs: &[Vec<F25>], ws: &mut Workspace) -> Vec<F25> {
         let s_sq = self.k + self.m;
         assert!(eqs.len() >= s_sq, "need at least K+M equations");
         let n = eqs[0].len();
         // γᵀ[1 × s_sq] · Eq[s_sq × n]: the γ-weighted sum as one matmul.
-        let eq_flat = stack_rows(eqs.iter().take(s_sq).map(Vec::as_slice), s_sq, n);
-        matmul(&self.gamma[..s_sq], &eq_flat, 1, s_sq, n)
+        let mut eq_flat = ws.take_cleared::<F25>(s_sq * n);
+        stack_rows_into(eqs.iter().take(s_sq).map(Vec::as_slice), n, &mut eq_flat);
+        let mut out = ws.take_zeroed::<F25>(n);
+        matmul_acc(&self.gamma[..s_sq], &eq_flat, &mut out, 1, s_sq, n);
+        ws.give(eq_flat);
+        out
     }
 
     /// Verifies the defining relation `Bᵀ·Γ·Aᵀ = [I_K | 0]` (Eq. 5/13).
@@ -467,6 +598,49 @@ mod tests {
         }
         // The watchdog row is zero: it contributes no gradient.
         assert!(scheme.beta_row(4).iter().all(|v| v.is_zero()));
+    }
+
+    #[test]
+    fn encode_row_matches_full_encode() {
+        let mut r = rng();
+        let mut ws = Workspace::new();
+        for (k, m, integ) in [(2, 1, false), (3, 2, true)] {
+            let scheme = EncodingScheme::generate(k, m, integ, &mut r);
+            let inputs: Vec<Vec<F25>> = (0..k).map(|_| r.uniform_vec::<P25>(9)).collect();
+            let noise: Vec<Vec<F25>> = (0..m).map(|_| r.uniform_vec::<P25>(9)).collect();
+            let full = scheme.encode(&inputs, &noise);
+            for (j, want) in full.iter().enumerate() {
+                let row = scheme.encode_row_ws(j, &inputs, &noise, &mut ws);
+                assert_eq!(&row, want, "k={k} m={m} row {j}");
+                ws.give(row);
+            }
+        }
+    }
+
+    #[test]
+    fn ws_decode_recycles_without_misses() {
+        let mut r = rng();
+        let scheme = EncodingScheme::generate(3, 2, true, &mut r);
+        let inputs: Vec<Vec<F25>> = (0..3).map(|_| r.uniform_vec::<P25>(32)).collect();
+        let noise: Vec<Vec<F25>> = (0..2).map(|_| r.uniform_vec::<P25>(32)).collect();
+        let mut ws = Workspace::new();
+        let recycle = |ws: &mut Workspace, mut rows: Vec<Vec<F25>>| {
+            for row in rows.drain(..) {
+                ws.give(row);
+            }
+            ws.give(rows);
+        };
+        // Warm-up, then the pool must stop missing.
+        let enc = scheme.encode_ws(&inputs, &noise, &mut ws);
+        let dec = scheme.decode_forward_ws(&enc, 0, &mut ws).unwrap();
+        recycle(&mut ws, dec);
+        let misses = ws.stats().misses;
+        for round in 0..5 {
+            let dec = scheme.decode_forward_ws(&enc, round, &mut ws).unwrap();
+            assert_eq!(dec.len(), 3);
+            recycle(&mut ws, dec);
+        }
+        assert_eq!(ws.stats().misses, misses, "warm decode must not allocate");
     }
 
     #[test]

@@ -90,6 +90,16 @@ impl FieldRng {
         (0..n).map(|_| self.uniform()).collect()
     }
 
+    /// Appends `n` uniform field elements to a caller-provided buffer —
+    /// the same draw sequence as [`FieldRng::uniform_vec`], without the
+    /// allocation (hot paths pass workspace-recycled buffers).
+    pub fn uniform_extend<const P: u64>(&mut self, n: usize, out: &mut Vec<Fp<P>>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.uniform());
+        }
+    }
+
     /// Samples a uniform `f32` in `[lo, hi)`; used for float-domain
     /// initialization and synthetic data.
     pub fn uniform_f32(&mut self, lo: f32, hi: f32) -> f32 {

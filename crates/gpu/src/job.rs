@@ -4,8 +4,10 @@
 //! never see floats or raw inputs.
 
 use dk_field::F25;
-use dk_linalg::conv::{conv2d_backward_input, conv2d_backward_weight, conv2d_forward};
-use dk_linalg::{matmul_a_bt, matmul_at_b, Conv2dShape, Tensor};
+use dk_linalg::conv::{conv2d_backward_input_ws, conv2d_backward_weight_ws, conv2d_forward_ws};
+use dk_linalg::{
+    matmul_a_bt_into, matmul_at_b_into, matmul_into, Conv2dShape, Tensor, Workspace,
+};
 use std::sync::Arc;
 
 /// A bilinear computation request.
@@ -117,42 +119,61 @@ pub type JobOutput = Tensor<F25>;
 
 impl LinearJob {
     /// Executes the job honestly (the math a real GPU would run).
+    /// Allocating wrapper over [`LinearJob::execute_ws`].
     ///
     /// # Panics
     ///
     /// Panics on `*Stored` variants — those need a worker's stored
     /// encoding; use [`crate::worker::GpuWorker::execute`] instead.
     pub fn execute(&self) -> JobOutput {
+        self.execute_ws(&mut Workspace::new())
+    }
+
+    /// Executes the job with all kernel scratch (im2col columns,
+    /// packed `Aᵀ` panels, gradient columns) drawn from `ws` — workers
+    /// own one workspace each, so steady-state job streams stop
+    /// re-allocating per job. The *output* tensor is still fresh: it
+    /// leaves the accelerator for the TEE and never returns to this
+    /// pool. Bit-for-bit identical to [`LinearJob::execute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on `*Stored` variants — those need a worker's stored
+    /// encoding; use [`crate::worker::GpuWorker::execute`] instead.
+    pub fn execute_ws(&self, ws: &mut Workspace) -> JobOutput {
         match self {
             LinearJob::ConvWeightGradStored { .. } | LinearJob::DenseWeightGradStored { .. } => {
                 panic!("stored-encoding jobs must be executed by a worker")
             }
-            LinearJob::ConvForward { weights, x, shape } => conv2d_forward(x, weights, shape),
+            LinearJob::ConvForward { weights, x, shape } => conv2d_forward_ws(x, weights, shape, ws),
             LinearJob::ConvWeightGrad { delta, x, shape } => {
-                conv2d_backward_weight(delta, x, shape)
+                conv2d_backward_weight_ws(delta, x, shape, ws)
             }
             LinearJob::ConvBackwardData { weights, delta, shape, input_hw } => {
-                conv2d_backward_input(delta, weights, shape, *input_hw)
+                conv2d_backward_input_ws(delta, weights, shape, *input_hw, ws)
             }
             LinearJob::DenseForward { weights, x } => {
                 let n = x.shape()[0];
                 let in_f = x.shape()[1];
                 let out_f = weights.shape()[0];
-                let y = matmul_a_bt(x.as_slice(), weights.as_slice(), n, in_f, out_f);
+                let mut y = vec![F25::ZERO; n * out_f];
+                matmul_a_bt_into(x.as_slice(), weights.as_slice(), &mut y, n, in_f, out_f);
                 Tensor::from_vec(&[n, out_f], y)
             }
             LinearJob::DenseWeightGrad { delta, x } => {
                 let n = x.shape()[0];
                 let in_f = x.shape()[1];
                 let out_f = delta.shape()[1];
-                let dw = matmul_at_b(delta.as_slice(), x.as_slice(), out_f, n, in_f);
+                let mut dw = vec![F25::ZERO; out_f * in_f];
+                matmul_at_b_into(delta.as_slice(), x.as_slice(), &mut dw, out_f, n, in_f, ws);
                 Tensor::from_vec(&[out_f, in_f], dw)
             }
             LinearJob::DenseBackwardData { weights, delta } => {
                 let n = delta.shape()[0];
                 let out_f = delta.shape()[1];
                 let in_f = weights.shape()[1];
-                let dx = dk_linalg::matmul(delta.as_slice(), weights.as_slice(), n, out_f, in_f);
+                let mut dx = vec![F25::ZERO; n * in_f];
+                matmul_into(delta.as_slice(), weights.as_slice(), &mut dx, n, out_f, in_f);
                 Tensor::from_vec(&[n, in_f], dx)
             }
         }
@@ -213,7 +234,7 @@ mod tests {
         let w = Arc::new(tensor(&shape.weight_shape(), |i| F25::new(i as u64 % 9)));
         let x = tensor(&[1, 2, 4, 4], |i| F25::new((i * 3) as u64 % 17));
         let job = LinearJob::ConvForward { weights: w.clone(), x: x.clone(), shape };
-        assert_eq!(job.execute(), conv2d_forward(&x, &w, &shape));
+        assert_eq!(job.execute(), dk_linalg::conv::conv2d_forward(&x, &w, &shape));
     }
 
     #[test]

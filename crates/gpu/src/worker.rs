@@ -3,7 +3,7 @@
 use crate::behavior::Behavior;
 use crate::job::{JobOutput, LinearJob};
 use dk_field::{F25, FieldRng};
-use dk_linalg::Tensor;
+use dk_linalg::{Tensor, Workspace};
 use std::collections::HashMap;
 
 /// Worker identity within a cluster.
@@ -37,6 +37,10 @@ pub struct GpuWorker {
     jobs_executed: u64,
     macs_executed: u64,
     latency: Option<crate::LatencyModel>,
+    /// Kernel scratch pool (im2col columns, packed panels): one per
+    /// worker, reused across the job stream. Cloned/forked workers
+    /// start with a fresh pool — scratch carries no state.
+    ws: Workspace,
 }
 
 impl GpuWorker {
@@ -51,6 +55,7 @@ impl GpuWorker {
             jobs_executed: 0,
             macs_executed: 0,
             latency: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -124,7 +129,7 @@ impl GpuWorker {
             (Behavior::StaleInput, LinearJob::ConvForward { weights, x, shape }) => {
                 let zero = Tensor::zeros(x.shape());
                 LinearJob::ConvForward { weights: weights.clone(), x: zero, shape: *shape }
-                    .execute()
+                    .execute_ws(&mut self.ws)
             }
             (_, LinearJob::ConvWeightGradStored { delta_batch, beta, layer_id, shape }) => {
                 let x = self
@@ -133,7 +138,7 @@ impl GpuWorker {
                     .unwrap_or_else(|| panic!("{} has no stored encoding for layer {layer_id}", self.id))
                     .clone();
                 let delta = crate::job::beta_combine(delta_batch, beta);
-                LinearJob::ConvWeightGrad { delta, x, shape: *shape }.execute()
+                LinearJob::ConvWeightGrad { delta, x, shape: *shape }.execute_ws(&mut self.ws)
             }
             (_, LinearJob::DenseWeightGradStored { delta_batch, beta, layer_id }) => {
                 let x = self
@@ -142,9 +147,9 @@ impl GpuWorker {
                     .unwrap_or_else(|| panic!("{} has no stored encoding for layer {layer_id}", self.id))
                     .clone();
                 let delta = crate::job::beta_combine(delta_batch, beta);
-                LinearJob::DenseWeightGrad { delta, x }.execute()
+                LinearJob::DenseWeightGrad { delta, x }.execute_ws(&mut self.ws)
             }
-            _ => job.execute(),
+            _ => job.execute_ws(&mut self.ws),
         };
         if let Some(l) = self.latency {
             std::thread::sleep(l.delay(job.macs()));

@@ -10,10 +10,11 @@
 //! Grouped convolution is supported (`groups > 1`); depthwise convolution
 //! — the core of MobileNet — is the special case `groups == in_channels`.
 
-use crate::im2col::{col2im, im2col, out_hw};
-use crate::matmul::{matmul_a_bt, matmul_acc, matmul_at_b};
+use crate::im2col::{col2im_acc_into, im2col_into, out_hw};
+use crate::matmul::{matmul_a_bt_into, matmul_acc, matmul_at_b_into};
 use crate::scalar::Scalar;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Static geometry of a 2-D convolution layer.
 ///
@@ -108,14 +109,22 @@ impl Conv2dShape {
     }
 }
 
-/// Forward convolution `y = W ∗ x` (no bias; bias lives in the layer).
+/// Forward convolution `y = W ∗ x` (no bias; bias lives in the layer),
+/// with the output tensor and the im2col scratch drawn from `ws` —
+/// the allocation-free hot path (give the returned tensor back to the
+/// workspace when done with it).
 ///
 /// `x: [n, ic, h, w]`, `w: [oc, ic/g, kh, kw]` → `y: [n, oc, oh, ow]`.
 ///
 /// # Panics
 ///
 /// Panics on any shape inconsistency.
-pub fn conv2d_forward<T: Scalar>(x: &Tensor<T>, w: &Tensor<T>, s: &Conv2dShape) -> Tensor<T> {
+pub fn conv2d_forward_ws<T: Scalar>(
+    x: &Tensor<T>,
+    w: &Tensor<T>,
+    s: &Conv2dShape,
+    ws: &mut Workspace,
+) -> Tensor<T> {
     s.check_input(x);
     s.check_weights(w);
     let n = x.shape()[0];
@@ -124,13 +133,14 @@ pub fn conv2d_forward<T: Scalar>(x: &Tensor<T>, w: &Tensor<T>, s: &Conv2dShape) 
     let (cgi, cgo) = (s.cg_in(), s.cg_out());
     let krows = cgi * s.kernel.0 * s.kernel.1;
     let ocols = oh * ow;
-    let mut y = Tensor::zeros(&[n, s.out_channels, oh, ow]);
+    let mut y = ws.take_tensor(&[n, s.out_channels, oh, ow]);
+    let mut cols = ws.take_zeroed::<T>(krows * ocols);
     for ni in 0..n {
         let xi = x.batch_item(ni);
         let yi = y.batch_item_mut(ni);
         for g in 0..s.groups {
             let xg = &xi[g * cgi * hw.0 * hw.1..(g + 1) * cgi * hw.0 * hw.1];
-            let cols = im2col(xg, cgi, hw, s.kernel, s.stride, s.padding);
+            im2col_into(xg, cgi, hw, s.kernel, s.stride, s.padding, &mut cols);
             let wg = &w.as_slice()[g * cgo * krows..(g + 1) * cgo * krows];
             // Accumulate straight into the (zeroed) output block — same
             // blocked kernel, one less O(output) copy per group.
@@ -138,7 +148,17 @@ pub fn conv2d_forward<T: Scalar>(x: &Tensor<T>, w: &Tensor<T>, s: &Conv2dShape) 
             matmul_acc(wg, &cols, yg, cgo, krows, ocols);
         }
     }
+    ws.give(cols);
     y
+}
+
+/// Forward convolution, allocating wrapper over [`conv2d_forward_ws`].
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_forward<T: Scalar>(x: &Tensor<T>, w: &Tensor<T>, s: &Conv2dShape) -> Tensor<T> {
+    conv2d_forward_ws(x, w, s, &mut Workspace::new())
 }
 
 /// Convolution input gradient: `dx = Wᵀ ⊛ dy`.
@@ -149,11 +169,12 @@ pub fn conv2d_forward<T: Scalar>(x: &Tensor<T>, w: &Tensor<T>, s: &Conv2dShape) 
 /// # Panics
 ///
 /// Panics on any shape inconsistency.
-pub fn conv2d_backward_input<T: Scalar>(
+pub fn conv2d_backward_input_ws<T: Scalar>(
     dy: &Tensor<T>,
     w: &Tensor<T>,
     s: &Conv2dShape,
     hw: (usize, usize),
+    ws: &mut Workspace,
 ) -> Tensor<T> {
     s.check_weights(w);
     assert_eq!(dy.shape()[1], s.out_channels, "dy channel mismatch");
@@ -163,23 +184,41 @@ pub fn conv2d_backward_input<T: Scalar>(
     let (cgi, cgo) = (s.cg_in(), s.cg_out());
     let krows = cgi * s.kernel.0 * s.kernel.1;
     let ocols = oh * ow;
-    let mut dx = Tensor::zeros(&[n, s.in_channels, hw.0, hw.1]);
+    let mut dx = ws.take_tensor(&[n, s.in_channels, hw.0, hw.1]);
+    let mut dcol = ws.take_zeroed::<T>(krows * ocols);
     for ni in 0..n {
         let dyi = dy.batch_item(ni);
         let dxi = dx.batch_item_mut(ni);
         for g in 0..s.groups {
             let wg = &w.as_slice()[g * cgo * krows..(g + 1) * cgo * krows];
             let dyg = &dyi[g * cgo * ocols..(g + 1) * cgo * ocols];
-            // dcol[krows x ocols] = wgᵀ[krows x cgo] · dyg[cgo x ocols]
-            let dcol = matmul_at_b(wg, dyg, krows, cgo, ocols);
-            let img = col2im(&dcol, cgi, hw, s.kernel, s.stride, s.padding);
+            // dcol[krows x ocols] = wgᵀ[krows x cgo] · dyg[cgo x ocols],
+            // then one fused scatter-add into the (zero-initialized)
+            // gradient image — contribution order is identical to the
+            // old dcol → col2im → add triple pass, so float bits are
+            // unchanged.
+            matmul_at_b_into(wg, dyg, &mut dcol, krows, cgo, ocols, ws);
             let dst = &mut dxi[g * cgi * hw.0 * hw.1..(g + 1) * cgi * hw.0 * hw.1];
-            for (d, v) in dst.iter_mut().zip(img) {
-                *d += v;
-            }
+            col2im_acc_into(&dcol, cgi, hw, s.kernel, s.stride, s.padding, dst);
         }
     }
+    ws.give(dcol);
     dx
+}
+
+/// Convolution input gradient, allocating wrapper over
+/// [`conv2d_backward_input_ws`].
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_backward_input<T: Scalar>(
+    dy: &Tensor<T>,
+    w: &Tensor<T>,
+    s: &Conv2dShape,
+    hw: (usize, usize),
+) -> Tensor<T> {
+    conv2d_backward_input_ws(dy, w, s, hw, &mut Workspace::new())
 }
 
 /// Convolution weight gradient: `dW = dy ⊛ x` summed over the batch.
@@ -190,10 +229,11 @@ pub fn conv2d_backward_input<T: Scalar>(
 /// # Panics
 ///
 /// Panics on any shape inconsistency.
-pub fn conv2d_backward_weight<T: Scalar>(
+pub fn conv2d_backward_weight_ws<T: Scalar>(
     dy: &Tensor<T>,
     x: &Tensor<T>,
     s: &Conv2dShape,
+    ws: &mut Workspace,
 ) -> Tensor<T> {
     s.check_input(x);
     assert_eq!(dy.shape()[1], s.out_channels, "dy channel mismatch");
@@ -204,23 +244,43 @@ pub fn conv2d_backward_weight<T: Scalar>(
     let (cgi, cgo) = (s.cg_in(), s.cg_out());
     let krows = cgi * s.kernel.0 * s.kernel.1;
     let ocols = oh * ow;
-    let mut dw = Tensor::zeros(&s.weight_shape());
+    let mut dw = ws.take_tensor(&s.weight_shape());
+    let mut cols = ws.take_zeroed::<T>(krows * ocols);
+    let mut dwg = ws.take_zeroed::<T>(cgo * krows);
     for ni in 0..n {
         let xi = x.batch_item(ni);
         let dyi = dy.batch_item(ni);
         for g in 0..s.groups {
             let xg = &xi[g * cgi * hw.0 * hw.1..(g + 1) * cgi * hw.0 * hw.1];
-            let cols = im2col(xg, cgi, hw, s.kernel, s.stride, s.padding);
+            im2col_into(xg, cgi, hw, s.kernel, s.stride, s.padding, &mut cols);
             let dyg = &dyi[g * cgo * ocols..(g + 1) * cgo * ocols];
-            // dwg[cgo x krows] = dyg[cgo x ocols] · colsᵀ[ocols x krows]
-            let dwg = matmul_a_bt(dyg, &cols, cgo, ocols, krows);
+            // dwg[cgo x krows] = dyg[cgo x ocols] · colsᵀ[ocols x krows];
+            // accumulated into dw as a separate elementwise pass so the
+            // float summation order matches the allocating original.
+            matmul_a_bt_into(dyg, &cols, &mut dwg, cgo, ocols, krows);
             let dst = &mut dw.as_mut_slice()[g * cgo * krows..(g + 1) * cgo * krows];
-            for (d, v) in dst.iter_mut().zip(dwg) {
+            for (d, &v) in dst.iter_mut().zip(dwg.iter()) {
                 *d += v;
             }
         }
     }
+    ws.give(dwg);
+    ws.give(cols);
     dw
+}
+
+/// Convolution weight gradient, allocating wrapper over
+/// [`conv2d_backward_weight_ws`].
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_backward_weight<T: Scalar>(
+    dy: &Tensor<T>,
+    x: &Tensor<T>,
+    s: &Conv2dShape,
+) -> Tensor<T> {
+    conv2d_backward_weight_ws(dy, x, s, &mut Workspace::new())
 }
 
 #[cfg(test)]

@@ -26,26 +26,33 @@ pub fn out_hw(
     ((h + 2 * ph - kh) / sh + 1, (w + 2 * pw - kw) / sw + 1)
 }
 
-/// Lowers one sample's channel block `[c, h, w]` to a column matrix of
-/// shape `[c*kh*kw, out_h*out_w]` (row-major, returned flat).
-///
-/// Out-of-bounds (padding) taps contribute `T::zero()`.
+/// Lowers one sample's channel block `[c, h, w]` into a caller-provided
+/// column-matrix buffer of shape `[c*kh*kw, out_h*out_w]` (row-major,
+/// flat). The buffer is fully overwritten (padding taps become
+/// `T::zero()`), so a reused scratch buffer with stale contents is
+/// fine — this is the allocation-free form the convolution hot paths
+/// call with [`crate::workspace::Workspace`] scratch.
 ///
 /// # Panics
 ///
-/// Panics if `input.len() != c*h*w`.
-pub fn im2col<T: Scalar>(
+/// Panics if `input.len() != c*h*w` or `out.len()` does not match the
+/// geometry.
+pub fn im2col_into<T: Scalar>(
     input: &[T],
     c: usize,
     (h, w): (usize, usize),
     (kh, kw): (usize, usize),
     (sh, sw): (usize, usize),
     (ph, pw): (usize, usize),
-) -> Vec<T> {
+    out: &mut [T],
+) {
     assert_eq!(input.len(), c * h * w, "input volume mismatch");
     let (oh, ow) = out_hw((h, w), (kh, kw), (sh, sw), (ph, pw));
     let cols = oh * ow;
-    let mut out = vec![T::zero(); c * kh * kw * cols];
+    assert_eq!(out.len(), c * kh * kw * cols, "column matrix volume mismatch");
+    for v in out.iter_mut() {
+        *v = T::zero();
+    }
     for ci in 0..c {
         let plane = &input[ci * h * w..(ci + 1) * h * w];
         for ki in 0..kh {
@@ -68,28 +75,54 @@ pub fn im2col<T: Scalar>(
             }
         }
     }
-    out
 }
 
-/// Inverse of [`im2col`]: scatter-adds a column matrix back into an
-/// image block of shape `[c, h, w]` (used by the convolution
-/// input-gradient pass, where overlapping windows accumulate).
+/// Allocating wrapper over [`im2col_into`], kept as the public
+/// reference entry point for tests and cold paths.
 ///
 /// # Panics
 ///
-/// Panics if `cols.len()` is inconsistent with the geometry.
-pub fn col2im<T: Scalar>(
+/// Panics if `input.len() != c*h*w`.
+pub fn im2col<T: Scalar>(
+    input: &[T],
+    c: usize,
+    hw: (usize, usize),
+    k: (usize, usize),
+    s: (usize, usize),
+    p: (usize, usize),
+) -> Vec<T> {
+    let (oh, ow) = out_hw(hw, k, s, p);
+    let mut out = vec![T::zero(); c * k.0 * k.1 * oh * ow];
+    im2col_into(input, c, hw, k, s, p, &mut out);
+    out
+}
+
+/// Inverse of [`im2col`]: **scatter-adds** a column matrix into an
+/// image block of shape `[c, h, w]`, accumulating on top of whatever
+/// `out` already holds. This is the fused form the convolution
+/// input-gradient pass uses — the old
+/// `col2im → fresh image → elementwise add` triple pass collapses into
+/// this single scatter, with contributions applied in the identical
+/// order (so float results are bit-for-bit unchanged; field results
+/// trivially so).
+///
+/// # Panics
+///
+/// Panics if `cols_mat.len()` or `out.len()` is inconsistent with the
+/// geometry.
+pub fn col2im_acc_into<T: Scalar>(
     cols_mat: &[T],
     c: usize,
     (h, w): (usize, usize),
     (kh, kw): (usize, usize),
     (sh, sw): (usize, usize),
     (ph, pw): (usize, usize),
-) -> Vec<T> {
+    out: &mut [T],
+) {
     let (oh, ow) = out_hw((h, w), (kh, kw), (sh, sw), (ph, pw));
     let cols = oh * ow;
     assert_eq!(cols_mat.len(), c * kh * kw * cols, "column matrix volume mismatch");
-    let mut out = vec![T::zero(); c * h * w];
+    assert_eq!(out.len(), c * h * w, "image volume mismatch");
     for ci in 0..c {
         let plane_off = ci * h * w;
         for ki in 0..kh {
@@ -111,6 +144,24 @@ pub fn col2im<T: Scalar>(
             }
         }
     }
+}
+
+/// Allocating wrapper over [`col2im_acc_into`] starting from a zeroed
+/// image (the classic col2im), kept for tests and cold paths.
+///
+/// # Panics
+///
+/// Panics if `cols_mat.len()` is inconsistent with the geometry.
+pub fn col2im<T: Scalar>(
+    cols_mat: &[T],
+    c: usize,
+    hw: (usize, usize),
+    k: (usize, usize),
+    s: (usize, usize),
+    p: (usize, usize),
+) -> Vec<T> {
+    let mut out = vec![T::zero(); c * hw.0 * hw.1];
+    col2im_acc_into(cols_mat, c, hw, k, s, p, &mut out);
     out
 }
 

@@ -9,10 +9,17 @@
 //!
 //! The dense kernels run over the unreduced accumulator of
 //! [`Scalar::Acc`] (delayed modular reduction with Barrett/Mersenne
-//! folds in the field domain) and fan out across rows with
-//! `std::thread::scope` on large shapes (`DK_THREADS` /
-//! [`set_max_threads`] bound the fan-out). Results are bit-for-bit
-//! identical to the per-MAC-reducing [`reference`] kernels.
+//! folds in the field domain), hold four independent accumulator lanes
+//! in registers, and fan out across rows with `std::thread::scope` on
+//! large shapes (`DK_THREADS` / [`set_max_threads`] bound the
+//! fan-out). Results are bit-for-bit identical to the per-MAC-reducing
+//! [`reference`] kernels.
+//!
+//! Every kernel also comes in a `_into` form writing into
+//! caller-provided buffers; paired with the [`Workspace`] buffer pool
+//! (which also backs the convolution/pooling `_ws` entry points),
+//! steady-state callers perform **zero heap allocations** per step —
+//! the classic allocating signatures remain as thin wrappers.
 //!
 //! Kernels included:
 //!
@@ -47,10 +54,15 @@ pub mod reference;
 pub mod scalar;
 pub mod tensor;
 pub mod threads;
+pub mod workspace;
 
 pub use conv::Conv2dShape;
-pub use matmul::{matmul, matmul_a_bt, matmul_acc, matmul_at_b, matvec};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_acc, matmul_at_b, matmul_at_b_into,
+    matmul_into, matvec, matvec_into,
+};
 pub use pool::Pool2dShape;
 pub use scalar::Scalar;
 pub use tensor::Tensor;
 pub use threads::{max_threads, set_max_threads};
+pub use workspace::{Workspace, WorkspaceStats};

@@ -10,53 +10,132 @@
 //! All kernels run over the **unreduced accumulator** of
 //! [`Scalar::Acc`]: in the field domain, per-MAC `%` is replaced by
 //! delayed reduction with one Barrett (or Mersenne shift-add) fold per
-//! [`Scalar::FOLD_INTERVAL`] products, which is where the order-of-
-//! magnitude speedup over the naive path comes from. Output tiles are
-//! column-blocked so the live accumulator strip stays L1-resident, and
-//! large products fan out across row ranges with `std::thread::scope`
-//! (capped by [`crate::threads::max_threads`], i.e. the `DK_THREADS`
-//! knob; small shapes stay serial).
+//! [`Scalar::FOLD_INTERVAL`] products. The inner loops are unrolled
+//! into [`LANES`] **independent accumulator lanes** — four output
+//! columns held in registers across the whole reduction dimension — so
+//! the accumulator strip never round-trips through memory per product
+//! and the compiler can keep the lanes in SIMD registers. Large
+//! products fan out across row ranges with `std::thread::scope` (capped
+//! by [`crate::threads::max_threads`], i.e. the `DK_THREADS` knob;
+//! small shapes stay serial).
+//!
+//! Every kernel also has a `_into` variant writing into a
+//! caller-provided buffer; the classic signatures are thin allocating
+//! wrappers, so steady-state callers (layers, jobs, the encoding
+//! scheme) route buffers through a [`crate::workspace::Workspace`] and
+//! perform **zero heap allocations** per step. [`matmul_at_b_into`]
+//! never materializes `Aᵀ`: it packs `k × AT_PANEL` panels of `A` into
+//! a workspace-owned scratch strip, one panel per tile of output rows.
 //!
 //! Every element is produced by the identical ascending-`k` recurrence
-//! the naive kernels use, so results are **bit-for-bit identical** to
-//! [`crate::reference`] in both domains and independent of the thread
-//! count — see `tests/kernel_equivalence.rs` and
-//! `tests/threaded_determinism.rs`.
+//! the naive kernels use — the lane unroll only changes *which column*
+//! a register serves, never the order of any element's accumulation —
+//! so results are **bit-for-bit identical** to [`crate::reference`] in
+//! both domains and independent of the thread count — see
+//! `tests/kernel_equivalence.rs` and `tests/threaded_determinism.rs`.
 
 use crate::scalar::Scalar;
 use crate::threads::workers_for;
+use crate::workspace::Workspace;
 
-/// Output-column tile width: the accumulator strip (≤ 16 B/element) plus
-/// one `B` row segment stays comfortably inside L1.
+/// Independent accumulator lanes held in registers by the dot-product
+/// inner loops, and the depth of the outer-product kernel's register
+/// blocking over the reduction dimension.
+const LANES: usize = 4;
+
+/// Output-column tile width of the outer-product kernel: the live
+/// accumulator strip (≤ 16 B/element, on the stack — no allocation)
+/// plus [`LANES`] `B` row segments stay comfortably inside L1.
 const COL_TILE: usize = 512;
 
+/// Output rows packed per [`matmul_at_b_into`] panel: bounds the
+/// scratch strip to `AT_PANEL × k` elements regardless of `m`.
+const AT_PANEL: usize = 64;
+
+/// Flushes [`LANES`] pending `A` rows through the accumulator strip in
+/// one pass: per strip element the four multiply-accumulates chain in
+/// ascending-`p` order (`(((acc + a₀b₀) + a₁b₁) + a₂b₂) + a₃b₃`), so
+/// every element sees the identical recurrence the single-row loop
+/// produces while the strip is loaded and stored once per four
+/// products instead of once per product.
+#[inline]
+fn flush_quad<T: Scalar>(
+    acc: &mut [T::Acc],
+    av: &[T; LANES],
+    b: &[T],
+    pq: &[usize; LANES],
+    n: usize,
+    j0: usize,
+) {
+    let jw = acc.len();
+    let b0 = &b[pq[0] * n + j0..][..jw];
+    let b1 = &b[pq[1] * n + j0..][..jw];
+    let b2 = &b[pq[2] * n + j0..][..jw];
+    let b3 = &b[pq[3] * n + j0..][..jw];
+    for ((((aj, &x0), &x1), &x2), &x3) in
+        acc.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+    {
+        *aj = T::mac(T::mac(T::mac(T::mac(*aj, av[0], x0), av[1], x1), av[2], x2), av[3], x3);
+    }
+}
+
 /// Serial kernel: `C[rows×n] += A[rows×k] · B[k×n]` over one row range.
+///
+/// Per output element the recurrence is the reference one — ascending
+/// `p`, zero rows of `A` skipped, folds never letting more than
+/// `FOLD_INTERVAL` unreduced products accumulate. The restructuring is
+/// purely mechanical: the accumulator strip lives on the stack (no
+/// per-call allocation), and nonzero `A` rows are buffered and flushed
+/// [`LANES`] at a time ([`flush_quad`]) so the strip round-trips
+/// through cache once per four products.
 fn matmul_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
-    let mut acc: Vec<T::Acc> = vec![T::acc_zero(); n.min(COL_TILE)];
+    let mut strip = [T::acc_zero(); COL_TILE];
+    // Fold early enough that a whole quad never overshoots the
+    // accumulator's capacity; extra folds are value-transparent.
+    let fold_limit = T::FOLD_INTERVAL.saturating_sub(LANES - 1);
     for i in 0..rows {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
         let mut j0 = 0;
         while j0 < n {
             let jw = (n - j0).min(COL_TILE);
-            let acc = &mut acc[..jw];
+            let acc = &mut strip[..jw];
             for (aj, &cj) in acc.iter_mut().zip(&crow[j0..j0 + jw]) {
                 *aj = cj.acc_lift();
             }
             let mut unfolded = 0usize;
+            let mut av = [T::zero(); LANES];
+            let mut pq = [0usize; LANES];
+            let mut pending = 0usize;
             for (p, &aip) in arow.iter().enumerate() {
                 if aip == T::zero() {
                     continue;
                 }
-                if unfolded == T::FOLD_INTERVAL {
+                av[pending] = aip;
+                pq[pending] = p;
+                pending += 1;
+                if pending == LANES {
+                    if unfolded >= fold_limit {
+                        for aj in acc.iter_mut() {
+                            *aj = T::acc_fold(*aj);
+                        }
+                        unfolded = 0;
+                    }
+                    flush_quad(acc, &av, b, &pq, n, j0);
+                    unfolded += LANES;
+                    pending = 0;
+                }
+            }
+            for t in 0..pending {
+                if unfolded >= fold_limit {
                     for aj in acc.iter_mut() {
                         *aj = T::acc_fold(*aj);
                     }
                     unfolded = 0;
                 }
-                let brow = &b[p * n + j0..p * n + j0 + jw];
+                let brow = &b[pq[t] * n + j0..][..jw];
                 for (aj, &bj) in acc.iter_mut().zip(brow) {
-                    *aj = T::mac(*aj, aip, bj);
+                    *aj = T::mac(*aj, av[t], bj);
                 }
                 unfolded += 1;
             }
@@ -69,10 +148,44 @@ fn matmul_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize,
 }
 
 /// Serial kernel: `C[rows×n] = A[rows×k] · Bᵀ` with `B` stored `n×k`.
+///
+/// Dot-product orientation: [`LANES`] rows of `B` are consumed per pass
+/// over the `A` row, each with its own register accumulator. The
+/// zero-skip is gated on [`Scalar::SKIP_ZEROS`] exactly like the
+/// reference single-lane loop.
 fn a_bt_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
     for i in 0..rows {
         let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
+        let mut j = 0;
+        while j + LANES <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let mut acc = [T::acc_zero(); LANES];
+            let mut unfolded = 0usize;
+            for (p, &x) in arow.iter().enumerate() {
+                if T::SKIP_ZEROS && x == T::zero() {
+                    continue;
+                }
+                if unfolded == T::FOLD_INTERVAL {
+                    for aj in acc.iter_mut() {
+                        *aj = T::acc_fold(*aj);
+                    }
+                    unfolded = 0;
+                }
+                acc[0] = T::mac(acc[0], x, b0[p]);
+                acc[1] = T::mac(acc[1], x, b1[p]);
+                acc[2] = T::mac(acc[2], x, b2[p]);
+                acc[3] = T::mac(acc[3], x, b3[p]);
+                unfolded += 1;
+            }
+            for (l, &aj) in acc.iter().enumerate() {
+                c[i * n + j + l] = T::acc_finish(aj);
+            }
+            j += LANES;
+        }
+        while j < n {
             let brow = &b[j * k..(j + 1) * k];
             let mut acc = T::acc_zero();
             let mut unfolded = 0usize;
@@ -88,6 +201,7 @@ fn a_bt_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n
                 unfolded += 1;
             }
             c[i * n + j] = T::acc_finish(acc);
+            j += 1;
         }
     }
 }
@@ -128,6 +242,20 @@ pub fn matmul_acc<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize, 
     run_row_partitioned(a, c, m, k, n, |ach, cch, rows| matmul_block(ach, b, cch, rows, k, n));
 }
 
+/// `C[m×n] = A[m×k] · B[k×n]` into a caller-provided buffer
+/// (overwritten; prior contents are irrelevant).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_into<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize, n: usize) {
+    assert_eq!(c.len(), m * n, "C size");
+    for v in c.iter_mut() {
+        *v = T::zero();
+    }
+    matmul_acc(a, b, c, m, k, n);
+}
+
 /// `C[m×n] = A[m×k] · B[k×n]`.
 ///
 /// # Panics
@@ -139,26 +267,115 @@ pub fn matmul<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<
     c
 }
 
+/// Packs panel columns `i0..i0+iw` of `A[k×m]` into `scratch` as a
+/// row-major `iw×k` strip and multiplies it against `B`, one panel of
+/// output rows at a time. `c` covers output rows `i0..i0+rows`.
+#[allow(clippy::too_many_arguments)]
+fn at_b_panels<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    i0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [T],
+) {
+    let panel = scratch.len() / k;
+    debug_assert!(panel > 0);
+    let mut is = 0;
+    while is < rows {
+        let iw = (rows - is).min(panel);
+        for p in 0..k {
+            let acol = &a[p * m + i0 + is..p * m + i0 + is + iw];
+            for (r, &v) in acol.iter().enumerate() {
+                scratch[r * k + p] = v;
+            }
+        }
+        matmul_block(&scratch[..iw * k], b, &mut c[is * n..(is + iw) * n], iw, k, n);
+        is += iw;
+    }
+}
+
+/// `C[m×n] = Aᵀ · B` (with `A` stored `k×m`) into a caller-provided
+/// buffer, packing `A` columns into a `AT_PANEL × k` workspace-owned
+/// scratch strip per output-row tile instead of materializing the full
+/// `m×k` transpose. The packed panel is the layout the blocked
+/// [`matmul`] kernel wants, so the lane-unrolled delayed-reduction
+/// machinery applies to this orientation too.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_at_b_into<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+) {
+    assert_eq!(a.len(), k * m, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    for v in c.iter_mut() {
+        *v = T::zero();
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let workers = workers_for(m, m.saturating_mul(k).saturating_mul(n));
+    if workers <= 1 {
+        let mut scratch = ws.take_zeroed::<T>(AT_PANEL.min(m) * k);
+        at_b_panels(a, b, c, 0, m, m, k, n, &mut scratch);
+        ws.give(scratch);
+        return;
+    }
+    let rows_per = m.div_ceil(workers);
+    let panel = AT_PANEL.min(rows_per);
+    let mut scratch = ws.take_zeroed::<T>(workers * panel * k);
+    std::thread::scope(|s| {
+        for ((w, cchunk), sl) in
+            c.chunks_mut(rows_per * n).enumerate().zip(scratch.chunks_mut(panel * k))
+        {
+            s.spawn(move || {
+                let i0 = w * rows_per;
+                at_b_panels(a, b, cchunk, i0, cchunk.len() / n, m, k, n, sl);
+            });
+        }
+    });
+    ws.give(scratch);
+}
+
 /// `C[m×n] = Aᵀ · B` where `A` is stored as `k×m`.
 ///
-/// Materializes `Aᵀ` (an `O(km)` copy against an `O(mkn)` product) and
-/// reuses the blocked [`matmul`] kernel, so the delayed-reduction and
-/// threading machinery applies to this orientation too.
+/// Thin allocating wrapper over [`matmul_at_b_into`].
 ///
 /// # Panics
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn matmul_at_b<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
-    assert_eq!(a.len(), k * m, "A size");
-    assert_eq!(b.len(), k * n, "B size");
-    let mut at = vec![T::zero(); m * k];
-    for p in 0..k {
-        let arow = &a[p * m..(p + 1) * m];
-        for (i, &v) in arow.iter().enumerate() {
-            at[i * k + p] = v;
-        }
+    let mut c = vec![T::zero(); m * n];
+    matmul_at_b_into(a, b, &mut c, m, k, n, &mut Workspace::new());
+    c
+}
+
+/// `C[m×n] = A · Bᵀ` (with `B` stored `n×k`) into a caller-provided
+/// buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_a_bt_into<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), n * k, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    if m == 0 || n == 0 {
+        return;
     }
-    matmul(&at, b, m, k, n)
+    run_row_partitioned(a, c, m, k, n, |ach, cch, rows| a_bt_block(ach, b, cch, rows, k, n));
 }
 
 /// `C[m×n] = A · Bᵀ` where `B` is stored as `n×k`.
@@ -167,17 +384,13 @@ pub fn matmul_at_b<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) ->
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn matmul_a_bt<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
-    assert_eq!(a.len(), m * k, "A size");
-    assert_eq!(b.len(), n * k, "B size");
     let mut c = vec![T::zero(); m * n];
-    if m == 0 || n == 0 {
-        return c;
-    }
-    run_row_partitioned(a, &mut c, m, k, n, |ach, cch, rows| a_bt_block(ach, b, cch, rows, k, n));
+    matmul_a_bt_into(a, b, &mut c, m, k, n);
     c
 }
 
-/// Matrix–vector product `y[m] = A[m×k] · x[k]`.
+/// Matrix–vector product `y[m] = A[m×k] · x[k]` into a caller-provided
+/// buffer.
 ///
 /// Routes through the `A·Bᵀ` dot kernel, whose zero-skip is gated on
 /// [`Scalar::SKIP_ZEROS`]: floats keep the branch-free loop of the
@@ -187,10 +400,20 @@ pub fn matmul_a_bt<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) ->
 /// # Panics
 ///
 /// Panics if slice lengths do not match the given dimensions.
-pub fn matvec<T: Scalar>(a: &[T], x: &[T], m: usize, k: usize) -> Vec<T> {
-    assert_eq!(a.len(), m * k, "A size");
+pub fn matvec_into<T: Scalar>(a: &[T], x: &[T], y: &mut [T], m: usize, k: usize) {
     assert_eq!(x.len(), k, "x size");
-    matmul_a_bt(a, x, m, k, 1)
+    matmul_a_bt_into(a, x, y, m, k, 1);
+}
+
+/// Matrix–vector product `y[m] = A[m×k] · x[k]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matvec<T: Scalar>(a: &[T], x: &[T], m: usize, k: usize) -> Vec<T> {
+    let mut y = vec![T::zero(); m];
+    matvec_into(a, x, &mut y, m, k);
+    y
 }
 
 #[cfg(test)]
@@ -228,9 +451,10 @@ mod tests {
     }
 
     #[test]
-    fn matmul_wide_output_crosses_col_tiles() {
-        // n > COL_TILE exercises the column-tiling path.
-        let (m, k, n) = (2, 3, COL_TILE + 37);
+    fn matmul_wide_output_crosses_lane_groups() {
+        // n > COL_TILE and far from a LANES multiple exercises the
+        // column tiling, the quad flush and the pending remainder.
+        let (m, k, n) = (2, 3, COL_TILE + LANES + 3);
         let a: Vec<F25> = (0..m * k).map(|i| F25::new(i as u64 + 1)).collect();
         let b: Vec<F25> = (0..k * n).map(|i| F25::new(i as u64 * 31 + 2)).collect();
         assert_eq!(matmul(&a, &b, m, k, n), naive(&a, &b, m, k, n));
@@ -249,6 +473,21 @@ mod tests {
         }
         let b: Vec<f32> = (0..k * n).map(|i| (i * i) as f32).collect();
         assert_eq!(matmul_at_b(&a_kxm, &b, m, k, n), matmul(&a_mxk, &b, m, k, n));
+    }
+
+    #[test]
+    fn at_b_crosses_panel_boundary() {
+        // m > AT_PANEL forces multiple packed panels.
+        let (m, k, n) = (AT_PANEL + 9, 5, 3);
+        let a: Vec<F25> = (0..k * m).map(|i| F25::new(i as u64 % 97 + 1)).collect();
+        let b: Vec<F25> = (0..k * n).map(|i| F25::new(i as u64 % 89 + 2)).collect();
+        let mut a_t = vec![F25::ZERO; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a_t[i * k + p] = a[p * m + i];
+            }
+        }
+        assert_eq!(matmul_at_b(&a, &b, m, k, n), matmul(&a_t, &b, m, k, n));
     }
 
     #[test]
@@ -299,6 +538,8 @@ mod tests {
         assert!(c.iter().all(|v| v.is_zero()));
         assert!(matmul_a_bt::<f32>(&[], &[], 0, 2, 0).is_empty());
         assert!(matmul_at_b::<f32>(&[], &[], 0, 0, 0).is_empty());
+        let c = matmul_at_b::<F25>(&[], &[], 3, 0, 2);
+        assert!(c.iter().all(|v| v.is_zero()));
     }
 
     #[test]
@@ -313,6 +554,31 @@ mod tests {
         for i in 0..m * n {
             assert_eq!(c[i], base[i] + prod[i]);
         }
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_contents() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<F25> = (0..m * k).map(|i| F25::new(i as u64 + 1)).collect();
+        let b: Vec<F25> = (0..k * n).map(|i| F25::new(i as u64 * 3 + 2)).collect();
+        let mut c = vec![F25::new(999); m * n];
+        matmul_into(&a, &b, &mut c, m, k, n);
+        assert_eq!(c, matmul(&a, &b, m, k, n));
+
+        let bt: Vec<F25> = (0..n * k).map(|i| F25::new(i as u64 * 7 + 3)).collect();
+        let mut c = vec![F25::new(999); m * n];
+        matmul_a_bt_into(&a, &bt, &mut c, m, k, n);
+        assert_eq!(c, matmul_a_bt(&a, &bt, m, k, n));
+
+        let at: Vec<F25> = (0..k * m).map(|i| F25::new(i as u64 * 11 + 4)).collect();
+        let mut c = vec![F25::new(999); m * n];
+        matmul_at_b_into(&at, &b, &mut c, m, k, n, &mut Workspace::new());
+        assert_eq!(c, matmul_at_b(&at, &b, m, k, n));
+
+        let x: Vec<F25> = (0..k).map(|i| F25::new(i as u64 + 5)).collect();
+        let mut y = vec![F25::new(999); m];
+        matvec_into(&a, &x, &mut y, m, k);
+        assert_eq!(y, matvec(&a, &x, m, k));
     }
 
     #[test]

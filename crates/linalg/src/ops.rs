@@ -6,9 +6,30 @@
 
 use crate::tensor::Tensor;
 
+/// The one ReLU gate predicate: every forward/backward form below (and
+/// therefore every execution path — clear-text reference and private
+/// alike) routes through this, so the gating can never silently diverge
+/// between paths.
+#[inline]
+fn relu_gate(v: f32, pass: f32) -> f32 {
+    if v > 0.0 {
+        pass
+    } else {
+        0.0
+    }
+}
+
 /// ReLU forward: `max(0, x)` elementwise.
 pub fn relu(x: &Tensor<f32>) -> Tensor<f32> {
-    x.map(|v| if v > 0.0 { v } else { 0.0 })
+    x.map(|v| relu_gate(v, v))
+}
+
+/// ReLU forward in place (the workspace hot path: callers copy `x`
+/// into a recycled buffer first). Identical gating to [`relu`].
+pub fn relu_in_place(y: &mut Tensor<f32>) {
+    for v in y.as_mut_slice() {
+        *v = relu_gate(*v, *v);
+    }
 }
 
 /// ReLU backward: gates `dy` by the sign of the forward *input*.
@@ -17,7 +38,21 @@ pub fn relu(x: &Tensor<f32>) -> Tensor<f32> {
 ///
 /// Panics if shapes differ.
 pub fn relu_backward(dy: &Tensor<f32>, x: &Tensor<f32>) -> Tensor<f32> {
-    dy.zip_map(x, |g, v| if v > 0.0 { g } else { 0.0 })
+    dy.zip_map(x, |g, v| relu_gate(v, g))
+}
+
+/// ReLU backward writing into a caller-provided tensor. Identical
+/// gating to [`relu_backward`].
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn relu_backward_into(dy: &Tensor<f32>, x: &Tensor<f32>, dx: &mut Tensor<f32>) {
+    assert_eq!(dy.shape(), x.shape(), "relu gradient shape mismatch");
+    assert_eq!(dy.shape(), dx.shape(), "relu output shape mismatch");
+    for ((d, &g), &v) in dx.as_mut_slice().iter_mut().zip(dy.as_slice()).zip(x.as_slice()) {
+        *d = relu_gate(v, g);
+    }
 }
 
 /// Adds a per-output-channel bias to an NCHW tensor in place.

@@ -44,19 +44,25 @@ impl Pool2dShape {
     }
 }
 
-/// Max pooling forward. Returns the pooled tensor and the flat argmax
-/// index (into the input tensor) of every output element, which the
-/// backward pass scatters gradients through.
+/// Max pooling forward with the pooled tensor drawn from `ws` and the
+/// flat argmax bookkeeping written into the caller's reusable buffer —
+/// the allocation-free form the layer hot path uses.
 ///
 /// # Panics
 ///
 /// Panics if `x` is not NCHW or the window does not fit.
-pub fn maxpool2d_forward(x: &Tensor<f32>, s: &Pool2dShape) -> (Tensor<f32>, Vec<usize>) {
+pub fn maxpool2d_forward_ws(
+    x: &Tensor<f32>,
+    s: &Pool2dShape,
+    ws: &mut crate::workspace::Workspace,
+    arg: &mut Vec<usize>,
+) -> Tensor<f32> {
     assert_eq!(x.ndim(), 4, "input must be NCHW");
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (oh, ow) = s.out_hw((h, w));
-    let mut y = Tensor::zeros(&[n, c, oh, ow]);
-    let mut arg = vec![0usize; n * c * oh * ow];
+    let mut y = ws.take_tensor(&[n, c, oh, ow]);
+    arg.clear();
+    arg.resize(n * c * oh * ow, 0usize);
     let xs = x.as_slice();
     let mut oidx = 0;
     for ni in 0..n {
@@ -93,18 +99,38 @@ pub fn maxpool2d_forward(x: &Tensor<f32>, s: &Pool2dShape) -> (Tensor<f32>, Vec<
             }
         }
     }
+    y
+}
+
+/// Max pooling forward. Returns the pooled tensor and the flat argmax
+/// index (into the input tensor) of every output element, which the
+/// backward pass scatters gradients through. Allocating wrapper over
+/// [`maxpool2d_forward_ws`].
+///
+/// # Panics
+///
+/// Panics if `x` is not NCHW or the window does not fit.
+pub fn maxpool2d_forward(x: &Tensor<f32>, s: &Pool2dShape) -> (Tensor<f32>, Vec<usize>) {
+    let mut arg = Vec::new();
+    let y = maxpool2d_forward_ws(x, s, &mut crate::workspace::Workspace::new(), &mut arg);
     (y, arg)
 }
 
-/// Max pooling backward: routes each output gradient to the input
-/// element that won the forward max.
+/// Max pooling backward with the gradient image drawn from `ws`:
+/// routes each output gradient to the input element that won the
+/// forward max.
 ///
 /// # Panics
 ///
 /// Panics if `dy.len() != argmax.len()`.
-pub fn maxpool2d_backward(dy: &Tensor<f32>, argmax: &[usize], input_shape: &[usize]) -> Tensor<f32> {
+pub fn maxpool2d_backward_ws(
+    dy: &Tensor<f32>,
+    argmax: &[usize],
+    input_shape: &[usize],
+    ws: &mut crate::workspace::Workspace,
+) -> Tensor<f32> {
     assert_eq!(dy.len(), argmax.len(), "argmax bookkeeping mismatch");
-    let mut dx = Tensor::zeros(input_shape);
+    let mut dx = ws.take_tensor(input_shape);
     let d = dx.as_mut_slice();
     for (&g, &a) in dy.as_slice().iter().zip(argmax) {
         d[a] += g;
@@ -112,16 +138,30 @@ pub fn maxpool2d_backward(dy: &Tensor<f32>, argmax: &[usize], input_shape: &[usi
     dx
 }
 
-/// Global average pooling: `[n, c, h, w] → [n, c]`.
+/// Max pooling backward. Allocating wrapper over
+/// [`maxpool2d_backward_ws`].
+///
+/// # Panics
+///
+/// Panics if `dy.len() != argmax.len()`.
+pub fn maxpool2d_backward(dy: &Tensor<f32>, argmax: &[usize], input_shape: &[usize]) -> Tensor<f32> {
+    maxpool2d_backward_ws(dy, argmax, input_shape, &mut crate::workspace::Workspace::new())
+}
+
+/// Global average pooling `[n, c, h, w] → [n, c]` with the output
+/// drawn from `ws`.
 ///
 /// # Panics
 ///
 /// Panics if `x` is not NCHW.
-pub fn global_avg_pool_forward(x: &Tensor<f32>) -> Tensor<f32> {
+pub fn global_avg_pool_forward_ws(
+    x: &Tensor<f32>,
+    ws: &mut crate::workspace::Workspace,
+) -> Tensor<f32> {
     assert_eq!(x.ndim(), 4, "input must be NCHW");
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let inv = 1.0 / (h * w) as f32;
-    let mut y = Tensor::zeros(&[n, c]);
+    let mut y = ws.take_tensor(&[n, c]);
     for ni in 0..n {
         for ci in 0..c {
             let base = (ni * c + ci) * h * w;
@@ -132,17 +172,32 @@ pub fn global_avg_pool_forward(x: &Tensor<f32>) -> Tensor<f32> {
     y
 }
 
-/// Global average pooling backward: broadcasts `dy/(h·w)` over the plane.
+/// Global average pooling: `[n, c, h, w] → [n, c]`. Allocating wrapper
+/// over [`global_avg_pool_forward_ws`].
+///
+/// # Panics
+///
+/// Panics if `x` is not NCHW.
+pub fn global_avg_pool_forward(x: &Tensor<f32>) -> Tensor<f32> {
+    global_avg_pool_forward_ws(x, &mut crate::workspace::Workspace::new())
+}
+
+/// Global average pooling backward with the gradient image drawn from
+/// `ws`: broadcasts `dy/(h·w)` over the plane.
 ///
 /// # Panics
 ///
 /// Panics if `dy` is not `[n, c]` matching the input shape.
-pub fn global_avg_pool_backward(dy: &Tensor<f32>, input_shape: &[usize]) -> Tensor<f32> {
+pub fn global_avg_pool_backward_ws(
+    dy: &Tensor<f32>,
+    input_shape: &[usize],
+    ws: &mut crate::workspace::Workspace,
+) -> Tensor<f32> {
     assert_eq!(input_shape.len(), 4);
     let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
     assert_eq!(dy.shape(), &[n, c], "dy shape mismatch");
     let inv = 1.0 / (h * w) as f32;
-    let mut dx = Tensor::zeros(input_shape);
+    let mut dx = ws.take_tensor(input_shape);
     for ni in 0..n {
         for ci in 0..c {
             let g = dy.get(&[ni, ci]) * inv;
@@ -153,6 +208,16 @@ pub fn global_avg_pool_backward(dy: &Tensor<f32>, input_shape: &[usize]) -> Tens
         }
     }
     dx
+}
+
+/// Global average pooling backward: broadcasts `dy/(h·w)` over the
+/// plane. Allocating wrapper over [`global_avg_pool_backward_ws`].
+///
+/// # Panics
+///
+/// Panics if `dy` is not `[n, c]` matching the input shape.
+pub fn global_avg_pool_backward(dy: &Tensor<f32>, input_shape: &[usize]) -> Tensor<f32> {
+    global_avg_pool_backward_ws(dy, input_shape, &mut crate::workspace::Workspace::new())
 }
 
 #[cfg(test)]

@@ -56,6 +56,26 @@ impl<T: Scalar> Tensor<T> {
         Self { shape: shape.to_vec(), data: (0..n).map(&mut f).collect() }
     }
 
+    /// Assembles a tensor from an owned shape vector and data buffer —
+    /// the allocation-free construction the
+    /// [`crate::workspace::Workspace`] recycling path uses (both vectors
+    /// typically come out of a pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape volume.
+    pub fn from_parts(shape: Vec<usize>, data: Vec<T>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "buffer length {} != shape volume {}", data.len(), n);
+        Self { shape, data }
+    }
+
+    /// Disassembles the tensor into its shape vector and data buffer so
+    /// both can be returned to a buffer pool.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<T>) {
+        (self.shape, self.data)
+    }
+
     /// The shape.
     pub fn shape(&self) -> &[usize] {
         &self.shape

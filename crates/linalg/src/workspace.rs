@@ -1,0 +1,329 @@
+//! Reusable buffer pools for the zero-allocation hot path.
+//!
+//! Every steady-state training/serving step used to re-allocate its
+//! intermediates — im2col column matrices, matmul outputs, layer
+//! activations, quantization buffers — on every layer of every batch.
+//! Once the arithmetic itself is fast (delayed-reduction kernels,
+//! pipelined lanes), allocator pressure, page faults and cache-cold
+//! buffers dominate. A [`Workspace`] fixes that: it is a per-owner
+//! (per TEE lane, per GPU worker, per [`Tensor`]-model) pool of `Vec`
+//! buffers that callers *take* for the duration of an operation and
+//! *give* back when done. After one warm-up step the same buffer
+//! multiset cycles every step, so the steady state performs **zero heap
+//! allocations** (asserted by the counting-allocator regression tests).
+//!
+//! Design rules:
+//!
+//! * A workspace is plain mutable state owned by exactly one execution
+//!   lane — no locks, no sharing. Parallel kernels pre-take one scratch
+//!   slab and split it with `chunks_mut`.
+//! * Taking a buffer never changes numerical results: `take_zeroed`
+//!   hands back exactly what `vec![T::zero(); len]` would, and
+//!   `take_copy` what `slice.to_vec()` would. Exactness is a kernel
+//!   property, not a buffer-provenance property.
+//! * Buffers of any `Send + 'static` element live in one pool keyed by
+//!   `TypeId`, so a single workspace serves `f32` activations, field
+//!   vectors, and index buffers alike.
+//! * [`WorkspaceStats`] tracks takes, misses (takes that had to touch
+//!   the allocator) and the high-water mark of checked-out bytes, so
+//!   regressions show up in `dk_bench --alloc` instead of in a heap
+//!   profiler.
+
+use crate::scalar::Scalar;
+use crate::tensor::Tensor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper around the system allocator — the enforcement
+/// tool for the zero-allocation invariant. Test binaries and `dk_bench`
+/// install it with `#[global_allocator]` and read [`alloc_counts`];
+/// one shared implementation keeps every measurement surface (the CI
+/// alloc gate, the regression tests) counting identically. The relaxed
+/// atomics cost nothing measurable next to the kernels under test.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// `(allocations, bytes requested)` recorded by an installed
+/// [`CountingAllocator`] since process start.
+pub fn alloc_counts() -> (u64, u64) {
+    (GLOBAL_ALLOCS.load(Ordering::Relaxed), GLOBAL_ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+/// Allocation-behaviour counters of one [`Workspace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Buffers handed out in total.
+    pub takes: u64,
+    /// Takes that had to allocate or grow a buffer (cold pool). After
+    /// warm-up this counter must stop moving — that is the
+    /// zero-allocation invariant.
+    pub misses: u64,
+    /// Bytes currently checked out of the pool.
+    pub live_bytes: usize,
+    /// High-water mark of checked-out bytes.
+    pub peak_bytes: usize,
+}
+
+/// A pool of reusable `Vec` buffers (see module docs).
+#[derive(Default)]
+pub struct Workspace {
+    /// `TypeId::of::<T>() → Vec<Vec<T>>` (boxed, type-erased). The inner
+    /// vec-of-vecs keeps its capacity across take/give cycles, so the
+    /// steady state never touches the allocator.
+    pools: HashMap<TypeId, Box<dyn Any + Send>>,
+    /// Recycled tensor shape vectors (small, but a `Vec<usize>` per
+    /// tensor per layer per batch is still an allocation).
+    shapes: Vec<Vec<usize>>,
+    stats: WorkspaceStats,
+}
+
+/// Cloning a workspace yields a fresh, empty pool: pooled buffers are
+/// per-owner scratch with no semantic content, so a cloned owner (a
+/// forked worker, a copied model) warms up its own pool.
+impl Clone for Workspace {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workspace")
+            .field("pools", &self.pools.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Workspace {
+    /// Creates an empty workspace. Allocation-free until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocation counters so far.
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+
+    fn pool_mut<T: Send + 'static>(&mut self) -> &mut Vec<Vec<T>> {
+        self.pools
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()))
+            .downcast_mut::<Vec<Vec<T>>>()
+            .expect("workspace pool type confusion")
+    }
+
+    /// Pops the best-fitting pooled buffer: the smallest whose capacity
+    /// covers `len`, else the largest available (which then grows —
+    /// a miss), else a fresh allocation (also a miss). Returned cleared.
+    fn pop_buffer<T: Send + 'static>(&mut self, len: usize) -> Vec<T> {
+        self.stats.takes += 1;
+        let pool = self.pool_mut::<T>();
+        let mut best: Option<usize> = None;
+        let mut largest: Option<usize> = None;
+        for (i, b) in pool.iter().enumerate() {
+            if b.capacity() >= len {
+                if best.is_none_or(|j| b.capacity() < pool[j].capacity()) {
+                    best = Some(i);
+                }
+            } else if largest.is_none_or(|j| b.capacity() > pool[j].capacity()) {
+                largest = Some(i);
+            }
+        }
+        let mut buf = match best.or(largest) {
+            Some(i) => pool.swap_remove(i),
+            None => Vec::new(),
+        };
+        buf.clear();
+        if buf.capacity() < len {
+            self.stats.misses += 1;
+            buf.reserve_exact(len - buf.capacity());
+        }
+        self.stats.live_bytes += buf.capacity() * std::mem::size_of::<T>();
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        buf
+    }
+
+    /// Takes a buffer of exactly `len` elements, all `T::zero()` —
+    /// bit-identical to `vec![T::zero(); len]`.
+    pub fn take_zeroed<T: Scalar>(&mut self, len: usize) -> Vec<T> {
+        let mut buf = self.pop_buffer::<T>(len);
+        buf.resize(len, T::zero());
+        buf
+    }
+
+    /// Takes an *empty* buffer with capacity for at least `cap`
+    /// elements (for `push`/`extend` fills — quantization, stacking).
+    pub fn take_cleared<T: Send + 'static>(&mut self, cap: usize) -> Vec<T> {
+        self.pop_buffer::<T>(cap)
+    }
+
+    /// Takes a buffer holding a copy of `src` — bit-identical to
+    /// `src.to_vec()`, single write pass.
+    pub fn take_copy<T: Copy + Send + 'static>(&mut self, src: &[T]) -> Vec<T> {
+        let mut buf = self.pop_buffer::<T>(src.len());
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give<T: Send + 'static>(&mut self, buf: Vec<T>) {
+        self.stats.live_bytes =
+            self.stats.live_bytes.saturating_sub(buf.capacity() * std::mem::size_of::<T>());
+        if buf.capacity() > 0 {
+            self.pool_mut::<T>().push(buf);
+        }
+    }
+
+    fn pop_shape(&mut self, shape: &[usize]) -> Vec<usize> {
+        let mut s = self.shapes.pop().unwrap_or_default();
+        s.clear();
+        s.extend_from_slice(shape);
+        s
+    }
+
+    /// Takes a zeroed tensor of the given shape — bit-identical to
+    /// [`Tensor::zeros`]. Both the data buffer and the shape vector come
+    /// from the pool.
+    pub fn take_tensor<T: Scalar>(&mut self, shape: &[usize]) -> Tensor<T> {
+        let len = shape.iter().product();
+        let data = self.take_zeroed::<T>(len);
+        Tensor::from_parts(self.pop_shape(shape), data)
+    }
+
+    /// Takes a tensor of the given shape holding a copy of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from the shape volume.
+    pub fn take_tensor_copy<T: Scalar>(&mut self, shape: &[usize], src: &[T]) -> Tensor<T> {
+        let data = self.take_copy(src);
+        Tensor::from_parts(self.pop_shape(shape), data)
+    }
+
+    /// Returns a tensor's buffers (data and shape) to the pool.
+    pub fn give_tensor<T: Scalar>(&mut self, t: Tensor<T>) {
+        let (shape, data) = t.into_parts();
+        if shape.capacity() > 0 {
+            self.shapes.push(shape);
+        }
+        self.give(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dk_field::F25;
+
+    #[test]
+    fn take_zeroed_matches_vec_macro() {
+        let mut ws = Workspace::new();
+        let b: Vec<f32> = ws.take_zeroed(5);
+        assert_eq!(b, vec![0.0f32; 5]);
+        let q: Vec<F25> = ws.take_zeroed(3);
+        assert_eq!(q, vec![F25::ZERO; 3]);
+    }
+
+    #[test]
+    fn buffers_are_recycled_without_misses() {
+        let mut ws = Workspace::new();
+        let b: Vec<f32> = ws.take_zeroed(100);
+        ws.give(b);
+        let before = ws.stats().misses;
+        for _ in 0..10 {
+            let b: Vec<f32> = ws.take_zeroed(100);
+            ws.give(b);
+            let c: Vec<f32> = ws.take_copy(&[1.0, 2.0]);
+            ws.give(c);
+        }
+        assert_eq!(ws.stats().misses, before, "warm pool must not miss");
+        assert!(ws.stats().takes >= 21);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        let big: Vec<f32> = ws.take_zeroed(1000);
+        let small: Vec<f32> = ws.take_zeroed(10);
+        let (bigcap, smallcap) = (big.capacity(), small.capacity());
+        ws.give(big);
+        ws.give(small);
+        let got: Vec<f32> = ws.take_zeroed(8);
+        assert_eq!(got.capacity(), smallcap);
+        let got2: Vec<f32> = ws.take_zeroed(500);
+        assert_eq!(got2.capacity(), bigcap);
+    }
+
+    #[test]
+    fn distinct_types_pool_independently() {
+        let mut ws = Workspace::new();
+        let f: Vec<f32> = ws.take_zeroed(4);
+        let q: Vec<F25> = ws.take_zeroed(4);
+        let idx: Vec<usize> = ws.take_cleared(4);
+        ws.give(f);
+        ws.give(q);
+        ws.give(idx);
+        // Each type gets its own buffer back.
+        assert_eq!(ws.take_zeroed::<f32>(4).len(), 4);
+        assert_eq!(ws.take_zeroed::<F25>(4).len(), 4);
+        assert_eq!(ws.take_cleared::<usize>(4).capacity(), 4);
+    }
+
+    #[test]
+    fn tensors_recycle_shape_and_data() {
+        let mut ws = Workspace::new();
+        let t: Tensor<f32> = ws.take_tensor(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        ws.give_tensor(t);
+        let misses = ws.stats().misses;
+        let t2: Tensor<f32> = ws.take_tensor_copy(&[3, 2], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t2.shape(), &[3, 2]);
+        assert_eq!(t2.get(&[0, 1]), 2.0);
+        assert_eq!(ws.stats().misses, misses, "recycled tensor must not allocate");
+        ws.give_tensor(t2);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_checkout_high_water() {
+        let mut ws = Workspace::new();
+        let a: Vec<f32> = ws.take_zeroed(100);
+        let b: Vec<f32> = ws.take_zeroed(100);
+        let peak = ws.stats().peak_bytes;
+        assert!(peak >= 800);
+        ws.give(a);
+        ws.give(b);
+        assert_eq!(ws.stats().live_bytes, 0);
+        assert_eq!(ws.stats().peak_bytes, peak);
+    }
+}

@@ -10,32 +10,93 @@
 //! and `k > 2^14`, which crosses the `F25` u64-accumulator fold boundary.
 
 use dk_field::{F25, F61, FieldRng, P25, P61};
+use dk_linalg::im2col::{col2im, col2im_acc_into, im2col, im2col_into, out_hw};
 use dk_linalg::reference::{naive_matmul, naive_matmul_a_bt, naive_matmul_at_b, naive_matvec};
-use dk_linalg::{matmul, matmul_a_bt, matmul_at_b, matvec, Scalar};
+use dk_linalg::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into, matvec,
+    matvec_into, Scalar, Workspace,
+};
 use proptest::prelude::*;
 
-/// Checks all three orientations plus matvec on one random shape.
+/// A buffer pre-poisoned with nonzero garbage, so the `_into` checks
+/// also prove the kernels fully overwrite stale contents.
+fn poisoned<T: Scalar>(len: usize) -> Vec<T> {
+    (0..len).map(|i| if i % 2 == 0 { T::one() } else { -T::one() }).collect()
+}
+
+/// Checks all three orientations plus matvec on one random shape —
+/// both the allocating entry points and the `_into` variants (the
+/// latter against a reused, garbage-filled workspace buffer).
 fn assert_equiv<T: Scalar>(mut gen: impl FnMut() -> T, m: usize, k: usize, n: usize) {
+    let mut ws = Workspace::new();
     let a: Vec<T> = (0..m * k).map(|_| gen()).collect();
     let b: Vec<T> = (0..k * n).map(|_| gen()).collect();
-    assert_eq!(matmul(&a, &b, m, k, n), naive_matmul(&a, &b, m, k, n), "matmul {m}x{k}x{n}");
+    let want = naive_matmul(&a, &b, m, k, n);
+    assert_eq!(matmul(&a, &b, m, k, n), want, "matmul {m}x{k}x{n}");
+    let mut c = poisoned::<T>(m * n);
+    matmul_into(&a, &b, &mut c, m, k, n);
+    assert_eq!(c, want, "matmul_into {m}x{k}x{n}");
 
     let a_t: Vec<T> = (0..k * m).map(|_| gen()).collect();
-    assert_eq!(
-        matmul_at_b(&a_t, &b, m, k, n),
-        naive_matmul_at_b(&a_t, &b, m, k, n),
-        "at_b {m}x{k}x{n}"
-    );
+    let want = naive_matmul_at_b(&a_t, &b, m, k, n);
+    assert_eq!(matmul_at_b(&a_t, &b, m, k, n), want, "at_b {m}x{k}x{n}");
+    let mut c = poisoned::<T>(m * n);
+    matmul_at_b_into(&a_t, &b, &mut c, m, k, n, &mut ws);
+    assert_eq!(c, want, "at_b_into {m}x{k}x{n}");
 
     let b_t: Vec<T> = (0..n * k).map(|_| gen()).collect();
-    assert_eq!(
-        matmul_a_bt(&a, &b_t, m, k, n),
-        naive_matmul_a_bt(&a, &b_t, m, k, n),
-        "a_bt {m}x{k}x{n}"
-    );
+    let want = naive_matmul_a_bt(&a, &b_t, m, k, n);
+    assert_eq!(matmul_a_bt(&a, &b_t, m, k, n), want, "a_bt {m}x{k}x{n}");
+    let mut c = poisoned::<T>(m * n);
+    matmul_a_bt_into(&a, &b_t, &mut c, m, k, n);
+    assert_eq!(c, want, "a_bt_into {m}x{k}x{n}");
 
     let x: Vec<T> = (0..k).map(|_| gen()).collect();
-    assert_eq!(matvec(&a, &x, m, k), naive_matvec(&a, &x, m, k), "matvec {m}x{k}");
+    let want = naive_matvec(&a, &x, m, k);
+    assert_eq!(matvec(&a, &x, m, k), want, "matvec {m}x{k}");
+    let mut y = poisoned::<T>(m);
+    matvec_into(&a, &x, &mut y, m, k);
+    assert_eq!(y, want, "matvec_into {m}x{k}");
+}
+
+/// im2col/col2im geometry sweep: the `_into` forms against the
+/// allocating references, with poisoned scratch for `im2col_into` and
+/// a nonzero accumulation base for `col2im_acc_into` (whose contract is
+/// `out += col2im(cols)` with contributions in identical order).
+fn assert_lowering_equiv<T: Scalar>(
+    mut gen: impl FnMut() -> T,
+    c: usize,
+    hw: (usize, usize),
+    k: (usize, usize),
+    s: (usize, usize),
+    p: (usize, usize),
+) {
+    if hw.0 + 2 * p.0 < k.0 || hw.1 + 2 * p.1 < k.1 {
+        return; // kernel does not fit; out_hw would panic
+    }
+    let input: Vec<T> = (0..c * hw.0 * hw.1).map(|_| gen()).collect();
+    let want = im2col(&input, c, hw, k, s, p);
+    let mut cols = poisoned::<T>(want.len());
+    im2col_into(&input, c, hw, k, s, p, &mut cols);
+    assert_eq!(cols, want, "im2col_into c={c} hw={hw:?} k={k:?} s={s:?} p={p:?}");
+
+    let cols_mat: Vec<T> = (0..want.len()).map(|_| gen()).collect();
+    let img = col2im(&cols_mat, c, hw, k, s, p);
+    // col2im == acc_into onto zeros...
+    let mut acc = vec![T::zero(); c * hw.0 * hw.1];
+    col2im_acc_into(&cols_mat, c, hw, k, s, p, &mut acc);
+    assert_eq!(acc, img, "col2im_acc_into (zero base)");
+    // ...and onto a nonzero base it must equal base + col2im, added in
+    // the same elementwise order the old triple pass used.
+    let base: Vec<T> = (0..c * hw.0 * hw.1).map(|_| gen()).collect();
+    let mut acc = base.clone();
+    col2im_acc_into(&cols_mat, c, hw, k, s, p, &mut acc);
+    let mut want_acc = base;
+    for (d, v) in want_acc.iter_mut().zip(img) {
+        *d += v;
+    }
+    assert_eq!(acc, want_acc, "col2im_acc_into (accumulating base)");
+    let _ = out_hw(hw, k, s, p);
 }
 
 /// Field generator with a deliberate sprinkling of zeros so the
@@ -88,6 +149,36 @@ proptest! {
     fn fast_matches_naive_tall_k(seed in any::<u64>(), k in 200usize..600) {
         assert_equiv(field_gen::<P25>(seed), 2, k, 3);
         assert_equiv(float_gen(seed ^ 1), 2, k, 3);
+    }
+
+    /// Tall outputs: m crosses the at_b packed-panel boundary (64 rows
+    /// per panel) and the thread-partition row split.
+    #[test]
+    fn fast_matches_naive_tall_m(seed in any::<u64>(), m in 60usize..140) {
+        assert_equiv(field_gen::<P25>(seed), m, 5, 3);
+        assert_equiv(float_gen(seed ^ 1), m, 5, 3);
+    }
+
+    /// im2col/col2im `_into` forms across random geometry, all domains.
+    /// (The float generator only produces dyadic values whose sums stay
+    /// exactly representable, so even the accumulating-base check is an
+    /// exact-equality check in every domain.)
+    #[test]
+    fn lowering_into_matches_reference(
+        seed in any::<u64>(),
+        c in 1usize..3,
+        h in 1usize..7,
+        w in 1usize..7,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        sh in 1usize..3,
+        sw in 1usize..3,
+        ph in 0usize..2,
+        pw in 0usize..2,
+    ) {
+        assert_lowering_equiv(field_gen::<P25>(seed), c, (h, w), (kh, kw), (sh, sw), (ph, pw));
+        assert_lowering_equiv(field_gen::<P61>(seed ^ 1), c, (h, w), (kh, kw), (sh, sw), (ph, pw));
+        assert_lowering_equiv(float_gen(seed ^ 2), c, (h, w), (kh, kw), (sh, sw), (ph, pw));
     }
 }
 

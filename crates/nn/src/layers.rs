@@ -7,12 +7,26 @@
 //! variant owns its parameters, gradients and forward caches.
 
 use crate::init;
-use dk_linalg::conv::{conv2d_backward_input, conv2d_backward_weight, conv2d_forward};
+use dk_linalg::conv::{conv2d_backward_input_ws, conv2d_backward_weight_ws, conv2d_forward_ws};
 use dk_linalg::ops;
 use dk_linalg::pool::{
-    global_avg_pool_backward, global_avg_pool_forward, maxpool2d_backward, maxpool2d_forward,
+    global_avg_pool_backward_ws, global_avg_pool_forward_ws, maxpool2d_backward_ws,
+    maxpool2d_forward_ws,
 };
-use dk_linalg::{matmul, matmul_a_bt, matmul_at_b, Conv2dShape, Pool2dShape, Tensor};
+use dk_linalg::{
+    matmul_a_bt_into, matmul_at_b_into, matmul_into, Conv2dShape, Pool2dShape, Tensor, Workspace,
+};
+
+/// Replaces a forward cache slot with a copy of `x`, recycling the
+/// previous cache's buffers through the workspace — in steady state
+/// the same buffer ping-pongs between the slot and the pool, so
+/// caching allocates nothing after warm-up.
+fn recache(slot: &mut Option<Tensor<f32>>, x: &Tensor<f32>, ws: &mut Workspace) {
+    if let Some(old) = slot.take() {
+        ws.give_tensor(old);
+    }
+    *slot = Some(ws.take_tensor_copy(x.shape(), x.as_slice()));
+}
 
 /// A single network layer.
 ///
@@ -44,36 +58,57 @@ impl Layer {
     /// Runs the forward pass, caching whatever the backward pass needs.
     ///
     /// `train` selects batch-statistics (true) vs running-statistics
-    /// (false) behaviour in batch norm.
+    /// (false) behaviour in batch norm. Allocating wrapper over
+    /// [`Layer::forward_ws`].
     pub fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// Runs the forward pass with every intermediate (output tensor,
+    /// im2col scratch, forward caches) drawn from `ws` — the
+    /// zero-allocation hot path. Results are bit-for-bit identical to
+    /// [`Layer::forward`]; only buffer provenance differs. Give the
+    /// returned tensor back to `ws` once it is consumed.
+    pub fn forward_ws(&mut self, x: &Tensor<f32>, train: bool, ws: &mut Workspace) -> Tensor<f32> {
         match self {
-            Layer::Conv2d(l) => l.forward(x),
-            Layer::Dense(l) => l.forward(x),
-            Layer::Relu(l) => l.forward(x),
-            Layer::MaxPool2d(l) => l.forward(x),
-            Layer::GlobalAvgPool(l) => l.forward(x),
-            Layer::BatchNorm2d(l) => l.forward(x, train),
-            Layer::Flatten(l) => l.forward(x),
-            Layer::Residual(l) => l.forward(x, train),
+            Layer::Conv2d(l) => l.forward(x, ws),
+            Layer::Dense(l) => l.forward(x, ws),
+            Layer::Relu(l) => l.forward(x, ws),
+            Layer::MaxPool2d(l) => l.forward(x, ws),
+            Layer::GlobalAvgPool(l) => l.forward(x, ws),
+            Layer::BatchNorm2d(l) => l.forward(x, train, ws),
+            Layer::Flatten(l) => l.forward(x, ws),
+            Layer::Residual(l) => l.forward(x, train, ws),
         }
     }
 
     /// Runs the backward pass, accumulating parameter gradients and
-    /// returning the input gradient.
+    /// returning the input gradient. Allocating wrapper over
+    /// [`Layer::backward_ws`].
     ///
     /// # Panics
     ///
     /// Panics if called before `forward` (no cache).
     pub fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        self.backward_ws(dy, &mut Workspace::new())
+    }
+
+    /// Runs the backward pass with intermediates drawn from `ws`.
+    /// Bit-for-bit identical to [`Layer::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a forward pass (no cache).
+    pub fn backward_ws(&mut self, dy: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
         match self {
-            Layer::Conv2d(l) => l.backward(dy),
-            Layer::Dense(l) => l.backward(dy),
-            Layer::Relu(l) => l.backward(dy),
-            Layer::MaxPool2d(l) => l.backward(dy),
-            Layer::GlobalAvgPool(l) => l.backward(dy),
-            Layer::BatchNorm2d(l) => l.backward(dy),
-            Layer::Flatten(l) => l.backward(dy),
-            Layer::Residual(l) => l.backward(dy),
+            Layer::Conv2d(l) => l.backward(dy, ws),
+            Layer::Dense(l) => l.backward(dy, ws),
+            Layer::Relu(l) => l.backward(dy, ws),
+            Layer::MaxPool2d(l) => l.backward(dy, ws),
+            Layer::GlobalAvgPool(l) => l.backward(dy, ws),
+            Layer::BatchNorm2d(l) => l.backward(dy, ws),
+            Layer::Flatten(l) => l.backward(dy, ws),
+            Layer::Residual(l) => l.backward(dy, ws),
         }
     }
 
@@ -192,20 +227,22 @@ impl Conv2d {
         self.db.add_assign(db);
     }
 
-    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
-        let mut y = conv2d_forward(x, &self.w, &self.shape);
+    fn forward(&mut self, x: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
+        let mut y = conv2d_forward_ws(x, &self.w, &self.shape, ws);
         ops::add_bias_nchw(&mut y, self.b.as_slice());
-        self.x_cache = Some(x.clone());
+        recache(&mut self.x_cache, x, ws);
         y
     }
 
-    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+    fn backward(&mut self, dy: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
         let x = self.x_cache.as_ref().expect("Conv2d::backward before forward");
         let hw = (x.shape()[2], x.shape()[3]);
-        self.dw.add_assign(&conv2d_backward_weight(dy, x, &self.shape));
+        let dw = conv2d_backward_weight_ws(dy, x, &self.shape, ws);
+        self.dw.add_assign(&dw);
+        ws.give_tensor(dw);
         let bg = ops::bias_grad_nchw(dy);
         self.db.add_assign(&Tensor::from_vec(&[bg.len()], bg));
-        conv2d_backward_input(dy, &self.w, &self.shape, hw)
+        conv2d_backward_input_ws(dy, &self.w, &self.shape, hw, ws)
     }
 }
 
@@ -284,28 +321,56 @@ impl Dense {
         self.db.add_assign(db);
     }
 
-    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+    fn forward(&mut self, x: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
         assert_eq!(x.ndim(), 2, "Dense expects [n, features]");
         assert_eq!(x.shape()[1], self.in_features, "feature count mismatch");
         let n = x.shape()[0];
-        let y = matmul_a_bt(x.as_slice(), self.w.as_slice(), n, self.in_features, self.out_features);
-        let mut y = Tensor::from_vec(&[n, self.out_features], y);
+        let mut y = ws.take_tensor(&[n, self.out_features]);
+        matmul_a_bt_into(
+            x.as_slice(),
+            self.w.as_slice(),
+            y.as_mut_slice(),
+            n,
+            self.in_features,
+            self.out_features,
+        );
         ops::add_bias_rows(&mut y, self.b.as_slice());
-        self.x_cache = Some(x.clone());
+        recache(&mut self.x_cache, x, ws);
         y
     }
 
-    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+    fn backward(&mut self, dy: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
         let x = self.x_cache.as_ref().expect("Dense::backward before forward");
         let n = x.shape()[0];
-        // dW[out, in] = dyᵀ[out, n] · x[n, in]
-        let dw = matmul_at_b(dy.as_slice(), x.as_slice(), self.out_features, n, self.in_features);
-        self.dw.add_assign(&Tensor::from_vec(&[self.out_features, self.in_features], dw));
+        // dW[out, in] = dyᵀ[out, n] · x[n, in], accumulated via a scratch
+        // buffer so the float summation order matches the original.
+        let mut dw = ws.take_zeroed::<f32>(self.out_features * self.in_features);
+        matmul_at_b_into(
+            dy.as_slice(),
+            x.as_slice(),
+            &mut dw,
+            self.out_features,
+            n,
+            self.in_features,
+            ws,
+        );
+        for (d, &v) in self.dw.as_mut_slice().iter_mut().zip(dw.iter()) {
+            *d += v;
+        }
+        ws.give(dw);
         let bg = ops::bias_grad_rows(dy);
         self.db.add_assign(&Tensor::from_vec(&[bg.len()], bg));
         // dx[n, in] = dy[n, out] · W[out, in]
-        let dx = matmul(dy.as_slice(), self.w.as_slice(), n, self.out_features, self.in_features);
-        Tensor::from_vec(&[n, self.in_features], dx)
+        let mut dx = ws.take_tensor(&[n, self.in_features]);
+        matmul_into(
+            dy.as_slice(),
+            self.w.as_slice(),
+            dx.as_mut_slice(),
+            n,
+            self.out_features,
+            self.in_features,
+        );
+        dx
     }
 }
 
@@ -321,14 +386,18 @@ impl Relu {
         Self::default()
     }
 
-    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
-        self.x_cache = Some(x.clone());
-        ops::relu(x)
+    fn forward(&mut self, x: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
+        recache(&mut self.x_cache, x, ws);
+        let mut y = ws.take_tensor_copy(x.shape(), x.as_slice());
+        ops::relu_in_place(&mut y);
+        y
     }
 
-    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+    fn backward(&mut self, dy: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
         let x = self.x_cache.as_ref().expect("Relu::backward before forward");
-        ops::relu_backward(dy, x)
+        let mut dx = ws.take_tensor(dy.shape());
+        ops::relu_backward_into(dy, x, &mut dx);
+        dx
     }
 }
 
@@ -351,16 +420,16 @@ impl MaxPool2d {
         &self.shape
     }
 
-    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
-        let (y, arg) = maxpool2d_forward(x, &self.shape);
-        self.argmax = arg;
-        self.in_shape = x.shape().to_vec();
+    fn forward(&mut self, x: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
+        let y = maxpool2d_forward_ws(x, &self.shape, ws, &mut self.argmax);
+        self.in_shape.clear();
+        self.in_shape.extend_from_slice(x.shape());
         y
     }
 
-    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+    fn backward(&mut self, dy: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
         assert!(!self.in_shape.is_empty(), "MaxPool2d::backward before forward");
-        maxpool2d_backward(dy, &self.argmax, &self.in_shape)
+        maxpool2d_backward_ws(dy, &self.argmax, &self.in_shape, ws)
     }
 }
 
@@ -376,14 +445,15 @@ impl GlobalAvgPool {
         Self::default()
     }
 
-    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
-        self.in_shape = x.shape().to_vec();
-        global_avg_pool_forward(x)
+    fn forward(&mut self, x: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
+        self.in_shape.clear();
+        self.in_shape.extend_from_slice(x.shape());
+        global_avg_pool_forward_ws(x, ws)
     }
 
-    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+    fn backward(&mut self, dy: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
         assert!(!self.in_shape.is_empty(), "GlobalAvgPool::backward before forward");
-        global_avg_pool_backward(dy, &self.in_shape)
+        global_avg_pool_backward_ws(dy, &self.in_shape, ws)
     }
 }
 
@@ -452,17 +522,23 @@ impl BatchNorm2d {
         }
     }
 
-    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool, ws: &mut Workspace) -> Tensor<f32> {
         assert_eq!(x.ndim(), 4, "BatchNorm2d expects NCHW");
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(c, self.channels, "channel mismatch");
         let plane = h * w;
         let count = (n * plane) as f32;
-        let mut y = Tensor::zeros(x.shape());
-        let mut xhat = Tensor::zeros(x.shape());
-        self.inv_std = vec![0.0; c];
-        let mut batch_means = vec![0.0f32; c];
-        let mut batch_vars = vec![0.0f32; c];
+        let mut y = ws.take_tensor(x.shape());
+        if let Some(old) = self.xhat.take() {
+            ws.give_tensor(old);
+        }
+        let mut xhat = ws.take_tensor(x.shape());
+        self.inv_std.clear();
+        self.inv_std.resize(c, 0.0);
+        // Only train-mode forwards record batch statistics (they move
+        // into `last_batch_stats`); eval stays allocation-free.
+        let (mut batch_means, mut batch_vars) =
+            if train { (vec![0.0f32; c], vec![0.0f32; c]) } else { (Vec::new(), Vec::new()) };
         for ci in 0..c {
             let (mean, var) = if train {
                 let mut sum = 0.0f32;
@@ -503,12 +579,12 @@ impl BatchNorm2d {
         y
     }
 
-    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+    fn backward(&mut self, dy: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
         let xhat = self.xhat.as_ref().expect("BatchNorm2d::backward before forward");
         let (n, c, h, w) = (dy.shape()[0], dy.shape()[1], dy.shape()[2], dy.shape()[3]);
         let plane = h * w;
         let count = (n * plane) as f32;
-        let mut dx = Tensor::zeros(dy.shape());
+        let mut dx = ws.take_tensor(dy.shape());
         for ci in 0..c {
             let g = self.gamma.as_slice()[ci];
             let inv_std = self.inv_std[ci];
@@ -552,16 +628,17 @@ impl Flatten {
         Self::default()
     }
 
-    fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
-        self.in_shape = x.shape().to_vec();
+    fn forward(&mut self, x: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
+        self.in_shape.clear();
+        self.in_shape.extend_from_slice(x.shape());
         let n = x.shape()[0];
         let rest: usize = x.shape()[1..].iter().product();
-        x.reshape(&[n, rest])
+        ws.take_tensor_copy(&[n, rest], x.as_slice())
     }
 
-    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+    fn backward(&mut self, dy: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
         assert!(!self.in_shape.is_empty(), "Flatten::backward before forward");
-        dy.reshape(&self.in_shape)
+        ws.take_tensor_copy(&self.in_shape, dy.as_slice())
     }
 }
 
@@ -606,29 +683,70 @@ impl Residual {
         &mut self.shortcut
     }
 
-    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
-        let mut m = x.clone();
-        for l in &mut self.main {
-            m = l.forward(&m, train);
+    fn forward(&mut self, x: &Tensor<f32>, train: bool, ws: &mut Workspace) -> Tensor<f32> {
+        let mut m = chain_forward(&mut self.main, x, train, ws).expect("main path nonempty");
+        match chain_forward(&mut self.shortcut, x, train, ws) {
+            Some(s) => {
+                m.add_assign(&s);
+                ws.give_tensor(s);
+            }
+            None => m.add_assign(x),
         }
-        let mut s = x.clone();
-        for l in &mut self.shortcut {
-            s = l.forward(&s, train);
-        }
-        m.add(&s)
+        m
     }
 
-    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
-        let mut dm = dy.clone();
-        for l in self.main.iter_mut().rev() {
-            dm = l.backward(&dm);
+    fn backward(&mut self, dy: &Tensor<f32>, ws: &mut Workspace) -> Tensor<f32> {
+        let mut dm = chain_backward(&mut self.main, dy, ws).expect("main path nonempty");
+        match chain_backward(&mut self.shortcut, dy, ws) {
+            Some(ds) => {
+                dm.add_assign(&ds);
+                ws.give_tensor(ds);
+            }
+            None => dm.add_assign(dy),
         }
-        let mut ds = dy.clone();
-        for l in self.shortcut.iter_mut().rev() {
-            ds = l.backward(&ds);
-        }
-        dm.add(&ds)
+        dm
     }
+}
+
+/// Runs `layers` forward over `x`, recycling every intermediate
+/// activation through the workspace. `None` for an empty chain (the
+/// identity — callers fall back to the borrowed input). This is *the*
+/// take/give recycle loop — [`crate::Sequential`] and the residual
+/// paths both use it, so the recycling discipline lives in one place.
+pub(crate) fn chain_forward(
+    layers: &mut [Layer],
+    x: &Tensor<f32>,
+    train: bool,
+    ws: &mut Workspace,
+) -> Option<Tensor<f32>> {
+    let mut cur: Option<Tensor<f32>> = None;
+    for l in layers {
+        let input = cur.as_ref().unwrap_or(x);
+        let next = l.forward_ws(input, train, ws);
+        if let Some(prev) = cur.take() {
+            ws.give_tensor(prev);
+        }
+        cur = Some(next);
+    }
+    cur
+}
+
+/// Reverse-order backward analogue of [`chain_forward`].
+pub(crate) fn chain_backward(
+    layers: &mut [Layer],
+    dy: &Tensor<f32>,
+    ws: &mut Workspace,
+) -> Option<Tensor<f32>> {
+    let mut cur: Option<Tensor<f32>> = None;
+    for l in layers.iter_mut().rev() {
+        let grad = cur.as_ref().unwrap_or(dy);
+        let next = l.backward_ws(grad, ws);
+        if let Some(prev) = cur.take() {
+            ws.give_tensor(prev);
+        }
+        cur = Some(next);
+    }
+    cur
 }
 
 #[cfg(test)]
@@ -753,13 +871,14 @@ mod tests {
     #[test]
     fn batchnorm_eval_uses_running_stats() {
         let mut bn = BatchNorm2d::new(1);
+        let mut ws = Workspace::new();
         let x = Tensor::from_fn(&[8, 1, 2, 2], |i| i as f32);
         // Train a few times to populate running stats.
         for _ in 0..50 {
-            bn.forward(&x, true);
+            bn.forward(&x, true, &mut ws);
         }
-        let y_eval = bn.forward(&x, false);
-        let y_train = bn.forward(&x, true);
+        let y_eval = bn.forward(&x, false, &mut ws);
+        let y_train = bn.forward(&x, true, &mut ws);
         // Same input: eval path should now closely match train path.
         assert!(y_eval.max_abs_diff(&y_train) < 0.2);
     }

@@ -1,7 +1,7 @@
 //! Sequential model composition.
 
 use crate::layers::Layer;
-use dk_linalg::Tensor;
+use dk_linalg::{Tensor, Workspace, WorkspaceStats};
 
 /// A feed-forward stack of [`Layer`]s.
 ///
@@ -20,21 +20,33 @@ use dk_linalg::Tensor;
 /// let y = m.forward(&Tensor::zeros(&[3, 4]), false);
 /// assert_eq!(y.shape(), &[3, 2]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Sequential {
     layers: Vec<Layer>,
     name: String,
+    /// The model's buffer pool: activations, gradients, caches and
+    /// kernel scratch cycle through it, so a warm steady-state
+    /// forward/backward performs zero heap allocations. One workspace
+    /// per execution lane — cloning a model gives the clone a fresh,
+    /// empty pool.
+    ws: Workspace,
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Self { layers: self.layers.clone(), name: self.name.clone(), ws: Workspace::new() }
+    }
 }
 
 impl Sequential {
     /// Creates a model from a layer stack.
     pub fn new(layers: Vec<Layer>) -> Self {
-        Self { layers, name: "model".to_string() }
+        Self { layers, name: "model".to_string(), ws: Workspace::new() }
     }
 
     /// Creates a named model (the name shows up in reports).
     pub fn named(name: impl Into<String>, layers: Vec<Layer>) -> Self {
-        Self { layers, name: name.into() }
+        Self { layers, name: name.into(), ws: Workspace::new() }
     }
 
     /// The model name.
@@ -53,27 +65,39 @@ impl Sequential {
         &mut self.layers
     }
 
-    /// Full forward pass.
+    /// Full forward pass. Every intermediate activation is recycled
+    /// through the model-owned [`Workspace`]; after one warm-up step a
+    /// steady-state forward performs zero heap allocations (asserted by
+    /// the `alloc_regression` test). Recycle the returned tensor with
+    /// [`Sequential::give_back`] to keep the steady state closed.
     pub fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
-        let mut h = x.clone();
-        for l in &mut self.layers {
-            h = l.forward(&h, train);
-        }
-        h
+        let Self { layers, ws, .. } = self;
+        crate::layers::chain_forward(layers, x, train, ws).unwrap_or_else(|| x.clone())
     }
 
     /// Full backward pass from the loss gradient; accumulates parameter
-    /// gradients and returns the input gradient.
+    /// gradients and returns the input gradient (recycle it with
+    /// [`Sequential::give_back`]).
     ///
     /// # Panics
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dloss: &Tensor<f32>) -> Tensor<f32> {
-        let mut g = dloss.clone();
-        for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g);
-        }
-        g
+        let Self { layers, ws, .. } = self;
+        crate::layers::chain_backward(layers, dloss, ws).unwrap_or_else(|| dloss.clone())
+    }
+
+    /// Returns a tensor produced by this model (an output of
+    /// [`Sequential::forward`] / [`Sequential::backward`]) to the
+    /// buffer pool. Without this, each step leaks one output buffer
+    /// out of the pool and the steady state keeps allocating.
+    pub fn give_back(&mut self, t: Tensor<f32>) {
+        self.ws.give_tensor(t);
+    }
+
+    /// Allocation counters of the model's buffer pool.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.ws.stats()
     }
 
     /// Visits every `(parameter, gradient)` pair in a fixed order.

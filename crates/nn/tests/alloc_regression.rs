@@ -1,0 +1,97 @@
+//! The zero-allocation invariant of the steady-state hot path, enforced
+//! by a counting global allocator.
+//!
+//! This test binary installs a `#[global_allocator]` that counts every
+//! allocation (and the bytes requested), warms a model's workspace up,
+//! and then asserts:
+//!
+//! * a steady-state **inference** step performs **zero** heap
+//!   allocations — activations, caches, pooling bookkeeping and kernel
+//!   scratch all cycle through the model-owned
+//!   [`dk_linalg::Workspace`];
+//! * a steady-state **training** step (forward, loss, backward, SGD)
+//!   performs a small *constant* number of allocations — the loss pair
+//!   and a handful of small gradient staging vectors — that does not
+//!   grow from step to step.
+//!
+//! Everything runs inside one `#[test]` so no concurrent test thread
+//! can pollute the counters.
+
+use dk_linalg::workspace::{alloc_counts as counts, CountingAllocator};
+use dk_linalg::Tensor;
+use dk_nn::arch::{mini_resnet, mini_vgg};
+use dk_nn::loss::softmax_cross_entropy;
+use dk_nn::optim::Sgd;
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_allocation_budget() {
+    // Kernel threading spawns scoped threads (which allocate); the
+    // invariant under test is the single-lane hot path.
+    dk_linalg::set_max_threads(1);
+
+    // ----- inference: exactly zero allocations once warm --------------
+    for (mut model, name) in
+        [(mini_vgg(8, 4, 11), "mini_vgg"), (mini_resnet(8, 4, 12), "mini_resnet")]
+    {
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 13) as f32 - 6.0) * 0.07);
+        // Warm-up: populate the workspace pool (first steps allocate).
+        for _ in 0..3 {
+            let y = model.forward(&x, false);
+            model.give_back(y);
+        }
+        let misses_warm = model.workspace_stats().misses;
+        let (a0, b0) = counts();
+        for _ in 0..5 {
+            let y = model.forward(&x, false);
+            model.give_back(y);
+        }
+        let (a1, b1) = counts();
+        assert_eq!(
+            a1 - a0,
+            0,
+            "{name}: warm inference must be allocation-free (got {} allocs / {} bytes over 5 steps)",
+            a1 - a0,
+            b1 - b0
+        );
+        assert_eq!(
+            model.workspace_stats().misses,
+            misses_warm,
+            "{name}: warm workspace must not miss"
+        );
+    }
+
+    // ----- training: a bounded constant per step ----------------------
+    let mut model = mini_vgg(8, 4, 21);
+    let mut sgd = Sgd::new(0.05).with_momentum(0.9);
+    let x = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 11) as f32 - 5.0) * 0.06);
+    let labels = [1usize, 3];
+    let step = |model: &mut dk_nn::Sequential, sgd: &mut Sgd| {
+        model.zero_grad();
+        let logits = model.forward(&x, true);
+        let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+        model.give_back(logits);
+        let dx = model.backward(&dlogits);
+        model.give_back(dx);
+        sgd.step(model);
+    };
+    for _ in 0..3 {
+        step(&mut model, &mut sgd);
+    }
+    let (a0, _) = counts();
+    step(&mut model, &mut sgd);
+    let (a1, _) = counts();
+    step(&mut model, &mut sgd);
+    let (a2, _) = counts();
+    let (first, second) = (a1 - a0, a2 - a1);
+    assert_eq!(
+        first, second,
+        "training-step allocation count must be a steady constant ({first} vs {second})"
+    );
+    // The constant covers the loss pair and per-layer bias-gradient
+    // staging only; anything near the old per-step hundreds (fresh
+    // activations, im2col buffers, caches) is a regression.
+    assert!(first <= 40, "training step allocates too much: {first} allocations per step");
+}

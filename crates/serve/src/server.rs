@@ -476,11 +476,17 @@ fn worker_loop(
     let (in_tx, in_rx) = mpsc::sync_channel::<(u64, Tensor<f32>)>(lanes);
     let (out_tx, out_rx) = mpsc::channel::<InferenceOutcome>();
     let in_flight: Mutex<HashMap<u64, InFlight>> = Mutex::new(HashMap::new());
+    // Recycled batch tensors: the router pushes each served batch's
+    // input buffer here and the feeder reuses it for the next batch
+    // (padding rows re-zeroed), so steady-state serving assembles
+    // batches without allocating. Bounded by the in-flight batch count.
+    let spare_batches: Mutex<Vec<Tensor<f32>>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         // Feeder: dispatch queue → engine input. The bounded engine
         // input keeps the backpressure chain intact: full lanes block
         // the feeder, which leaves batches in the dispatch queue.
         let in_flight_ref = &in_flight;
+        let spare_ref = &spare_batches;
         scope.spawn(move || {
             let mut seq = 0u64;
             loop {
@@ -499,9 +505,18 @@ fn worker_loop(
                 // padding numerically invisible to the real rows.
                 let mut shape = vec![k];
                 shape.extend_from_slice(batch.entries[0].input.shape());
-                let mut x = Tensor::<f32>::zeros(&shape);
+                // Reuse a recycled batch tensor when one matches; the
+                // padding rows are re-zeroed below, so stale contents
+                // are numerically invisible (identical to a fresh
+                // zeroed tensor).
+                let recycled =
+                    spare_ref.lock().expect("spare batch lock").pop().filter(|t| t.shape() == shape);
+                let mut x = recycled.unwrap_or_else(|| Tensor::<f32>::zeros(&shape));
                 for (i, p) in batch.entries.iter().enumerate() {
                     x.batch_item_mut(i).copy_from_slice(p.input.as_slice());
+                }
+                for i in batch.entries.len()..k {
+                    x.batch_item_mut(i).fill(0.0);
                 }
                 let fill = batch.fill();
                 in_flight_ref.lock().expect("in-flight lock").insert(
@@ -514,15 +529,21 @@ fn worker_loop(
                 seq += 1;
             }
         });
-        // Router: engine outcomes → per-request responses.
+        // Router: engine outcomes → per-request responses. The served
+        // batch's input tensor goes back to the spare pool for the
+        // feeder to refill.
         let in_flight_ref = &in_flight;
+        let spare_ref = &spare_batches;
         scope.spawn(move || {
-            for o in out_rx.iter() {
+            for mut o in out_rx.iter() {
                 let InFlight { entries, dispatched_at, fill } = in_flight_ref
                     .lock()
                     .expect("in-flight lock")
                     .remove(&o.seq)
                     .expect("engine outcome for unknown batch");
+                if let Some(input) = o.input.take() {
+                    spare_ref.lock().expect("spare batch lock").push(input);
+                }
                 route_batch(o, entries, dispatched_at, fill, integrity, metrics);
             }
         });
