@@ -342,9 +342,13 @@ impl PipelineEngine {
     /// references only during calls, so this cannot happen between
     /// calls).
     pub fn into_cluster(self) -> GpuCluster {
-        Arc::try_unwrap(self.dispatcher)
+        // Workers lost mid-run were already quarantined (and repaired
+        // around) by the lane sessions; `join` respawns them fresh, so
+        // the lost list adds nothing here.
+        let (cluster, _lost) = Arc::try_unwrap(self.dispatcher)
             .expect("dispatcher still shared — a lane outlived its call")
-            .join()
+            .join();
+        cluster
     }
 
     fn lane_session(&self) -> Result<DarknightSession<DispatchClient>, DarknightError> {

@@ -35,6 +35,25 @@ pub enum DarknightError {
         /// Actual leading dimension.
         actual: usize,
     },
+    /// A GPU fault (worker loss, timeout, remote refusal) that the
+    /// session could not repair around — either recovery is disabled or
+    /// the TEE-side repair itself was impossible. With recovery enabled
+    /// a single fault never surfaces here: the lost worker is
+    /// quarantined and the batch completes.
+    GpuFault {
+        /// Which linear layer (traversal index) was executing.
+        layer_id: u64,
+        /// `"forward"` or `"backward"`.
+        phase: &'static str,
+        /// The underlying fault.
+        fault: dk_gpu::GpuError,
+    },
+    /// A backward pass referenced a layer the forward pass never
+    /// recorded a context for — fail closed instead of panicking.
+    MissingForwardContext {
+        /// The offending linear layer.
+        layer_id: u64,
+    },
 }
 
 impl std::fmt::Display for DarknightError {
@@ -53,6 +72,14 @@ impl std::fmt::Display for DarknightError {
             DarknightError::BatchShape { expected, actual } => write!(
                 f,
                 "input batch dimension {actual} does not match virtual batch size {expected}"
+            ),
+            DarknightError::GpuFault { layer_id, phase, fault } => write!(
+                f,
+                "unrecoverable GPU fault in {phase} pass at linear layer {layer_id}: {fault}"
+            ),
+            DarknightError::MissingForwardContext { layer_id } => write!(
+                f,
+                "backward pass at linear layer {layer_id} has no stored forward context"
             ),
         }
     }
@@ -83,6 +110,20 @@ mod tests {
         let e = DarknightError::IntegrityViolation { layer_id: 2, phase: "forward", mismatches: 5 };
         assert!(e.to_string().contains("forward"));
         assert!(e.to_string().contains("layer 2"));
+    }
+
+    #[test]
+    fn gpu_fault_display_names_the_fault() {
+        let e = DarknightError::GpuFault {
+            layer_id: 3,
+            phase: "backward",
+            fault: dk_gpu::GpuError::lost(dk_gpu::WorkerId(2), "connection reset"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("backward"), "{s}");
+        assert!(s.contains("gpu2"), "{s}");
+        let e = DarknightError::MissingForwardContext { layer_id: 7 };
+        assert!(e.to_string().contains("layer 7"));
     }
 
     #[test]

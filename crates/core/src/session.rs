@@ -710,7 +710,21 @@ impl<X: GpuExec> DarknightSession<X> {
         let jobs: Vec<LinearJob> =
             enc_tensors.into_iter().map(|t| make_job(weights_q.clone(), t)).collect();
         self.stats.linear_jobs += jobs.len() as u64;
-        let outputs = self.cluster.execute(layer_id, &jobs);
+        let executed = self
+            .cluster
+            .execute(layer_id, &jobs)
+            .map_err(|fault| DarknightError::GpuFault { layer_id, phase: "forward", fault })
+            .and_then(|results| self.absorb_worker_faults(layer_id, "forward", &jobs, results));
+        let outputs = match executed {
+            Ok(o) => o,
+            Err(e) => {
+                let _ = self.enclave.release(work_bytes);
+                self.give_rows(inputs_q);
+                self.give_rows(noise);
+                self.ws.give(norms);
+                return Err(e);
+            }
+        };
         let out_shape = outputs[0].shape().to_vec();
         let out_rest: usize = out_shape.iter().product();
         self.stats.bytes_from_gpus += (s_cols * out_rest * 8) as u64;
@@ -763,6 +777,41 @@ impl<X: GpuExec> DarknightSession<X> {
             })
         };
         Ok((decoded, scales, out_shape, ctx))
+    }
+
+    /// Folds per-worker faults (loss, timeout, remote refusal) out of an
+    /// execution round. With recovery enabled, a faulty worker is
+    /// treated exactly like a tampering one: quarantined, and its output
+    /// slot filled by TEE recomputation of the *explicit* job, so the
+    /// decode downstream sees a complete, honest result set. Without
+    /// recovery the fault is surfaced as a fail-closed
+    /// [`DarknightError::GpuFault`].
+    fn absorb_worker_faults(
+        &mut self,
+        layer_id: u64,
+        phase: &'static str,
+        jobs: &[LinearJob],
+        results: Vec<dk_gpu::WorkerResult>,
+    ) -> Result<Vec<Tensor<F25>>, DarknightError> {
+        let mut outputs = Vec::with_capacity(results.len());
+        let mut repaired = false;
+        for (j, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(t) => outputs.push(t),
+                Err(fault) => {
+                    if !self.cfg.recovery() {
+                        return Err(DarknightError::GpuFault { layer_id, phase, fault });
+                    }
+                    self.quarantine(fault.worker().unwrap_or(WorkerId(j)));
+                    outputs.push(jobs[j].execute());
+                    repaired = true;
+                }
+            }
+        }
+        if repaired {
+            self.stats.recoveries += 1;
+        }
+        Ok(outputs)
     }
 
     /// Decodes forward outputs, routing integrity violations through the
@@ -1028,7 +1077,37 @@ impl<X: GpuExec> DarknightSession<X> {
             (0..s_sq).map(|j| wgrad_job(delta_q.clone(), self.scheme.beta_row(j))).collect();
         self.stats.linear_jobs += jobs.len() as u64;
         self.stats.bytes_to_gpus += (s_sq * delta_q.len() * 8) as u64;
-        let mut eqs = self.cluster.execute(layer_id, &jobs);
+        let results = self
+            .cluster
+            .execute(layer_id, &jobs)
+            .map_err(|fault| DarknightError::GpuFault { layer_id, phase: "backward", fault })?;
+        // Fold out lost/refusing workers. Backward jobs are `*Stored`
+        // (they run against state the worker holds), so the TEE cannot
+        // replay the job itself — instead it reconstructs the worker's
+        // encoding x̄_j from the retained context (determinism by
+        // derivation) and computes Eq_j explicitly.
+        let mut eqs: Vec<Tensor<F25>> = Vec::with_capacity(s_sq);
+        let mut repaired = false;
+        for (j, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(t) => eqs.push(t),
+                Err(fault) => {
+                    if !self.cfg.recovery() {
+                        return Err(DarknightError::GpuFault { layer_id, phase: "backward", fault });
+                    }
+                    self.quarantine(fault.worker().unwrap_or(WorkerId(j)));
+                    let row =
+                        self.scheme.encode_row_ws(j, &ctx.inputs_q, &ctx.noise, &mut self.ws);
+                    let xbar = Tensor::from_vec(enc_shape, row);
+                    let dtilde = dk_gpu::job::beta_combine(&delta_q, &self.scheme.beta_row(j));
+                    eqs.push(explicit_wgrad_job(dtilde, xbar).execute());
+                    repaired = true;
+                }
+            }
+        }
+        if repaired {
+            self.stats.recoveries += 1;
+        }
         let eq_len = eqs[0].len();
         self.stats.bytes_from_gpus += (s_sq * eq_len * 8) as u64;
         // 2) Backward integrity. `j*` is derived per (batch, layer), so
@@ -1050,18 +1129,33 @@ impl<X: GpuExec> DarknightSession<X> {
                 let xbar = Tensor::from_vec(enc_shape, enc[j].clone());
                 let dtilde = dk_gpu::job::beta_combine(&delta_q, &self.scheme.beta_row(j));
                 let job = explicit_wgrad_job(dtilde, xbar);
-                let dup = self.cluster.execute_on(WorkerId((j + 1) % s_sq), &job);
-                if dup != eqs[j] {
-                    // TEE ground truth identifies the liar(s).
-                    let truth = job.execute();
-                    if truth != eqs[j] {
-                        self.quarantine(WorkerId(j));
+                let verifier = WorkerId((j + 1) % s_sq);
+                match self.cluster.execute_on(verifier, &job) {
+                    Ok(dup) => {
+                        if dup != eqs[j] {
+                            // TEE ground truth identifies the liar(s).
+                            let truth = job.execute();
+                            if truth != eqs[j] {
+                                self.quarantine(WorkerId(j));
+                            }
+                            if truth != dup {
+                                self.quarantine(verifier);
+                            }
+                            eqs[j] = truth;
+                            self.stats.recoveries += 1;
+                        }
                     }
-                    if truth != dup {
-                        self.quarantine(WorkerId((j + 1) % s_sq));
+                    Err(fault) => {
+                        // The duplicate checker died; the TEE takes over
+                        // its verification duty directly.
+                        self.quarantine(fault.worker().unwrap_or(verifier));
+                        let truth = job.execute();
+                        if truth != eqs[j] {
+                            self.quarantine(WorkerId(j));
+                            eqs[j] = truth;
+                        }
+                        self.stats.recoveries += 1;
                     }
-                    eqs[j] = truth;
-                    self.stats.recoveries += 1;
                 }
             }
         } else if self.scheme.has_integrity() {
@@ -1075,7 +1169,12 @@ impl<X: GpuExec> DarknightSession<X> {
             let xbar = Tensor::from_vec(enc_shape, row);
             let dtilde = dk_gpu::job::beta_combine(&delta_q, &self.scheme.beta_row(jstar));
             let spare = WorkerId(self.cluster.num_workers() - 1);
-            let check = self.cluster.execute_on(spare, &explicit_wgrad_job(dtilde, xbar));
+            // Recovery is off in this branch, so a lost spot-checker
+            // fails closed: without the check the batch is unverified.
+            let check = self
+                .cluster
+                .execute_on(spare, &explicit_wgrad_job(dtilde, xbar))
+                .map_err(|fault| DarknightError::GpuFault { layer_id, phase: "backward", fault })?;
             if check != eqs[jstar] {
                 let mismatches = check
                     .as_slice()
@@ -1097,33 +1196,66 @@ impl<X: GpuExec> DarknightSession<X> {
         //    recomputed on the spare when integrity is on.
         let dj = data_job(delta_q.clone());
         self.stats.linear_jobs += 1;
-        let mut dx_field = self.cluster.execute_on(WorkerId(0), &dj);
+        let mut dx_field = match self.cluster.execute_on(WorkerId(0), &dj) {
+            Ok(t) => t,
+            Err(fault) => {
+                if !self.cfg.recovery() {
+                    return Err(DarknightError::GpuFault { layer_id, phase: "backward", fault });
+                }
+                // The data-gradient job carries no secret state; the TEE
+                // simply recomputes it and sidelines the dead worker.
+                self.quarantine(fault.worker().unwrap_or(WorkerId(0)));
+                self.stats.recoveries += 1;
+                dj.execute()
+            }
+        };
         if self.scheme.has_integrity() {
             let spare = WorkerId(self.cluster.num_workers() - 1);
-            let check = self.cluster.execute_on(spare, &dj);
-            if check != dx_field {
-                if self.cfg.recovery() {
+            match self.cluster.execute_on(spare, &dj) {
+                Ok(check) => {
+                    if check != dx_field {
+                        if self.cfg.recovery() {
+                            let truth = dj.execute();
+                            if truth != dx_field {
+                                self.quarantine(WorkerId(0));
+                            }
+                            if truth != check {
+                                self.quarantine(spare);
+                            }
+                            dx_field = truth;
+                            self.stats.recoveries += 1;
+                        } else {
+                            let mismatches = check
+                                .as_slice()
+                                .iter()
+                                .zip(dx_field.as_slice())
+                                .filter(|(a, b)| a != b)
+                                .count();
+                            return Err(DarknightError::IntegrityViolation {
+                                layer_id,
+                                phase: "backward",
+                                mismatches,
+                            });
+                        }
+                    }
+                }
+                Err(fault) => {
+                    if !self.cfg.recovery() {
+                        return Err(DarknightError::GpuFault {
+                            layer_id,
+                            phase: "backward",
+                            fault,
+                        });
+                    }
+                    // Lost the redundant checker: the TEE verifies the
+                    // primary answer itself.
+                    self.quarantine(fault.worker().unwrap_or(spare));
                     let truth = dj.execute();
                     if truth != dx_field {
                         self.quarantine(WorkerId(0));
+                        dx_field = truth;
                     }
-                    if truth != check {
-                        self.quarantine(spare);
-                    }
-                    dx_field = truth;
                     self.stats.recoveries += 1;
-                } else {
-                    let mismatches = check
-                        .as_slice()
-                        .iter()
-                        .zip(dx_field.as_slice())
-                        .filter(|(a, b)| a != b)
-                        .count();
-                    return Err(DarknightError::IntegrityViolation {
-                        layer_id,
-                        phase: "backward",
-                        mismatches,
-                    });
                 }
             }
         }
@@ -1141,7 +1273,9 @@ impl<X: GpuExec> DarknightSession<X> {
         let bg = ops::bias_grad_nchw(dy);
         conv.accumulate_bias_grad(&Tensor::from_vec(&[bg.len()], bg));
         self.stats.nonlinear_elems += dy.len() as u64;
-        let ctx = self.ctxs.remove(&layer_id).expect("backward without forward context");
+        let Some(ctx) = self.ctxs.remove(&layer_id) else {
+            return Err(DarknightError::MissingForwardContext { layer_id });
+        };
         let shape = *conv.shape();
         let input_hw = (ctx.input_shape[2], ctx.input_shape[3]);
         let enc_shape = [1, ctx.input_shape[1], ctx.input_shape[2], ctx.input_shape[3]];
@@ -1209,7 +1343,9 @@ impl<X: GpuExec> DarknightSession<X> {
         let bg = ops::bias_grad_rows(dy);
         dense.accumulate_bias_grad(&Tensor::from_vec(&[bg.len()], bg));
         self.stats.nonlinear_elems += dy.len() as u64;
-        let ctx = self.ctxs.remove(&layer_id).expect("backward without forward context");
+        let Some(ctx) = self.ctxs.remove(&layer_id) else {
+            return Err(DarknightError::MissingForwardContext { layer_id });
+        };
         let in_f = dense.in_features();
         let out_f = dense.out_features();
         let enc_shape = [1, in_f];

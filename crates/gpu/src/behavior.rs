@@ -27,6 +27,14 @@ pub enum Behavior {
     /// Returns stale results: executes honestly but on a zeroed input,
     /// modelling a worker that skips the fresh data.
     StaleInput,
+    /// Executes `after` jobs honestly, then dies: the execution backends
+    /// interpret this as worker loss (a dispatcher thread exits, a
+    /// blocking cluster reports [`crate::GpuError::WorkerLost`]) — the
+    /// fail-stop fault class, as opposed to the Byzantine ones above.
+    Crash {
+        /// Jobs executed honestly before the simulated death.
+        after: u64,
+    },
 }
 
 impl Behavior {
@@ -38,10 +46,11 @@ impl Behavior {
     /// Applies the behaviour's corruption to an honestly-computed
     /// output. `StaleInput` is handled at job-execution time and acts
     /// like `ZeroOutput` here (a zeroed input to a bilinear op produces
-    /// a zero output).
+    /// a zero output). `Crash` never corrupts — up to the moment the
+    /// backend declares the worker dead, its answers are honest.
     pub fn corrupt(self, mut honest: Tensor<F25>, rng: &mut FieldRng) -> Tensor<F25> {
         match self {
-            Behavior::Honest => honest,
+            Behavior::Honest | Behavior::Crash { .. } => honest,
             Behavior::AdditiveNoise => {
                 for v in honest.as_mut_slice() {
                     *v += rng.uniform::<{ dk_field::P25 }>();

@@ -1,0 +1,47 @@
+//! Standalone remote GPU worker process.
+//!
+//! Listens on the given address and serves [`dk_gpu::wire`]-protocol
+//! connections until one of them sends `Shutdown`. Each connection
+//! hosts one logical worker, so a fleet manifest can point several
+//! `worker` lines at one process.
+//!
+//! ```text
+//! dk_gpu_worker 127.0.0.1:7501
+//! dk_gpu_worker 127.0.0.1:0     # ephemeral port, printed as LISTEN <addr>
+//! ```
+//!
+//! The process prints `LISTEN <addr>` once the socket is bound, so
+//! spawners using port 0 can discover the actual address race-free.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let addr = match (args.next(), args.next()) {
+        (Some(a), None) if a != "--help" && a != "-h" => a,
+        _ => {
+            eprintln!("usage: dk_gpu_worker <host:port>");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("dk_gpu_worker: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => println!("LISTEN {local}"),
+        Err(e) => {
+            eprintln!("dk_gpu_worker: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = dk_gpu::serve_fleet_worker(listener) {
+        eprintln!("dk_gpu_worker: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

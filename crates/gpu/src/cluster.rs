@@ -177,18 +177,61 @@ impl GpuCluster {
 }
 
 /// The blocking reference backend: one virtual batch in flight, jobs run
-/// to completion inside `execute`.
+/// to completion inside `execute`. A [`Behavior::Crash`] worker whose
+/// honest-job budget is spent is reported as
+/// [`GpuError::WorkerLost`](crate::GpuError::WorkerLost) — the blocking
+/// backend's rendition of a dead accelerator.
 impl crate::GpuExec for GpuCluster {
     fn num_workers(&self) -> usize {
         self.len()
     }
 
-    fn execute(&mut self, _tag: u64, jobs: &[LinearJob]) -> Vec<JobOutput> {
-        GpuCluster::execute(self, jobs)
+    fn execute(
+        &mut self,
+        _tag: u64,
+        jobs: &[LinearJob],
+    ) -> Result<Vec<crate::WorkerResult>, crate::GpuError> {
+        if jobs.len() > self.workers.len() {
+            return Err(crate::GpuError::Oversubscribed {
+                jobs: jobs.len(),
+                workers: self.workers.len(),
+            });
+        }
+        let run = |w: &mut GpuWorker, job: &LinearJob| -> crate::WorkerResult {
+            if w.crash_pending() {
+                Err(crate::GpuError::lost(w.id(), "worker crashed (simulated fail-stop)"))
+            } else {
+                Ok(w.execute(job))
+            }
+        };
+        if self.parallel {
+            let workers = &mut self.workers[..jobs.len()];
+            Ok(std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(jobs.len());
+                for (w, job) in workers.iter_mut().zip(jobs) {
+                    handles.push(scope.spawn(move || run(w, job)));
+                }
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, h)| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(crate::GpuError::lost(WorkerId(i), "worker thread panicked"))
+                        })
+                    })
+                    .collect()
+            }))
+        } else {
+            Ok(self.workers.iter_mut().zip(jobs).map(|(w, j)| run(w, j)).collect())
+        }
     }
 
-    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> JobOutput {
-        GpuCluster::execute_on(self, id, job)
+    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> crate::WorkerResult {
+        let w = &mut self.workers[id.0];
+        if w.crash_pending() {
+            return Err(crate::GpuError::lost(id, "worker crashed (simulated fail-stop)"));
+        }
+        Ok(GpuCluster::execute_on(self, id, job))
     }
 
     fn store_encodings(&mut self, ctx_id: u64, encodings: Vec<dk_linalg::Tensor<dk_field::F25>>) {

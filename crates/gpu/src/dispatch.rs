@@ -22,9 +22,16 @@
 //!   stored encodings, observations, counters) across the dispatcher's
 //!   lifetime; [`join`](GpuDispatcher::join) reassembles the original
 //!   [`GpuCluster`] with everything the workers accumulated.
+//! * **Worker loss is a value, not a panic.** A worker whose thread
+//!   exited (crash behaviour, panic) yields
+//!   [`GpuError::WorkerLost`] from `submit`/`complete`; a worker that
+//!   blows the optional reply deadline yields [`GpuError::Timeout`].
+//!   `join` replaces lost workers with fresh respawns and reports their
+//!   ids. Nothing in this module aborts the process over a dead worker.
 
 use crate::cluster::GpuCluster;
-use crate::exec::GpuExec;
+use crate::error::GpuError;
+use crate::exec::{GpuExec, WorkerResult};
 use crate::job::{JobOutput, LinearJob};
 use crate::worker::{GpuWorker, WorkerId};
 use dk_field::F25;
@@ -32,6 +39,7 @@ use dk_linalg::Tensor;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Identifies the virtual batch a submission belongs to (tracing and
 /// bookkeeping; uniqueness is the submitter's concern).
@@ -45,12 +53,20 @@ enum WorkerMsg {
     Release { ctx_id: u64 },
 }
 
+/// One job's pending reply: either a live receiver or the fault that
+/// already claimed the slot at submission time.
+#[derive(Debug)]
+struct ReplySlot {
+    worker: WorkerId,
+    rx: Result<mpsc::Receiver<JobOutput>, GpuError>,
+}
+
 /// A pending virtual-batch submission: redeem with
 /// [`GpuDispatcher::complete`].
 #[derive(Debug)]
 pub struct Ticket {
     tag: BatchTag,
-    replies: Vec<mpsc::Receiver<JobOutput>>,
+    slots: Vec<ReplySlot>,
 }
 
 impl Ticket {
@@ -61,12 +77,12 @@ impl Ticket {
 
     /// Number of jobs in flight under this ticket.
     pub fn len(&self) -> usize {
-        self.replies.len()
+        self.slots.len()
     }
 
     /// True if the ticket covers no jobs.
     pub fn is_empty(&self) -> bool {
-        self.replies.is_empty()
+        self.slots.is_empty()
     }
 }
 
@@ -74,7 +90,17 @@ impl Ticket {
 /// [`GpuDispatcher::complete_one`].
 #[derive(Debug)]
 pub struct JobTicket {
-    reply: mpsc::Receiver<JobOutput>,
+    slot: ReplySlot,
+}
+
+/// What it takes to respawn a lost worker at `join` time: identity and
+/// configuration survive a crash, accumulated state (RNG, encodings,
+/// observations, counters) does not — exactly like replacing a dead GPU.
+#[derive(Debug, Clone, Copy)]
+struct WorkerSpec {
+    id: WorkerId,
+    behavior: crate::Behavior,
+    latency: Option<crate::LatencyModel>,
 }
 
 /// Persistent-thread asynchronous dispatcher over a worker fleet (see
@@ -87,13 +113,22 @@ pub struct JobTicket {
 pub struct GpuDispatcher {
     senders: Vec<mpsc::SyncSender<WorkerMsg>>,
     handles: Vec<JoinHandle<GpuWorker>>,
+    specs: Vec<WorkerSpec>,
     parallel: bool,
+    reply_timeout: Option<Duration>,
 }
 
 fn worker_main(mut worker: GpuWorker, rx: mpsc::Receiver<WorkerMsg>) -> GpuWorker {
     for msg in rx.iter() {
         match msg {
             WorkerMsg::Run { job, reply } => {
+                // A crash-behaviour worker whose budget is spent dies
+                // here: the thread exits, the inbox closes, queued and
+                // future messages fail over to typed worker-lost errors
+                // at the submitting side.
+                if worker.crash_pending() {
+                    return worker;
+                }
                 // A send error means the submitter gave up on the
                 // ticket; the job still ran (state advanced), which
                 // mirrors a real accelerator that cannot be recalled.
@@ -116,7 +151,9 @@ impl GpuDispatcher {
         assert!(depth > 0, "worker queues need capacity");
         let mut senders = Vec::with_capacity(workers.len());
         let mut handles = Vec::with_capacity(workers.len());
+        let mut specs = Vec::with_capacity(workers.len());
         for w in workers {
+            specs.push(WorkerSpec { id: w.id(), behavior: w.behavior(), latency: w.latency() });
             let (tx, rx) = mpsc::sync_channel(depth);
             let name = format!("dk-gpu-{}", w.id());
             handles.push(
@@ -127,7 +164,17 @@ impl GpuDispatcher {
             );
             senders.push(tx);
         }
-        Self { senders, handles, parallel }
+        Self { senders, handles, specs, parallel, reply_timeout: None }
+    }
+
+    /// Sets (or clears) a per-job reply deadline. When set, `complete`
+    /// waits at most this long for each outstanding job; a straggler
+    /// surfaces as [`GpuError::Timeout`] and the session treats it like
+    /// a lost worker (quarantine + TEE repair). Configure before sharing
+    /// the dispatcher.
+    pub fn with_reply_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.reply_timeout = timeout;
+        self
     }
 
     /// Number of workers.
@@ -140,69 +187,87 @@ impl GpuDispatcher {
         self.senders.is_empty()
     }
 
-    fn send(&self, w: usize, msg: WorkerMsg) {
-        self.senders[w].send(msg).expect("gpu worker thread terminated early");
+    fn send(&self, w: usize, msg: WorkerMsg) -> Result<(), GpuError> {
+        self.senders[w]
+            .send(msg)
+            .map_err(|_| GpuError::lost(WorkerId(w), "worker thread terminated (inbox closed)"))
     }
 
-    /// Submits `jobs[i]` to worker `i` and returns immediately.
+    /// Submits `jobs[i]` to worker `i` and returns immediately. A dead
+    /// worker does not fail the submission: its slot carries the fault
+    /// and [`GpuDispatcher::complete`] reports it in worker order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if more jobs than workers are supplied, or if a worker
-    /// thread has died.
-    pub fn submit(&self, tag: BatchTag, jobs: Vec<LinearJob>) -> Ticket {
-        assert!(
-            jobs.len() <= self.senders.len(),
-            "more jobs ({}) than workers ({})",
-            jobs.len(),
-            self.senders.len()
-        );
-        let mut replies = Vec::with_capacity(jobs.len());
+    /// [`GpuError::Oversubscribed`] if more jobs than workers are
+    /// supplied.
+    pub fn submit(&self, tag: BatchTag, jobs: Vec<LinearJob>) -> Result<Ticket, GpuError> {
+        if jobs.len() > self.senders.len() {
+            return Err(GpuError::Oversubscribed {
+                jobs: jobs.len(),
+                workers: self.senders.len(),
+            });
+        }
+        let mut slots = Vec::with_capacity(jobs.len());
         for (i, job) in jobs.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel();
-            self.send(i, WorkerMsg::Run { job: Box::new(job), reply: tx });
-            replies.push(rx);
+            let rx = self
+                .send(i, WorkerMsg::Run { job: Box::new(job), reply: tx })
+                .map(|()| rx);
+            slots.push(ReplySlot { worker: WorkerId(i), rx });
         }
-        Ticket { tag, replies }
+        Ok(Ticket { tag, slots })
     }
 
-    /// Blocks until every job under the ticket finished; outputs are in
-    /// worker order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread died mid-job.
-    pub fn complete(&self, ticket: Ticket) -> Vec<JobOutput> {
-        ticket
-            .replies
-            .into_iter()
-            .map(|rx| rx.recv().expect("gpu worker thread dropped a job"))
-            .collect()
+    fn redeem(&self, slot: ReplySlot) -> WorkerResult {
+        let ReplySlot { worker, rx } = slot;
+        let rx = rx?;
+        match self.reply_timeout {
+            None => rx
+                .recv()
+                .map_err(|_| GpuError::lost(worker, "worker thread dropped the job")),
+            Some(t) => rx.recv_timeout(t).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => {
+                    GpuError::Timeout { worker, waited_ms: t.as_millis() as u64 }
+                }
+                mpsc::RecvTimeoutError::Disconnected => {
+                    GpuError::lost(worker, "worker thread dropped the job")
+                }
+            }),
+        }
+    }
+
+    /// Blocks until every job under the ticket finished (or faulted);
+    /// per-worker outcomes are in worker order. A lost or timed-out
+    /// worker claims only its own slot — the other workers' outputs are
+    /// still returned, which is what lets the TEE repair around it.
+    pub fn complete(&self, ticket: Ticket) -> Vec<WorkerResult> {
+        ticket.slots.into_iter().map(|slot| self.redeem(slot)).collect()
     }
 
     /// Submits one job to a specific worker.
     ///
     /// # Panics
     ///
-    /// Panics if the id is out of range or the worker thread has died.
+    /// Panics if the id is out of range.
     pub fn submit_on(&self, id: WorkerId, job: LinearJob) -> JobTicket {
         let (tx, rx) = mpsc::channel();
-        self.send(id.0, WorkerMsg::Run { job: Box::new(job), reply: tx });
-        JobTicket { reply: rx }
+        let rx = self
+            .send(id.0, WorkerMsg::Run { job: Box::new(job), reply: tx })
+            .map(|()| rx);
+        JobTicket { slot: ReplySlot { worker: id, rx } }
     }
 
-    /// Blocks until a single-job submission finished.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the worker thread died mid-job.
-    pub fn complete_one(&self, ticket: JobTicket) -> JobOutput {
-        ticket.reply.recv().expect("gpu worker thread dropped a job")
+    /// Blocks until a single-job submission finished (or faulted).
+    pub fn complete_one(&self, ticket: JobTicket) -> WorkerResult {
+        self.redeem(ticket.slot)
     }
 
     /// Stores per-worker forward encodings under a context id (worker
     /// `i` receives `encodings[i]`). Per-worker FIFO ordering makes the
     /// encoding visible to any job this thread submits afterwards.
+    /// Best-effort: a dead worker's store is dropped — its jobs fail
+    /// with a typed error and the session repairs around it.
     ///
     /// # Panics
     ///
@@ -210,37 +275,55 @@ impl GpuDispatcher {
     pub fn store_encodings(&self, ctx_id: u64, encodings: Vec<Tensor<F25>>) {
         assert!(encodings.len() <= self.senders.len(), "more encodings than workers");
         for (i, e) in encodings.into_iter().enumerate() {
-            self.send(i, WorkerMsg::Store { ctx_id, encoding: e });
+            let _ = self.send(i, WorkerMsg::Store { ctx_id, encoding: e });
         }
     }
 
     /// Releases the stored encodings of a retired virtual-batch context
-    /// on every worker.
+    /// on every worker (best-effort on dead workers).
     pub fn release_context(&self, ctx_id: u64) {
         for i in 0..self.senders.len() {
-            self.send(i, WorkerMsg::Release { ctx_id });
+            let _ = self.send(i, WorkerMsg::Release { ctx_id });
         }
     }
 
-    fn shutdown(&mut self) -> Vec<GpuWorker> {
+    fn shutdown(&mut self) -> (Vec<GpuWorker>, Vec<WorkerId>) {
         self.senders.clear(); // closing every inbox ends the worker loops
-        std::mem::take(&mut self.handles)
+        let mut lost = Vec::new();
+        let workers = std::mem::take(&mut self.handles)
             .into_iter()
-            .map(|h| h.join().expect("gpu worker thread panicked"))
-            .collect()
+            .zip(&self.specs)
+            .map(|(h, spec)| {
+                h.join().unwrap_or_else(|_| {
+                    // The thread panicked mid-job (e.g. a protocol
+                    // violation inside the worker). Report the loss and
+                    // respawn a fresh worker under the same identity and
+                    // configuration — accumulated state died with the
+                    // thread, as it would with a real device.
+                    lost.push(spec.id);
+                    let mut w = GpuWorker::new(
+                        spec.id,
+                        spec.behavior,
+                        0xDEAD_0000 ^ spec.id.0 as u64,
+                    );
+                    w.set_latency(spec.latency);
+                    w
+                })
+            })
+            .collect();
+        (workers, lost)
     }
 
     /// Stops the worker threads and reassembles the fleet, with all the
     /// state the workers accumulated (counters, observations, stored
-    /// encodings, behaviours).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panicked.
-    pub fn join(mut self) -> GpuCluster {
-        let workers = self.shutdown();
+    /// encodings, behaviours). Workers whose thread panicked are
+    /// respawned fresh (same id, behaviour and latency; state lost) and
+    /// reported in the second return value instead of panicking the
+    /// caller.
+    pub fn join(mut self) -> (GpuCluster, Vec<WorkerId>) {
+        let (workers, lost) = self.shutdown();
         let parallel = self.parallel;
-        GpuCluster::from_workers(workers, parallel)
+        (GpuCluster::from_workers(workers, parallel), lost)
     }
 }
 
@@ -276,12 +359,12 @@ impl GpuExec for DispatchClient {
         self.inner.len()
     }
 
-    fn execute(&mut self, tag: u64, jobs: &[LinearJob]) -> Vec<JobOutput> {
-        let ticket = self.inner.submit(BatchTag(tag), jobs.to_vec());
-        self.inner.complete(ticket)
+    fn execute(&mut self, tag: u64, jobs: &[LinearJob]) -> Result<Vec<WorkerResult>, GpuError> {
+        let ticket = self.inner.submit(BatchTag(tag), jobs.to_vec())?;
+        Ok(self.inner.complete(ticket))
     }
 
-    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> JobOutput {
+    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> WorkerResult {
         self.inner.complete_one(self.inner.submit_on(id, job.clone()))
     }
 
@@ -309,23 +392,27 @@ mod tests {
         }
     }
 
+    fn oks(results: Vec<WorkerResult>) -> Vec<JobOutput> {
+        results.into_iter().map(|r| r.expect("worker fault")).collect()
+    }
+
     #[test]
     fn submit_complete_matches_blocking_execute() {
         let jobs: Vec<_> = (1..=3).map(dense_job).collect();
         let mut blocking = GpuCluster::honest(3, 1);
         let expect = blocking.execute(&jobs);
         let d = GpuCluster::honest(3, 1).into_dispatcher(4);
-        let outs = d.complete(d.submit(BatchTag(1), jobs));
+        let outs = oks(d.complete(d.submit(BatchTag(1), jobs).unwrap()));
         assert_eq!(outs, expect);
     }
 
     #[test]
     fn interleaved_batches_keep_worker_order() {
         let d = GpuCluster::honest(2, 2).into_dispatcher(4);
-        let t1 = d.submit(BatchTag(1), (1..=2).map(dense_job).collect());
-        let t2 = d.submit(BatchTag(2), (3..=4).map(dense_job).collect());
-        let o2 = d.complete(t2);
-        let o1 = d.complete(t1);
+        let t1 = d.submit(BatchTag(1), (1..=2).map(dense_job).collect()).unwrap();
+        let t2 = d.submit(BatchTag(2), (3..=4).map(dense_job).collect()).unwrap();
+        let o2 = oks(d.complete(t2));
+        let o1 = oks(d.complete(t1));
         assert_eq!(o1[0], dense_job(1).execute());
         assert_eq!(o1[1], dense_job(2).execute());
         assert_eq!(o2[0], dense_job(3).execute());
@@ -343,7 +430,7 @@ mod tests {
             beta: vec![F25::ONE],
             layer_id: 77,
         };
-        let out = d.complete_one(d.submit_on(WorkerId(0), job));
+        let out = d.complete_one(d.submit_on(WorkerId(0), job)).unwrap();
         let expect = LinearJob::DenseWeightGrad {
             delta: (*delta).clone(),
             x: enc,
@@ -358,7 +445,7 @@ mod tests {
         let d = cluster.clone().into_dispatcher(4);
         d.store_encodings(5, vec![Tensor::from_fn(&[1, 2], |i| F25::new(i as u64))]);
         d.release_context(5);
-        cluster = d.join();
+        cluster = d.join().0;
         assert!(cluster.worker(WorkerId(0)).stored_encoding(5).is_none());
         // But the observation (the adversary's view) survives.
         assert_eq!(cluster.worker(WorkerId(0)).observations().len(), 1);
@@ -368,8 +455,9 @@ mod tests {
     fn join_preserves_worker_state() {
         let d = GpuCluster::with_behaviors(&[Behavior::Honest, Behavior::Scale(2)], 5)
             .into_dispatcher(4);
-        let _ = d.complete(d.submit(BatchTag(0), (1..=2).map(dense_job).collect()));
-        let cluster = d.join();
+        let _ = d.complete(d.submit(BatchTag(0), (1..=2).map(dense_job).collect()).unwrap());
+        let (cluster, lost) = d.join();
+        assert!(lost.is_empty());
         assert_eq!(cluster.len(), 2);
         assert_eq!(cluster.worker(WorkerId(0)).jobs_executed(), 1);
         assert_eq!(cluster.worker(WorkerId(1)).behavior(), Behavior::Scale(2));
@@ -385,7 +473,7 @@ mod tests {
                     for r in 0..8u64 {
                         let jobs: Vec<_> = (1..=2).map(|i| dense_job(i + t + r)).collect();
                         let expect: Vec<_> = jobs.iter().map(LinearJob::execute).collect();
-                        let outs = d.complete(d.submit(BatchTag(t), jobs));
+                        let outs = oks(d.complete(d.submit(BatchTag(t), jobs).unwrap()));
                         assert_eq!(outs, expect);
                     }
                 });
@@ -394,9 +482,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "more jobs")]
-    fn too_many_jobs_panics() {
+    fn too_many_jobs_is_a_typed_error() {
         let d = GpuCluster::honest(1, 7).into_dispatcher(2);
-        let _ = d.submit(BatchTag(0), (1..=2).map(dense_job).collect());
+        let err = d.submit(BatchTag(0), (1..=2).map(dense_job).collect()).unwrap_err();
+        assert_eq!(err, GpuError::Oversubscribed { jobs: 2, workers: 1 });
+    }
+
+    #[test]
+    fn crashed_worker_surfaces_as_worker_lost_not_panic() {
+        let d = GpuCluster::with_behaviors(
+            &[Behavior::Honest, Behavior::Crash { after: 0 }, Behavior::Honest],
+            8,
+        )
+        .into_dispatcher(4);
+        let results = d.complete(d.submit(BatchTag(0), (1..=3).map(dense_job).collect()).unwrap());
+        assert_eq!(results[0], Ok(dense_job(1).execute()));
+        assert!(matches!(results[1], Err(GpuError::WorkerLost { worker: WorkerId(1), .. })));
+        assert_eq!(results[2], Ok(dense_job(3).execute()));
+        // Subsequent submissions keep reporting the loss (dead inbox or
+        // dropped reply, depending on the race) — never a panic.
+        let again = d.complete(d.submit(BatchTag(1), (1..=3).map(dense_job).collect()).unwrap());
+        assert!(again[1].is_err());
+        assert_eq!(again[0], Ok(dense_job(1).execute()));
+        // Store/release to the dead worker are silently dropped.
+        d.store_encodings(9, vec![Tensor::from_fn(&[1, 2], |i| F25::new(i as u64)); 3]);
+        d.release_context(9);
+        let (cluster, lost) = d.join();
+        // The crash was a clean simulated exit, not a thread panic.
+        assert!(lost.is_empty());
+        assert_eq!(cluster.len(), 3);
+    }
+
+    #[test]
+    fn crash_after_budget_executes_honestly_first() {
+        let d = GpuCluster::with_behaviors(&[Behavior::Crash { after: 2 }], 9).into_dispatcher(4);
+        for round in 1..=2u64 {
+            let out = d.complete_one(d.submit_on(WorkerId(0), dense_job(round))).unwrap();
+            assert_eq!(out, dense_job(round).execute());
+        }
+        let err = d.complete_one(d.submit_on(WorkerId(0), dense_job(3))).unwrap_err();
+        assert!(matches!(err, GpuError::WorkerLost { worker: WorkerId(0), .. }));
+    }
+
+    #[test]
+    fn reply_timeout_surfaces_straggler() {
+        let mut cluster = GpuCluster::honest(2, 10);
+        cluster
+            .worker_mut(WorkerId(1))
+            .set_latency(Some(crate::LatencyModel { base_ns: 200_000_000, ns_per_kmac: 0 }));
+        let d = cluster.into_dispatcher(4).with_reply_timeout(Some(Duration::from_millis(25)));
+        let results = d.complete(d.submit(BatchTag(0), (1..=2).map(dense_job).collect()).unwrap());
+        assert_eq!(results[0], Ok(dense_job(1).execute()));
+        assert!(matches!(results[1], Err(GpuError::Timeout { worker: WorkerId(1), .. })));
     }
 }

@@ -11,6 +11,14 @@
 //! * [`crate::DispatchClient`] — the pipelined backend: jobs are
 //!   submitted to a shared [`crate::GpuDispatcher`] whose persistent
 //!   per-worker threads serve *several* virtual batches concurrently.
+//! * [`crate::TcpFleet`] — the wire backend: jobs travel as framed
+//!   messages to remote worker processes over TCP.
+//!
+//! Faults are part of the contract, not panics. `execute` reports
+//! per-worker outcomes ([`WorkerResult`]) so the session can route
+//! around one dead worker while using the others' answers — the same
+//! localize-and-repair flow that handles a tampering worker. Whole-call
+//! failures (oversubscription) surface as the outer [`GpuError`].
 //!
 //! Context ids are the protocol's handle for stored forward encodings
 //! (§6 backward reuse). Sequential execution could key them by layer
@@ -18,31 +26,46 @@
 //! worker at once, so ids are globally unique per `(virtual batch,
 //! layer)` and released per batch rather than wholesale.
 
+use crate::error::GpuError;
 use crate::job::{JobOutput, LinearJob};
 use crate::worker::WorkerId;
 use dk_field::F25;
 use dk_linalg::Tensor;
+
+/// One worker's outcome for one job: the output, or the fault that kept
+/// it from answering.
+pub type WorkerResult = Result<JobOutput, GpuError>;
 
 /// An execution backend for the offloaded linear operations.
 pub trait GpuExec {
     /// Number of workers (`K'`).
     fn num_workers(&self) -> usize;
 
-    /// Executes `jobs[i]` on worker `i` and returns outputs in worker
-    /// order. `tag` identifies the virtual-batch context the jobs belong
-    /// to (used for tracing and queue bookkeeping by asynchronous
-    /// backends; the blocking backend ignores it).
-    fn execute(&mut self, tag: u64, jobs: &[LinearJob]) -> Vec<JobOutput>;
+    /// Executes `jobs[i]` on worker `i` and returns per-worker outcomes
+    /// in worker order. `tag` identifies the virtual-batch context the
+    /// jobs belong to (used for tracing and queue bookkeeping by
+    /// asynchronous backends; the blocking backend ignores it).
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::Oversubscribed`] if more jobs than workers were
+    /// submitted. Per-worker faults (loss, timeout) are reported in the
+    /// corresponding [`WorkerResult`] slot, never as the outer error —
+    /// the caller decides whether to repair around them.
+    fn execute(&mut self, tag: u64, jobs: &[LinearJob]) -> Result<Vec<WorkerResult>, GpuError>;
 
     /// Executes a single job on a specific worker (spot checks and the
     /// unencoded data-gradient offload).
-    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> JobOutput;
+    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> WorkerResult;
 
     /// Stores per-worker forward encodings (worker `i` receives
     /// `encodings[i]`) under the given context id for backward reuse.
+    /// Best-effort: a store that cannot reach a dead worker is dropped
+    /// silently — that worker's subsequent jobs fail with a typed error
+    /// and the session repairs around it.
     fn store_encodings(&mut self, ctx_id: u64, encodings: Vec<Tensor<F25>>);
 
     /// Releases stored encodings for the given context ids (virtual
-    /// batch retired).
+    /// batch retired). Best-effort, like `store_encodings`.
     fn release_contexts(&mut self, ctx_ids: &[u64]);
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 ///
 /// Weights are shared via [`Arc`]: the model is public to all workers
 /// (the paper keeps `W` outside the enclave) and can be large.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LinearJob {
     /// `y = W ∗ x̄` — the forward pass on one encoded input.
     ConvForward {

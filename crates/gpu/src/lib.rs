@@ -27,20 +27,34 @@
 //! * [`collusion`] — the empirical privacy harness: uniformity testing
 //!   of observations and a white-box noise-cancellation audit that
 //!   demonstrates the exact collusion-tolerance boundary `M`.
+//! * [`error::GpuError`] — the typed fault vocabulary: worker loss,
+//!   timeouts, oversubscription, remote refusals, protocol violations.
+//!   Every backend reports faults as values; none of them panic the
+//!   process over a dead worker.
+//! * [`wire`] / [`tcp`] — the framed wire protocol and the TCP
+//!   transport ([`tcp::TcpFleet`]) that lets remote worker processes
+//!   (the `dk_gpu_worker` binary) join the fleet from a
+//!   [`tcp::FleetManifest`], with reconnect-and-replay of stored
+//!   encodings after a connection loss.
 
 pub mod behavior;
 pub mod cluster;
 pub mod collusion;
 pub mod dispatch;
+pub mod error;
 pub mod exec;
 pub mod job;
+pub mod tcp;
+pub mod wire;
 pub mod worker;
 
 pub use behavior::Behavior;
 pub use cluster::GpuCluster;
 pub use dispatch::{BatchTag, DispatchClient, GpuDispatcher, JobTicket, Ticket};
-pub use exec::GpuExec;
+pub use error::GpuError;
+pub use exec::{GpuExec, WorkerResult};
 pub use job::{JobOutput, LinearJob};
+pub use tcp::{serve_fleet_worker, FleetManifest, TcpFleet};
 pub use worker::{GpuWorker, WorkerId};
 
 /// A modeled accelerator execution-latency profile.

@@ -1,0 +1,490 @@
+//! TCP transport: a [`GpuExec`] backend whose workers are remote
+//! processes speaking the [`crate::wire`] protocol.
+//!
+//! The fleet is described by a small text manifest (one `worker
+//! host:port` line per remote worker plus optional knobs) and behaves
+//! exactly like the in-process backends from the session's point of
+//! view: same jobs, same per-worker FIFO ordering, same typed faults.
+//! A worker that drops its connection mid-batch surfaces as
+//! [`GpuError::WorkerLost`]; one that exceeds the I/O deadline surfaces
+//! as [`GpuError::Timeout`]; the session quarantines either and repairs
+//! the batch in the TEE.
+//!
+//! ## Reconnect with replay
+//!
+//! Backward `*Stored` jobs depend on state the worker accumulated
+//! during the forward pass (the stored encodings). A remote worker
+//! process keeps that state per *connection*, so a reconnect would
+//! silently lose it. The fleet therefore keeps a replay cache of every
+//! live `Store` it issued; when a send finds the connection dead it
+//! dials again, re-handshakes, and replays the cached stores before the
+//! job goes out. Encodings themselves are derived deterministically
+//! from the session seed (PR 4), so the replayed bytes are identical to
+//! the originals — the rejoining worker cannot tell it ever died.
+
+use crate::error::GpuError;
+use crate::exec::{GpuExec, WorkerResult};
+use crate::job::LinearJob;
+use crate::wire::{self, WireMsg};
+use crate::worker::{GpuWorker, WorkerId};
+use crate::{Behavior, LatencyModel};
+use dk_field::F25;
+use dk_linalg::Tensor;
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Text description of a remote worker fleet.
+///
+/// ```text
+/// # two worker processes, two workers each
+/// worker 127.0.0.1:7501
+/// worker 127.0.0.1:7501
+/// worker 127.0.0.1:7502
+/// worker 127.0.0.1:7502
+/// seed 42
+/// latency 50000 25
+/// io_timeout_ms 2000
+/// connect_timeout_ms 1000
+/// ```
+///
+/// Repeating an address is how one process hosts several logical
+/// workers: each `worker` line becomes its own connection (and its own
+/// server-side [`GpuWorker`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetManifest {
+    /// One `host:port` per logical worker, in worker-id order.
+    pub workers: Vec<String>,
+    /// Seed forwarded to remote workers in the `Hello` handshake.
+    pub seed: u64,
+    /// Modeled latency `(base_ns, ns_per_kmac)` applied by every remote
+    /// worker; `None` for no modeled delay.
+    pub latency: Option<(u64, u64)>,
+    /// Per-reply read deadline; a straggler past this is a
+    /// [`GpuError::Timeout`]. `0` disables the deadline.
+    pub io_timeout_ms: u64,
+    /// Dial deadline for (re)connects.
+    pub connect_timeout_ms: u64,
+}
+
+impl Default for FleetManifest {
+    fn default() -> Self {
+        Self {
+            workers: Vec::new(),
+            seed: 0x5EED,
+            latency: None,
+            io_timeout_ms: 5_000,
+            connect_timeout_ms: 1_000,
+        }
+    }
+}
+
+impl FleetManifest {
+    /// Parses the manifest text format (see the type docs).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut m = FleetManifest::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let key = tok.next().unwrap_or("");
+            let mut arg = |name: &str| {
+                tok.next()
+                    .ok_or_else(|| format!("line {}: {key} missing {name}", lineno + 1))
+            };
+            let parse_u64 = |s: &str, what: &str| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("line {}: bad {what} `{s}`", lineno + 1))
+            };
+            match key {
+                "worker" => m.workers.push(arg("address")?.to_string()),
+                "seed" => m.seed = parse_u64(arg("value")?, "seed")?,
+                "latency" => {
+                    let base = parse_u64(arg("base_ns")?, "base_ns")?;
+                    let per = parse_u64(arg("ns_per_kmac")?, "ns_per_kmac")?;
+                    m.latency = Some((base, per));
+                }
+                "io_timeout_ms" => m.io_timeout_ms = parse_u64(arg("value")?, "timeout")?,
+                "connect_timeout_ms" => {
+                    m.connect_timeout_ms = parse_u64(arg("value")?, "timeout")?;
+                }
+                other => return Err(format!("line {}: unknown directive `{other}`", lineno + 1)),
+            }
+            if let Some(extra) = tok.next() {
+                return Err(format!("line {}: trailing token `{extra}`", lineno + 1));
+            }
+        }
+        if m.workers.is_empty() {
+            return Err("manifest declares no workers".to_string());
+        }
+        Ok(m)
+    }
+}
+
+/// TEE-side handle to one remote worker: its dial target, the live
+/// connection (if any), and the replay cache of stored encodings.
+#[derive(Debug)]
+struct RemoteWorker {
+    id: WorkerId,
+    addr: String,
+    seed: u64,
+    latency: (u64, u64),
+    io_timeout: Option<Duration>,
+    connect_timeout: Duration,
+    conn: Option<TcpStream>,
+    /// Live `Store`s in issue order, replayed on reconnect.
+    replay: Vec<(u64, Tensor<F25>)>,
+    reconnects: u64,
+}
+
+impl RemoteWorker {
+    fn lost(&self, e: &io::Error) -> GpuError {
+        if e.kind() == io::ErrorKind::InvalidData {
+            GpuError::Protocol { detail: format!("{}: {e}", self.id) }
+        } else {
+            GpuError::lost(self.id, e.to_string())
+        }
+    }
+
+    /// Dials, handshakes, and replays the store cache. On success the
+    /// connection is installed; any failure leaves `conn` empty.
+    fn reconnect(&mut self) -> Result<(), GpuError> {
+        let addr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| self.lost(&e))?
+            .next()
+            .ok_or_else(|| GpuError::lost(self.id, format!("{} resolves to nothing", self.addr)))?;
+        let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+            .map_err(|e| self.lost(&e))?;
+        stream.set_nodelay(true).map_err(|e| self.lost(&e))?;
+        stream.set_read_timeout(self.io_timeout).map_err(|e| self.lost(&e))?;
+        let mut stream = stream;
+        wire::write_msg(
+            &mut stream,
+            &WireMsg::Hello { worker_id: self.id.0 as u64, seed: self.seed, latency: self.latency },
+        )
+        .map_err(|e| self.lost(&e))?;
+        match wire::read_msg(&mut stream).map_err(|e| self.lost(&e))? {
+            WireMsg::HelloAck => {}
+            other => {
+                return Err(GpuError::Protocol {
+                    detail: format!("{}: expected HelloAck, got {other:?}", self.id),
+                })
+            }
+        }
+        // Reconstruct the worker's forward state: replay every live
+        // stored encoding in original issue order.
+        for (ctx_id, tensor) in &self.replay {
+            wire::write_msg(&mut stream, &WireMsg::Store { ctx_id: *ctx_id, tensor: tensor.clone() })
+                .map_err(|e| self.lost(&e))?;
+        }
+        self.conn = Some(stream);
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Sends one message, dialing (with replay) if there is no live
+    /// connection, and redialing once if a stale connection fails
+    /// mid-write.
+    fn send(&mut self, msg: &WireMsg) -> Result<(), GpuError> {
+        let had_conn = self.conn.is_some();
+        if !had_conn {
+            self.reconnect()?;
+        }
+        let stream = self.conn.as_mut().expect("reconnect installed a stream");
+        match wire::write_msg(stream, msg) {
+            Ok(()) => Ok(()),
+            Err(_) if had_conn => {
+                // The cached connection died since we last used it;
+                // one fresh dial gets its own chance.
+                self.conn = None;
+                self.reconnect()?;
+                let stream = self.conn.as_mut().expect("reconnect installed a stream");
+                wire::write_msg(stream, msg).map_err(|e| {
+                    self.conn = None;
+                    self.lost(&e)
+                })
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(self.lost(&e))
+            }
+        }
+    }
+
+    /// Reads one reply frame; faults tear the connection down so the
+    /// next send starts from a clean dial.
+    fn recv(&mut self) -> Result<WireMsg, GpuError> {
+        let Some(stream) = self.conn.as_mut() else {
+            return Err(GpuError::lost(self.id, "no connection"));
+        };
+        match wire::read_msg(stream) {
+            Ok(msg) => Ok(msg),
+            Err(e) => {
+                self.conn = None;
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                    Err(GpuError::Timeout {
+                        worker: self.id,
+                        waited_ms: self.io_timeout.map_or(0, |t| t.as_millis() as u64),
+                    })
+                } else {
+                    Err(self.lost(&e))
+                }
+            }
+        }
+    }
+
+    /// Sends a Run and reads its Output/Fail reply.
+    fn run_reply(&mut self) -> WorkerResult {
+        match self.recv()? {
+            WireMsg::Output { tensor } => Ok(tensor),
+            WireMsg::Fail { message } => Err(GpuError::Remote { worker: self.id, message }),
+            other => {
+                self.conn = None;
+                Err(GpuError::Protocol {
+                    detail: format!("{}: expected Output/Fail, got {other:?}", self.id),
+                })
+            }
+        }
+    }
+}
+
+/// A [`GpuExec`] backend over remote worker processes (see module
+/// docs). Build from a [`FleetManifest`]; connections are dialed
+/// lazily, on first use, and redialed transparently (with store
+/// replay) after a loss.
+#[derive(Debug)]
+pub struct TcpFleet {
+    workers: Vec<RemoteWorker>,
+}
+
+impl TcpFleet {
+    /// Builds the fleet handle. No connections are made yet.
+    pub fn from_manifest(m: &FleetManifest) -> Self {
+        let io_timeout = (m.io_timeout_ms > 0).then(|| Duration::from_millis(m.io_timeout_ms));
+        let workers = m
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| RemoteWorker {
+                id: WorkerId(i),
+                addr: addr.clone(),
+                seed: m.seed,
+                latency: m.latency.unwrap_or((0, 0)),
+                io_timeout,
+                connect_timeout: Duration::from_millis(m.connect_timeout_ms.max(1)),
+                conn: None,
+                replay: Vec::new(),
+                reconnects: 0,
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// Total reconnect count across the fleet (each successful dial
+    /// after the first one per worker counts once).
+    pub fn reconnects(&self) -> u64 {
+        self.workers.iter().map(|w| w.reconnects.saturating_sub(1)).sum()
+    }
+
+    /// Drops one worker's live connection without telling the remote
+    /// side — fault injection for reconnect tests (the next use redials
+    /// and replays).
+    pub fn sever_connection(&mut self, id: WorkerId) {
+        self.workers[id.0].conn = None;
+    }
+
+    /// Best-effort `Shutdown` to every worker process (idempotent; a
+    /// process hosting several workers exits on the first one).
+    pub fn shutdown(&mut self) {
+        for w in &mut self.workers {
+            let _ = w.send(&WireMsg::Shutdown);
+            w.conn = None;
+        }
+    }
+}
+
+impl GpuExec for TcpFleet {
+    fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn execute(&mut self, _tag: u64, jobs: &[LinearJob]) -> Result<Vec<WorkerResult>, GpuError> {
+        if jobs.len() > self.workers.len() {
+            return Err(GpuError::Oversubscribed { jobs: jobs.len(), workers: self.workers.len() });
+        }
+        // Phase 1: pipeline the sends — every worker starts computing
+        // before we block on any reply.
+        let sent: Vec<Result<(), GpuError>> = self
+            .workers
+            .iter_mut()
+            .zip(jobs)
+            .map(|(w, job)| w.send(&WireMsg::Run { job: job.clone() }))
+            .collect();
+        // Phase 2: collect replies in worker order.
+        Ok(self
+            .workers
+            .iter_mut()
+            .zip(sent)
+            .map(|(w, s)| s.and_then(|()| w.run_reply()))
+            .collect())
+    }
+
+    fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> WorkerResult {
+        let w = &mut self.workers[id.0];
+        w.send(&WireMsg::Run { job: job.clone() })?;
+        w.run_reply()
+    }
+
+    fn store_encodings(&mut self, ctx_id: u64, encodings: Vec<Tensor<F25>>) {
+        assert!(encodings.len() <= self.workers.len(), "more encodings than workers");
+        for (w, enc) in self.workers.iter_mut().zip(encodings) {
+            w.replay.push((ctx_id, enc.clone()));
+            // Best-effort: an unreachable worker gets the encoding via
+            // replay when (if) it comes back.
+            let _ = w.send(&WireMsg::Store { ctx_id, tensor: enc });
+        }
+    }
+
+    fn release_contexts(&mut self, ctx_ids: &[u64]) {
+        for w in &mut self.workers {
+            w.replay.retain(|(c, _)| !ctx_ids.contains(c));
+            for &c in ctx_ids {
+                let _ = w.send(&WireMsg::Release { ctx_id: c });
+            }
+        }
+    }
+}
+
+/// Serves worker connections on `listener` until some connection
+/// receives `Shutdown`. Each accepted connection hosts one logical
+/// [`GpuWorker`] (identity from its `Hello`); connections are served
+/// concurrently, one thread each. This is the loop behind the
+/// `dk_gpu_worker` binary; tests run it on an ephemeral port.
+///
+/// # Errors
+///
+/// Propagates accept errors from the listener.
+pub fn serve_fleet_worker(listener: TcpListener) -> io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let local = listener.local_addr()?;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = conn?;
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            if serve_connection(stream) {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it can observe the flag.
+                let _ = TcpStream::connect(local);
+            }
+        });
+    }
+    Ok(())
+}
+
+/// Serves one worker connection to completion. Returns `true` iff the
+/// peer asked the whole process to shut down.
+fn serve_connection(mut stream: TcpStream) -> bool {
+    let _ = stream.set_nodelay(true);
+    let hello = match wire::read_msg(&mut stream) {
+        Ok(m) => m,
+        Err(_) => return false,
+    };
+    let WireMsg::Hello { worker_id, seed, latency } = hello else {
+        // A wake-up probe from the shutdown path lands here (no Hello);
+        // also covers confused peers.
+        return matches!(hello, WireMsg::Shutdown);
+    };
+    let mut worker = GpuWorker::new(WorkerId(worker_id as usize), Behavior::Honest, seed);
+    if latency != (0, 0) {
+        worker.set_latency(Some(LatencyModel { base_ns: latency.0, ns_per_kmac: latency.1 }));
+    }
+    if wire::write_msg(&mut stream, &WireMsg::HelloAck).is_err() {
+        return false;
+    }
+    loop {
+        match wire::read_msg(&mut stream) {
+            Ok(WireMsg::Run { job }) => {
+                // Pre-check instead of letting `execute` panic: a replay
+                // gap becomes a typed wire fault the TEE can attribute.
+                let reply = if worker.can_execute(&job) {
+                    WireMsg::Output { tensor: worker.execute(&job) }
+                } else {
+                    WireMsg::Fail {
+                        message: format!("{} holds no stored encoding for this job", worker.id()),
+                    }
+                };
+                if wire::write_msg(&mut stream, &reply).is_err() {
+                    return false;
+                }
+            }
+            Ok(WireMsg::Store { ctx_id, tensor }) => worker.store_encoding(ctx_id, tensor),
+            Ok(WireMsg::Release { ctx_id }) => worker.remove_encoding(ctx_id),
+            Ok(WireMsg::Shutdown) => return true,
+            Ok(other) => {
+                let _ = wire::write_msg(
+                    &mut stream,
+                    &WireMsg::Fail { message: format!("unexpected message {other:?}") },
+                );
+                return false;
+            }
+            Err(_) => return false, // peer went away; this worker's state dies with it
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parses_every_directive() {
+        let m = FleetManifest::parse(
+            "# fleet\nworker 127.0.0.1:7501   # first\nworker 127.0.0.1:7502\nseed 42\nlatency 50000 25\nio_timeout_ms 2000\nconnect_timeout_ms 77\n",
+        )
+        .unwrap();
+        assert_eq!(m.workers, vec!["127.0.0.1:7501", "127.0.0.1:7502"]);
+        assert_eq!(m.seed, 42);
+        assert_eq!(m.latency, Some((50_000, 25)));
+        assert_eq!(m.io_timeout_ms, 2_000);
+        assert_eq!(m.connect_timeout_ms, 77);
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        assert!(FleetManifest::parse("").is_err()); // no workers
+        assert!(FleetManifest::parse("worker\n").is_err()); // missing addr
+        assert!(FleetManifest::parse("worker a:1\nseed banana\n").is_err());
+        assert!(FleetManifest::parse("worker a:1\nwat 3\n").is_err());
+        assert!(FleetManifest::parse("worker a:1 extra\n").is_err());
+    }
+
+    #[test]
+    fn unreachable_fleet_reports_loss_not_panic() {
+        // Port 1 on localhost refuses connections.
+        let m = FleetManifest {
+            workers: vec!["127.0.0.1:1".into()],
+            connect_timeout_ms: 200,
+            ..FleetManifest::default()
+        };
+        let mut fleet = TcpFleet::from_manifest(&m);
+        let job = LinearJob::DenseForward {
+            weights: std::sync::Arc::new(Tensor::from_fn(&[1, 2], |i| F25::new(i as u64 + 1))),
+            x: Tensor::from_fn(&[1, 2], |i| F25::new(i as u64 + 1)),
+        };
+        let results = crate::GpuExec::execute(&mut fleet, 0, std::slice::from_ref(&job)).unwrap();
+        assert!(matches!(&results[0], Err(GpuError::WorkerLost { worker: WorkerId(0), .. })));
+    }
+}

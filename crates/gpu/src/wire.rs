@@ -1,0 +1,581 @@
+//! The framed wire protocol spoken between the TEE-side transport
+//! ([`crate::TcpFleet`]) and remote worker processes (`dk_gpu_worker`).
+//!
+//! Everything a worker touches is already masked field data, so the
+//! protocol carries plain `F_{2^25−39}` values — confidentiality comes
+//! from DarKnight's encoding, not from the transport. What the framing
+//! buys is *fault attribution*: a short read, a bad magic, or a version
+//! skew is a typed [`std::io::Error`] the transport converts into
+//! [`GpuError::WorkerLost`](crate::GpuError::WorkerLost) /
+//! [`Protocol`](crate::GpuError::Protocol), never a process abort.
+//!
+//! ## Frame layout (all little-endian)
+//!
+//! ```text
+//! magic   u32   0x444B_4E54  ("DKNT")
+//! version u16   protocol version (1)
+//! type    u16   message discriminant
+//! len     u32   payload byte length
+//! payload [u8; len]
+//! ```
+//!
+//! ## Payload encodings
+//!
+//! * **Tensor**: `ndim: u32`, `dims: [u32; ndim]`, then one `u32` per
+//!   element (field values are `< 2^25`).
+//! * **Conv2dShape**: nine `u32`s — in/out channels, kernel, stride,
+//!   padding (pairs), groups.
+//! * **LinearJob**: one tag byte (variant, 0–7) followed by the
+//!   variant's fields in declaration order.
+//!
+//! The protocol is deliberately session-free beyond the `Hello`
+//! handshake: each connection serves one logical worker, messages are
+//! answered in order, and the TEE side never pipelines more than one
+//! virtual batch per worker connection without reading the replies back
+//! (per-worker FIFO, same as the in-process dispatcher).
+
+use crate::job::LinearJob;
+use dk_field::F25;
+use dk_linalg::{Conv2dShape, Tensor};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Frame magic: `"DKNT"`.
+pub const MAGIC: u32 = 0x444B_4E54;
+/// Protocol version.
+pub const VERSION: u16 = 1;
+/// Upper bound on a single payload (guards against garbage lengths from
+/// a malicious or confused peer before any allocation happens).
+pub const MAX_PAYLOAD: u32 = 1 << 28;
+
+/// A message on the wire. The `type` field of the frame header is the
+/// variant's [`WireMsg::msg_type`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// TEE → worker, once per connection: claims a worker identity.
+    Hello {
+        /// Worker id within the fleet.
+        worker_id: u64,
+        /// RNG seed for the remote worker's behaviour stream.
+        seed: u64,
+        /// Modeled latency `(base_ns, ns_per_kmac)`; `(0, 0)` = none.
+        latency: (u64, u64),
+    },
+    /// Worker → TEE: handshake accepted.
+    HelloAck,
+    /// TEE → worker: execute one job and reply with `Output` or `Fail`.
+    Run {
+        /// The job to execute.
+        job: LinearJob,
+    },
+    /// Worker → TEE: the job's result.
+    Output {
+        /// The computed tensor.
+        tensor: Tensor<F25>,
+    },
+    /// TEE → worker: store a forward encoding under a context id.
+    Store {
+        /// Context id (`batch << 32 | layer ordinal`).
+        ctx_id: u64,
+        /// The encoded input.
+        tensor: Tensor<F25>,
+    },
+    /// TEE → worker: release a stored context.
+    Release {
+        /// Context id to drop.
+        ctx_id: u64,
+    },
+    /// Worker → TEE: the job could not be executed (e.g. a `*Stored`
+    /// job referencing an encoding the worker does not hold).
+    Fail {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// TEE → worker: shut the worker process down.
+    Shutdown,
+}
+
+impl WireMsg {
+    /// The frame-header discriminant for this message.
+    pub fn msg_type(&self) -> u16 {
+        match self {
+            WireMsg::Hello { .. } => 1,
+            WireMsg::HelloAck => 2,
+            WireMsg::Run { .. } => 3,
+            WireMsg::Output { .. } => 4,
+            WireMsg::Store { .. } => 5,
+            WireMsg::Release { .. } => 6,
+            WireMsg::Fail { .. } => 7,
+            WireMsg::Shutdown => 8,
+        }
+    }
+}
+
+fn bad(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+// ---- primitive writers/readers over a byte buffer ----
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| bad("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(bad("payload truncated"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(bad("trailing bytes in payload"));
+        }
+        Ok(())
+    }
+}
+
+// ---- composite encodings ----
+
+fn put_tensor(buf: &mut Vec<u8>, t: &Tensor<F25>) {
+    put_u32(buf, t.shape().len() as u32);
+    for &d in t.shape() {
+        put_u32(buf, d as u32);
+    }
+    for &v in t.as_slice() {
+        put_u32(buf, v.value() as u32);
+    }
+}
+
+fn get_tensor(c: &mut Cursor) -> io::Result<Tensor<F25>> {
+    let ndim = c.u32()? as usize;
+    if ndim > 8 {
+        return Err(bad(format!("tensor rank {ndim} too large")));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    let mut len = 1usize;
+    for _ in 0..ndim {
+        let d = c.u32()? as usize;
+        len = len.checked_mul(d).ok_or_else(|| bad("tensor size overflow"))?;
+        dims.push(d);
+    }
+    if len > (MAX_PAYLOAD as usize) / 4 {
+        return Err(bad(format!("tensor of {len} elements exceeds payload cap")));
+    }
+    let mut vals = Vec::with_capacity(len);
+    for _ in 0..len {
+        let raw = c.u32()? as u64;
+        if raw >= dk_field::P25 {
+            return Err(bad(format!("field value {raw} out of range")));
+        }
+        vals.push(F25::new(raw));
+    }
+    Ok(Tensor::from_vec(&dims, vals))
+}
+
+fn put_shape(buf: &mut Vec<u8>, s: &Conv2dShape) {
+    for v in [
+        s.in_channels,
+        s.out_channels,
+        s.kernel.0,
+        s.kernel.1,
+        s.stride.0,
+        s.stride.1,
+        s.padding.0,
+        s.padding.1,
+        s.groups,
+    ] {
+        put_u32(buf, v as u32);
+    }
+}
+
+fn get_shape(c: &mut Cursor) -> io::Result<Conv2dShape> {
+    let mut v = [0usize; 9];
+    for slot in &mut v {
+        *slot = c.u32()? as usize;
+    }
+    let [ic, oc, kh, kw, sh, sw, ph, pw, g] = v;
+    // Validate what Conv2dShape::new would assert, but as wire errors.
+    if ic == 0 || oc == 0 || g == 0 || kh == 0 || kw == 0 || sh == 0 || sw == 0 {
+        return Err(bad("degenerate conv shape"));
+    }
+    if ic % g != 0 || oc % g != 0 {
+        return Err(bad("conv groups must divide channel counts"));
+    }
+    Ok(Conv2dShape::new(ic, oc, (kh, kw), (sh, sw), (ph, pw), g))
+}
+
+fn put_beta(buf: &mut Vec<u8>, beta: &[F25]) {
+    put_u32(buf, beta.len() as u32);
+    for &b in beta {
+        put_u32(buf, b.value() as u32);
+    }
+}
+
+fn get_beta(c: &mut Cursor) -> io::Result<Vec<F25>> {
+    let n = c.u32()? as usize;
+    if n > 1 << 20 {
+        return Err(bad("beta row too long"));
+    }
+    let mut beta = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = c.u32()? as u64;
+        if raw >= dk_field::P25 {
+            return Err(bad(format!("field value {raw} out of range")));
+        }
+        beta.push(F25::new(raw));
+    }
+    Ok(beta)
+}
+
+fn put_job(buf: &mut Vec<u8>, job: &LinearJob) {
+    match job {
+        LinearJob::ConvForward { weights, x, shape } => {
+            buf.push(0);
+            put_tensor(buf, weights);
+            put_tensor(buf, x);
+            put_shape(buf, shape);
+        }
+        LinearJob::ConvWeightGrad { delta, x, shape } => {
+            buf.push(1);
+            put_tensor(buf, delta);
+            put_tensor(buf, x);
+            put_shape(buf, shape);
+        }
+        LinearJob::ConvBackwardData { weights, delta, shape, input_hw } => {
+            buf.push(2);
+            put_tensor(buf, weights);
+            put_tensor(buf, delta);
+            put_shape(buf, shape);
+            put_u32(buf, input_hw.0 as u32);
+            put_u32(buf, input_hw.1 as u32);
+        }
+        LinearJob::DenseForward { weights, x } => {
+            buf.push(3);
+            put_tensor(buf, weights);
+            put_tensor(buf, x);
+        }
+        LinearJob::DenseWeightGrad { delta, x } => {
+            buf.push(4);
+            put_tensor(buf, delta);
+            put_tensor(buf, x);
+        }
+        LinearJob::DenseBackwardData { weights, delta } => {
+            buf.push(5);
+            put_tensor(buf, weights);
+            put_tensor(buf, delta);
+        }
+        LinearJob::ConvWeightGradStored { delta_batch, beta, layer_id, shape } => {
+            buf.push(6);
+            put_tensor(buf, delta_batch);
+            put_beta(buf, beta);
+            put_u64(buf, *layer_id);
+            put_shape(buf, shape);
+        }
+        LinearJob::DenseWeightGradStored { delta_batch, beta, layer_id } => {
+            buf.push(7);
+            put_tensor(buf, delta_batch);
+            put_beta(buf, beta);
+            put_u64(buf, *layer_id);
+        }
+    }
+}
+
+fn get_job(c: &mut Cursor) -> io::Result<LinearJob> {
+    Ok(match c.u8()? {
+        0 => LinearJob::ConvForward {
+            weights: Arc::new(get_tensor(c)?),
+            x: get_tensor(c)?,
+            shape: get_shape(c)?,
+        },
+        1 => LinearJob::ConvWeightGrad {
+            delta: get_tensor(c)?,
+            x: get_tensor(c)?,
+            shape: get_shape(c)?,
+        },
+        2 => LinearJob::ConvBackwardData {
+            weights: Arc::new(get_tensor(c)?),
+            delta: get_tensor(c)?,
+            shape: get_shape(c)?,
+            input_hw: (c.u32()? as usize, c.u32()? as usize),
+        },
+        3 => LinearJob::DenseForward { weights: Arc::new(get_tensor(c)?), x: get_tensor(c)? },
+        4 => LinearJob::DenseWeightGrad { delta: get_tensor(c)?, x: get_tensor(c)? },
+        5 => LinearJob::DenseBackwardData {
+            weights: Arc::new(get_tensor(c)?),
+            delta: get_tensor(c)?,
+        },
+        6 => LinearJob::ConvWeightGradStored {
+            delta_batch: Arc::new(get_tensor(c)?),
+            beta: get_beta(c)?,
+            layer_id: c.u64()?,
+            shape: get_shape(c)?,
+        },
+        7 => LinearJob::DenseWeightGradStored {
+            delta_batch: Arc::new(get_tensor(c)?),
+            beta: get_beta(c)?,
+            layer_id: c.u64()?,
+        },
+        t => return Err(bad(format!("unknown job tag {t}"))),
+    })
+}
+
+/// Serializes a message into its payload bytes (header excluded).
+fn encode_payload(msg: &WireMsg) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match msg {
+        WireMsg::Hello { worker_id, seed, latency } => {
+            put_u64(&mut buf, *worker_id);
+            put_u64(&mut buf, *seed);
+            put_u64(&mut buf, latency.0);
+            put_u64(&mut buf, latency.1);
+        }
+        WireMsg::HelloAck | WireMsg::Shutdown => {}
+        WireMsg::Run { job } => put_job(&mut buf, job),
+        WireMsg::Output { tensor } => put_tensor(&mut buf, tensor),
+        WireMsg::Store { ctx_id, tensor } => {
+            put_u64(&mut buf, *ctx_id);
+            put_tensor(&mut buf, tensor);
+        }
+        WireMsg::Release { ctx_id } => put_u64(&mut buf, *ctx_id),
+        WireMsg::Fail { message } => {
+            put_u32(&mut buf, message.len() as u32);
+            buf.extend_from_slice(message.as_bytes());
+        }
+    }
+    buf
+}
+
+fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<WireMsg> {
+    let mut c = Cursor::new(payload);
+    let msg = match msg_type {
+        1 => WireMsg::Hello {
+            worker_id: c.u64()?,
+            seed: c.u64()?,
+            latency: (c.u64()?, c.u64()?),
+        },
+        2 => WireMsg::HelloAck,
+        3 => WireMsg::Run { job: get_job(&mut c)? },
+        4 => WireMsg::Output { tensor: get_tensor(&mut c)? },
+        5 => WireMsg::Store { ctx_id: c.u64()?, tensor: get_tensor(&mut c)? },
+        6 => WireMsg::Release { ctx_id: c.u64()? },
+        7 => {
+            let n = c.u32()? as usize;
+            let bytes = c.take(n)?;
+            let message = std::str::from_utf8(bytes)
+                .map_err(|_| bad("fail message is not utf-8"))?
+                .to_string();
+            WireMsg::Fail { message }
+        }
+        8 => WireMsg::Shutdown,
+        t => return Err(bad(format!("unknown message type {t}"))),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+/// Writes one framed message.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_msg<W: Write>(w: &mut W, msg: &WireMsg) -> io::Result<()> {
+    let payload = encode_payload(msg);
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6..8].copy_from_slice(&msg.msg_type().to_le_bytes());
+    header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one framed message.
+///
+/// # Errors
+///
+/// I/O errors from the reader; `InvalidData` for bad magic, version
+/// skew, oversized payloads, or malformed payload contents.
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<WireMsg> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(bad(format!("bad frame magic {magic:#010x}")));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(bad(format!("protocol version {version} (want {VERSION})")));
+    }
+    let msg_type = u16::from_le_bytes(header[6..8].try_into().unwrap());
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(bad(format!("payload of {len} bytes exceeds cap")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_payload(msg_type, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &WireMsg) -> WireMsg {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, msg).unwrap();
+        let got = read_msg(&mut &buf[..]).unwrap();
+        assert_eq!(&got, msg);
+        got
+    }
+
+    fn tensor(shape: &[usize], scale: u64) -> Tensor<F25> {
+        Tensor::from_fn(shape, |i| F25::new((i as u64 * scale + 7) % dk_field::P25))
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        roundtrip(&WireMsg::Hello { worker_id: 3, seed: 42, latency: (1000, 25) });
+        roundtrip(&WireMsg::HelloAck);
+        roundtrip(&WireMsg::Release { ctx_id: (9 << 32) | 4 });
+        roundtrip(&WireMsg::Fail { message: "no stored encoding for layer 7".into() });
+        roundtrip(&WireMsg::Shutdown);
+    }
+
+    #[test]
+    fn tensors_and_store_roundtrip() {
+        roundtrip(&WireMsg::Output { tensor: tensor(&[2, 3, 4], 13) });
+        roundtrip(&WireMsg::Store { ctx_id: 88, tensor: tensor(&[1, 5], 3) });
+        // Scalar (rank-0) tensors survive too.
+        roundtrip(&WireMsg::Output { tensor: Tensor::from_vec(&[], vec![F25::new(5)]) });
+    }
+
+    #[test]
+    fn every_job_variant_roundtrips() {
+        let shape = Conv2dShape::simple(2, 4, 3, 1, 1);
+        let jobs = vec![
+            LinearJob::ConvForward {
+                weights: Arc::new(tensor(&shape.weight_shape(), 5)),
+                x: tensor(&[1, 2, 4, 4], 3),
+                shape,
+            },
+            LinearJob::ConvWeightGrad {
+                delta: tensor(&[1, 4, 4, 4], 2),
+                x: tensor(&[1, 2, 4, 4], 3),
+                shape,
+            },
+            LinearJob::ConvBackwardData {
+                weights: Arc::new(tensor(&shape.weight_shape(), 5)),
+                delta: tensor(&[2, 4, 4, 4], 2),
+                shape,
+                input_hw: (4, 4),
+            },
+            LinearJob::DenseForward {
+                weights: Arc::new(tensor(&[4, 6], 7)),
+                x: tensor(&[1, 6], 2),
+            },
+            LinearJob::DenseWeightGrad { delta: tensor(&[1, 4], 9), x: tensor(&[1, 6], 2) },
+            LinearJob::DenseBackwardData {
+                weights: Arc::new(tensor(&[4, 6], 7)),
+                delta: tensor(&[2, 4], 9),
+            },
+            LinearJob::ConvWeightGradStored {
+                delta_batch: Arc::new(tensor(&[2, 4, 4, 4], 2)),
+                beta: vec![F25::new(3), F25::new(11)],
+                layer_id: (7 << 32) | 2,
+                shape,
+            },
+            LinearJob::DenseWeightGradStored {
+                delta_batch: Arc::new(tensor(&[2, 4], 9)),
+                beta: vec![F25::new(3), F25::new(11)],
+                layer_id: 5,
+            },
+        ];
+        for job in jobs {
+            let mut buf = Vec::new();
+            write_msg(&mut buf, &WireMsg::Run { job: job.clone() }).unwrap();
+            let got = read_msg(&mut &buf[..]).unwrap();
+            let WireMsg::Run { job: decoded } = got else { panic!("wrong msg type") };
+            // LinearJob has no PartialEq (Arc'd weights); compare via
+            // execution where possible, fields otherwise.
+            match (&job, &decoded) {
+                (LinearJob::ConvWeightGradStored { layer_id: a, beta: ba, .. },
+                 LinearJob::ConvWeightGradStored { layer_id: b, beta: bb, .. })
+                | (LinearJob::DenseWeightGradStored { layer_id: a, beta: ba, .. },
+                   LinearJob::DenseWeightGradStored { layer_id: b, beta: bb, .. }) => {
+                    assert_eq!(a, b);
+                    assert_eq!(ba, bb);
+                }
+                _ => assert_eq!(job.execute(), decoded.execute()),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_typed_errors() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &WireMsg::Release { ctx_id: 1 }).unwrap();
+        // Bad magic.
+        let mut bad_magic = buf.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(read_msg(&mut &bad_magic[..]).is_err());
+        // Version skew.
+        let mut bad_ver = buf.clone();
+        bad_ver[4] = 99;
+        assert!(read_msg(&mut &bad_ver[..]).is_err());
+        // Truncated payload.
+        let short = &buf[..buf.len() - 2];
+        assert!(read_msg(&mut &short[..]).is_err());
+        // Unknown message type.
+        let mut bad_type = buf.clone();
+        bad_type[6] = 0xEE;
+        assert!(read_msg(&mut &bad_type[..]).is_err());
+        // Trailing garbage inside the declared payload.
+        let mut padded = Vec::new();
+        write_msg(&mut padded, &WireMsg::HelloAck).unwrap();
+        padded[8] = 4; // claim 4 payload bytes
+        padded.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(read_msg(&mut &padded[..]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_field_values_rejected() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &WireMsg::Output { tensor: tensor(&[2], 1) }).unwrap();
+        // Overwrite the first element with a value >= P25.
+        let elt_off = buf.len() - 8;
+        buf[elt_off..elt_off + 4].copy_from_slice(&(dk_field::P25 as u32).to_le_bytes());
+        assert!(read_msg(&mut &buf[..]).is_err());
+    }
+}

@@ -113,6 +113,28 @@ impl GpuWorker {
         self.stored_encodings.remove(&ctx_id);
     }
 
+    /// True once a [`Behavior::Crash`] worker has spent its honest-job
+    /// budget: the execution backends consult this before running a job
+    /// and simulate the worker's death instead (thread exit / typed
+    /// [`crate::GpuError::WorkerLost`]).
+    pub fn crash_pending(&self) -> bool {
+        matches!(self.behavior, Behavior::Crash { after } if self.jobs_executed >= after)
+    }
+
+    /// True if this worker holds every stored encoding the job needs —
+    /// i.e. [`GpuWorker::execute`] would not panic on it. Remote worker
+    /// processes check this up front so a replay gap becomes a typed
+    /// wire error instead of a process abort.
+    pub fn can_execute(&self, job: &LinearJob) -> bool {
+        match job {
+            LinearJob::ConvWeightGradStored { layer_id, .. }
+            | LinearJob::DenseWeightGradStored { layer_id, .. } => {
+                self.stored_encodings.contains_key(layer_id)
+            }
+            _ => true,
+        }
+    }
+
     /// Executes a job, applying the adversarial behaviour to the result.
     ///
     /// # Panics

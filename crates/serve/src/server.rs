@@ -351,7 +351,9 @@ impl Server {
         let _ = handle.ingress.send(Ingress::Stop);
         let ServerHandle { metrics, .. } = handle;
         for t in threads {
-            t.join().expect("server thread panicked");
+            // A worker that died mid-run already shed or dropped its
+            // in-flight requests; the survivors' metrics still count.
+            let _ = t.join();
         }
         metrics.snapshot()
     }
@@ -439,6 +441,15 @@ fn absorb_available(
     true
 }
 
+/// Locks a mutex, recovering the value if a previous holder panicked.
+/// Everything behind these locks is mutated through single push / pop /
+/// insert / remove calls (no multi-step invariants), so the data is
+/// consistent even after a panicking holder — the poison flag alone must
+/// not take down the rest of the server with the one dead thread.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn send_batch(
     dispatch: &mpsc::SyncSender<Batch>,
     batch: Batch,
@@ -494,7 +505,7 @@ fn worker_loop(
                 // idle workers queue on the mutex instead of the
                 // channel, and the lock is released the moment a batch
                 // (or disconnect) arrives.
-                let batch = match dispatch.lock().expect("dispatch lock poisoned").recv() {
+                let batch = match lock_unpoisoned(dispatch).recv() {
                     Ok(b) => b,
                     Err(_) => return, // aggregator gone and queue drained
                 };
@@ -509,8 +520,7 @@ fn worker_loop(
                 // padding rows are re-zeroed below, so stale contents
                 // are numerically invisible (identical to a fresh
                 // zeroed tensor).
-                let recycled =
-                    spare_ref.lock().expect("spare batch lock").pop().filter(|t| t.shape() == shape);
+                let recycled = lock_unpoisoned(spare_ref).pop().filter(|t| t.shape() == shape);
                 let mut x = recycled.unwrap_or_else(|| Tensor::<f32>::zeros(&shape));
                 for (i, p) in batch.entries.iter().enumerate() {
                     x.batch_item_mut(i).copy_from_slice(p.input.as_slice());
@@ -519,7 +529,7 @@ fn worker_loop(
                     x.batch_item_mut(i).fill(0.0);
                 }
                 let fill = batch.fill();
-                in_flight_ref.lock().expect("in-flight lock").insert(
+                lock_unpoisoned(in_flight_ref).insert(
                     seq,
                     InFlight { entries: batch.entries, dispatched_at, fill },
                 );
@@ -536,13 +546,16 @@ fn worker_loop(
         let spare_ref = &spare_batches;
         scope.spawn(move || {
             for mut o in out_rx.iter() {
-                let InFlight { entries, dispatched_at, fill } = in_flight_ref
-                    .lock()
-                    .expect("in-flight lock")
-                    .remove(&o.seq)
-                    .expect("engine outcome for unknown batch");
+                let Some(InFlight { entries, dispatched_at, fill }) =
+                    lock_unpoisoned(in_flight_ref).remove(&o.seq)
+                else {
+                    // An outcome for a batch nobody registered can only
+                    // follow a feeder fault; the waiters (if any) see a
+                    // dropped ticket, not a dead server.
+                    continue;
+                };
                 if let Some(input) = o.input.take() {
-                    spare_ref.lock().expect("spare batch lock").push(input);
+                    lock_unpoisoned(spare_ref).push(input);
                 }
                 route_batch(o, entries, dispatched_at, fill, integrity, metrics);
             }
@@ -925,6 +938,67 @@ mod tests {
         let m = server.shutdown();
         assert_eq!(m.repaired, 1);
         assert_eq!(m.served, 1);
+    }
+
+    #[test]
+    fn dead_worker_mid_batch_serves_repaired_not_dead() {
+        // A fail-stop worker (dies on its very first job) must behave
+        // exactly like a tampering one under recovery: the batch is
+        // repaired by the TEE, the verdict says so, the answer is
+        // bit-exact — and the server survives to shut down cleanly.
+        let model = mini_vgg(HW, 4, 83);
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true).with_recovery(true);
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[2] = Behavior::Crash { after: 0 };
+        let cluster = GpuCluster::with_behaviors(&behaviors, 13);
+        let server = Server::start(
+            ServerConfig::new(cfg, &[3, HW, HW])
+                .with_workers(1)
+                .with_max_batch_wait(Duration::from_millis(1)),
+            &model,
+            &cluster,
+        )
+        .unwrap();
+        let handle = server.handle();
+        let x = sample(7);
+        let resp = handle.submit(InferenceRequest::new(x.clone())).unwrap().wait().expect("alive");
+        assert_eq!(resp.verdict, IntegrityVerdict::Repaired, "worker loss must be visible");
+        let y = resp.output.expect("repaired and served");
+        assert_eq!(y.as_slice(), solo_reference(&model, &x, cfg.quant()).as_slice());
+        let m = server.shutdown();
+        assert_eq!(m.repaired, 1);
+        assert_eq!(m.served, 1);
+    }
+
+    #[test]
+    fn dead_worker_without_recovery_sheds_the_batch_not_the_server() {
+        // Fail closed: no recovery → typed GpuFault responses for the
+        // affected batch, and the *next* batches still get served (the
+        // worker loop and dispatch queue survive).
+        let model = mini_vgg(HW, 4, 84);
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        let mut behaviors = vec![Behavior::Honest; cfg.workers_required()];
+        behaviors[1] = Behavior::Crash { after: 0 };
+        let cluster = GpuCluster::with_behaviors(&behaviors, 14);
+        let server = Server::start(
+            ServerConfig::new(cfg, &[3, HW, HW])
+                .with_workers(1)
+                .with_max_batch_wait(Duration::from_millis(1)),
+            &model,
+            &cluster,
+        )
+        .unwrap();
+        let handle = server.handle();
+        let resp =
+            handle.submit(InferenceRequest::new(sample(8))).unwrap().wait().expect("alive");
+        assert!(
+            matches!(resp.output, Err(DarknightError::GpuFault { phase: "forward", .. })),
+            "{:?}",
+            resp.output
+        );
+        let m = server.shutdown();
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.served, 0);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Remote GPU fleet over loopback TCP: real worker *processes*.
+//!
+//! The example re-executes itself twice with `--worker` to get two
+//! genuine OS processes running the `dk_gpu_worker` accept loop
+//! (ephemeral ports, discovered race-free from their `LISTEN <addr>`
+//! lines). A fleet manifest points two logical workers at each
+//! process, and a `DarknightSession` runs private inference over the
+//! wire — every response verified **bit-for-bit** against an
+//! in-process `GpuCluster` session. Then one worker process is killed
+//! outright: the session quarantines its two workers, the TEE repairs
+//! their rows, and the answers stay bit-identical.
+//!
+//! Run with: `cargo run --release --example remote_fleet`
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+
+use darknight::core::{DarknightConfig, DarknightSession};
+use darknight::gpu::{serve_fleet_worker, FleetManifest, GpuCluster, TcpFleet, WorkerId};
+use darknight::linalg::{Conv2dShape, Tensor};
+use darknight::nn::layers::{Conv2d, Dense, Flatten, Layer, Relu};
+use darknight::nn::Sequential;
+use darknight::tee::EpcConfig;
+
+const REQUESTS: usize = 6;
+
+fn model(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(Conv2dShape::simple(2, 4, 3, 1, 1), seed)),
+        Layer::Relu(Relu::new()),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(Dense::new(4 * 6 * 6, 3, seed ^ 1)),
+    ])
+}
+
+fn sample(i: u64) -> Tensor<f32> {
+    Tensor::from_fn(&[2, 2, 6, 6], |j| (((j as u64 * 31 + i * 7) % 17) as f32 - 8.0) * 0.06)
+}
+
+/// Child mode: the body of the `dk_gpu_worker` binary, inlined so the
+/// example is self-contained for `cargo run --example`.
+fn worker_mode() -> Result<(), Box<dyn std::error::Error>> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    println!("LISTEN {}", listener.local_addr()?);
+    serve_fleet_worker(listener)?;
+    Ok(())
+}
+
+/// Spawns this executable as a worker process and reads back the
+/// address it bound (port 0 → kernel-assigned, so no port races).
+fn spawn_worker_process() -> Result<(Child, String), Box<dyn std::error::Error>> {
+    let mut child = Command::new(std::env::current_exe()?)
+        .arg("--worker")
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line)?;
+    let addr = line
+        .trim()
+        .strip_prefix("LISTEN ")
+        .ok_or_else(|| format!("worker process said {line:?}, expected LISTEN <addr>"))?
+        .to_string();
+    Ok((child, addr))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        return worker_mode();
+    }
+
+    let cfg = DarknightConfig::new(2, 1).with_integrity(true).with_recovery(true).with_seed(61);
+    let n = cfg.workers_required();
+
+    // The in-process oracle: same config, local honest workers.
+    let mut local = DarknightSession::new(cfg, GpuCluster::honest(n, 61))?;
+    let mut local_model = model(61);
+
+    // Two real worker processes, two logical workers on each — wired up
+    // through the same manifest text format `dk_gpu_worker` fleets use.
+    let (child_a, addr_a) = spawn_worker_process()?;
+    let (mut child_b, addr_b) = spawn_worker_process()?;
+    println!("remote_fleet: worker processes at {addr_a} (pid {}) and {addr_b} (pid {})",
+        child_a.id(), child_b.id());
+    let manifest = FleetManifest::parse(&format!(
+        "# two logical workers per process\n\
+         worker {addr_a}\nworker {addr_a}\nworker {addr_b}\nworker {addr_b}\n\
+         io_timeout_ms 10000\n"
+    ))?;
+    let mut remote =
+        DarknightSession::with_backend(cfg, TcpFleet::from_manifest(&manifest), EpcConfig::default())?;
+    let mut remote_model = model(61);
+
+    println!("phase 1: {REQUESTS} private-inference requests over TCP vs in-process cluster");
+    for i in 0..REQUESTS as u64 {
+        let x = sample(i);
+        let want = local.private_inference(&mut local_model, &x)?;
+        let got = remote.private_inference(&mut remote_model, &x)?;
+        assert_eq!(got.as_slice(), want.as_slice(), "request {i}: remote must be bit-identical");
+        println!("  request {i}: bit-exact ({} outputs)", got.as_slice().len());
+    }
+    assert!(remote.quarantined().is_empty());
+    assert_eq!(remote.stats().recoveries, 0);
+
+    println!("phase 2: kill worker process {addr_b} (pid {}) mid-service", child_b.id());
+    child_b.kill()?;
+    child_b.wait()?;
+    let x = sample(REQUESTS as u64);
+    let want = local.private_inference(&mut local_model, &x)?;
+    let got = remote.private_inference(&mut remote_model, &x)?;
+    assert_eq!(got.as_slice(), want.as_slice(), "repaired output must be bit-identical");
+    assert!(remote.stats().recoveries > 0, "process death must surface as a recovery");
+    for w in [WorkerId(2), WorkerId(3)] {
+        assert!(remote.quarantined().contains(&w), "worker {w:?} on the dead host: quarantined");
+    }
+    println!(
+        "  request {REQUESTS}: bit-exact after repair; quarantined {:?}, recoveries {}",
+        remote.quarantined(),
+        remote.stats().recoveries
+    );
+
+    // `shutdown` tells the surviving process to stop accepting; it
+    // exits cleanly and the spawned children are fully reaped.
+    remote.cluster_mut().shutdown();
+    let status = child_a.wait_with_output()?.status;
+    assert!(status.success(), "surviving worker process must exit cleanly, got {status}");
+    println!("remote_fleet: all checks passed — wire fleet is bit-exact and survives process loss");
+    Ok(())
+}

@@ -1,0 +1,187 @@
+//! Worker-loss regression suite: losing an accelerator mid-batch must
+//! never kill the enclave.
+//!
+//! The recovery extension already treats a *tampering* worker as a
+//! survivable event (quarantine + TEE repair). This suite pins down the
+//! same contract for the fail-stop fault classes introduced by the
+//! typed-fault execution backends:
+//!
+//! * a worker that **crashes** (thread death, process death) mid-batch
+//!   is quarantined and the batch completes with bit-identical outputs;
+//! * a worker that **stalls** past the dispatcher's reply deadline is
+//!   treated the same way;
+//! * with recovery disabled the same faults fail *closed*, as typed
+//!   [`DarknightError::GpuFault`] values — never a panic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use darknight::core::{DarknightConfig, DarknightError, DarknightSession};
+use darknight::gpu::{Behavior, DispatchClient, GpuCluster, GpuError, LatencyModel, WorkerId};
+use darknight::linalg::{Conv2dShape, Tensor};
+use darknight::nn::layers::{Conv2d, Dense, Flatten, Layer, Relu};
+use darknight::nn::optim::Sgd;
+use darknight::nn::Sequential;
+use darknight::tee::EpcConfig;
+
+fn model(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(Conv2dShape::simple(2, 4, 3, 1, 1), seed)),
+        Layer::Relu(Relu::new()),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(Dense::new(4 * 6 * 6, 3, seed ^ 1)),
+    ])
+}
+
+fn input(seed: u64) -> Tensor<f32> {
+    Tensor::from_fn(&[2, 2, 6, 6], |i| (((i as u64 * 31 + seed * 7) % 17) as f32 - 8.0) * 0.06)
+}
+
+fn recovery_cfg(seed: u64) -> DarknightConfig {
+    DarknightConfig::new(2, 1).with_integrity(true).with_recovery(true).with_seed(seed)
+}
+
+/// A worker that dies before executing a single job — in every fleet
+/// position — is quarantined, and inference completes with exactly the
+/// bits an all-honest fleet produces.
+#[test]
+fn crash_during_forward_is_repaired_bit_identically() {
+    for seed in 0..3u64 {
+        let cfg = recovery_cfg(seed);
+        let n = cfg.workers_required();
+        let honest = DarknightSession::new(cfg, GpuCluster::honest(n, 100 + seed))
+            .unwrap()
+            .private_inference(&mut model(seed), &input(seed))
+            .unwrap();
+        for victim in 0..n {
+            let mut behaviors = vec![Behavior::Honest; n];
+            behaviors[victim] = Behavior::Crash { after: 0 };
+            let cluster = GpuCluster::with_behaviors(&behaviors, 100 + seed);
+            let mut session = DarknightSession::new(cfg, cluster).unwrap();
+            let y = session
+                .private_inference(&mut model(seed), &input(seed))
+                .unwrap_or_else(|e| panic!("seed {seed} victim {victim}: {e}"));
+            assert_eq!(
+                y.as_slice(),
+                honest.as_slice(),
+                "seed {seed} victim {victim}: repaired output must be bit-identical"
+            );
+            assert!(session.stats().recoveries > 0, "loss must be visible as a recovery");
+            assert!(
+                session.quarantined().contains(&WorkerId(victim)),
+                "seed {seed}: dead worker {victim} must be quarantined"
+            );
+        }
+    }
+}
+
+/// A worker that survives the forward pass and dies entering the
+/// backward pass: the TEE reconstructs its stored encoding from the
+/// retained context and the training step lands bit-identical weights.
+#[test]
+fn crash_during_backward_is_repaired_bit_identically() {
+    for seed in 0..3u64 {
+        let cfg = recovery_cfg(seed);
+        let n = cfg.workers_required();
+        let mut honest_model = model(seed);
+        DarknightSession::new(cfg, GpuCluster::honest(n, 200 + seed))
+            .unwrap()
+            .train_step(&mut honest_model, &input(seed), &[0, 2], &mut Sgd::new(0.05))
+            .unwrap();
+        for victim in 0..n {
+            let mut behaviors = vec![Behavior::Honest; n];
+            // Two linear layers → two forward jobs per worker; the
+            // third job a worker sees belongs to the backward pass.
+            behaviors[victim] = Behavior::Crash { after: 2 };
+            let cluster = GpuCluster::with_behaviors(&behaviors, 200 + seed);
+            let mut session = DarknightSession::new(cfg, cluster).unwrap();
+            let mut m = model(seed);
+            session
+                .train_step(&mut m, &input(seed), &[0, 2], &mut Sgd::new(0.05))
+                .unwrap_or_else(|e| panic!("seed {seed} victim {victim}: {e}"));
+            assert_eq!(
+                m.max_param_diff(&honest_model.snapshot_params()),
+                0.0,
+                "seed {seed} victim {victim}: repaired step must land identical weights"
+            );
+            assert!(session.stats().recoveries > 0);
+            assert!(session.quarantined().contains(&WorkerId(victim)));
+        }
+    }
+}
+
+/// Without recovery there is nothing to repair with: the loss surfaces
+/// as a fail-closed typed error carrying the underlying fault — and the
+/// model is untouched.
+#[test]
+fn crash_without_recovery_fails_closed() {
+    let cfg = DarknightConfig::new(2, 1).with_integrity(true).with_seed(7);
+    let n = cfg.workers_required();
+    let mut behaviors = vec![Behavior::Honest; n];
+    behaviors[1] = Behavior::Crash { after: 0 };
+    let mut session =
+        DarknightSession::new(cfg, GpuCluster::with_behaviors(&behaviors, 300)).unwrap();
+    let mut m = model(7);
+    let snapshot = m.snapshot_params();
+    let err = session.train_step(&mut m, &input(7), &[0, 2], &mut Sgd::new(0.05)).unwrap_err();
+    match err {
+        DarknightError::GpuFault { phase: "forward", fault, .. } => {
+            assert!(matches!(fault, GpuError::WorkerLost { worker: WorkerId(1), .. }), "{fault}");
+        }
+        other => panic!("expected GpuFault, got {other}"),
+    }
+    assert_eq!(m.max_param_diff(&snapshot), 0.0, "failed step must not update weights");
+}
+
+/// A crash mid-backward without recovery also fails closed (the stored
+/// jobs cannot be replayed, and the session must not try).
+#[test]
+fn backward_crash_without_recovery_fails_closed() {
+    let cfg = DarknightConfig::new(2, 1).with_integrity(true).with_seed(8);
+    let n = cfg.workers_required();
+    let mut behaviors = vec![Behavior::Honest; n];
+    behaviors[0] = Behavior::Crash { after: 2 };
+    let mut session =
+        DarknightSession::new(cfg, GpuCluster::with_behaviors(&behaviors, 301)).unwrap();
+    let err = session
+        .train_step(&mut model(8), &input(8), &[0, 2], &mut Sgd::new(0.05))
+        .unwrap_err();
+    assert!(
+        matches!(err, DarknightError::GpuFault { phase: "backward", .. }),
+        "expected backward GpuFault, got {err}"
+    );
+}
+
+/// A straggler past the dispatcher's reply deadline is indistinguishable
+/// from a lost worker: quarantined, repaired, bit-identical output.
+#[test]
+fn timeout_is_quarantined_and_repaired() {
+    let cfg = recovery_cfg(11);
+    let n = cfg.workers_required();
+    let honest = DarknightSession::new(cfg, GpuCluster::honest(n, 400))
+        .unwrap()
+        .private_inference(&mut model(11), &input(11))
+        .unwrap();
+    let mut cluster = GpuCluster::honest(n, 400);
+    cluster
+        .worker_mut(WorkerId(2))
+        .set_latency(Some(LatencyModel { base_ns: 150_000_000, ns_per_kmac: 0 }));
+    let dispatcher =
+        Arc::new(cluster.into_dispatcher(4).with_reply_timeout(Some(Duration::from_millis(20))));
+    let mut session = DarknightSession::with_backend(
+        cfg,
+        DispatchClient::new(dispatcher.clone()),
+        EpcConfig::default(),
+    )
+    .unwrap();
+    let y = session.private_inference(&mut model(11), &input(11)).unwrap();
+    assert_eq!(y.as_slice(), honest.as_slice(), "timeout repair must be bit-identical");
+    assert!(session.quarantined().contains(&WorkerId(2)), "straggler must be quarantined");
+    assert!(session.stats().recoveries > 0);
+    drop(session);
+    // The straggler is still alive (just slow); the dispatcher must
+    // join it cleanly rather than panic over the abandoned replies.
+    let (cluster, lost) = Arc::try_unwrap(dispatcher).unwrap().join();
+    assert!(lost.is_empty());
+    assert_eq!(cluster.len(), n);
+}
