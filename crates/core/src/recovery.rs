@@ -51,7 +51,35 @@ pub fn localize_and_repair(
             *out = expected;
         }
     }
+    record_verdicts(jobs.len(), &outcome);
     outcome
+}
+
+/// Recovery verdict counters on the global registry. Cold path (runs
+/// only after a detected violation), so the lazy handle lookup here is
+/// fine; the `enabled` guard keeps the disabled cost to one load.
+fn record_verdicts(jobs: usize, outcome: &RecoveryOutcome) {
+    if !dk_obs::enabled() {
+        return;
+    }
+    use std::sync::OnceLock;
+    static PASSES: OnceLock<dk_obs::Counter> = OnceLock::new();
+    static RECOMPUTED: OnceLock<dk_obs::Counter> = OnceLock::new();
+    static FAULTY: OnceLock<dk_obs::Counter> = OnceLock::new();
+    static CLEARED: OnceLock<dk_obs::Counter> = OnceLock::new();
+    PASSES.get_or_init(|| dk_obs::global().counter("dk_recovery_passes_total")).inc();
+    RECOMPUTED
+        .get_or_init(|| dk_obs::global().counter("dk_recovery_jobs_recomputed_total"))
+        .add(jobs as u64);
+    FAULTY
+        .get_or_init(|| dk_obs::global().counter("dk_recovery_faulty_jobs_total"))
+        .add(outcome.faulty.len() as u64);
+    CLEARED
+        .get_or_init(|| dk_obs::global().counter("dk_recovery_cleared_jobs_total"))
+        .add((jobs - outcome.faulty.len()) as u64);
+    for w in &outcome.faulty {
+        dk_obs::fleet().worker(w.0).repaired(1);
+    }
 }
 
 #[cfg(test)]

@@ -648,7 +648,9 @@ impl<X: GpuExec> DarknightSession<X> {
         let k = self.cfg.k();
         let m = self.cfg.m();
         let ordinal = layer_id - self.ctx_base;
+        let batch = self.batch_index;
         let quant = self.cfg.quant();
+        let sp = dk_obs::span(dk_obs::Stage::Quantize, batch, ordinal);
         let (weights_q, norm_w) = self.layer_weights(ordinal, weights, weight_shape)?;
         let rest: usize = x.shape()[1..].iter().product();
         // Quantization rows come out of the session pool; they are
@@ -685,6 +687,8 @@ impl<X: GpuExec> DarknightSession<X> {
             self.ws.give(norms);
             return Err(e);
         }
+        drop(sp);
+        let sp = dk_obs::span(dk_obs::Stage::Encode, batch, ordinal);
         // Per-(batch, layer) derived noise: the masks of batch `b`,
         // layer `l` are a pure function of (seed, b, l), so pipelined
         // lanes draw exactly the masks sequential execution would.
@@ -705,6 +709,8 @@ impl<X: GpuExec> DarknightSession<X> {
         let enc_tensors: Vec<Tensor<F25>> =
             encodings.into_iter().map(|e| Tensor::from_vec(enc_shape, e)).collect();
         self.stats.bytes_to_gpus += (s_cols * rest * 8) as u64;
+        drop(sp);
+        let sp = dk_obs::span(dk_obs::Stage::Dispatch, batch, ordinal);
         self.cluster.store_encodings(layer_id, enc_tensors.clone());
         self.stored_ctxs.push(layer_id);
         let jobs: Vec<LinearJob> =
@@ -715,6 +721,7 @@ impl<X: GpuExec> DarknightSession<X> {
             .execute(layer_id, &jobs)
             .map_err(|fault| DarknightError::GpuFault { layer_id, phase: "forward", fault })
             .and_then(|results| self.absorb_worker_faults(layer_id, "forward", &jobs, results));
+        drop(sp);
         let outputs = match executed {
             Ok(o) => o,
             Err(e) => {
@@ -732,6 +739,7 @@ impl<X: GpuExec> DarknightSession<X> {
         if self.scheme.has_integrity() {
             self.stats.integrity_checks += 1;
         }
+        let sp = dk_obs::span(dk_obs::Stage::Decode, batch, ordinal);
         let decoded = match self.decode_forward_repairing(&jobs, &mut out_vecs, layer_id) {
             Ok(d) => d,
             Err(e) => {
@@ -747,6 +755,7 @@ impl<X: GpuExec> DarknightSession<X> {
                 return Err(e);
             }
         };
+        drop(sp);
         self.stats.decoded_elems += (decoded.len() * out_rest) as u64;
         let mut scales: Vec<f32> = self.ws.take_cleared(k);
         scales.extend(norms.iter().map(|&n| norm_w * n));
@@ -826,6 +835,8 @@ impl<X: GpuExec> DarknightSession<X> {
         match self.scheme.decode_forward_ws(out_vecs, layer_id, &mut self.ws) {
             Ok(d) => Ok(d),
             Err(violation @ DarknightError::IntegrityViolation { .. }) if self.cfg.recovery() => {
+                let _sp =
+                    dk_obs::span(dk_obs::Stage::Repair, self.batch_index, layer_id - self.ctx_base);
                 let outcome = crate::recovery::localize_and_repair(jobs, out_vecs);
                 if outcome.faulty.is_empty() {
                     // Detection without a localizable fault should not
@@ -1042,6 +1053,9 @@ impl<X: GpuExec> DarknightSession<X> {
     fn quarantine(&mut self, w: WorkerId) {
         if !self.quarantined.contains(&w) {
             self.quarantined.push(w);
+            if dk_obs::enabled() {
+                dk_obs::fleet().worker(w.0).quarantined();
+            }
         }
     }
 
@@ -1070,8 +1084,13 @@ impl<X: GpuExec> DarknightSession<X> {
         let k = self.cfg.k();
         let m = self.cfg.m();
         let s_sq = k + m;
+        let batch = self.batch_index;
+        let bwd_ordinal = layer_id - self.ctx_base;
+        let sp = dk_obs::span(dk_obs::Stage::Quantize, batch, bwd_ordinal);
         let (dq_flat, norm_d) = self.normalize_quantize(dy.as_slice())?;
         let delta_q = Arc::new(Tensor::from_vec(dy.shape(), dq_flat));
+        drop(sp);
+        let sp = dk_obs::span(dk_obs::Stage::Dispatch, batch, bwd_ordinal);
         // 1) Aggregate weight gradient via the encoded scheme.
         let jobs: Vec<LinearJob> =
             (0..s_sq).map(|j| wgrad_job(delta_q.clone(), self.scheme.beta_row(j))).collect();
@@ -1108,6 +1127,8 @@ impl<X: GpuExec> DarknightSession<X> {
         if repaired {
             self.stats.recoveries += 1;
         }
+        drop(sp);
+        let sp = dk_obs::span(dk_obs::Stage::Verify, batch, bwd_ordinal);
         let eq_len = eqs[0].len();
         self.stats.bytes_from_gpus += (s_sq * eq_len * 8) as u64;
         // 2) Backward integrity. `j*` is derived per (batch, layer), so
@@ -1189,9 +1210,12 @@ impl<X: GpuExec> DarknightSession<X> {
                 });
             }
         }
+        drop(sp);
+        let sp = dk_obs::span(dk_obs::Stage::Decode, batch, bwd_ordinal);
         let eq_vecs: Vec<Vec<F25>> = eqs.into_iter().map(Tensor::into_vec).collect();
         let grad_field = self.scheme.decode_backward_ws(&eq_vecs, &mut self.ws);
         self.stats.decoded_elems += grad_field.len() as u64;
+        drop(sp);
         // 3) Data gradient: unencoded offload (worker 0), redundantly
         //    recomputed on the spare when integrity is on.
         let dj = data_job(delta_q.clone());

@@ -1,0 +1,65 @@
+//! Session-level tracing: the spans one pipelined batch records must
+//! spell out the protocol order — quantize → encode → dispatch → decode
+//! per offloaded layer — and carry the right (batch, layer) labels.
+//!
+//! Runs as its own integration binary: span rings and the observability
+//! switch are process-global, so exact-sequence assertions need a
+//! process to themselves.
+
+use dk_core::engine::{EngineOptions, PipelineEngine};
+use dk_core::DarknightConfig;
+use dk_gpu::GpuCluster;
+use dk_linalg::Tensor;
+use dk_nn::layers::{Conv2d, Dense, Flatten, Layer, Relu};
+use dk_nn::Sequential;
+use dk_obs::{trace, Stage};
+
+fn model() -> Sequential {
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(dk_linalg::Conv2dShape::simple(2, 4, 3, 1, 1), 5)),
+        Layer::Relu(Relu::new()),
+        Layer::Flatten(Flatten::new()),
+        Layer::Dense(Dense::new(4 * 6 * 6, 3, 6)),
+    ])
+}
+
+#[test]
+fn pipelined_batch_spans_follow_protocol_order() {
+    dk_obs::enable();
+    let cfg = DarknightConfig::new(2, 1).with_integrity(true).with_seed(41);
+    let fleet = GpuCluster::honest(cfg.workers_required(), 17);
+    let inputs: Vec<Tensor<f32>> = (0..4)
+        .map(|b| {
+            Tensor::from_fn(&[2, 2, 6, 6], move |i| (((i + b) % 11) as f32 - 5.0) * 0.05)
+        })
+        .collect();
+    let mut engine =
+        PipelineEngine::new(cfg, fleet, EngineOptions::default().with_lanes(2)).unwrap();
+    let outcomes = engine.infer_batches(&model(), &inputs, false).unwrap();
+    assert_eq!(outcomes.len(), inputs.len());
+
+    let spans = trace::snapshot();
+    assert!(!spans.is_empty(), "enabled tracing must have recorded spans");
+    let first_batch = spans.iter().map(|s| s.batch).min().unwrap();
+
+    // The model has two offloaded linear layers (ordinals 0 and 1). A
+    // batch runs start-to-finish on one lane, so per (batch, layer) the
+    // lane-local sequence numbers give the true execution order.
+    for layer in [0u64, 1] {
+        let mut stage_seq: Vec<_> = spans
+            .iter()
+            .filter(|s| s.batch == first_batch && s.layer == layer)
+            .map(|s| (s.seq, s.stage))
+            .collect();
+        stage_seq.sort_by_key(|&(seq, _)| seq);
+        let stages: Vec<Stage> = stage_seq.into_iter().map(|(_, st)| st).collect();
+        assert_eq!(
+            stages,
+            vec![Stage::Quantize, Stage::Encode, Stage::Dispatch, Stage::Decode],
+            "batch {first_batch} layer {layer} recorded out-of-order stages"
+        );
+    }
+
+    // The honest run never repairs, so no Repair span may appear.
+    assert!(spans.iter().all(|s| s.stage != Stage::Repair));
+}

@@ -12,6 +12,11 @@
 //!
 //! The process prints `LISTEN <addr>` once the socket is bound, so
 //! spawners using port 0 can discover the actual address race-free.
+//! Every lifecycle event — startup, each connection's close (worker
+//! id, peer address, redial ordinal, frames and jobs served, exit
+//! reason), and process exit — is logged as one structured `key=value`
+//! line on stderr, so multi-process `remote_fleet`-style runs are
+//! debuggable instead of exiting silently.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -28,20 +33,25 @@ fn main() -> ExitCode {
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("dk_gpu_worker: cannot bind {addr}: {e}");
+            eprintln!("[dk_gpu_worker] event=exit reason=bind-failed addr={addr} error=\"{e}\"");
             return ExitCode::FAILURE;
         }
     };
-    match listener.local_addr() {
-        Ok(local) => println!("LISTEN {local}"),
+    let local = match listener.local_addr() {
+        Ok(local) => {
+            println!("LISTEN {local}");
+            local
+        }
         Err(e) => {
-            eprintln!("dk_gpu_worker: no local address: {e}");
+            eprintln!("[dk_gpu_worker] event=exit reason=no-local-addr error=\"{e}\"");
             return ExitCode::FAILURE;
         }
-    }
-    if let Err(e) = dk_gpu::serve_fleet_worker(listener) {
-        eprintln!("dk_gpu_worker: accept loop failed: {e}");
+    };
+    eprintln!("[dk_gpu_worker] listen={local} event=started pid={}", std::process::id());
+    if let Err(e) = dk_gpu::serve_fleet_worker_verbose(listener) {
+        eprintln!("[dk_gpu_worker] listen={local} event=exit reason=accept-failed error=\"{e}\"");
         return ExitCode::FAILURE;
     }
+    eprintln!("[dk_gpu_worker] listen={local} event=exit reason=shutdown-requested");
     ExitCode::SUCCESS
 }

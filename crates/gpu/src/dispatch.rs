@@ -109,16 +109,34 @@ struct WorkerSpec {
 ///
 /// All methods take `&self`: the dispatcher is shared between the TEE
 /// stage threads of a pipelined engine (typically behind an [`Arc`]).
-#[derive(Debug)]
 pub struct GpuDispatcher {
     senders: Vec<mpsc::SyncSender<WorkerMsg>>,
     handles: Vec<JoinHandle<GpuWorker>>,
     specs: Vec<WorkerSpec>,
     parallel: bool,
     reply_timeout: Option<Duration>,
+    /// Jobs submitted and not yet redeemed (submit-side view, so a
+    /// dying worker cannot leak depth — its faulted slots still get
+    /// redeemed). Recording is a no-op while `dk_obs` is disabled.
+    queue_depth: dk_obs::Gauge,
+    jobs_total: dk_obs::Counter,
 }
 
-fn worker_main(mut worker: GpuWorker, rx: mpsc::Receiver<WorkerMsg>) -> GpuWorker {
+impl std::fmt::Debug for GpuDispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuDispatcher")
+            .field("workers", &self.senders.len())
+            .field("parallel", &self.parallel)
+            .field("reply_timeout", &self.reply_timeout)
+            .finish()
+    }
+}
+
+fn worker_main(
+    mut worker: GpuWorker,
+    rx: mpsc::Receiver<WorkerMsg>,
+    health: dk_obs::WorkerHandle,
+) -> GpuWorker {
     for msg in rx.iter() {
         match msg {
             WorkerMsg::Run { job, reply } => {
@@ -129,10 +147,15 @@ fn worker_main(mut worker: GpuWorker, rx: mpsc::Receiver<WorkerMsg>) -> GpuWorke
                 if worker.crash_pending() {
                     return worker;
                 }
+                let t0 = dk_obs::enabled().then(std::time::Instant::now);
+                let out = worker.execute(&job);
+                if let Some(t0) = t0 {
+                    health.job_done(t0.elapsed().as_nanos() as u64);
+                }
                 // A send error means the submitter gave up on the
                 // ticket; the job still ran (state advanced), which
                 // mirrors a real accelerator that cannot be recalled.
-                let _ = reply.send(worker.execute(&job));
+                let _ = reply.send(out);
             }
             WorkerMsg::Store { ctx_id, encoding } => worker.store_encoding(ctx_id, encoding),
             WorkerMsg::Release { ctx_id } => worker.remove_encoding(ctx_id),
@@ -156,15 +179,24 @@ impl GpuDispatcher {
             specs.push(WorkerSpec { id: w.id(), behavior: w.behavior(), latency: w.latency() });
             let (tx, rx) = mpsc::sync_channel(depth);
             let name = format!("dk-gpu-{}", w.id());
+            let health = dk_obs::fleet().worker(w.id().0);
             handles.push(
                 std::thread::Builder::new()
                     .name(name)
-                    .spawn(move || worker_main(w, rx))
+                    .spawn(move || worker_main(w, rx, health))
                     .expect("spawn gpu worker thread"),
             );
             senders.push(tx);
         }
-        Self { senders, handles, specs, parallel, reply_timeout: None }
+        Self {
+            senders,
+            handles,
+            specs,
+            parallel,
+            reply_timeout: None,
+            queue_depth: dk_obs::global().gauge("dk_dispatch_queue_depth"),
+            jobs_total: dk_obs::global().counter("dk_dispatch_jobs_total"),
+        }
     }
 
     /// Sets (or clears) a per-job reply deadline. When set, `complete`
@@ -214,12 +246,17 @@ impl GpuDispatcher {
             let rx = self
                 .send(i, WorkerMsg::Run { job: Box::new(job), reply: tx })
                 .map(|()| rx);
+            self.queue_depth.inc();
+            self.jobs_total.inc();
             slots.push(ReplySlot { worker: WorkerId(i), rx });
         }
         Ok(Ticket { tag, slots })
     }
 
     fn redeem(&self, slot: ReplySlot) -> WorkerResult {
+        // Balanced against the `inc` in submit/submit_on: every slot —
+        // including faulted ones — passes through here exactly once.
+        self.queue_depth.dec();
         let ReplySlot { worker, rx } = slot;
         let rx = rx?;
         match self.reply_timeout {
@@ -255,6 +292,8 @@ impl GpuDispatcher {
         let rx = self
             .send(id.0, WorkerMsg::Run { job: Box::new(job), reply: tx })
             .map(|()| rx);
+        self.queue_depth.inc();
+        self.jobs_total.inc();
         JobTicket { slot: ReplySlot { worker: id, rx } }
     }
 

@@ -54,7 +54,7 @@ pub use dispatch::{BatchTag, DispatchClient, GpuDispatcher, JobTicket, Ticket};
 pub use error::GpuError;
 pub use exec::{GpuExec, WorkerResult};
 pub use job::{JobOutput, LinearJob};
-pub use tcp::{serve_fleet_worker, FleetManifest, TcpFleet};
+pub use tcp::{serve_fleet_worker, serve_fleet_worker_verbose, ConnSummary, FleetManifest, TcpFleet};
 pub use worker::{GpuWorker, WorkerId};
 
 /// A modeled accelerator execution-latency profile.

@@ -131,7 +131,6 @@ impl FleetManifest {
 
 /// TEE-side handle to one remote worker: its dial target, the live
 /// connection (if any), and the replay cache of stored encodings.
-#[derive(Debug)]
 struct RemoteWorker {
     id: WorkerId,
     addr: String,
@@ -143,9 +142,32 @@ struct RemoteWorker {
     /// Live `Store`s in issue order, replayed on reconnect.
     replay: Vec<(u64, Tensor<F25>)>,
     reconnects: u64,
+    /// Per-worker health accounting (frames, bytes, redials).
+    health: dk_obs::WorkerHandle,
+    frames_total: dk_obs::Counter,
+    bytes_total: dk_obs::Counter,
+    redials_total: dk_obs::Counter,
+}
+
+impl std::fmt::Debug for RemoteWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteWorker")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("connected", &self.conn.is_some())
+            .field("reconnects", &self.reconnects)
+            .finish()
+    }
 }
 
 impl RemoteWorker {
+    /// One wire frame of `n` bytes moved on this worker's connection.
+    fn count_frame(&self, n: usize) {
+        self.health.framed(n as u64);
+        self.frames_total.inc();
+        self.bytes_total.add(n as u64);
+    }
+
     fn lost(&self, e: &io::Error) -> GpuError {
         if e.kind() == io::ErrorKind::InvalidData {
             GpuError::Protocol { detail: format!("{}: {e}", self.id) }
@@ -168,11 +190,12 @@ impl RemoteWorker {
         stream.set_nodelay(true).map_err(|e| self.lost(&e))?;
         stream.set_read_timeout(self.io_timeout).map_err(|e| self.lost(&e))?;
         let mut stream = stream;
-        wire::write_msg(
+        let hello_bytes = wire::write_msg_counted(
             &mut stream,
             &WireMsg::Hello { worker_id: self.id.0 as u64, seed: self.seed, latency: self.latency },
         )
         .map_err(|e| self.lost(&e))?;
+        self.count_frame(hello_bytes);
         match wire::read_msg(&mut stream).map_err(|e| self.lost(&e))? {
             WireMsg::HelloAck => {}
             other => {
@@ -184,10 +207,20 @@ impl RemoteWorker {
         // Reconstruct the worker's forward state: replay every live
         // stored encoding in original issue order.
         for (ctx_id, tensor) in &self.replay {
-            wire::write_msg(&mut stream, &WireMsg::Store { ctx_id: *ctx_id, tensor: tensor.clone() })
-                .map_err(|e| self.lost(&e))?;
+            let n = wire::write_msg_counted(
+                &mut stream,
+                &WireMsg::Store { ctx_id: *ctx_id, tensor: tensor.clone() },
+            )
+            .map_err(|e| self.lost(&e))?;
+            self.count_frame(n);
         }
         self.conn = Some(stream);
+        if self.reconnects > 0 {
+            // The first successful dial is just "connecting"; every
+            // later one is a redial after a loss.
+            self.health.reconnected();
+            self.redials_total.inc();
+        }
         self.reconnects += 1;
         Ok(())
     }
@@ -201,18 +234,27 @@ impl RemoteWorker {
             self.reconnect()?;
         }
         let stream = self.conn.as_mut().expect("reconnect installed a stream");
-        match wire::write_msg(stream, msg) {
-            Ok(()) => Ok(()),
+        match wire::write_msg_counted(stream, msg) {
+            Ok(n) => {
+                self.count_frame(n);
+                Ok(())
+            }
             Err(_) if had_conn => {
                 // The cached connection died since we last used it;
                 // one fresh dial gets its own chance.
                 self.conn = None;
                 self.reconnect()?;
                 let stream = self.conn.as_mut().expect("reconnect installed a stream");
-                wire::write_msg(stream, msg).map_err(|e| {
-                    self.conn = None;
-                    self.lost(&e)
-                })
+                match wire::write_msg_counted(stream, msg) {
+                    Ok(n) => {
+                        self.count_frame(n);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.conn = None;
+                        Err(self.lost(&e))
+                    }
+                }
             }
             Err(e) => {
                 self.conn = None;
@@ -227,8 +269,11 @@ impl RemoteWorker {
         let Some(stream) = self.conn.as_mut() else {
             return Err(GpuError::lost(self.id, "no connection"));
         };
-        match wire::read_msg(stream) {
-            Ok(msg) => Ok(msg),
+        match wire::read_msg_counted(stream) {
+            Ok((msg, n)) => {
+                self.count_frame(n);
+                Ok(msg)
+            }
             Err(e) => {
                 self.conn = None;
                 if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
@@ -271,6 +316,10 @@ impl TcpFleet {
     /// Builds the fleet handle. No connections are made yet.
     pub fn from_manifest(m: &FleetManifest) -> Self {
         let io_timeout = (m.io_timeout_ms > 0).then(|| Duration::from_millis(m.io_timeout_ms));
+        let reg = dk_obs::global();
+        let frames_total = reg.counter("dk_tcp_frames_total");
+        let bytes_total = reg.counter("dk_tcp_bytes_total");
+        let redials_total = reg.counter("dk_tcp_redials_total");
         let workers = m
             .workers
             .iter()
@@ -285,6 +334,10 @@ impl TcpFleet {
                 conn: None,
                 replay: Vec::new(),
                 reconnects: 0,
+                health: dk_obs::fleet().worker(i),
+                frames_total: frames_total.clone(),
+                bytes_total: bytes_total.clone(),
+                redials_total: redials_total.clone(),
             })
             .collect();
         Self { workers }
@@ -365,6 +418,30 @@ impl GpuExec for TcpFleet {
     }
 }
 
+/// What one served connection did before it ended — the raw material
+/// for the `dk_gpu_worker` binary's structured stderr log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnSummary {
+    /// Peer address as reported by the socket (may be unknown).
+    pub peer: String,
+    /// Logical worker id from the `Hello`, if the handshake completed.
+    pub worker: Option<u64>,
+    /// Wire frames moved (read + written) on this connection.
+    pub frames: u64,
+    /// `Run` jobs executed.
+    pub jobs: u64,
+    /// Why the connection ended: `shutdown`, `peer-closed`,
+    /// `write-failed`, `bad-hello`, or `protocol`.
+    pub exit: &'static str,
+}
+
+impl ConnSummary {
+    /// Did the peer ask the whole process to shut down?
+    pub fn is_shutdown(&self) -> bool {
+        self.exit == "shutdown"
+    }
+}
+
 /// Serves worker connections on `listener` until some connection
 /// receives `Shutdown`. Each accepted connection hosts one logical
 /// [`GpuWorker`] (identity from its `Hello`); connections are served
@@ -375,16 +452,59 @@ impl GpuExec for TcpFleet {
 ///
 /// Propagates accept errors from the listener.
 pub fn serve_fleet_worker(listener: TcpListener) -> io::Result<()> {
+    serve_fleet_worker_impl(listener, false)
+}
+
+/// Like [`serve_fleet_worker`], but logs one structured `key=value`
+/// line to stderr per connection event (accepted / closed, with worker
+/// id, peer address, connection ordinal per worker — redials — frames
+/// and jobs served, and the exit reason). Used by the `dk_gpu_worker`
+/// binary so multi-process fleet runs are debuggable.
+///
+/// # Errors
+///
+/// Propagates accept errors from the listener.
+pub fn serve_fleet_worker_verbose(listener: TcpListener) -> io::Result<()> {
+    serve_fleet_worker_impl(listener, true)
+}
+
+fn serve_fleet_worker_impl(listener: TcpListener, verbose: bool) -> io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
     let local = listener.local_addr()?;
+    // worker id → connections accepted so far (conn ordinal > 1 means
+    // the TEE redialed us after a connection loss).
+    let conn_counts: Arc<std::sync::Mutex<std::collections::HashMap<u64, u64>>> =
+        Arc::new(std::sync::Mutex::new(std::collections::HashMap::new()));
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let stream = conn?;
         let stop = Arc::clone(&stop);
+        let conn_counts = Arc::clone(&conn_counts);
         std::thread::spawn(move || {
-            if serve_connection(stream) {
+            let summary = serve_connection(stream);
+            if verbose && !(summary.worker.is_none() && summary.frames <= 1) {
+                // Skip the wake-up probe connections the shutdown path
+                // makes; log everything that spoke the protocol.
+                let conn_ordinal = summary.worker.map(|w| {
+                    let mut counts = conn_counts.lock().unwrap_or_else(|e| e.into_inner());
+                    let c = counts.entry(w).or_insert(0);
+                    *c += 1;
+                    *c
+                });
+                eprintln!(
+                    "[dk_gpu_worker] listen={local} event=conn_closed worker={} peer={} conn={} redials={} frames={} jobs={} exit={}",
+                    summary.worker.map_or_else(|| "-".to_string(), |w| w.to_string()),
+                    summary.peer,
+                    conn_ordinal.unwrap_or(0),
+                    conn_ordinal.map_or(0, |c| c.saturating_sub(1)),
+                    summary.frames,
+                    summary.jobs,
+                    summary.exit
+                );
+            }
+            if summary.is_shutdown() {
                 stop.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so it can observe the flag.
                 let _ = TcpStream::connect(local);
@@ -394,29 +514,39 @@ pub fn serve_fleet_worker(listener: TcpListener) -> io::Result<()> {
     Ok(())
 }
 
-/// Serves one worker connection to completion. Returns `true` iff the
-/// peer asked the whole process to shut down.
-fn serve_connection(mut stream: TcpStream) -> bool {
+/// Serves one worker connection to completion.
+fn serve_connection(mut stream: TcpStream) -> ConnSummary {
+    let peer = stream.peer_addr().map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    let mut summary = ConnSummary { peer, worker: None, frames: 0, jobs: 0, exit: "peer-closed" };
     let _ = stream.set_nodelay(true);
-    let hello = match wire::read_msg(&mut stream) {
-        Ok(m) => m,
-        Err(_) => return false,
+    let hello = match wire::read_msg_counted(&mut stream) {
+        Ok((m, _)) => {
+            summary.frames += 1;
+            m
+        }
+        Err(_) => return summary,
     };
     let WireMsg::Hello { worker_id, seed, latency } = hello else {
         // A wake-up probe from the shutdown path lands here (no Hello);
         // also covers confused peers.
-        return matches!(hello, WireMsg::Shutdown);
+        summary.exit = if matches!(hello, WireMsg::Shutdown) { "shutdown" } else { "bad-hello" };
+        return summary;
     };
+    summary.worker = Some(worker_id);
     let mut worker = GpuWorker::new(WorkerId(worker_id as usize), Behavior::Honest, seed);
     if latency != (0, 0) {
         worker.set_latency(Some(LatencyModel { base_ns: latency.0, ns_per_kmac: latency.1 }));
     }
     if wire::write_msg(&mut stream, &WireMsg::HelloAck).is_err() {
-        return false;
+        summary.exit = "write-failed";
+        return summary;
     }
+    summary.frames += 1;
     loop {
         match wire::read_msg(&mut stream) {
             Ok(WireMsg::Run { job }) => {
+                summary.frames += 1;
+                summary.jobs += 1;
                 // Pre-check instead of letting `execute` panic: a replay
                 // gap becomes a typed wire fault the TEE can attribute.
                 let reply = if worker.can_execute(&job) {
@@ -427,20 +557,34 @@ fn serve_connection(mut stream: TcpStream) -> bool {
                     }
                 };
                 if wire::write_msg(&mut stream, &reply).is_err() {
-                    return false;
+                    summary.exit = "write-failed";
+                    return summary;
                 }
+                summary.frames += 1;
             }
-            Ok(WireMsg::Store { ctx_id, tensor }) => worker.store_encoding(ctx_id, tensor),
-            Ok(WireMsg::Release { ctx_id }) => worker.remove_encoding(ctx_id),
-            Ok(WireMsg::Shutdown) => return true,
+            Ok(WireMsg::Store { ctx_id, tensor }) => {
+                summary.frames += 1;
+                worker.store_encoding(ctx_id, tensor);
+            }
+            Ok(WireMsg::Release { ctx_id }) => {
+                summary.frames += 1;
+                worker.remove_encoding(ctx_id);
+            }
+            Ok(WireMsg::Shutdown) => {
+                summary.frames += 1;
+                summary.exit = "shutdown";
+                return summary;
+            }
             Ok(other) => {
+                summary.frames += 1;
                 let _ = wire::write_msg(
                     &mut stream,
                     &WireMsg::Fail { message: format!("unexpected message {other:?}") },
                 );
-                return false;
+                summary.exit = "protocol";
+                return summary;
             }
-            Err(_) => return false, // peer went away; this worker's state dies with it
+            Err(_) => return summary, // peer went away; this worker's state dies with it
         }
     }
 }

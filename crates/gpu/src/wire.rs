@@ -410,6 +410,16 @@ fn decode_payload(msg_type: u16, payload: &[u8]) -> io::Result<WireMsg> {
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_msg<W: Write>(w: &mut W, msg: &WireMsg) -> io::Result<()> {
+    write_msg_counted(w, msg).map(|_| ())
+}
+
+/// Writes one framed message and reports the frame size (header +
+/// payload) in bytes — the transport's byte accounting hook.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_msg_counted<W: Write>(w: &mut W, msg: &WireMsg) -> io::Result<usize> {
     let payload = encode_payload(msg);
     let mut header = [0u8; 12];
     header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
@@ -418,7 +428,8 @@ pub fn write_msg<W: Write>(w: &mut W, msg: &WireMsg) -> io::Result<()> {
     header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     w.write_all(&header)?;
     w.write_all(&payload)?;
-    w.flush()
+    w.flush()?;
+    Ok(header.len() + payload.len())
 }
 
 /// Reads one framed message.
@@ -428,6 +439,16 @@ pub fn write_msg<W: Write>(w: &mut W, msg: &WireMsg) -> io::Result<()> {
 /// I/O errors from the reader; `InvalidData` for bad magic, version
 /// skew, oversized payloads, or malformed payload contents.
 pub fn read_msg<R: Read>(r: &mut R) -> io::Result<WireMsg> {
+    read_msg_counted(r).map(|(msg, _)| msg)
+}
+
+/// Reads one framed message and reports the frame size (header +
+/// payload) in bytes.
+///
+/// # Errors
+///
+/// Same conditions as [`read_msg`].
+pub fn read_msg_counted<R: Read>(r: &mut R) -> io::Result<(WireMsg, usize)> {
     let mut header = [0u8; 12];
     r.read_exact(&mut header)?;
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
@@ -445,7 +466,7 @@ pub fn read_msg<R: Read>(r: &mut R) -> io::Result<WireMsg> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    decode_payload(msg_type, &payload)
+    decode_payload(msg_type, &payload).map(|msg| (msg, header.len() + payload.len()))
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 //! * a steady-state **inference** step performs **zero** heap
 //!   allocations — activations, caches, pooling bookkeeping and kernel
 //!   scratch all cycle through the model-owned
-//!   [`dk_linalg::Workspace`];
+//!   [`dk_linalg::Workspace`] — **with observability enabled**: spans,
+//!   counters, gauges and histograms recording on every step must not
+//!   allocate either (rings and cells are pre-registered at setup);
 //! * a steady-state **training** step (forward, loss, backward, SGD)
 //!   performs a small *constant* number of allocations — the loss pair
 //!   and a handful of small gradient staging vectors — that does not
@@ -32,27 +34,49 @@ fn steady_state_allocation_budget() {
     // invariant under test is the single-lane hot path.
     dk_linalg::set_max_threads(1);
 
+    // Observability ENABLED: the instrumented hot path must stay
+    // allocation-free too. Handles are pre-registered (setup-path
+    // allocations happen here), and the first span below registers this
+    // thread's ring during warm-up.
+    dk_obs::enable();
+    let steps = dk_obs::global().counter("alloc_test_steps_total");
+    let depth = dk_obs::global().gauge("alloc_test_depth");
+    let lat = dk_obs::global().histogram("alloc_test_ns");
+
     // ----- inference: exactly zero allocations once warm --------------
     for (mut model, name) in
         [(mini_vgg(8, 4, 11), "mini_vgg"), (mini_resnet(8, 4, 12), "mini_resnet")]
     {
         let x = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 13) as f32 - 6.0) * 0.07);
-        // Warm-up: populate the workspace pool (first steps allocate).
+        // Warm-up: populate the workspace pool (first steps allocate)
+        // and register this thread's span ring.
         for _ in 0..3 {
+            let sp = dk_obs::span(dk_obs::Stage::Dispatch, 0, 0);
             let y = model.forward(&x, false);
+            drop(sp);
             model.give_back(y);
         }
         let misses_warm = model.workspace_stats().misses;
         let (a0, b0) = counts();
-        for _ in 0..5 {
+        for s in 0..5u64 {
+            // The full instrument-site mix a serving step exercises:
+            // span enter/exit, counter, gauge, histogram — all must be
+            // allocation-free while enabled.
+            let sp = dk_obs::span(dk_obs::Stage::Dispatch, s, 0);
+            depth.inc();
             let y = model.forward(&x, false);
+            steps.inc();
+            lat.record(1 + s * 1000);
+            depth.dec();
+            drop(sp);
             model.give_back(y);
         }
         let (a1, b1) = counts();
         assert_eq!(
             a1 - a0,
             0,
-            "{name}: warm inference must be allocation-free (got {} allocs / {} bytes over 5 steps)",
+            "{name}: warm inference (observability enabled) must be allocation-free \
+             (got {} allocs / {} bytes over 5 steps)",
             a1 - a0,
             b1 - b0
         );
@@ -62,6 +86,13 @@ fn steady_state_allocation_budget() {
             "{name}: warm workspace must not miss"
         );
     }
+    // The instruments really recorded (this wasn't a disabled no-op).
+    assert_eq!(steps.value(), 10, "5 measured steps per model must have counted");
+    assert_eq!(lat.count(), 10);
+    assert!(
+        dk_obs::trace::snapshot().iter().any(|s| s.stage == dk_obs::Stage::Dispatch),
+        "measured spans must be in the ring"
+    );
 
     // ----- training: a bounded constant per step ----------------------
     let mut model = mini_vgg(8, 4, 21);

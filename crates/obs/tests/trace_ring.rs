@@ -1,0 +1,64 @@
+//! Ring-buffer and chrome-export behaviour of the span layer.
+//!
+//! Lives in its own test binary (hence its own process) because it
+//! shrinks the global ring capacity and inspects the process-global
+//! span sink — things the in-crate unit tests must not race with.
+
+use dk_obs::trace::{self, Stage};
+
+#[test]
+fn wraparound_keeps_newest_spans_and_chrome_export_is_wellformed() {
+    trace::set_ring_capacity(8);
+    dk_obs::enable();
+
+    // Record from a dedicated named thread so this test's lane is
+    // identifiable no matter what other tests in this binary do.
+    std::thread::Builder::new()
+        .name("ring-test".to_string())
+        .spawn(|| {
+            for i in 0..20u64 {
+                let _s = trace::span(Stage::Encode, i, i % 3);
+                std::hint::black_box(i);
+            }
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+
+    let spans: Vec<_> =
+        trace::snapshot().into_iter().filter(|s| s.thread == "ring-test").collect();
+    // 20 spans through a capacity-8 ring: exactly the newest 8 remain.
+    assert_eq!(spans.len(), 8, "ring must retain exactly its capacity");
+    let batches: Vec<u64> = spans.iter().map(|s| s.batch).collect();
+    assert_eq!(batches, (12..20).collect::<Vec<u64>>(), "newest spans must survive the wrap");
+    // Sequence numbers are monotonic and match the write index.
+    let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+    assert_eq!(seqs, (13..=20).collect::<Vec<u64>>());
+    for s in &spans {
+        assert_eq!(s.stage, Stage::Encode);
+    }
+
+    // Chrome export: one complete event per retained span, thread
+    // metadata present, and the envelope is structurally sound.
+    let json = trace::export_chrome();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"M\""), "thread_name metadata events");
+    assert!(json.contains("ring-test"));
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), trace::snapshot().len());
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "balanced braces (well-formed JSON)"
+    );
+
+    // clear() drops retained spans but keeps the lane registered.
+    trace::clear();
+    assert!(trace::snapshot().iter().all(|s| s.thread != "ring-test"));
+    dk_obs::disable();
+
+    // Disabled spans record nothing.
+    {
+        let _s = trace::span(Stage::Decode, 99, 0);
+    }
+    assert!(trace::snapshot().iter().all(|s| s.batch != 99));
+}

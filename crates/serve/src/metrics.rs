@@ -1,7 +1,19 @@
 //! Serving metrics: recorded live by the server threads, snapshotted
 //! into [`ServerMetrics`], and rendered through
-//! `dk_perf::report::serving_table`.
+//! `dk_perf::report::serving_table` or scraped as Prometheus text.
+//!
+//! The counters live in a private, always-enabled [`dk_obs::Registry`]
+//! (one per server — exact-count tests must not cross-contaminate
+//! through the process-global registry), so every recording is a
+//! relaxed `fetch_add` and the whole set renders through the standard
+//! `render_prometheus`/`render_json` expositions. Queue-wait latency is
+//! double-booked: a `dk_serve_queue_wait_us` histogram for scrapes, and
+//! a bounded sliding window of raw samples for the *exact* nearest-rank
+//! percentiles the serving report prints.
 
+use dk_core::DarknightError;
+use dk_gpu::GpuError;
+use dk_obs::{Counter, Histogram, Registry};
 use dk_perf::ServingRow;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -11,108 +23,179 @@ use std::time::{Duration, Instant};
 /// without bound nor pays an ever-larger sort per snapshot.
 const QUEUE_WAIT_WINDOW: usize = 4096;
 
-/// Thread-shared recorder. One lock per event keeps this simple; the
-/// events are tiny compared to an encode/decode round, so contention is
-/// negligible at pool scale.
-#[derive(Debug)]
+/// Thread-shared recorder. Counters are lock-free; only the exact
+/// queue-wait window takes a lock, and those events are tiny compared
+/// to an encode/decode round.
 pub(crate) struct MetricsRecorder {
     started: Instant,
-    inner: Mutex<Inner>,
+    registry: Registry,
+    submitted: Counter,
+    served: Counter,
+    shed: Counter,
+    failed: Counter,
+    batches: Counter,
+    real_rows: Counter,
+    padded_rows: Counter,
+    repaired: Counter,
+    worker_lost: Counter,
+    timeouts: Counter,
+    quarantined: Counter,
+    repaired_rows: Counter,
+    queue_wait_us: Histogram,
+    window: Mutex<WaitWindow>,
 }
 
 #[derive(Debug, Default)]
-struct Inner {
-    submitted: u64,
-    served: u64,
-    shed: u64,
-    failed: u64,
-    batches: u64,
-    real_rows: u64,
-    padded_rows: u64,
-    repaired: u64,
+struct WaitWindow {
     /// Ring buffer of the last [`QUEUE_WAIT_WINDOW`] queue waits.
-    queue_waits_us: Vec<u64>,
+    waits_us: Vec<u64>,
     /// Next overwrite position once the ring is full.
-    wait_cursor: usize,
+    cursor: usize,
     last_response_at: Option<Instant>,
+}
+
+impl std::fmt::Debug for MetricsRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRecorder")
+            .field("submitted", &self.submitted.value())
+            .field("served", &self.served.value())
+            .field("shed", &self.shed.value())
+            .field("failed", &self.failed.value())
+            .finish_non_exhaustive()
+    }
 }
 
 impl MetricsRecorder {
     pub fn new() -> Self {
-        Self { started: Instant::now(), inner: Mutex::new(Inner::default()) }
+        let registry = Registry::new();
+        registry.enable();
+        let c = |name: &str| registry.counter(name);
+        Self {
+            started: Instant::now(),
+            submitted: c("dk_serve_submitted_total"),
+            served: c("dk_serve_served_total"),
+            shed: c("dk_serve_shed_total"),
+            failed: c("dk_serve_failed_total"),
+            batches: c("dk_serve_batches_total"),
+            real_rows: c("dk_serve_real_rows_total"),
+            padded_rows: c("dk_serve_padded_rows_total"),
+            repaired: c("dk_serve_repaired_total"),
+            worker_lost: c("dk_serve_worker_lost_total"),
+            timeouts: c("dk_serve_timeouts_total"),
+            quarantined: c("dk_serve_quarantined_total"),
+            repaired_rows: c("dk_serve_repaired_rows_total"),
+            queue_wait_us: registry.histogram("dk_serve_queue_wait_us"),
+            window: Mutex::new(WaitWindow::default()),
+            registry,
+        }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("metrics lock poisoned")
+    fn lock(&self) -> std::sync::MutexGuard<'_, WaitWindow> {
+        self.window.lock().expect("metrics lock poisoned")
     }
 
     pub fn record_submitted(&self) {
-        self.lock().submitted += 1;
+        self.submitted.inc();
     }
 
     pub fn record_shed(&self) {
-        self.lock().shed += 1;
+        self.shed.inc();
     }
 
     pub fn record_batch(&self, real_rows: usize, padded_rows: usize) {
-        let mut g = self.lock();
-        g.batches += 1;
-        g.real_rows += real_rows as u64;
-        g.padded_rows += padded_rows as u64;
+        self.batches.inc();
+        self.real_rows.add(real_rows as u64);
+        self.padded_rows.add(padded_rows as u64);
+    }
+
+    /// Classifies a batch-aborting error into the fault-path counters
+    /// (one event per failed batch, not per batched request).
+    pub fn record_fault(&self, e: &DarknightError) {
+        if let DarknightError::GpuFault { fault, .. } = e {
+            match fault {
+                GpuError::WorkerLost { .. } => self.worker_lost.inc(),
+                GpuError::Timeout { .. } => self.timeouts.inc(),
+                _ => {}
+            }
+        }
+    }
+
+    /// Workers newly quarantined while serving one batch.
+    pub fn record_quarantined(&self, workers: usize) {
+        self.quarantined.add(workers as u64);
+    }
+
+    /// Real request rows served out of a TEE-repaired batch.
+    pub fn record_repaired_rows(&self, rows: usize) {
+        self.repaired_rows.add(rows as u64);
     }
 
     pub fn record_response(&self, queue_wait: Duration, ok: bool, repaired: bool) {
-        let mut g = self.lock();
         if ok {
-            g.served += 1;
+            self.served.inc();
         } else {
-            g.failed += 1;
+            self.failed.inc();
         }
         if repaired {
-            g.repaired += 1;
+            self.repaired.inc();
         }
         let wait_us = queue_wait.as_micros() as u64;
-        if g.queue_waits_us.len() < QUEUE_WAIT_WINDOW {
-            g.queue_waits_us.push(wait_us);
+        self.queue_wait_us.record(wait_us);
+        let mut g = self.lock();
+        if g.waits_us.len() < QUEUE_WAIT_WINDOW {
+            g.waits_us.push(wait_us);
         } else {
-            let cursor = g.wait_cursor;
-            g.queue_waits_us[cursor] = wait_us;
-            g.wait_cursor = (cursor + 1) % QUEUE_WAIT_WINDOW;
+            let cursor = g.cursor;
+            g.waits_us[cursor] = wait_us;
+            g.cursor = (cursor + 1) % QUEUE_WAIT_WINDOW;
         }
         g.last_response_at = Some(Instant::now());
     }
 
+    /// Prometheus text exposition of every serving metric.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// The same metrics as a flat JSON document.
+    pub fn render_json(&self) -> String {
+        self.registry.render_json()
+    }
+
     pub fn snapshot(&self) -> ServerMetrics {
         let g = self.lock();
-        let mut waits = g.queue_waits_us.clone();
+        let mut waits = g.waits_us.clone();
         waits.sort_unstable();
         let wall = match g.last_response_at {
             Some(t) => t.duration_since(self.started),
             None => self.started.elapsed(),
         };
-        let total_rows = g.real_rows + g.padded_rows;
+        drop(g);
+        let (real_rows, padded_rows) = (self.real_rows.value(), self.padded_rows.value());
+        let total_rows = real_rows + padded_rows;
+        let served = self.served.value();
         ServerMetrics {
-            submitted: g.submitted,
-            served: g.served,
-            shed: g.shed,
-            failed: g.failed,
-            repaired: g.repaired,
-            batches: g.batches,
-            real_rows: g.real_rows,
-            padded_rows: g.padded_rows,
+            submitted: self.submitted.value(),
+            served,
+            shed: self.shed.value(),
+            failed: self.failed.value(),
+            repaired: self.repaired.value(),
+            batches: self.batches.value(),
+            real_rows,
+            padded_rows,
+            worker_lost: self.worker_lost.value(),
+            timeouts: self.timeouts.value(),
+            quarantined: self.quarantined.value(),
+            repaired_rows: self.repaired_rows.value(),
             batch_fill_ratio: if total_rows == 0 {
                 1.0
             } else {
-                g.real_rows as f64 / total_rows as f64
+                real_rows as f64 / total_rows as f64
             },
             p50_queue: percentile(&waits, 0.50),
             p95_queue: percentile(&waits, 0.95),
             wall,
-            throughput_rps: if wall.is_zero() {
-                0.0
-            } else {
-                g.served as f64 / wall.as_secs_f64()
-            },
+            throughput_rps: if wall.is_zero() { 0.0 } else { served as f64 / wall.as_secs_f64() },
         }
     }
 }
@@ -148,6 +231,15 @@ pub struct ServerMetrics {
     pub real_rows: u64,
     /// All-zero padding rows across all dispatched batches.
     pub padded_rows: u64,
+    /// Batches aborted by a lost GPU worker (fail-closed mode only —
+    /// with recovery on, a lost worker is repaired, not failed).
+    pub worker_lost: u64,
+    /// Batches aborted by a worker deadline expiry.
+    pub timeouts: u64,
+    /// Workers quarantined by the recovery extension across all batches.
+    pub quarantined: u64,
+    /// Real request rows served out of TEE-repaired batches.
+    pub repaired_rows: u64,
     /// `real_rows / (real_rows + padded_rows)`; `1.0` when no batch
     /// was dispatched (or none needed padding).
     pub batch_fill_ratio: f64,
@@ -212,6 +304,7 @@ mod tests {
         assert_eq!(m.batch_fill_ratio, 1.0);
         assert_eq!(m.p50_queue, Duration::ZERO);
         assert_eq!(m.throughput_rps, 0.0);
+        assert_eq!((m.worker_lost, m.timeouts, m.quarantined, m.repaired_rows), (0, 0, 0, 0));
     }
 
     /// Regression: the wait buffer is a bounded ring — old samples are
@@ -234,7 +327,9 @@ mod tests {
             Duration::from_millis(7),
             "window holds only the recent samples"
         );
-        assert_eq!(rec.lock().queue_waits_us.len(), QUEUE_WAIT_WINDOW);
+        assert_eq!(rec.lock().waits_us.len(), QUEUE_WAIT_WINDOW);
+        // The histogram, by contrast, keeps counting everything.
+        assert_eq!(rec.queue_wait_us.count(), 2 * QUEUE_WAIT_WINDOW as u64);
     }
 
     #[test]
@@ -254,5 +349,44 @@ mod tests {
         assert_eq!(row.label, "pool=1");
         assert_eq!(row.served, 1);
         assert!((row.batch_fill - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_counters_classify_gpu_faults() {
+        let rec = MetricsRecorder::new();
+        rec.record_fault(&DarknightError::GpuFault {
+            layer_id: 1,
+            phase: "forward",
+            fault: GpuError::lost(dk_gpu::WorkerId(2), "conn reset"),
+        });
+        rec.record_fault(&DarknightError::GpuFault {
+            layer_id: 1,
+            phase: "forward",
+            fault: GpuError::Timeout { worker: dk_gpu::WorkerId(0), waited_ms: 50 },
+        });
+        // Non-GPU errors classify as neither.
+        rec.record_fault(&DarknightError::BatchShape { expected: 4, actual: 2 });
+        rec.record_quarantined(2);
+        rec.record_repaired_rows(3);
+        let m = rec.snapshot();
+        assert_eq!(m.worker_lost, 1);
+        assert_eq!(m.timeouts, 1);
+        assert_eq!(m.quarantined, 2);
+        assert_eq!(m.repaired_rows, 3);
+    }
+
+    #[test]
+    fn prometheus_exposition_carries_serving_counters() {
+        let rec = MetricsRecorder::new();
+        rec.record_submitted();
+        rec.record_batch(4, 0);
+        rec.record_response(Duration::from_micros(250), true, false);
+        let text = rec.render_prometheus();
+        assert!(text.contains("# TYPE dk_serve_submitted_total counter"));
+        assert!(text.contains("dk_serve_submitted_total 1"));
+        assert!(text.contains("dk_serve_real_rows_total 4"));
+        assert!(text.contains("dk_serve_queue_wait_us_count 1"));
+        let json = rec.render_json();
+        assert!(json.contains("\"dk_serve_queue_wait_us\""));
     }
 }

@@ -228,6 +228,18 @@ impl ServerHandle {
     pub fn metrics(&self) -> ServerMetrics {
         self.metrics.snapshot()
     }
+
+    /// Prometheus text exposition of the server's metrics — the
+    /// `/metrics` endpoint body for whatever transport fronts this
+    /// server.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render_prometheus()
+    }
+
+    /// The server's metrics as a flat JSON document.
+    pub fn render_metrics_json(&self) -> String {
+        self.metrics.render_json()
+    }
 }
 
 /// A running serving deployment (see module docs for the topology).
@@ -585,6 +597,9 @@ fn route_batch(
     // input channel is real latency the client observes, and
     // queue_wait + service_time must cover the whole journey.
     let service_time = dispatched_at.elapsed();
+    if !outcome.quarantined.is_empty() {
+        metrics.record_quarantined(outcome.quarantined.len());
+    }
     match outcome.output {
         Ok(y) => {
             let row_shape = y.shape()[1..].to_vec();
@@ -592,6 +607,7 @@ fn route_batch(
             // evidence of active tampering: surface it as `Repaired`,
             // never as a clean `Verified`.
             let verdict = if outcome.repaired {
+                metrics.record_repaired_rows(entries.len());
                 IntegrityVerdict::Repaired
             } else if integrity {
                 IntegrityVerdict::Verified
@@ -612,6 +628,7 @@ fn route_batch(
             }
         }
         Err(e) => {
+            metrics.record_fault(&e);
             let verdict = match &e {
                 DarknightError::IntegrityViolation { .. } => IntegrityVerdict::Violated,
                 _ => IntegrityVerdict::Unchecked,

@@ -11,6 +11,7 @@ pub use dk_field as field;
 pub use dk_gpu as gpu;
 pub use dk_linalg as linalg;
 pub use dk_nn as nn;
+pub use dk_obs as obs;
 pub use dk_perf as perf;
 pub use dk_serve as serve;
 pub use dk_tee as tee;
