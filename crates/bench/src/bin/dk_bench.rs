@@ -43,42 +43,84 @@ use std::time::Instant;
 #[global_allocator]
 static COUNTER: CountingAllocator = CountingAllocator;
 
-/// Verbatim snapshots of the *previous* fast kernels (PR 3/4 vintage:
-/// heap-allocated accumulator strip, single-row inner loop, and an
-/// `at_b` that materialized the full `m×k` transpose), kept so the
-/// packed-panel / register-blocked rewrite's gain is measured in-binary
-/// on the same host instead of against stale committed numbers.
+/// Verbatim snapshots of the *previous* fast kernels (PR 5 vintage:
+/// stack-resident `COL_TILE` accumulator strip with four pending `A`
+/// rows flushed per pass, packed `at_b` panels, and a four-lane `a_bt`
+/// dot loop), kept so the lane-parallel struct-of-arrays rewrite's gain
+/// is measured in-binary on the same host instead of against stale
+/// committed numbers.
 mod prev {
     use dk_linalg::Scalar;
 
+    const LANES: usize = 4;
     const COL_TILE: usize = 512;
+    const AT_PANEL: usize = 64;
+
+    #[inline]
+    fn flush_quad<T: Scalar>(
+        acc: &mut [T::Acc],
+        av: &[T; LANES],
+        b: &[T],
+        pq: &[usize; LANES],
+        n: usize,
+        j0: usize,
+    ) {
+        let jw = acc.len();
+        let b0 = &b[pq[0] * n + j0..][..jw];
+        let b1 = &b[pq[1] * n + j0..][..jw];
+        let b2 = &b[pq[2] * n + j0..][..jw];
+        let b3 = &b[pq[3] * n + j0..][..jw];
+        for ((((aj, &x0), &x1), &x2), &x3) in acc.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *aj = T::mac(T::mac(T::mac(T::mac(*aj, av[0], x0), av[1], x1), av[2], x2), av[3], x3);
+        }
+    }
 
     fn matmul_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
-        let mut acc: Vec<T::Acc> = vec![T::acc_zero(); n.min(COL_TILE)];
+        let mut strip = [T::acc_zero(); COL_TILE];
+        let fold_limit = T::FOLD_INTERVAL.saturating_sub(LANES - 1);
         for i in 0..rows {
             let arow = &a[i * k..(i + 1) * k];
             let crow = &mut c[i * n..(i + 1) * n];
             let mut j0 = 0;
             while j0 < n {
                 let jw = (n - j0).min(COL_TILE);
-                let acc = &mut acc[..jw];
+                let acc = &mut strip[..jw];
                 for (aj, &cj) in acc.iter_mut().zip(&crow[j0..j0 + jw]) {
                     *aj = cj.acc_lift();
                 }
                 let mut unfolded = 0usize;
+                let mut av = [T::zero(); LANES];
+                let mut pq = [0usize; LANES];
+                let mut pending = 0usize;
                 for (p, &aip) in arow.iter().enumerate() {
                     if aip == T::zero() {
                         continue;
                     }
-                    if unfolded == T::FOLD_INTERVAL {
+                    av[pending] = aip;
+                    pq[pending] = p;
+                    pending += 1;
+                    if pending == LANES {
+                        if unfolded >= fold_limit {
+                            for aj in acc.iter_mut() {
+                                *aj = T::acc_fold(*aj);
+                            }
+                            unfolded = 0;
+                        }
+                        flush_quad(acc, &av, b, &pq, n, j0);
+                        unfolded += LANES;
+                        pending = 0;
+                    }
+                }
+                for t in 0..pending {
+                    if unfolded >= fold_limit {
                         for aj in acc.iter_mut() {
                             *aj = T::acc_fold(*aj);
                         }
                         unfolded = 0;
                     }
-                    let brow = &b[p * n + j0..p * n + j0 + jw];
+                    let brow = &b[pq[t] * n + j0..][..jw];
                     for (aj, &bj) in acc.iter_mut().zip(brow) {
-                        *aj = T::mac(*aj, aip, bj);
+                        *aj = T::mac(*aj, av[t], bj);
                     }
                     unfolded += 1;
                 }
@@ -100,21 +142,61 @@ mod prev {
     }
 
     pub fn matmul_at_b<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
-        let mut at = vec![T::zero(); m * k];
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            for (i, &v) in arow.iter().enumerate() {
-                at[i * k + p] = v;
-            }
+        let mut c = vec![T::zero(); m * n];
+        if m == 0 || n == 0 || k == 0 {
+            return c;
         }
-        matmul(&at, b, m, k, n)
+        let panel = AT_PANEL.min(m);
+        let mut scratch = vec![T::zero(); panel * k];
+        let mut is = 0;
+        while is < m {
+            let iw = (m - is).min(panel);
+            for p in 0..k {
+                let acol = &a[p * m + is..p * m + is + iw];
+                for (r, &v) in acol.iter().enumerate() {
+                    scratch[r * k + p] = v;
+                }
+            }
+            matmul_block(&scratch[..iw * k], b, &mut c[is * n..(is + iw) * n], iw, k, n);
+            is += iw;
+        }
+        c
     }
 
     pub fn matmul_a_bt<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
         let mut c = vec![T::zero(); m * n];
         for i in 0..m {
             let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
+            let mut j = 0;
+            while j + LANES <= n {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let mut acc = [T::acc_zero(); LANES];
+                let mut unfolded = 0usize;
+                for (p, &x) in arow.iter().enumerate() {
+                    if T::SKIP_ZEROS && x == T::zero() {
+                        continue;
+                    }
+                    if unfolded == T::FOLD_INTERVAL {
+                        for aj in acc.iter_mut() {
+                            *aj = T::acc_fold(*aj);
+                        }
+                        unfolded = 0;
+                    }
+                    acc[0] = T::mac(acc[0], x, b0[p]);
+                    acc[1] = T::mac(acc[1], x, b1[p]);
+                    acc[2] = T::mac(acc[2], x, b2[p]);
+                    acc[3] = T::mac(acc[3], x, b3[p]);
+                    unfolded += 1;
+                }
+                for (l, &aj) in acc.iter().enumerate() {
+                    c[i * n + j + l] = T::acc_finish(aj);
+                }
+                j += LANES;
+            }
+            while j < n {
                 let brow = &b[j * k..(j + 1) * k];
                 let mut acc = T::acc_zero();
                 let mut unfolded = 0usize;
@@ -130,6 +212,7 @@ mod prev {
                     unfolded += 1;
                 }
                 c[i * n + j] = T::acc_finish(acc);
+                j += 1;
             }
         }
         c
@@ -548,15 +631,23 @@ fn main() {
         }
         {
             let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+            let quant = cfg.quant();
             let fleet = GpuCluster::honest(cfg.workers_required(), 33);
             let mut session =
                 dk_core::DarknightSession::new(cfg, fleet).expect("alloc-bench session");
             let mut model = mini_vgg(8, 4, 33);
+            // Serving shape: weights are frozen, so quantize them once
+            // into a step plan; each step recycles its output tensor.
+            // With both in place the whole session round-trip — encode,
+            // dispatch, decode, dequantize — runs out of the pools.
+            let plan = dk_core::StepPlan::extract(&model, quant).expect("alloc-bench plan");
+            session.set_step_plan(Some(std::sync::Arc::new(plan)));
             let x = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 13) as f32 - 6.0) * 0.07);
             measure(
                 "private_infer/mini_vgg session step",
                 Box::new(|| {
-                    let _ = session.private_inference(&mut model, &x).expect("private inference");
+                    let y = session.private_inference(&mut model, &x).expect("private inference");
+                    session.recycle_output(y);
                 }),
             );
         }
@@ -749,10 +840,40 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // On a host with real parallelism the pure-compute overlap must pay
+    // too. A single hardware thread cannot overlap anything — the TEE
+    // and worker stages just time-slice, and the staging overhead shows
+    // up as a 0.77–0.9x "speedup" — so this gate only arms when the
+    // host can actually run the stages concurrently.
+    if std::thread::available_parallelism().map_or(1, usize::from) > 1 {
+        for r in pipeline_rows.iter().filter(|r| r.label.contains("compute-only")) {
+            if r.measured_speedup < 1.0 {
+                eprintln!(
+                    "REGRESSION: {} pipelined slower than sequential ({:.2}x) on a \
+                     multi-core host",
+                    r.label, r.measured_speedup
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     // Allocation gate: steady-state inference must stay at exactly zero
     // heap allocations — gated on the untruncated total over the whole
     // measured window.
     if let Some(r) = alloc_rows.iter().find(|r| r.name.starts_with("infer/")) {
+        if r.total_allocs > 0 {
+            eprintln!(
+                "REGRESSION: {} performs {} allocations over the warm window (must be 0)",
+                r.name, r.total_allocs
+            );
+            std::process::exit(1);
+        }
+    }
+    // The private session round-trip is held to the same standard: with
+    // a step plan installed and outputs recycled, the whole encode →
+    // dispatch → decode → dequantize loop cycles through pooled buffers
+    // and a warm serving step performs exactly zero heap allocations.
+    if let Some(r) = alloc_rows.iter().find(|r| r.name.starts_with("private_infer/")) {
         if r.total_allocs > 0 {
             eprintln!(
                 "REGRESSION: {} performs {} allocations over the warm window (must be 0)",
@@ -777,16 +898,22 @@ fn main() {
     }
     // Kernel-trajectory gate against the committed record: raw ns/op is
     // host-dependent, so the comparison is normalized by each run's own
-    // same-host scalar baseline — the conv hot job's fast:scalar ratio
-    // must not be more than 10% worse than the committed one (25% when
-    // the committed row was measured at a different spatial size, e.g.
-    // a fast-mode CI run gating against the committed full-mode record:
-    // the ratio shifts a few percent with shape, the margin absorbs it).
+    // same-host scalar baseline — each tracked kernel's fast:scalar
+    // ratio must not be more than 10% worse than the committed one (25%
+    // when the committed row was measured at a different spatial size,
+    // e.g. a fast-mode CI run gating against the committed full-mode
+    // record: the ratio shifts a few percent with shape, the margin
+    // absorbs it). Tracked kernels: the conv hot job (the offload's
+    // dominant cost) and the lane-parallel field matmul (the SIMD
+    // kernel this ratio was built to protect).
     if let Some(doc) = &committed {
-        if let Some(new) = entries.iter().find(|e| e.name.starts_with("conv2d_forward")) {
+        for prefix in ["conv2d_forward", "matmul_64x128x64/field"] {
+            let Some(new) = entries.iter().find(|e| e.name.starts_with(prefix)) else {
+                continue;
+            };
             let new_ratio = new.fast_ns / new.baseline_ns;
             let committed_row = json_row(doc, &new.name).map(|r| (r, 1.10)).or_else(|| {
-                let at = doc.find("\"name\": \"conv2d_forward")?;
+                let at = doc.find(&format!("\"name\": \"{prefix}"))?;
                 let end = doc[at..].find('}')? + at;
                 Some((&doc[at..end], 1.25))
             });

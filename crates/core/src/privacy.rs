@@ -123,10 +123,13 @@ mod tests {
             Layer::Flatten(Flatten::new()),
             Layer::Dense(Dense::new(512, 16, 1)),
         ]);
-        // Highly structured (non-uniform) input data.
+        // Highly structured (non-uniform) input data. Train-mode
+        // forwards: those store the encodings on the workers, which is
+        // what populates the observation record this test audits (the
+        // masked job inputs are distributed identically either way).
         let x = Tensor::from_fn(&[2, 2, 16, 16], |i| if i % 2 == 0 { 0.5 } else { -0.5 });
         for _ in 0..12 {
-            let _ = session.private_inference(&mut model, &x).unwrap();
+            let _ = session.private_forward(&mut model, &x, true).unwrap();
         }
         let buckets = 16;
         let chi2 = gpu_view_chi_square(session.cluster(), buckets).unwrap();

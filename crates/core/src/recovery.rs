@@ -40,13 +40,13 @@ pub struct RecoveryOutcome {
 /// variant.
 pub fn localize_and_repair(
     jobs: &[LinearJob],
-    outputs: &mut [Vec<F25>],
+    outputs: &mut [dk_linalg::Tensor<F25>],
 ) -> RecoveryOutcome {
     assert_eq!(jobs.len(), outputs.len(), "one output per job");
     let mut outcome = RecoveryOutcome { faulty: Vec::new(), repaired: true };
     for (j, (job, out)) in jobs.iter().zip(outputs.iter_mut()).enumerate() {
-        let expected = job.execute().into_vec();
-        if &expected != out {
+        let expected = job.execute();
+        if expected.as_slice() != out.as_slice() {
             outcome.faulty.push(WorkerId(j));
             *out = expected;
         }
@@ -89,7 +89,7 @@ mod tests {
     use dk_linalg::Tensor;
     use std::sync::Arc;
 
-    fn jobs_and_outputs(n: usize) -> (Vec<LinearJob>, Vec<Vec<F25>>) {
+    fn jobs_and_outputs(n: usize) -> (Vec<LinearJob>, Vec<Tensor<F25>>) {
         let mut rng = FieldRng::seed_from(5);
         let weights = Arc::new(Tensor::from_fn(&[4, 6], |i| F25::new(i as u64 + 1)));
         let jobs: Vec<LinearJob> = (0..n)
@@ -98,7 +98,7 @@ mod tests {
                 x: Tensor::from_vec(&[1, 6], rng.uniform_vec::<P25>(6)),
             })
             .collect();
-        let outputs: Vec<Vec<F25>> = jobs.iter().map(|j| j.execute().into_vec()).collect();
+        let outputs: Vec<Tensor<F25>> = jobs.iter().map(|j| j.execute()).collect();
         (jobs, outputs)
     }
 
@@ -114,7 +114,7 @@ mod tests {
     fn single_fault_located_and_repaired() {
         let (jobs, mut outputs) = jobs_and_outputs(4);
         let clean = outputs.clone();
-        outputs[2][1] += F25::ONE;
+        outputs[2].as_mut_slice()[1] += F25::ONE;
         let outcome = localize_and_repair(&jobs, &mut outputs);
         assert_eq!(outcome.faulty, vec![WorkerId(2)]);
         assert_eq!(outputs, clean, "repair must restore honest outputs");
@@ -123,8 +123,8 @@ mod tests {
     #[test]
     fn multiple_faults_located() {
         let (jobs, mut outputs) = jobs_and_outputs(5);
-        outputs[0][0] += F25::new(7);
-        outputs[4][2] += F25::new(9);
+        outputs[0].as_mut_slice()[0] += F25::new(7);
+        outputs[4].as_mut_slice()[2] += F25::new(9);
         let outcome = localize_and_repair(&jobs, &mut outputs);
         assert_eq!(outcome.faulty, vec![WorkerId(0), WorkerId(4)]);
     }

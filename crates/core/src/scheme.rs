@@ -19,9 +19,8 @@
 //!   decodes with a single γ-weighted sum.
 
 use crate::error::DarknightError;
-use dk_field::vandermonde::mds_matrix;
 use dk_field::{F25, FieldMatrix, FieldRng, P25};
-use dk_linalg::{matmul, matmul_acc, Workspace};
+use dk_linalg::{matmul_acc, Workspace};
 
 /// Stacks equal-length row vectors into one contiguous row-major matrix
 /// (in a caller-provided buffer, cleared first) so the blocked matmul
@@ -38,34 +37,15 @@ fn stack_rows_into<'a>(
     }
 }
 
-/// `C = coeff[0..rows] · X` returned as row vectors.
+/// `C = coeff[0..rows] · X` as row vectors, every row (and the outer
+/// vector) drawn from the workspace — callers give the rows back once
+/// consumed, so steady-state encoding and decoding allocate nothing.
 ///
 /// On a multi-core host with enough work, one flat matmul lets the
 /// kernel fan rows out across threads (then splits the result, one copy
 /// per row); otherwise each row is computed serially straight into its
 /// own output vector, skipping the split copy entirely. Field
 /// arithmetic is exact, so both paths are bit-identical.
-fn coeff_rows_matmul(
-    coeff: &FieldMatrix<P25>,
-    rows: usize,
-    kdim: usize,
-    x: &[F25],
-    n: usize,
-) -> Vec<Vec<F25>> {
-    if n == 0 {
-        return vec![Vec::new(); rows];
-    }
-    if dk_linalg::threads::would_parallelize(rows, rows * kdim * n) {
-        let flat = matmul(&coeff.as_slice()[..rows * kdim], x, rows, kdim, n);
-        flat.chunks(n).map(<[F25]>::to_vec).collect()
-    } else {
-        (0..rows).map(|j| matmul(coeff.row(j), x, 1, kdim, n)).collect()
-    }
-}
-
-/// [`coeff_rows_matmul`] with every output row (and the outer vector)
-/// drawn from the workspace — callers give the rows back once
-/// consumed, so steady-state decoding allocates nothing.
 fn coeff_rows_matmul_ws(
     coeff: &FieldMatrix<P25>,
     rows: usize,
@@ -99,6 +79,21 @@ fn coeff_rows_matmul_ws(
     out
 }
 
+/// Reusable buffers for in-place scheme regeneration. No semantic
+/// content — just warm capacity carried across virtual batches so
+/// resampling `A`, `B`, `Γ` every batch stops touching the allocator.
+#[derive(Debug, Clone, Default)]
+struct SchemeScratch {
+    a_sq: FieldMatrix<P25>,
+    a_sq_inv: FieldMatrix<P25>,
+    inv_work: FieldMatrix<P25>,
+    pivots: Vec<F25>,
+    prefix: Vec<F25>,
+    points: Vec<F25>,
+    scales: Vec<F25>,
+    gamma_inv: Vec<F25>,
+}
+
 /// The per-virtual-batch masking scheme.
 #[derive(Debug, Clone)]
 pub struct EncodingScheme {
@@ -121,6 +116,8 @@ pub struct EncodingScheme {
     b: FieldMatrix<P25>,
     /// Secret diagonal `Γ` entries.
     gamma: Vec<F25>,
+    /// Regeneration scratch (see [`SchemeScratch`]).
+    scratch: SchemeScratch,
 }
 
 impl EncodingScheme {
@@ -135,49 +132,113 @@ impl EncodingScheme {
         assert!(k > 0 && m > 0, "k and m must be positive");
         let s_sq = k + m;
         let s_cols = s_sq + usize::from(integrity);
-        let (a, a_sq_inv) = loop {
-            let a1 = FieldMatrix::<P25>::random(k, s_cols, rng);
-            let a2 = mds_matrix::<P25>(m, s_cols, rng);
-            let a = a1.vconcat(&a2);
-            let cols: Vec<usize> = (0..s_sq).collect();
-            let rows: Vec<usize> = (0..s_sq).collect();
-            let a_sq = a.submatrix(&rows, &cols);
-            if let Some(inv) = a_sq.inverse() {
-                break (a, inv);
-            }
+        let mut scheme = Self {
+            k,
+            m,
+            integrity,
+            a: FieldMatrix::zeros(s_sq, s_cols),
+            a_t: FieldMatrix::zeros(s_cols, s_sq),
+            a_sq_inv_t: FieldMatrix::zeros(s_sq, s_sq),
+            integrity_w: Vec::new(),
+            b: FieldMatrix::zeros(s_cols, k),
+            gamma: Vec::new(),
+            scratch: SchemeScratch::default(),
         };
-        let gamma: Vec<F25> = (0..s_cols).map(|_| rng.uniform_nonzero::<P25>()).collect();
-        // Bᵀ = [I_K | 0] · (Aᵀ_sq)^{-1} · Γ^{-1}, so Bᵀ·Γ·Aᵀ_sq = [I | 0].
+        scheme.regenerate(rng);
+        scheme
+    }
+
+    /// Resamples `A`, `B`, `Γ` in place for the next virtual batch —
+    /// the same draw as [`EncodingScheme::generate`] (bit-identical
+    /// output and RNG consumption given the same RNG state), but reusing
+    /// every coefficient buffer, so a warm session's per-batch key
+    /// refresh performs zero heap allocations.
+    pub fn regenerate(&mut self, rng: &mut FieldRng) {
+        let (k, m, integrity) = (self.k, self.m, self.integrity);
+        let s_sq = k + m;
+        let s_cols = s_sq + usize::from(integrity);
+        let scr = &mut self.scratch;
+        if scr.a_sq.rows() != s_sq {
+            scr.a_sq = FieldMatrix::zeros(s_sq, s_sq);
+            scr.a_sq_inv = FieldMatrix::zeros(s_sq, s_sq);
+            scr.inv_work = FieldMatrix::zeros(s_sq, s_sq);
+        }
+        // Rejection-sample A = [A1; A2] until its leading square block
+        // is invertible, drawing in the historical order: A1's
+        // k·s_cols uniforms, then the Vandermonde points of the MDS
+        // noise block, then its column scales.
+        loop {
+            for v in self.a.as_mut_slice()[..k * s_cols].iter_mut() {
+                *v = rng.uniform();
+            }
+            // Inline mds_matrix(m, s_cols): distinct nonzero points
+            // (rejection), then one nonzero scale per column.
+            scr.points.clear();
+            while scr.points.len() < s_cols {
+                let x = rng.uniform_nonzero::<P25>();
+                if !scr.points.contains(&x) {
+                    scr.points.push(x);
+                }
+            }
+            scr.scales.clear();
+            scr.scales.extend((0..s_cols).map(|_| rng.uniform_nonzero::<P25>()));
+            for r in 0..m {
+                for c in 0..s_cols {
+                    self.a[(k + r, c)] = scr.points[c].pow(r as u64) * scr.scales[c];
+                }
+            }
+            for r in 0..s_sq {
+                for c in 0..s_sq {
+                    scr.a_sq[(r, c)] = self.a[(r, c)];
+                }
+            }
+            let ok = scr.a_sq.inverse_into(
+                &mut scr.a_sq_inv,
+                &mut scr.inv_work,
+                &mut scr.pivots,
+                &mut scr.prefix,
+            );
+            if ok {
+                break;
+            }
+        }
+        self.gamma.clear();
+        self.gamma.extend((0..s_cols).map(|_| rng.uniform_nonzero::<P25>()));
         // (Aᵀ_sq)⁻¹ = (A_sq⁻¹)ᵀ — reuse the inverse the sampling loop
         // already produced instead of running Gauss–Jordan a second time.
-        let at_inv = a_sq_inv.transpose();
-        let mut i0 = FieldMatrix::<P25>::zeros(k, s_sq);
-        for i in 0..k {
-            i0[(i, i)] = F25::ONE;
+        for r in 0..s_sq {
+            for c in 0..s_sq {
+                self.a_sq_inv_t[(r, c)] = scr.a_sq_inv[(c, r)];
+            }
         }
-        let gamma_inv_diag = {
-            let mut inv = gamma[..s_sq].to_vec();
-            F25::batch_invert(&mut inv);
-            FieldMatrix::diagonal(&inv)
-        };
-        let bt_sq = &(&i0 * &at_inv) * &gamma_inv_diag; // K × S_sq
-        let mut b = FieldMatrix::<P25>::zeros(s_cols, k);
+        // Bᵀ = [I_K | 0] · (Aᵀ_sq)^{-1} · Γ^{-1}, so Bᵀ·Γ·Aᵀ_sq = [I | 0].
+        // The identity selector keeps the first K rows of (A_sq⁻¹)ᵀ and
+        // the diagonal right-factor is a column scaling, so the product
+        // collapses to one multiply per entry — exact in the field,
+        // bit-identical to materializing the sparse matrix products.
+        scr.gamma_inv.clear();
+        scr.gamma_inv.extend_from_slice(&self.gamma[..s_sq]);
+        F25::batch_invert_with(&mut scr.gamma_inv, &mut scr.prefix);
+        self.b.as_mut_slice().fill(F25::ZERO);
         for j in 0..s_sq {
             for i in 0..k {
-                b[(j, i)] = bt_sq[(i, j)];
+                self.b[(j, i)] = self.a_sq_inv_t[(i, j)] * scr.gamma_inv[j];
             }
         }
         // Redundant row (if any) stays zero: the spare worker is the
         // integrity watchdog, not a gradient contributor.
-        let a_t = a.transpose();
-        let integrity_w = if integrity {
-            let last = a.cols() - 1;
-            let a_last: Vec<F25> = (0..s_sq).map(|c| a[(c, last)]).collect();
-            a_sq_inv.mul_vec(&a_last)
-        } else {
-            Vec::new()
-        };
-        Self { k, m, integrity, a, a_t, a_sq_inv_t: at_inv, integrity_w, b, gamma }
+        for r in 0..s_sq {
+            for c in 0..s_cols {
+                self.a_t[(c, r)] = self.a[(r, c)];
+            }
+        }
+        self.integrity_w.clear();
+        if integrity {
+            let last = s_cols - 1;
+            scr.points.clear(); // reused as a_last
+            scr.points.extend((0..s_sq).map(|c| self.a[(c, last)]));
+            scr.a_sq_inv.mul_vec_into(&scr.points, &mut self.integrity_w);
+        }
     }
 
     /// Virtual batch size `K`.
@@ -228,9 +289,10 @@ impl EncodingScheme {
     }
 
     /// [`EncodingScheme::encode`] with the transient input-stacking
-    /// buffer drawn from `ws`. The encodings themselves are freshly
-    /// allocated — they leave the TEE for the accelerators and never
-    /// return to this pool.
+    /// buffer, the encoding rows and their outer vector all drawn from
+    /// `ws`. The rows leave the TEE for the accelerators, but the
+    /// session recycles them back into this pool once the workers'
+    /// jobs retire, so the steady state allocates nothing.
     ///
     /// # Panics
     ///
@@ -252,7 +314,7 @@ impl EncodingScheme {
         // vector — instead of K+M per-MAC-reducing scaled-vector passes.
         let mut x = ws.take_cleared::<F25>((self.k + self.m) * n);
         stack_rows_into(inputs.iter().chain(noise).map(Vec::as_slice), n, &mut x);
-        let enc = coeff_rows_matmul(&self.a_t, s_cols, self.k + self.m, &x, n);
+        let enc = coeff_rows_matmul_ws(&self.a_t, s_cols, self.k + self.m, &x, n, ws);
         ws.give(x);
         enc
     }
@@ -298,9 +360,9 @@ impl EncodingScheme {
     /// # Panics
     ///
     /// Panics if the output count or lengths are inconsistent.
-    pub fn decode_forward(
+    pub fn decode_forward<S: AsRef<[F25]>>(
         &self,
-        outputs: &[Vec<F25>],
+        outputs: &[S],
         layer_id: u64,
     ) -> Result<Vec<Vec<F25>>, DarknightError> {
         self.decode_forward_ws(outputs, layer_id, &mut Workspace::new())
@@ -319,17 +381,17 @@ impl EncodingScheme {
     /// # Panics
     ///
     /// Panics if the output count or lengths are inconsistent.
-    pub fn decode_forward_ws(
+    pub fn decode_forward_ws<S: AsRef<[F25]>>(
         &self,
-        outputs: &[Vec<F25>],
+        outputs: &[S],
         layer_id: u64,
         ws: &mut Workspace,
     ) -> Result<Vec<Vec<F25>>, DarknightError> {
         let s_sq = self.k + self.m;
         assert_eq!(outputs.len(), self.num_encodings(), "one output per encoding");
-        let n = outputs[0].len();
+        let n = outputs[0].as_ref().len();
         for o in outputs {
-            assert_eq!(o.len(), n, "all outputs must have equal length");
+            assert_eq!(o.as_ref().len(), n, "all outputs must have equal length");
         }
         // Y = (A_sq⁻¹)ᵀ · Ȳ with the worker outputs stacked as the rows
         // of Ȳ. Only the K true-output rows are ever returned, and the
@@ -338,11 +400,11 @@ impl EncodingScheme {
         // associative and exact), so the M dropped noise rows are never
         // materialized at all.
         let mut ybar = ws.take_cleared::<F25>(s_sq * n);
-        stack_rows_into(outputs.iter().take(s_sq).map(Vec::as_slice), n, &mut ybar);
+        stack_rows_into(outputs.iter().take(s_sq).map(AsRef::as_ref), n, &mut ybar);
         if self.integrity {
             let mut pred = ws.take_zeroed::<F25>(n);
             matmul_acc(&self.integrity_w, &ybar, &mut pred, 1, s_sq, n);
-            let redundant = &outputs[self.a.cols() - 1];
+            let redundant = outputs[self.a.cols() - 1].as_ref();
             let mismatches = pred.iter().zip(redundant.iter()).filter(|(p, r)| p != r).count();
             ws.give(pred);
             if mismatches > 0 {
@@ -367,7 +429,7 @@ impl EncodingScheme {
     /// # Panics
     ///
     /// Panics if the equation count or lengths are inconsistent.
-    pub fn decode_backward(&self, eqs: &[Vec<F25>]) -> Vec<F25> {
+    pub fn decode_backward<S: AsRef<[F25]>>(&self, eqs: &[S]) -> Vec<F25> {
         self.decode_backward_ws(eqs, &mut Workspace::new())
     }
 
@@ -378,13 +440,13 @@ impl EncodingScheme {
     /// # Panics
     ///
     /// Panics if the equation count or lengths are inconsistent.
-    pub fn decode_backward_ws(&self, eqs: &[Vec<F25>], ws: &mut Workspace) -> Vec<F25> {
+    pub fn decode_backward_ws<S: AsRef<[F25]>>(&self, eqs: &[S], ws: &mut Workspace) -> Vec<F25> {
         let s_sq = self.k + self.m;
         assert!(eqs.len() >= s_sq, "need at least K+M equations");
-        let n = eqs[0].len();
+        let n = eqs[0].as_ref().len();
         // γᵀ[1 × s_sq] · Eq[s_sq × n]: the γ-weighted sum as one matmul.
         let mut eq_flat = ws.take_cleared::<F25>(s_sq * n);
-        stack_rows_into(eqs.iter().take(s_sq).map(Vec::as_slice), n, &mut eq_flat);
+        stack_rows_into(eqs.iter().take(s_sq).map(AsRef::as_ref), n, &mut eq_flat);
         let mut out = ws.take_zeroed::<F25>(n);
         matmul_acc(&self.gamma[..s_sq], &eq_flat, &mut out, 1, s_sq, n);
         ws.give(eq_flat);
@@ -641,6 +703,44 @@ mod tests {
             recycle(&mut ws, dec);
         }
         assert_eq!(ws.stats().misses, misses, "warm decode must not allocate");
+    }
+
+    #[test]
+    fn regenerate_matches_generate_bitwise() {
+        for (k, m, integ) in [(1, 1, false), (2, 1, true), (3, 2, true), (2, 3, false)] {
+            let mut r1 = FieldRng::seed_from(0x5EED);
+            let mut r2 = FieldRng::seed_from(0x5EED);
+            let fresh = EncodingScheme::generate(k, m, integ, &mut r1);
+            // A stale scheme of the same shape, re-keyed in place, must
+            // land on the identical coefficients from the same RNG state.
+            let mut reused = EncodingScheme::generate(k, m, integ, &mut FieldRng::seed_from(999));
+            reused.regenerate(&mut r2);
+            assert_eq!(fresh.a.as_slice(), reused.a.as_slice(), "k={k} m={m}");
+            assert_eq!(fresh.a_t.as_slice(), reused.a_t.as_slice());
+            assert_eq!(fresh.a_sq_inv_t.as_slice(), reused.a_sq_inv_t.as_slice());
+            assert_eq!(fresh.b.as_slice(), reused.b.as_slice());
+            assert_eq!(fresh.gamma, reused.gamma);
+            assert_eq!(fresh.integrity_w, reused.integrity_w);
+            assert!(reused.verify_relation());
+            // And both RNG streams stay in lockstep afterwards.
+            assert_eq!(r1.uniform_vec::<P25>(4), r2.uniform_vec::<P25>(4));
+        }
+    }
+
+    #[test]
+    fn decode_accepts_tensor_rows() {
+        use dk_linalg::Tensor;
+        let mut r = rng();
+        let scheme = EncodingScheme::generate(2, 1, true, &mut r);
+        let inputs: Vec<Vec<F25>> = (0..2).map(|_| r.uniform_vec::<P25>(8)).collect();
+        let noise = vec![r.uniform_vec::<P25>(8)];
+        let outputs = scheme.encode(&inputs, &noise);
+        let as_tensors: Vec<Tensor<F25>> =
+            outputs.iter().map(|o| Tensor::from_vec(&[o.len()], o.clone())).collect();
+        assert_eq!(
+            scheme.decode_forward(&outputs, 0).unwrap(),
+            scheme.decode_forward(&as_tensors, 0).unwrap(),
+        );
     }
 
     #[test]

@@ -267,6 +267,26 @@ impl<X: GpuExec> DarknightSession<X> {
         self.give_rows(ctx.noise);
     }
 
+    /// Recovers the encoded-input tensors owned by a finished job set
+    /// and returns them (plus the job `Vec` itself) to the buffer pool —
+    /// the other half of the zero-allocation offload round-trip.
+    fn recycle_jobs(&mut self, mut jobs: Vec<LinearJob>) {
+        for job in jobs.drain(..) {
+            if let Some(x) = job.into_input() {
+                self.ws.give_tensor(x);
+            }
+        }
+        self.ws.give(jobs);
+    }
+
+    /// Returns a pass output (from [`DarknightSession::private_forward`]
+    /// and friends) to the session pool once the caller is done with it,
+    /// so the next pass's activations reuse the buffer. Purely an
+    /// optimization — dropping the tensor is always correct.
+    pub fn recycle_output(&mut self, t: Tensor<f32>) {
+        self.ws.give_tensor(t);
+    }
+
     /// The session configuration.
     pub fn config(&self) -> &DarknightConfig {
         &self.cfg
@@ -361,18 +381,41 @@ impl<X: GpuExec> DarknightSession<X> {
             }
         }
         let _ = self.enclave.release(retained);
-        let ids = std::mem::take(&mut self.stored_ctxs);
-        if !ids.is_empty() {
-            self.cluster.release_contexts(&ids);
+        if !self.stored_ctxs.is_empty() {
+            // Split-borrow so the id list can be passed by reference and
+            // cleared in place instead of `mem::take`-ing a fresh Vec
+            // every batch.
+            let Self { stored_ctxs, cluster, .. } = self;
+            cluster.release_contexts(stored_ctxs);
+            stored_ctxs.clear();
         }
+        self.publish_workspace_gauges();
+    }
+
+    /// Publishes the TEE-side buffer-pool counters as gauges, so fleet
+    /// dashboards can watch the steady state settle (misses flat = the
+    /// round-trip is closed). Batch-boundary cadence keeps the hot path
+    /// untouched.
+    fn publish_workspace_gauges(&self) {
+        if !dk_obs::enabled() {
+            return;
+        }
+        let s = self.ws.stats();
+        let m = dk_obs::global();
+        m.gauge("dk_session_ws_takes").set(s.takes as i64);
+        m.gauge("dk_session_ws_misses").set(s.misses as i64);
+        m.gauge("dk_session_ws_live_bytes").set(s.live_bytes as i64);
+        m.gauge("dk_session_ws_peak_bytes").set(s.peak_bytes as i64);
     }
 
     fn install_batch(&mut self, index: u64) {
         self.batch_index = index;
         self.batch_seed = derive_seed(self.cfg.seed(), index);
         let mut srng = FieldRng::derived(self.batch_seed, DOMAIN_SCHEME);
-        self.scheme =
-            EncodingScheme::generate(self.cfg.k(), self.cfg.m(), self.cfg.integrity(), &mut srng);
+        // In-place regeneration: same draws, same matrices, bit for bit
+        // — but every `A`/`B`/`Γ` buffer of the previous batch is
+        // rewritten instead of reallocated.
+        self.scheme.regenerate(&mut srng);
         self.ctx_base = index << 32;
         self.next_id = self.ctx_base;
         self.pass_started = false;
@@ -534,11 +577,11 @@ impl<X: GpuExec> DarknightSession<X> {
             let next = match layer {
                 Layer::Conv2d(conv) => {
                     let id = self.take_id();
-                    self.forward_conv(id, conv, input, per_sample)
+                    self.forward_conv(id, conv, input, train, per_sample)
                 }
                 Layer::Dense(dense) => {
                     let id = self.take_id();
-                    self.forward_dense(id, dense, input, per_sample)
+                    self.forward_dense(id, dense, input, train, per_sample)
                 }
                 Layer::Residual(res) => self.forward_residual(res, input, train, per_sample),
                 other => {
@@ -628,12 +671,17 @@ impl<X: GpuExec> DarknightSession<X> {
     /// The forward offload round: quantize, mask, dispatch, decode.
     ///
     /// `per_sample` selects the quantization policy for the inputs —
-    /// one shared max-abs scale (training mode; retains a [`LinearCtx`]
-    /// for the backward pass) vs one scale per row (serving inference;
-    /// nothing retained). Returns the decoded per-sample field outputs,
-    /// the per-sample dequantize scale (`norm_w · norm_x_i`; all equal
-    /// in shared mode), the per-encoding output shape, and the
-    /// backward context (shared mode only).
+    /// one shared max-abs scale (training; the backward γ-aggregate
+    /// needs it) vs one scale per row (serving inference). `retain`
+    /// selects whether a backward pass will revisit this layer: when
+    /// set, the encodings are stored on the workers and a
+    /// [`LinearCtx`] is returned; when clear, nothing outlives the
+    /// call and every buffer — encodings, worker outputs, decode rows —
+    /// completes a pool round-trip. Returns the decoded per-sample
+    /// field outputs, the per-sample dequantize scale (`norm_w ·
+    /// norm_x_i`; all equal in shared mode), the per-encoding output
+    /// shape (pool-backed — callers hand it back via `give_shape`),
+    /// and the backward context (`retain` only).
     #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn offload_forward(
         &mut self,
@@ -644,6 +692,7 @@ impl<X: GpuExec> DarknightSession<X> {
         weight_shape: &[usize],
         enc_shape: &[usize],
         per_sample: bool,
+        retain: bool,
     ) -> Result<(Vec<Vec<F25>>, Vec<f32>, Vec<usize>, Option<LinearCtx>), DarknightError> {
         let k = self.cfg.k();
         let m = self.cfg.m();
@@ -706,41 +755,60 @@ impl<X: GpuExec> DarknightSession<X> {
         let _paged = self.enclave.alloc_paged(work_bytes);
         let encodings = self.scheme.encode_ws(&inputs_q, &noise, &mut self.ws);
         self.stats.encoded_elems += (s_cols * rest) as u64;
-        let enc_tensors: Vec<Tensor<F25>> =
-            encodings.into_iter().map(|e| Tensor::from_vec(enc_shape, e)).collect();
+        // The encoded rows (and their outer Vec) are pool-backed; pair
+        // each with a pooled shape so the whole encoding set becomes
+        // tensors without a fresh allocation.
+        let mut enc_tensors: Vec<Tensor<F25>> = self.ws.take_cleared(s_cols);
+        let mut enc_rows = encodings;
+        for row in enc_rows.drain(..) {
+            enc_tensors.push(Tensor::from_parts(self.ws.take_shape(enc_shape), row));
+        }
+        self.ws.give(enc_rows);
         self.stats.bytes_to_gpus += (s_cols * rest * 8) as u64;
         drop(sp);
         let sp = dk_obs::span(dk_obs::Stage::Dispatch, batch, ordinal);
-        self.cluster.store_encodings(layer_id, enc_tensors.clone());
-        self.stored_ctxs.push(layer_id);
-        let jobs: Vec<LinearJob> =
-            enc_tensors.into_iter().map(|t| make_job(weights_q.clone(), t)).collect();
+        if retain {
+            // Only a pass with a backward half needs the workers to hold
+            // the encodings (§6 stored-input reuse); inference skips the
+            // store — and its clone — entirely.
+            self.cluster.store_encodings(layer_id, enc_tensors.clone());
+            self.stored_ctxs.push(layer_id);
+        }
+        let mut jobs: Vec<LinearJob> = self.ws.take_cleared(enc_tensors.len());
+        for t in enc_tensors.drain(..) {
+            jobs.push(make_job(weights_q.clone(), t));
+        }
+        self.ws.give(enc_tensors);
         self.stats.linear_jobs += jobs.len() as u64;
+        let mut results: Vec<dk_gpu::WorkerResult> = self.ws.take_cleared(jobs.len());
+        let mut outputs: Vec<Tensor<F25>> = self.ws.take_cleared(jobs.len());
         let executed = self
             .cluster
-            .execute(layer_id, &jobs)
+            .execute_into(layer_id, &jobs, &mut results)
             .map_err(|fault| DarknightError::GpuFault { layer_id, phase: "forward", fault })
-            .and_then(|results| self.absorb_worker_faults(layer_id, "forward", &jobs, results));
+            .and_then(|()| {
+                self.absorb_worker_faults(layer_id, "forward", &jobs, &mut results, &mut outputs)
+            });
+        self.ws.give(results);
         drop(sp);
-        let outputs = match executed {
-            Ok(o) => o,
-            Err(e) => {
-                let _ = self.enclave.release(work_bytes);
-                self.give_rows(inputs_q);
-                self.give_rows(noise);
-                self.ws.give(norms);
-                return Err(e);
-            }
-        };
-        let out_shape = outputs[0].shape().to_vec();
+        if let Err(e) = executed {
+            let _ = self.enclave.release(work_bytes);
+            self.recycle_jobs(jobs);
+            self.cluster.recycle_outputs(&mut outputs);
+            self.ws.give(outputs);
+            self.give_rows(inputs_q);
+            self.give_rows(noise);
+            self.ws.give(norms);
+            return Err(e);
+        }
+        let out_shape = self.ws.take_shape(outputs[0].shape());
         let out_rest: usize = out_shape.iter().product();
         self.stats.bytes_from_gpus += (s_cols * out_rest * 8) as u64;
-        let mut out_vecs: Vec<Vec<F25>> = outputs.into_iter().map(Tensor::into_vec).collect();
         if self.scheme.has_integrity() {
             self.stats.integrity_checks += 1;
         }
         let sp = dk_obs::span(dk_obs::Stage::Decode, batch, ordinal);
-        let decoded = match self.decode_forward_repairing(&jobs, &mut out_vecs, layer_id) {
+        let decoded = match self.decode_forward_repairing(&jobs, &mut outputs, layer_id) {
             Ok(d) => d,
             Err(e) => {
                 // Don't leak the charged working set on an aborted
@@ -749,6 +817,10 @@ impl<X: GpuExec> DarknightSession<X> {
                 // `current_bytes` monotonically under attack and turn
                 // every later honest batch into pure paging traffic.
                 let _ = self.enclave.release(work_bytes);
+                self.recycle_jobs(jobs);
+                self.cluster.recycle_outputs(&mut outputs);
+                self.ws.give(outputs);
+                self.ws.give_shape(out_shape);
                 self.give_rows(inputs_q);
                 self.give_rows(noise);
                 self.ws.give(norms);
@@ -756,14 +828,20 @@ impl<X: GpuExec> DarknightSession<X> {
             }
         };
         drop(sp);
+        // Close the round-trip: worker outputs return to the worker
+        // pools that produced them, the job encodings to the session's.
+        self.cluster.recycle_outputs(&mut outputs);
+        self.ws.give(outputs);
+        self.recycle_jobs(jobs);
         self.stats.decoded_elems += (decoded.len() * out_rest) as u64;
         let mut scales: Vec<f32> = self.ws.take_cleared(k);
         scales.extend(norms.iter().map(|&n| norm_w * n));
         let norm_x0 = norms[0];
         self.ws.give(norms);
-        let ctx = if per_sample {
-            // Inference retains nothing — no backward pass will revisit
-            // this layer — so the whole working set is released and the
+        let ctx = if !retain {
+            // Non-retaining passes (inference in either scale mode)
+            // never revisit this layer with a backward spot check, so
+            // the whole working set is released and the
             // quantization/noise rows go straight back to the pool.
             self.enclave.release(work_bytes)?;
             self.give_rows(inputs_q);
@@ -800,11 +878,11 @@ impl<X: GpuExec> DarknightSession<X> {
         layer_id: u64,
         phase: &'static str,
         jobs: &[LinearJob],
-        results: Vec<dk_gpu::WorkerResult>,
-    ) -> Result<Vec<Tensor<F25>>, DarknightError> {
-        let mut outputs = Vec::with_capacity(results.len());
+        results: &mut Vec<dk_gpu::WorkerResult>,
+        outputs: &mut Vec<Tensor<F25>>,
+    ) -> Result<(), DarknightError> {
         let mut repaired = false;
-        for (j, r) in results.into_iter().enumerate() {
+        for (j, r) in results.drain(..).enumerate() {
             match r {
                 Ok(t) => outputs.push(t),
                 Err(fault) => {
@@ -820,7 +898,7 @@ impl<X: GpuExec> DarknightSession<X> {
         if repaired {
             self.stats.recoveries += 1;
         }
-        Ok(outputs)
+        Ok(())
     }
 
     /// Decodes forward outputs, routing integrity violations through the
@@ -829,15 +907,15 @@ impl<X: GpuExec> DarknightSession<X> {
     fn decode_forward_repairing(
         &mut self,
         jobs: &[LinearJob],
-        out_vecs: &mut Vec<Vec<F25>>,
+        outputs: &mut Vec<Tensor<F25>>,
         layer_id: u64,
     ) -> Result<Vec<Vec<F25>>, DarknightError> {
-        match self.scheme.decode_forward_ws(out_vecs, layer_id, &mut self.ws) {
+        match self.scheme.decode_forward_ws(outputs, layer_id, &mut self.ws) {
             Ok(d) => Ok(d),
             Err(violation @ DarknightError::IntegrityViolation { .. }) if self.cfg.recovery() => {
                 let _sp =
                     dk_obs::span(dk_obs::Stage::Repair, self.batch_index, layer_id - self.ctx_base);
-                let outcome = crate::recovery::localize_and_repair(jobs, out_vecs);
+                let outcome = crate::recovery::localize_and_repair(jobs, outputs);
                 if outcome.faulty.is_empty() {
                     // Detection without a localizable fault should not
                     // happen with explicit jobs; surface the original.
@@ -847,7 +925,7 @@ impl<X: GpuExec> DarknightSession<X> {
                     self.quarantine(w);
                 }
                 self.stats.recoveries += 1;
-                self.scheme.decode_forward_ws(out_vecs, layer_id, &mut self.ws)
+                self.scheme.decode_forward_ws(outputs, layer_id, &mut self.ws)
             }
             Err(e) => Err(e),
         }
@@ -858,6 +936,7 @@ impl<X: GpuExec> DarknightSession<X> {
         layer_id: u64,
         conv: &mut Conv2d,
         x: &Tensor<f32>,
+        train: bool,
         per_sample: bool,
     ) -> Result<Tensor<f32>, DarknightError> {
         let shape = *conv.shape();
@@ -870,10 +949,13 @@ impl<X: GpuExec> DarknightSession<X> {
             &shape.weight_shape(),
             &enc_shape,
             per_sample,
+            train && !per_sample,
         )?;
         let k = self.cfg.k();
         let q = self.cfg.quant();
-        let mut y = self.ws.take_tensor(&[k, out_shape[1], out_shape[2], out_shape[3]]);
+        let y_shape = [k, out_shape[1], out_shape[2], out_shape[3]];
+        self.ws.give_shape(out_shape);
+        let mut y = self.ws.take_tensor(&y_shape);
         for (i, (dec, &scale)) in decoded.iter().zip(&scales).enumerate() {
             for (dst, &v) in y.batch_item_mut(i).iter_mut().zip(dec) {
                 *dst = q.dequantize_product(v) as f32 * scale;
@@ -894,12 +976,13 @@ impl<X: GpuExec> DarknightSession<X> {
         layer_id: u64,
         dense: &mut Dense,
         x: &Tensor<f32>,
+        train: bool,
         per_sample: bool,
     ) -> Result<Tensor<f32>, DarknightError> {
         let in_f = dense.in_features();
         let out_f = dense.out_features();
         let enc_shape = [1, in_f];
-        let (decoded, scales, _, ctx) = self.offload_forward(
+        let (decoded, scales, out_shape, ctx) = self.offload_forward(
             layer_id,
             x,
             dense.weights(),
@@ -907,7 +990,9 @@ impl<X: GpuExec> DarknightSession<X> {
             &[out_f, in_f],
             &enc_shape,
             per_sample,
+            train && !per_sample,
         )?;
+        self.ws.give_shape(out_shape);
         let k = self.cfg.k();
         let q = self.cfg.quant();
         let mut y = self.ws.take_tensor(&[k, out_f]);
@@ -1096,18 +1181,19 @@ impl<X: GpuExec> DarknightSession<X> {
             (0..s_sq).map(|j| wgrad_job(delta_q.clone(), self.scheme.beta_row(j))).collect();
         self.stats.linear_jobs += jobs.len() as u64;
         self.stats.bytes_to_gpus += (s_sq * delta_q.len() * 8) as u64;
-        let results = self
-            .cluster
-            .execute(layer_id, &jobs)
-            .map_err(|fault| DarknightError::GpuFault { layer_id, phase: "backward", fault })?;
+        let mut results: Vec<dk_gpu::WorkerResult> = self.ws.take_cleared(s_sq);
+        if let Err(fault) = self.cluster.execute_into(layer_id, &jobs, &mut results) {
+            self.ws.give(results);
+            return Err(DarknightError::GpuFault { layer_id, phase: "backward", fault });
+        }
         // Fold out lost/refusing workers. Backward jobs are `*Stored`
         // (they run against state the worker holds), so the TEE cannot
         // replay the job itself — instead it reconstructs the worker's
         // encoding x̄_j from the retained context (determinism by
         // derivation) and computes Eq_j explicitly.
-        let mut eqs: Vec<Tensor<F25>> = Vec::with_capacity(s_sq);
+        let mut eqs: Vec<Tensor<F25>> = self.ws.take_cleared(s_sq);
         let mut repaired = false;
-        for (j, r) in results.into_iter().enumerate() {
+        for (j, r) in results.drain(..).enumerate() {
             match r {
                 Ok(t) => eqs.push(t),
                 Err(fault) => {
@@ -1127,6 +1213,7 @@ impl<X: GpuExec> DarknightSession<X> {
         if repaired {
             self.stats.recoveries += 1;
         }
+        self.ws.give(results);
         drop(sp);
         let sp = dk_obs::span(dk_obs::Stage::Verify, batch, bwd_ordinal);
         let eq_len = eqs[0].len();
@@ -1179,6 +1266,7 @@ impl<X: GpuExec> DarknightSession<X> {
                     }
                 }
             }
+            self.give_rows(enc);
         } else if self.scheme.has_integrity() {
             // Spare-worker spot check (probabilistic, the base mode).
             self.stats.integrity_checks += 1;
@@ -1212,9 +1300,12 @@ impl<X: GpuExec> DarknightSession<X> {
         }
         drop(sp);
         let sp = dk_obs::span(dk_obs::Stage::Decode, batch, bwd_ordinal);
-        let eq_vecs: Vec<Vec<F25>> = eqs.into_iter().map(Tensor::into_vec).collect();
-        let grad_field = self.scheme.decode_backward_ws(&eq_vecs, &mut self.ws);
+        // The decode reads the Eq tensors in place; afterwards their
+        // buffers go back to the worker pools that produced them.
+        let grad_field = self.scheme.decode_backward_ws(&eqs, &mut self.ws);
         self.stats.decoded_elems += grad_field.len() as u64;
+        self.cluster.recycle_outputs(&mut eqs);
+        self.ws.give(eqs);
         drop(sp);
         // 3) Data gradient: unencoded offload (worker 0), redundantly
         //    recomputed on the spare when integrity is on.

@@ -39,6 +39,7 @@ pub const P61: u64 = (1 << 61) - 1;
 /// assert_eq!(x + F25::new(3), F25::ZERO);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Fp<const P: u64>(u64);
 
 /// DarKnight's data-plane field (`p = 2^25 − 39`).
@@ -223,10 +224,22 @@ impl<const P: u64> Fp<P> {
     ///
     /// Panics if any element is zero.
     pub fn batch_invert(xs: &mut [Self]) {
+        Self::batch_invert_with(xs, &mut Vec::with_capacity(xs.len()));
+    }
+
+    /// Scratch-reusing variant of [`Fp::batch_invert`]: the prefix
+    /// products go into the caller's `prefix` buffer (cleared first),
+    /// so warm callers invert without touching the allocator. Results
+    /// are bit-identical to [`Fp::batch_invert`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is zero.
+    pub fn batch_invert_with(xs: &mut [Self], prefix: &mut Vec<Self>) {
         if xs.is_empty() {
             return;
         }
-        let mut prefix = Vec::with_capacity(xs.len());
+        prefix.clear();
         let mut acc = Self::ONE;
         for &x in xs.iter() {
             assert!(!x.is_zero(), "batch_invert: zero element");

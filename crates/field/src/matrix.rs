@@ -116,6 +116,13 @@ impl<const P: u64> FieldMatrix<P> {
         &self.data
     }
 
+    /// Flat row-major mutable access to the elements — for callers that
+    /// refill a fixed-shape matrix in place (the per-batch coefficient
+    /// regeneration path).
+    pub fn as_mut_slice(&mut self) -> &mut [Fp<P>] {
+        &mut self.data
+    }
+
     /// A single row as a slice.
     ///
     /// # Panics
@@ -197,23 +204,35 @@ impl<const P: u64> FieldMatrix<P> {
     ///
     /// Panics if `v.len() != cols`.
     pub fn mul_vec(&self, v: &[Fp<P>]) -> Vec<Fp<P>> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// [`FieldMatrix::mul_vec`] writing into a caller buffer (cleared
+    /// first) — bit-identical results, allocation-free when `out` has
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec_into(&self, v: &[Fp<P>], out: &mut Vec<Fp<P>>) {
         assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
-        (0..self.rows)
-            .map(|r| {
-                let mut acc: u128 = 0;
-                let row = self.row(r);
-                for (a, b) in row.iter().zip(v) {
-                    acc += a.value() as u128 * b.value() as u128;
-                    // Defensive periodic reduction; with P < 2^61 and
-                    // realistic row lengths this never triggers, but it
-                    // keeps the routine correct for any P < 2^64.
-                    if acc >= u128::MAX / 2 {
-                        acc %= P as u128;
-                    }
+        out.clear();
+        out.extend((0..self.rows).map(|r| {
+            let mut acc: u128 = 0;
+            let row = self.row(r);
+            for (a, b) in row.iter().zip(v) {
+                acc += a.value() as u128 * b.value() as u128;
+                // Defensive periodic reduction; with P < 2^61 and
+                // realistic row lengths this never triggers, but it
+                // keeps the routine correct for any P < 2^64.
+                if acc >= u128::MAX / 2 {
+                    acc %= P as u128;
                 }
-                Fp::reduce_u128(acc)
-            })
-            .collect()
+            }
+            Fp::reduce_u128(acc)
+        }));
     }
 
     /// Gauss–Jordan inverse. Returns `None` if the matrix is singular.
@@ -231,11 +250,45 @@ impl<const P: u64> FieldMatrix<P> {
     pub fn inverse(&self) -> Option<Self> {
         assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
         let n = self.rows;
-        let mut a = self.clone();
-        let mut inv = Self::identity(n);
+        let mut inv = Self::zeros(n, n);
+        let mut scratch = Self::zeros(n, n);
+        self.inverse_into(&mut inv, &mut scratch, &mut Vec::new(), &mut Vec::new())
+            .then_some(inv)
+    }
+
+    /// Allocation-free variant of [`FieldMatrix::inverse`]: writes the
+    /// inverse into `inv`, using `scratch` as the working copy of `self`
+    /// and `pivots`/`prefix` as batch-inversion scratch. `inv` and
+    /// `scratch` must already have the matrix's dimensions. Returns
+    /// `false` (leaving `inv` in an unspecified state) if the matrix is
+    /// singular; on success `inv` is bit-identical to what
+    /// [`FieldMatrix::inverse`] returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or the buffer shapes differ.
+    pub fn inverse_into(
+        &self,
+        inv: &mut Self,
+        scratch: &mut Self,
+        pivots: &mut Vec<Fp<P>>,
+        prefix: &mut Vec<Fp<P>>,
+    ) -> bool {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        assert_eq!((inv.rows, inv.cols), (self.rows, self.cols), "inverse_into: inv shape");
+        assert_eq!((scratch.rows, scratch.cols), (self.rows, self.cols), "inverse_into: scratch");
+        let n = self.rows;
+        let a = scratch;
+        a.data.copy_from_slice(&self.data);
+        inv.data.fill(Fp::ZERO);
+        for i in 0..n {
+            inv[(i, i)] = Fp::ONE;
+        }
         // Forward pass: division-free elimination below each pivot.
         for col in 0..n {
-            let pivot = (col..n).find(|&r| !a[(r, col)].is_zero())?;
+            let Some(pivot) = (col..n).find(|&r| !a[(r, col)].is_zero()) else {
+                return false;
+            };
             if pivot != col {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);
@@ -255,8 +308,9 @@ impl<const P: u64> FieldMatrix<P> {
             }
         }
         // One batched inversion of all pivots, then normalize each row.
-        let mut pivots: Vec<Fp<P>> = (0..n).map(|i| a[(i, i)]).collect();
-        Fp::batch_invert(&mut pivots);
+        pivots.clear();
+        pivots.extend((0..n).map(|i| a[(i, i)]));
+        Fp::batch_invert_with(pivots, prefix);
         for (r, &pinv) in pivots.iter().enumerate() {
             for c in 0..n {
                 a[(r, c)] *= pinv;
@@ -277,7 +331,7 @@ impl<const P: u64> FieldMatrix<P> {
                 a[(r, col)] = Fp::ZERO;
             }
         }
-        Some(inv)
+        true
     }
 
     /// Rank via Gaussian elimination.
@@ -333,6 +387,14 @@ impl<const P: u64> FieldMatrix<P> {
         for c in 0..self.cols {
             self.data.swap(a * self.cols + c, b * self.cols + c);
         }
+    }
+}
+
+impl<const P: u64> Default for FieldMatrix<P> {
+    /// An empty `0 × 0` matrix — a placeholder for scratch slots that
+    /// are shaped on first use.
+    fn default() -> Self {
+        Self { rows: 0, cols: 0, data: Vec::new() }
     }
 }
 

@@ -226,6 +226,44 @@ impl crate::GpuExec for GpuCluster {
         }
     }
 
+    fn execute_into(
+        &mut self,
+        tag: u64,
+        jobs: &[LinearJob],
+        out: &mut Vec<crate::WorkerResult>,
+    ) -> Result<(), crate::GpuError> {
+        if jobs.len() > self.workers.len() {
+            return Err(crate::GpuError::Oversubscribed {
+                jobs: jobs.len(),
+                workers: self.workers.len(),
+            });
+        }
+        if self.parallel {
+            // Parallel dispatch joins through fresh per-thread handles
+            // anyway; reuse the allocating path and drain.
+            out.append(&mut crate::GpuExec::execute(self, tag, jobs)?);
+        } else {
+            for (w, j) in self.workers.iter_mut().zip(jobs) {
+                out.push(if w.crash_pending() {
+                    Err(crate::GpuError::lost(w.id(), "worker crashed (simulated fail-stop)"))
+                } else {
+                    Ok(w.execute(j))
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn recycle_outputs(&mut self, outputs: &mut Vec<dk_linalg::Tensor<dk_field::F25>>) {
+        // Worker `i` produced `outputs[i]`; hand each buffer back to the
+        // workspace it was drawn from.
+        for (i, t) in outputs.drain(..).enumerate() {
+            if let Some(w) = self.workers.get_mut(i) {
+                w.recycle_output(t);
+            }
+        }
+    }
+
     fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> crate::WorkerResult {
         let w = &mut self.workers[id.0];
         if w.crash_pending() {

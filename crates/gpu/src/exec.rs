@@ -54,6 +54,37 @@ pub trait GpuExec {
     /// the caller decides whether to repair around them.
     fn execute(&mut self, tag: u64, jobs: &[LinearJob]) -> Result<Vec<WorkerResult>, GpuError>;
 
+    /// Like [`GpuExec::execute`], but appends the per-worker outcomes to
+    /// a caller-provided buffer instead of allocating a fresh `Vec` —
+    /// the session keeps that buffer in its workspace pool, so the
+    /// steady-state round-trip allocates nothing. The default forwards
+    /// to `execute` and drains; backends override to skip the
+    /// intermediate `Vec` entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GpuExec::execute`]; on error `out` is left
+    /// unchanged.
+    fn execute_into(
+        &mut self,
+        tag: u64,
+        jobs: &[LinearJob],
+        out: &mut Vec<WorkerResult>,
+    ) -> Result<(), GpuError> {
+        out.append(&mut self.execute(tag, jobs)?);
+        Ok(())
+    }
+
+    /// Hands decoded output tensors back to the backend so their buffers
+    /// can return to whichever pool produced them (worker workspaces for
+    /// in-process backends). Drains `outputs`; the `Vec` itself stays
+    /// with the caller for reuse. Best-effort — the default simply drops
+    /// the tensors, which is always correct (remote backends received
+    /// them over the wire and have no pool to return them to).
+    fn recycle_outputs(&mut self, outputs: &mut Vec<Tensor<F25>>) {
+        outputs.clear();
+    }
+
     /// Executes a single job on a specific worker (spot checks and the
     /// unencoded data-gradient offload).
     fn execute_on(&mut self, id: WorkerId, job: &LinearJob) -> WorkerResult;

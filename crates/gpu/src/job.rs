@@ -130,11 +130,12 @@ impl LinearJob {
     }
 
     /// Executes the job with all kernel scratch (im2col columns,
-    /// packed `Aᵀ` panels, gradient columns) drawn from `ws` — workers
-    /// own one workspace each, so steady-state job streams stop
-    /// re-allocating per job. The *output* tensor is still fresh: it
-    /// leaves the accelerator for the TEE and never returns to this
-    /// pool. Bit-for-bit identical to [`LinearJob::execute`].
+    /// packed `Aᵀ` panels, gradient columns) *and* the output tensor
+    /// drawn from `ws` — workers own one workspace each, so
+    /// steady-state job streams stop re-allocating per job. The output
+    /// leaves the accelerator for the TEE, which hands it back via
+    /// [`crate::GpuExec::recycle_outputs`] once decoded, closing the
+    /// loop. Bit-for-bit identical to [`LinearJob::execute`].
     ///
     /// # Panics
     ///
@@ -156,26 +157,46 @@ impl LinearJob {
                 let n = x.shape()[0];
                 let in_f = x.shape()[1];
                 let out_f = weights.shape()[0];
-                let mut y = vec![F25::ZERO; n * out_f];
-                matmul_a_bt_into(x.as_slice(), weights.as_slice(), &mut y, n, in_f, out_f);
-                Tensor::from_vec(&[n, out_f], y)
+                let mut y = ws.take_tensor::<F25>(&[n, out_f]);
+                matmul_a_bt_into(x.as_slice(), weights.as_slice(), y.as_mut_slice(), n, in_f, out_f);
+                y
             }
             LinearJob::DenseWeightGrad { delta, x } => {
                 let n = x.shape()[0];
                 let in_f = x.shape()[1];
                 let out_f = delta.shape()[1];
-                let mut dw = vec![F25::ZERO; out_f * in_f];
+                // Output buffer and matmul scratch both come from `ws`,
+                // so split the take to keep the borrows disjoint.
+                let mut dw = ws.take_zeroed::<F25>(out_f * in_f);
+                let shape = ws.take_shape(&[out_f, in_f]);
                 matmul_at_b_into(delta.as_slice(), x.as_slice(), &mut dw, out_f, n, in_f, ws);
-                Tensor::from_vec(&[out_f, in_f], dw)
+                Tensor::from_parts(shape, dw)
             }
             LinearJob::DenseBackwardData { weights, delta } => {
                 let n = delta.shape()[0];
                 let out_f = delta.shape()[1];
                 let in_f = weights.shape()[1];
-                let mut dx = vec![F25::ZERO; n * in_f];
-                matmul_into(delta.as_slice(), weights.as_slice(), &mut dx, n, out_f, in_f);
-                Tensor::from_vec(&[n, in_f], dx)
+                let mut dx = ws.take_tensor::<F25>(&[n, in_f]);
+                matmul_into(delta.as_slice(), weights.as_slice(), dx.as_mut_slice(), n, out_f, in_f);
+                dx
             }
+        }
+    }
+
+    /// Consumes the job, returning the owned encoded-input tensor for
+    /// variants that carry one (the TEE recycles it into its workspace
+    /// once the batch's outputs are decoded). Variants whose inputs are
+    /// shared (`Arc`) or stored worker-side return `None`.
+    pub fn into_input(self) -> Option<Tensor<F25>> {
+        match self {
+            LinearJob::ConvForward { x, .. }
+            | LinearJob::ConvWeightGrad { x, .. }
+            | LinearJob::DenseForward { x, .. }
+            | LinearJob::DenseWeightGrad { x, .. } => Some(x),
+            LinearJob::ConvBackwardData { .. }
+            | LinearJob::DenseBackwardData { .. }
+            | LinearJob::ConvWeightGradStored { .. }
+            | LinearJob::DenseWeightGradStored { .. } => None,
         }
     }
 

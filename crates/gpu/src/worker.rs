@@ -16,6 +16,15 @@ impl std::fmt::Display for WorkerId {
     }
 }
 
+/// Cap on the retained adversary-view record. The privacy audits
+/// consume a few dozen observations; an unbounded log would grow for
+/// the whole lifetime of a training run. Beyond the cap the record
+/// wraps and overwrites the oldest entries — the retained view is a
+/// window of recent traffic, which is exactly what the chi-square
+/// uniformity audit samples. The backing `Vec` is reserved up front so
+/// the record never reallocates, keeping warm steps allocation-steady.
+const OBSERVATION_CAP: usize = 4096;
+
 /// A simulated accelerator.
 ///
 /// Besides executing jobs, the worker does two things a real deployment
@@ -25,7 +34,8 @@ impl std::fmt::Display for WorkerId {
 ///   the backward pass can reuse them without re-transmission (§6 of the
 ///   paper: "our current implementation of DarKnight stores these
 ///   encoded inputs within the GPU memory");
-/// * it **records every masked vector it observes**, which is exactly
+/// * it **records every masked vector it observes** (up to
+///   [`OBSERVATION_CAP`], then a wrapping window), which is exactly
 ///   the adversary's view — the collusion analyzer consumes this.
 #[derive(Debug, Clone)]
 pub struct GpuWorker {
@@ -34,6 +44,8 @@ pub struct GpuWorker {
     rng: FieldRng,
     stored_encodings: HashMap<u64, Tensor<F25>>,
     observations: Vec<Vec<F25>>,
+    /// Ring cursor into `observations` once the record is at capacity.
+    obs_next: usize,
     jobs_executed: u64,
     macs_executed: u64,
     latency: Option<crate::LatencyModel>,
@@ -51,7 +63,8 @@ impl GpuWorker {
             behavior,
             rng: FieldRng::seed_from(seed ^ (id.0 as u64).wrapping_mul(0x9E37_79B9)),
             stored_encodings: HashMap::new(),
-            observations: Vec::new(),
+            observations: Vec::with_capacity(OBSERVATION_CAP),
+            obs_next: 0,
             jobs_executed: 0,
             macs_executed: 0,
             latency: None,
@@ -92,7 +105,16 @@ impl GpuWorker {
     /// Stores a forward encoding for later backward reuse and records it
     /// as an observation.
     pub fn store_encoding(&mut self, layer_id: u64, encoding: Tensor<F25>) {
-        self.observations.push(encoding.as_slice().to_vec());
+        if self.observations.len() < OBSERVATION_CAP {
+            self.observations.push(encoding.as_slice().to_vec());
+        } else {
+            // At capacity: overwrite the oldest slot in place, reusing
+            // its allocation when the new observation fits.
+            let slot = &mut self.observations[self.obs_next];
+            slot.clear();
+            slot.extend_from_slice(encoding.as_slice());
+            self.obs_next = (self.obs_next + 1) % OBSERVATION_CAP;
+        }
         self.stored_encodings.insert(layer_id, encoding);
     }
 
@@ -177,6 +199,13 @@ impl GpuWorker {
             std::thread::sleep(l.delay(job.macs()));
         }
         self.behavior.corrupt(honest, &mut self.rng)
+    }
+
+    /// Returns an output tensor this worker produced back to its
+    /// scratch pool, so the next job's output reuses the buffer instead
+    /// of allocating. Called by the TEE side once a batch is decoded.
+    pub fn recycle_output(&mut self, t: Tensor<F25>) {
+        self.ws.give_tensor(t);
     }
 
     /// Everything this worker has observed (the adversary's view).

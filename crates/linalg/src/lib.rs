@@ -9,11 +9,14 @@
 //!
 //! The dense kernels run over the unreduced accumulator of
 //! [`Scalar::Acc`] (delayed modular reduction with Barrett/Mersenne
-//! folds in the field domain), hold four independent accumulator lanes
-//! in registers, and fan out across rows with `std::thread::scope` on
-//! large shapes (`DK_THREADS` / [`set_max_threads`] bound the
-//! fan-out). Results are bit-for-bit identical to the per-MAC-reducing
-//! [`reference`] kernels.
+//! folds in the field domain), hold a sixteen-wide struct-of-arrays
+//! strip of independent accumulator lanes in registers with the fold
+//! boundary hoisted out of the lane loop (so the autovectorizer emits
+//! real vector ops for both domains), and fan out across rows on a
+//! lazily-started persistent worker pool on large shapes (`DK_THREADS`
+//! / [`set_max_threads`] bound the fan-out). Results are bit-for-bit
+//! identical to the per-MAC-reducing [`reference`] kernels at every
+//! thread count.
 //!
 //! Every kernel also comes in a `_into` form writing into
 //! caller-provided buffers; paired with the [`Workspace`] buffer pool
@@ -52,7 +55,9 @@ pub mod ops;
 pub mod pool;
 pub mod reference;
 pub mod scalar;
+mod simd;
 pub mod tensor;
+mod threadpool;
 pub mod threads;
 pub mod workspace;
 
@@ -64,5 +69,5 @@ pub use matmul::{
 pub use pool::Pool2dShape;
 pub use scalar::Scalar;
 pub use tensor::Tensor;
-pub use threads::{max_threads, set_max_threads};
+pub use threads::{max_threads, set_max_threads, would_parallelize, PAR_MAC_THRESHOLD};
 pub use workspace::{Workspace, WorkspaceStats};

@@ -10,14 +10,20 @@
 //! All kernels run over the **unreduced accumulator** of
 //! [`Scalar::Acc`]: in the field domain, per-MAC `%` is replaced by
 //! delayed reduction with one Barrett (or Mersenne shift-add) fold per
-//! [`Scalar::FOLD_INTERVAL`] products. The inner loops are unrolled
-//! into [`LANES`] **independent accumulator lanes** — four output
-//! columns held in registers across the whole reduction dimension — so
-//! the accumulator strip never round-trips through memory per product
-//! and the compiler can keep the lanes in SIMD registers. Large
-//! products fan out across row ranges with `std::thread::scope` (capped
-//! by [`crate::threads::max_threads`], i.e. the `DK_THREADS` knob;
-//! small shapes stay serial).
+//! [`Scalar::FOLD_INTERVAL`] products. The inner loops are structured
+//! as **struct-of-arrays lane strips**: [`LANES`] independent
+//! accumulators (one per output column) held in a register array, with
+//! the fold boundary hoisted *out* of the lane loop — the body the
+//! autovectorizer sees is a branch-free `acc[l] += a · b[l]` over a
+//! constant trip count, which it lowers to real vector
+//! multiply-accumulates for both the float and the Barrett/Mersenne
+//! paths. The `A·Bᵀ` dot orientation vectorizes along the reduction
+//! dimension instead ([`Scalar::EXACT`] domains only; float dots keep
+//! the reference recurrence order bit-for-bit — see [`a_bt_block`]).
+//!
+//! Large products fan out across row ranges on the persistent
+//! [`crate::threadpool`] (capped by [`crate::threads::max_threads`],
+//! i.e. the `DK_THREADS` knob; small shapes stay serial).
 //!
 //! Every kernel also has a `_into` variant writing into a
 //! caller-provided buffer; the classic signatures are thin allocating
@@ -27,142 +33,228 @@
 //! never materializes `Aᵀ`: it packs `k × AT_PANEL` panels of `A` into
 //! a workspace-owned scratch strip, one panel per tile of output rows.
 //!
-//! Every element is produced by the identical ascending-`k` recurrence
-//! the naive kernels use — the lane unroll only changes *which column*
-//! a register serves, never the order of any element's accumulation —
-//! so results are **bit-for-bit identical** to [`crate::reference`] in
+//! Results are **bit-for-bit identical** to [`crate::reference`] in
 //! both domains and independent of the thread count — see
 //! `tests/kernel_equivalence.rs` and `tests/threaded_determinism.rs`.
+//! In the outer-product orientations the lane strip only changes *which
+//! column* a register serves, never the order of any element's
+//! ascending-`k` recurrence; in the dot orientation the field kernels
+//! do reassociate across lanes, which is value-transparent because
+//! field arithmetic is exact ([`Scalar::EXACT`]), while the float
+//! kernels never reassociate.
 
 use crate::scalar::Scalar;
+use crate::threadpool::{self, SendPtr};
 use crate::threads::workers_for;
 use crate::workspace::Workspace;
 
-/// Independent accumulator lanes held in registers by the dot-product
-/// inner loops, and the depth of the outer-product kernel's register
-/// blocking over the reduction dimension.
-const LANES: usize = 4;
-
-/// Output-column tile width of the outer-product kernel: the live
-/// accumulator strip (≤ 16 B/element, on the stack — no allocation)
-/// plus [`LANES`] `B` row segments stay comfortably inside L1.
-const COL_TILE: usize = 512;
+/// Width of the struct-of-arrays accumulator strip: independent
+/// [`Scalar::Acc`] lanes held in registers across the whole reduction
+/// dimension. Sixteen `u64` lanes are two AVX-512 registers, four AVX2
+/// registers, or eight SSE2 registers — within budget everywhere.
+pub(crate) const LANES: usize = 16;
 
 /// Output rows packed per [`matmul_at_b_into`] panel: bounds the
 /// scratch strip to `AT_PANEL × k` elements regardless of `m`.
 const AT_PANEL: usize = 64;
 
-/// Flushes [`LANES`] pending `A` rows through the accumulator strip in
-/// one pass: per strip element the four multiply-accumulates chain in
-/// ascending-`p` order (`(((acc + a₀b₀) + a₁b₁) + a₂b₂) + a₃b₃`), so
-/// every element sees the identical recurrence the single-row loop
-/// produces while the strip is loaded and stored once per four
-/// products instead of once per product.
+/// Expands `$body` once per lane with `$l` bound to a **const** index.
+///
+/// Every access to the accumulator array must go through a constant
+/// index (no slices, no iterators — their `&[T]` borrows make the array
+/// address escape): that is what lets SROA split the array into sixteen
+/// independent SSA scalars the SLP vectorizer packs into SIMD registers
+/// for the whole reduction loop, instead of round-tripping the strip
+/// through the stack per product.
+macro_rules! per_lane {
+    ($l:ident => $body:expr) => {{
+        macro_rules! arm {
+            ($idx:expr) => {{
+                const $l: usize = $idx;
+                $body;
+            }};
+        }
+        arm!(0);
+        arm!(1);
+        arm!(2);
+        arm!(3);
+        arm!(4);
+        arm!(5);
+        arm!(6);
+        arm!(7);
+        arm!(8);
+        arm!(9);
+        arm!(10);
+        arm!(11);
+        arm!(12);
+        arm!(13);
+        arm!(14);
+        arm!(15);
+    }};
+}
+
+/// One full-width lane strip: `cs[l] += arow · B[:, j+l]` for
+/// `l = 0..LANES`.
+///
+/// The `k` loop is chunked at [`Scalar::FOLD_INTERVAL`] *positions* so
+/// no lane ever exceeds its unreduced-product budget, and the fold runs
+/// between chunks — outside the hot loop. Inside a chunk the body is
+/// one zero-test on `a` (hoisted over all lanes) and a branch-free
+/// fully-unrolled lane group ([`per_lane`]) that stays in registers.
+/// Per output element the recurrence is the reference one: ascending
+/// `p`, zero rows of `A` skipped, which for floats is bit-identical to
+/// [`crate::reference::naive_matmul_acc`] (no folds ever fire:
+/// `FOLD_INTERVAL` is `usize::MAX`).
 #[inline]
-fn flush_quad<T: Scalar>(
-    acc: &mut [T::Acc],
-    av: &[T; LANES],
-    b: &[T],
-    pq: &[usize; LANES],
-    n: usize,
-    j0: usize,
-) {
-    let jw = acc.len();
-    let b0 = &b[pq[0] * n + j0..][..jw];
-    let b1 = &b[pq[1] * n + j0..][..jw];
-    let b2 = &b[pq[2] * n + j0..][..jw];
-    let b3 = &b[pq[3] * n + j0..][..jw];
-    for ((((aj, &x0), &x1), &x2), &x3) in
-        acc.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-    {
-        *aj = T::mac(T::mac(T::mac(T::mac(*aj, av[0], x0), av[1], x1), av[2], x2), av[3], x3);
+fn lane_strip<T: Scalar>(arow: &[T], b: &[T], cs: &mut [T; LANES], n: usize, j: usize) {
+    if crate::simd::try_f25_lane_strip(arow, b, cs, n, j) {
+        return;
+    }
+    let k = arow.len();
+    let mut acc = [T::acc_zero(); LANES];
+    per_lane!(L => acc[L] = cs[L].acc_lift());
+    let mut p0 = 0;
+    while p0 < k {
+        let pend = k.min(p0.saturating_add(T::FOLD_INTERVAL));
+        for p in p0..pend {
+            let aip = arow[p];
+            if aip == T::zero() {
+                continue;
+            }
+            let brow: &[T; LANES] = b[p * n + j..p * n + j + LANES].try_into().unwrap();
+            per_lane!(L => acc[L] = T::mac(acc[L], aip, brow[L]));
+        }
+        p0 = pend;
+        if p0 < k {
+            per_lane!(L => acc[L] = T::acc_fold(acc[L]));
+        }
+    }
+    per_lane!(L => cs[L] = T::acc_finish(acc[L]));
+}
+
+/// The variable-width remainder strip (`cs.len() < LANES`): identical
+/// structure to [`lane_strip`], trip count taken from the slice.
+fn lane_strip_tail<T: Scalar>(arow: &[T], b: &[T], cs: &mut [T], n: usize, j: usize) {
+    let k = arow.len();
+    let w = cs.len();
+    debug_assert!(w < LANES);
+    let mut acc = [T::acc_zero(); LANES];
+    for (aj, &cj) in acc.iter_mut().zip(cs.iter()) {
+        *aj = cj.acc_lift();
+    }
+    let mut p0 = 0;
+    while p0 < k {
+        let pend = k.min(p0.saturating_add(T::FOLD_INTERVAL));
+        for p in p0..pend {
+            let aip = arow[p];
+            if aip == T::zero() {
+                continue;
+            }
+            let brow = &b[p * n + j..p * n + j + w];
+            for (aj, &bj) in acc[..w].iter_mut().zip(brow) {
+                *aj = T::mac(*aj, aip, bj);
+            }
+        }
+        p0 = pend;
+        if p0 < k {
+            for aj in acc[..w].iter_mut() {
+                *aj = T::acc_fold(*aj);
+            }
+        }
+    }
+    for (cj, &aj) in cs.iter_mut().zip(acc[..w].iter()) {
+        *cj = T::acc_finish(aj);
     }
 }
 
-/// Serial kernel: `C[rows×n] += A[rows×k] · B[k×n]` over one row range.
-///
-/// Per output element the recurrence is the reference one — ascending
-/// `p`, zero rows of `A` skipped, folds never letting more than
-/// `FOLD_INTERVAL` unreduced products accumulate. The restructuring is
-/// purely mechanical: the accumulator strip lives on the stack (no
-/// per-call allocation), and nonzero `A` rows are buffered and flushed
-/// [`LANES`] at a time ([`flush_quad`]) so the strip round-trips
-/// through cache once per four products.
+/// Serial kernel: `C[rows×n] += A[rows×k] · B[k×n]` over one row range,
+/// as [`LANES`]-wide register strips plus one remainder strip per row.
 fn matmul_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
-    let mut strip = [T::acc_zero(); COL_TILE];
-    // Fold early enough that a whole quad never overshoots the
-    // accumulator's capacity; extra folds are value-transparent.
-    let fold_limit = T::FOLD_INTERVAL.saturating_sub(LANES - 1);
     for i in 0..rows {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
-        let mut j0 = 0;
-        while j0 < n {
-            let jw = (n - j0).min(COL_TILE);
-            let acc = &mut strip[..jw];
-            for (aj, &cj) in acc.iter_mut().zip(&crow[j0..j0 + jw]) {
-                *aj = cj.acc_lift();
-            }
-            let mut unfolded = 0usize;
-            let mut av = [T::zero(); LANES];
-            let mut pq = [0usize; LANES];
-            let mut pending = 0usize;
-            for (p, &aip) in arow.iter().enumerate() {
-                if aip == T::zero() {
-                    continue;
-                }
-                av[pending] = aip;
-                pq[pending] = p;
-                pending += 1;
-                if pending == LANES {
-                    if unfolded >= fold_limit {
-                        for aj in acc.iter_mut() {
-                            *aj = T::acc_fold(*aj);
-                        }
-                        unfolded = 0;
-                    }
-                    flush_quad(acc, &av, b, &pq, n, j0);
-                    unfolded += LANES;
-                    pending = 0;
-                }
-            }
-            for t in 0..pending {
-                if unfolded >= fold_limit {
-                    for aj in acc.iter_mut() {
-                        *aj = T::acc_fold(*aj);
-                    }
-                    unfolded = 0;
-                }
-                let brow = &b[pq[t] * n + j0..][..jw];
-                for (aj, &bj) in acc.iter_mut().zip(brow) {
-                    *aj = T::mac(*aj, av[t], bj);
-                }
-                unfolded += 1;
-            }
-            for (cj, &aj) in crow[j0..j0 + jw].iter_mut().zip(acc.iter()) {
-                *cj = T::acc_finish(aj);
-            }
-            j0 += jw;
+        let mut j = 0;
+        while j + LANES <= n {
+            let cs: &mut [T; LANES] = (&mut crow[j..j + LANES]).try_into().unwrap();
+            lane_strip(arow, b, cs, n, j);
+            j += LANES;
+        }
+        if j < n {
+            lane_strip_tail(arow, b, &mut crow[j..], n, j);
         }
     }
 }
 
-/// Serial kernel: `C[rows×n] = A[rows×k] · Bᵀ` with `B` stored `n×k`.
+/// Exact-domain dot kernel: `C[rows×n] = A[rows×k] · Bᵀ`, vectorized
+/// along the **reduction** dimension.
 ///
-/// Dot-product orientation: [`LANES`] rows of `B` are consumed per pass
-/// over the `A` row, each with its own register accumulator. The
-/// zero-skip is gated on [`Scalar::SKIP_ZEROS`] exactly like the
-/// reference single-lane loop.
-fn a_bt_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
+/// Each dot product runs [`LANES`] sub-accumulators striding `k`, so
+/// both operand loads are contiguous SIMD loads. Chunks are capped at
+/// [`Scalar::FOLD_INTERVAL`] *total* positions so the final lane merge
+/// ([`Scalar::acc_add`], a raw integer sum) stays within the combined
+/// capacity contract; this reassociates the reduction, which is
+/// value-exact in a field and therefore still bit-identical to
+/// [`crate::reference::naive_matmul_a_bt`]. Only [`Scalar::EXACT`]
+/// domains take this path.
+fn a_bt_block_exact<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
+    debug_assert!(T::EXACT && T::FOLD_INTERVAL >= LANES);
+    // Positions per fold chunk, aligned down to the lane width; the
+    // *sum* of all lanes' products per chunk stays within one
+    // accumulator's budget.
+    let chunk = T::FOLD_INTERVAL - T::FOLD_INTERVAL % LANES;
+    let kv = k - k % LANES;
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cj) in c[i * n..(i + 1) * n].iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = [T::acc_zero(); LANES];
+            let mut p0 = 0;
+            let mut merged = T::acc_zero();
+            while p0 < kv {
+                let pend = kv.min(p0.saturating_add(chunk));
+                for p in (p0..pend).step_by(LANES) {
+                    let av: &[T; LANES] = arow[p..p + LANES].try_into().unwrap();
+                    let bv: &[T; LANES] = brow[p..p + LANES].try_into().unwrap();
+                    per_lane!(L => acc[L] = T::mac(acc[L], av[L], bv[L]));
+                }
+                p0 = pend;
+                if p0 < kv {
+                    per_lane!(L => acc[L] = T::acc_fold(acc[L]));
+                }
+            }
+            // Merge the lanes (raw sums — within the chunk's combined
+            // budget), then run the scalar tail on the folded result.
+            per_lane!(L => merged = T::acc_add(merged, acc[L]));
+            if kv < k {
+                merged = T::acc_fold(merged);
+                for p in kv..k {
+                    merged = T::mac(merged, arow[p], brow[p]);
+                }
+            }
+            *cj = T::acc_finish(merged);
+        }
+    }
+}
+
+/// Ordered dot kernel: `C[rows×n] = A[rows×k] · Bᵀ` for domains where
+/// reassociation changes results (floats).
+///
+/// Four rows of `B` are consumed per pass over the `A` row, each with
+/// its own register accumulator, so every element keeps the exact
+/// reference recurrence: ascending `p`, zero-skip gated on
+/// [`Scalar::SKIP_ZEROS`] (off for floats — `0.0 · ∞ = NaN` must
+/// propagate bit-identically to the naive kernel).
+fn a_bt_block_ordered<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
+    const DOTS: usize = 4;
     for i in 0..rows {
         let arow = &a[i * k..(i + 1) * k];
         let mut j = 0;
-        while j + LANES <= n {
+        while j + DOTS <= n {
             let b0 = &b[j * k..(j + 1) * k];
             let b1 = &b[(j + 1) * k..(j + 2) * k];
             let b2 = &b[(j + 2) * k..(j + 3) * k];
             let b3 = &b[(j + 3) * k..(j + 4) * k];
-            let mut acc = [T::acc_zero(); LANES];
+            let mut acc = [T::acc_zero(); DOTS];
             let mut unfolded = 0usize;
             for (p, &x) in arow.iter().enumerate() {
                 if T::SKIP_ZEROS && x == T::zero() {
@@ -183,7 +275,7 @@ fn a_bt_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n
             for (l, &aj) in acc.iter().enumerate() {
                 c[i * n + j + l] = T::acc_finish(aj);
             }
-            j += LANES;
+            j += DOTS;
         }
         while j < n {
             let brow = &b[j * k..(j + 1) * k];
@@ -206,8 +298,22 @@ fn a_bt_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n
     }
 }
 
-/// Runs `block` over `c` split into contiguous row ranges, in parallel
-/// when the shape clears the threading threshold.
+/// Serial kernel: `C[rows×n] = A[rows×k] · Bᵀ` with `B` stored `n×k`.
+fn a_bt_block<T: Scalar>(a: &[T], b: &[T], c: &mut [T], rows: usize, k: usize, n: usize) {
+    if crate::simd::try_f25_a_bt_block(a, b, c, rows, k, n) {
+        return;
+    }
+    if T::EXACT {
+        a_bt_block_exact(a, b, c, rows, k, n);
+    } else {
+        a_bt_block_ordered(a, b, c, rows, k, n);
+    }
+}
+
+/// Runs `block` over `c` split into contiguous row ranges, fanned out
+/// on the persistent pool when the shape clears the threading
+/// threshold. The task-index → row-range mapping is fixed by the shape
+/// alone, so results are identical at every thread count.
 fn run_row_partitioned<T, F>(a: &[T], c: &mut [T], m: usize, k: usize, n: usize, block: F)
 where
     T: Scalar,
@@ -219,11 +325,19 @@ where
         return;
     }
     let rows_per = m.div_ceil(workers);
-    std::thread::scope(|s| {
-        for (achunk, cchunk) in a.chunks(rows_per * k.max(1)).zip(c.chunks_mut(rows_per * n)) {
-            let block = &block;
-            s.spawn(move || block(achunk, cchunk, cchunk.len() / n));
-        }
+    let tasks = m.div_ceil(rows_per);
+    let cp = SendPtr(c.as_mut_ptr());
+    threadpool::run_tasks(tasks, &move |t| {
+        // Capture the whole `SendPtr` wrapper, not its raw-pointer field
+        // (closures capture disjoint fields, and a bare `*mut T` is not
+        // `Sync`).
+        let cp = cp;
+        let i0 = t * rows_per;
+        let rows = rows_per.min(m - i0);
+        let ach = &a[i0 * k..(i0 + rows) * k];
+        // SAFETY: each task owns the disjoint output rows `i0..i0+rows`.
+        let cch = unsafe { std::slice::from_raw_parts_mut(cp.0.add(i0 * n), rows * n) };
+        block(ach, cch, rows);
     });
 }
 
@@ -301,9 +415,9 @@ fn at_b_panels<T: Scalar>(
 /// `C[m×n] = Aᵀ · B` (with `A` stored `k×m`) into a caller-provided
 /// buffer, packing `A` columns into a `AT_PANEL × k` workspace-owned
 /// scratch strip per output-row tile instead of materializing the full
-/// `m×k` transpose. The packed panel is the layout the blocked
-/// [`matmul`] kernel wants, so the lane-unrolled delayed-reduction
-/// machinery applies to this orientation too.
+/// `m×k` transpose. The packed panel is the layout the lane-strip
+/// [`matmul`] kernel wants, so the delayed-reduction machinery applies
+/// to this orientation too.
 ///
 /// # Panics
 ///
@@ -334,18 +448,22 @@ pub fn matmul_at_b_into<T: Scalar>(
         return;
     }
     let rows_per = m.div_ceil(workers);
+    let tasks = m.div_ceil(rows_per);
     let panel = AT_PANEL.min(rows_per);
-    let mut scratch = ws.take_zeroed::<T>(workers * panel * k);
-    std::thread::scope(|s| {
-        for ((w, cchunk), sl) in
-            c.chunks_mut(rows_per * n).enumerate().zip(scratch.chunks_mut(panel * k))
-        {
-            s.spawn(move || {
-                let i0 = w * rows_per;
-                at_b_panels(a, b, cchunk, i0, cchunk.len() / n, m, k, n, sl);
-            });
-        }
-    });
+    let mut scratch = ws.take_zeroed::<T>(tasks * panel * k);
+    let cp = SendPtr(c.as_mut_ptr());
+    let sp = SendPtr(scratch.as_mut_ptr());
+    let job = move |t: usize| {
+        let (cp, sp) = (cp, sp);
+        let i0 = t * rows_per;
+        let rows = rows_per.min(m - i0);
+        // SAFETY: each task owns the disjoint output rows `i0..i0+rows`
+        // and its own `panel * k` slab of the scratch strip.
+        let cch = unsafe { std::slice::from_raw_parts_mut(cp.0.add(i0 * n), rows * n) };
+        let sl = unsafe { std::slice::from_raw_parts_mut(sp.0.add(t * panel * k), panel * k) };
+        at_b_panels(a, b, cch, i0, rows, m, k, n, sl);
+    };
+    threadpool::run_tasks(tasks, &job);
     ws.give(scratch);
 }
 
@@ -392,10 +510,11 @@ pub fn matmul_a_bt<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) ->
 /// Matrix–vector product `y[m] = A[m×k] · x[k]` into a caller-provided
 /// buffer.
 ///
-/// Routes through the `A·Bᵀ` dot kernel, whose zero-skip is gated on
-/// [`Scalar::SKIP_ZEROS`]: floats keep the branch-free loop of the
-/// original `matvec`, so non-finite inputs (`0.0 · ∞ = NaN`) propagate
-/// bit-identically to [`crate::reference::naive_matvec`].
+/// Routes through the `A·Bᵀ` dot kernel: fields take the
+/// reduction-vectorized exact path, floats keep the branch-free ordered
+/// loop of the original `matvec`, so non-finite inputs
+/// (`0.0 · ∞ = NaN`) propagate bit-identically to
+/// [`crate::reference::naive_matvec`].
 ///
 /// # Panics
 ///
@@ -451,10 +570,10 @@ mod tests {
     }
 
     #[test]
-    fn matmul_wide_output_crosses_lane_groups() {
-        // n > COL_TILE and far from a LANES multiple exercises the
-        // column tiling, the quad flush and the pending remainder.
-        let (m, k, n) = (2, 3, COL_TILE + LANES + 3);
+    fn matmul_wide_output_crosses_lane_strips() {
+        // n far from a LANES multiple exercises both the full strips
+        // and the variable-width remainder strip.
+        let (m, k, n) = (2, 3, 33 * LANES + 3);
         let a: Vec<F25> = (0..m * k).map(|i| F25::new(i as u64 + 1)).collect();
         let b: Vec<F25> = (0..k * n).map(|i| F25::new(i as u64 * 31 + 2)).collect();
         assert_eq!(matmul(&a, &b, m, k, n), naive(&a, &b, m, k, n));
@@ -496,6 +615,22 @@ mod tests {
         let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.1).collect();
         let b_nxk: Vec<f32> = (0..n * k).map(|i| i as f32 - 4.0).collect();
         let mut b_kxn = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b_kxn[p * n + j] = b_nxk[j * k + p];
+            }
+        }
+        assert_eq!(matmul_a_bt(&a, &b_nxk, m, k, n), matmul(&a, &b_kxn, m, k, n));
+    }
+
+    #[test]
+    fn a_bt_field_crosses_lane_and_tail_boundaries() {
+        // k straddling the vectorizable prefix (k % LANES != 0) plus a
+        // multi-strip n exercises the exact-domain dot path end to end.
+        let (m, k, n) = (3, 2 * LANES + 7, LANES + 5);
+        let a: Vec<F25> = (0..m * k).map(|i| F25::new(i as u64 * 17 + 3)).collect();
+        let b_nxk: Vec<F25> = (0..n * k).map(|i| F25::new(i as u64 * 23 + 9)).collect();
+        let mut b_kxn = vec![F25::ZERO; k * n];
         for j in 0..n {
             for p in 0..k {
                 b_kxn[p * n + j] = b_nxk[j * k + p];

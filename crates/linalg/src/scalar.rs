@@ -57,6 +57,18 @@ pub trait Scalar:
     /// unconditional in every domain.
     const SKIP_ZEROS: bool;
 
+    /// Whether arithmetic in this domain is **exact** — i.e. results do
+    /// not depend on association order or on where fold boundaries land.
+    ///
+    /// True for the prime fields (addition mod `p` is associative and
+    /// commutative, and [`Scalar::acc_fold`] is value-transparent), false
+    /// for floats (rounding makes `(a+b)+c ≠ a+(b+c)` in general).
+    /// Kernels may only reassociate reductions — e.g. split a dot product
+    /// across independent SIMD lanes and sum the lanes at the end — when
+    /// this is set; float paths must preserve the reference recurrence
+    /// order bit-for-bit, including NaN/∞ propagation.
+    const EXACT: bool;
+
     /// The additive identity.
     fn zero() -> Self;
     /// The multiplicative identity.
@@ -67,6 +79,16 @@ pub trait Scalar:
     fn acc_lift(self) -> Self::Acc;
     /// One unreduced multiply-accumulate: `acc + a·b`.
     fn mac(acc: Self::Acc, a: Self, b: Self) -> Self::Acc;
+    /// Adds two accumulators: the raw sum, with no reduction.
+    ///
+    /// Capacity contract: the *combined* number of unreduced products
+    /// (and lifts) across both operands since their last folds must
+    /// respect [`Scalar::FOLD_INTERVAL`], exactly as if all of them had
+    /// landed on a single accumulator. Only the [`Scalar::EXACT`]
+    /// kernels may use this (it reassociates the reduction); it exists
+    /// so a dot product split across SIMD lanes can merge the lanes
+    /// without one full modular reduction per lane.
+    fn acc_add(a: Self::Acc, b: Self::Acc) -> Self::Acc;
     /// Compresses the accumulator back into canonical range (a no-op for
     /// floats, a Barrett/Mersenne reduction for fields).
     fn acc_fold(acc: Self::Acc) -> Self::Acc;
@@ -81,6 +103,7 @@ macro_rules! impl_float_scalar {
             type Acc = $t;
             const FOLD_INTERVAL: usize = usize::MAX;
             const SKIP_ZEROS: bool = false;
+            const EXACT: bool = false;
 
             fn zero() -> Self {
                 0.0
@@ -99,6 +122,10 @@ macro_rules! impl_float_scalar {
             #[inline]
             fn mac(acc: Self, a: Self, b: Self) -> Self {
                 acc + a * b
+            }
+            #[inline]
+            fn acc_add(a: Self, b: Self) -> Self {
+                a + b
             }
             #[inline]
             fn acc_fold(acc: Self) -> Self {
@@ -128,6 +155,7 @@ impl Scalar for F25 {
     type Acc = u64;
     const FOLD_INTERVAL: usize = u64_fold_interval(P25);
     const SKIP_ZEROS: bool = true;
+    const EXACT: bool = true;
 
     fn zero() -> Self {
         Fp::ZERO
@@ -145,7 +173,15 @@ impl Scalar for F25 {
     }
     #[inline]
     fn mac(acc: u64, a: Self, b: Self) -> u64 {
-        acc + a.value() * b.value()
+        // Canonical values are < 2^25, so the product of the low 32 bits
+        // is the full product; phrasing it as a 32×32→64 multiply lets
+        // the autovectorizer use the packed widening multiply (`pmuludq`)
+        // instead of a full 64×64 lane multiply.
+        acc + (a.value() as u32 as u64) * (b.value() as u32 as u64)
+    }
+    #[inline]
+    fn acc_add(a: u64, b: u64) -> u64 {
+        a + b
     }
     #[inline]
     fn acc_fold(acc: u64) -> u64 {
@@ -164,6 +200,7 @@ impl Scalar for F61 {
     type Acc = u128;
     const FOLD_INTERVAL: usize = usize::MAX;
     const SKIP_ZEROS: bool = true;
+    const EXACT: bool = true;
 
     fn zero() -> Self {
         Fp::ZERO
@@ -183,6 +220,10 @@ impl Scalar for F61 {
     fn mac(acc: u128, a: Self, b: Self) -> u128 {
         let wide = a.value() as u128 * b.value() as u128;
         acc + ((wide & P61 as u128) + (wide >> 61))
+    }
+    #[inline]
+    fn acc_add(a: u128, b: u128) -> u128 {
+        a + b
     }
     #[inline]
     fn acc_fold(acc: u128) -> u128 {

@@ -1,0 +1,444 @@
+//! Hand-vectorized `F25` inner kernels for x86-64.
+//!
+//! The generic lane-strip kernels in [`crate::matmul`] are written so
+//! the autovectorizer *can* emit SIMD for them, and it does for floats —
+//! but for the 25-bit field the widening `u32×u32→u64` multiply chain
+//! defeats both the loop vectorizer (it keeps the accumulator strip
+//! stack-resident) and the SLP vectorizer (it leaves eight scalar
+//! `imul`s). The fix that actually sticks is ~60 lines of explicit
+//! SSE2: canonical `F25` values are `u64`s below `2^25`, so the packed
+//! widening multiply (`pmuludq`, which reads the low 32 bits of each
+//! 64-bit lane) computes two exact unreduced products per instruction,
+//! and `paddq` accumulates them — the same delayed-Barrett-fold
+//! schedule as the generic kernel, two lanes at a time. An AVX2 version
+//! (four lanes per instruction) is selected at runtime when the CPU has
+//! it.
+//!
+//! Dispatch is by `TypeId` from the generic kernels: the comparison is
+//! against a monomorphized constant, so every non-`F25` instantiation
+//! const-folds the check away and keeps its portable loop. Field
+//! arithmetic is exact ([`crate::Scalar::EXACT`]), so lane splits and
+//! fold placement cannot change any result: these kernels remain
+//! bit-for-bit identical to [`crate::reference`], which the
+//! `kernel_equivalence` and proptest suites check on every run.
+//!
+//! On non-x86-64 targets every `try_*` entry point returns `false` and
+//! the portable kernels run unchanged.
+
+use crate::matmul::LANES;
+use crate::scalar::Scalar;
+use std::any::TypeId;
+
+/// `true` iff the monomorphized element type is exactly [`dk_field::F25`].
+/// Compares two constants, so it folds to `true`/`false` at compile time.
+#[inline(always)]
+fn is_f25<T: 'static>() -> bool {
+    TypeId::of::<T>() == TypeId::of::<dk_field::F25>()
+}
+
+/// `C strip += arow · B[:, j..j+LANES]` — the full-width matmul strip.
+/// Returns `false` (caller runs the portable kernel) unless `T` is
+/// `F25` on x86-64.
+#[inline(always)]
+pub(crate) fn try_f25_lane_strip<T: Scalar>(
+    arow: &[T],
+    b: &[T],
+    cs: &mut [T; LANES],
+    n: usize,
+    j: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_f25::<T>() {
+            // SAFETY: `T == F25` (TypeId-checked), so these casts are
+            // identities; `F25` is `repr(transparent)` over `u64`.
+            let (arow, b, cs) = unsafe {
+                (
+                    cast_slice::<T>(arow),
+                    cast_slice::<T>(b),
+                    &mut *(cs as *mut [T; LANES] as *mut [dk_field::F25; LANES]),
+                )
+            };
+            // SAFETY: strip callers guarantee `j + LANES <= n` and
+            // `b.len() == k * n`; SSE2 is baseline on x86-64 and the
+            // AVX2 body only runs behind `is_x86_feature_detected!`.
+            unsafe {
+                if x86::has_avx2() {
+                    x86::lane_strip_avx2(arow, b, cs, n, j);
+                } else {
+                    x86::lane_strip_sse2(arow, b, cs, n, j);
+                }
+            }
+            return true;
+        }
+    }
+    let _ = (arow, b, cs, n, j);
+    false
+}
+
+/// `C[rows×n] = A[rows×k] · Bᵀ` (`B` stored `n×k`) — the dot-orientation
+/// block, vectorized along the reduction dimension. Returns `false`
+/// unless `T` is `F25` on x86-64.
+pub(crate) fn try_f25_a_bt_block<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    rows: usize,
+    k: usize,
+    n: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_f25::<T>() {
+            // SAFETY: identity casts as in `try_f25_lane_strip`.
+            let (a, b, c) = unsafe {
+                (
+                    cast_slice::<T>(a),
+                    cast_slice::<T>(b),
+                    std::slice::from_raw_parts_mut(c.as_mut_ptr() as *mut dk_field::F25, c.len()),
+                )
+            };
+            let avx2 = x86::has_avx2();
+            for i in 0..rows {
+                let arow = &a[i * k..(i + 1) * k];
+                for (j, cj) in c[i * n..(i + 1) * n].iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    // SAFETY: equal-length rows; AVX2 body is detection-gated.
+                    *cj = unsafe {
+                        if avx2 {
+                            x86::dot_avx2(arow, brow)
+                        } else {
+                            x86::dot_sse2(arow, brow)
+                        }
+                    };
+                }
+            }
+            return true;
+        }
+    }
+    let _ = (a, b, c, rows, k, n);
+    false
+}
+
+/// Reinterprets `&[T]` as `&[F25]`. Caller must have proven `T == F25`.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn cast_slice<T: 'static>(s: &[T]) -> &[dk_field::F25] {
+    debug_assert!(is_f25::<T>());
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const dk_field::F25, s.len()) }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::LANES;
+    use crate::scalar::Scalar;
+    use core::arch::x86_64::*;
+    use dk_field::F25;
+    use std::sync::OnceLock;
+
+    // The strip kernels hard-code their register allocation: 16 lanes
+    // are eight SSE2 or four AVX2 accumulators.
+    const _: () = assert!(LANES == 16);
+
+    /// One fold chunk: the per-lane unreduced-product budget of the
+    /// `u64` accumulator (2^14 for the 25-bit prime).
+    const CHUNK: usize = <F25 as Scalar>::FOLD_INTERVAL;
+
+    pub(super) fn has_avx2() -> bool {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+
+    /// Barrett-folds both `u64` lanes back to canonical range.
+    #[inline(always)]
+    unsafe fn fold2(v: __m128i) -> __m128i {
+        let mut t = [0u64; 2];
+        unsafe { _mm_storeu_si128(t.as_mut_ptr() as *mut __m128i, v) };
+        _mm_set_epi64x(
+            F25::reduce_u64(t[1]).value() as i64,
+            F25::reduce_u64(t[0]).value() as i64,
+        )
+    }
+
+    /// Reduces both lanes to canonical `F25` and stores them at `out`.
+    #[inline(always)]
+    unsafe fn finish2(out: *mut F25, v: __m128i) {
+        let mut t = [0u64; 2];
+        unsafe {
+            _mm_storeu_si128(t.as_mut_ptr() as *mut __m128i, v);
+            *out = F25::reduce_u64(t[0]);
+            *out.add(1) = F25::reduce_u64(t[1]);
+        }
+    }
+
+    /// SSE2 matmul strip: sixteen column accumulators in eight `xmm`
+    /// registers, two exact widening products per `pmuludq`.
+    ///
+    /// # Safety
+    ///
+    /// Requires `j + LANES <= n`, `b.len() >= arow.len() * n`.
+    pub(super) unsafe fn lane_strip_sse2(
+        arow: &[F25],
+        b: &[F25],
+        cs: &mut [F25; LANES],
+        n: usize,
+        j: usize,
+    ) {
+        unsafe {
+            let k = arow.len();
+            let cp = cs.as_ptr() as *const __m128i;
+            // acc starts from the lifted C strip, exactly like the
+            // portable kernel (`acc_lift` is the canonical value).
+            let mut a0 = _mm_loadu_si128(cp);
+            let mut a1 = _mm_loadu_si128(cp.add(1));
+            let mut a2 = _mm_loadu_si128(cp.add(2));
+            let mut a3 = _mm_loadu_si128(cp.add(3));
+            let mut a4 = _mm_loadu_si128(cp.add(4));
+            let mut a5 = _mm_loadu_si128(cp.add(5));
+            let mut a6 = _mm_loadu_si128(cp.add(6));
+            let mut a7 = _mm_loadu_si128(cp.add(7));
+            let mut p0 = 0;
+            while p0 < k {
+                let pend = k.min(p0.saturating_add(CHUNK));
+                for p in p0..pend {
+                    let aip = arow.get_unchecked(p).value();
+                    if aip == 0 {
+                        continue;
+                    }
+                    let av = _mm_set1_epi64x(aip as i64);
+                    let bp = b.as_ptr().add(p * n + j) as *const __m128i;
+                    a0 = _mm_add_epi64(a0, _mm_mul_epu32(av, _mm_loadu_si128(bp)));
+                    a1 = _mm_add_epi64(a1, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(1))));
+                    a2 = _mm_add_epi64(a2, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(2))));
+                    a3 = _mm_add_epi64(a3, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(3))));
+                    a4 = _mm_add_epi64(a4, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(4))));
+                    a5 = _mm_add_epi64(a5, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(5))));
+                    a6 = _mm_add_epi64(a6, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(6))));
+                    a7 = _mm_add_epi64(a7, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(7))));
+                }
+                p0 = pend;
+                if p0 < k {
+                    a0 = fold2(a0);
+                    a1 = fold2(a1);
+                    a2 = fold2(a2);
+                    a3 = fold2(a3);
+                    a4 = fold2(a4);
+                    a5 = fold2(a5);
+                    a6 = fold2(a6);
+                    a7 = fold2(a7);
+                }
+            }
+            let out = cs.as_mut_ptr();
+            finish2(out, a0);
+            finish2(out.add(2), a1);
+            finish2(out.add(4), a2);
+            finish2(out.add(6), a3);
+            finish2(out.add(8), a4);
+            finish2(out.add(10), a5);
+            finish2(out.add(12), a6);
+            finish2(out.add(14), a7);
+        }
+    }
+
+    /// Folds all four `u64` lanes back to canonical range.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold4(v: __m256i) -> __m256i {
+        let mut t = [0u64; 4];
+        unsafe { _mm256_storeu_si256(t.as_mut_ptr() as *mut __m256i, v) };
+        _mm256_set_epi64x(
+            F25::reduce_u64(t[3]).value() as i64,
+            F25::reduce_u64(t[2]).value() as i64,
+            F25::reduce_u64(t[1]).value() as i64,
+            F25::reduce_u64(t[0]).value() as i64,
+        )
+    }
+
+    /// AVX2 matmul strip: sixteen column accumulators in four `ymm`
+    /// registers, four exact widening products per `vpmuludq`.
+    ///
+    /// # Safety
+    ///
+    /// As [`lane_strip_sse2`], plus the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lane_strip_avx2(
+        arow: &[F25],
+        b: &[F25],
+        cs: &mut [F25; LANES],
+        n: usize,
+        j: usize,
+    ) {
+        unsafe {
+            let k = arow.len();
+            let cp = cs.as_ptr() as *const __m256i;
+            let mut a0 = _mm256_loadu_si256(cp);
+            let mut a1 = _mm256_loadu_si256(cp.add(1));
+            let mut a2 = _mm256_loadu_si256(cp.add(2));
+            let mut a3 = _mm256_loadu_si256(cp.add(3));
+            let mut p0 = 0;
+            while p0 < k {
+                let pend = k.min(p0.saturating_add(CHUNK));
+                for p in p0..pend {
+                    let aip = arow.get_unchecked(p).value();
+                    if aip == 0 {
+                        continue;
+                    }
+                    let av = _mm256_set1_epi64x(aip as i64);
+                    let bp = b.as_ptr().add(p * n + j) as *const __m256i;
+                    a0 = _mm256_add_epi64(a0, _mm256_mul_epu32(av, _mm256_loadu_si256(bp)));
+                    a1 = _mm256_add_epi64(a1, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(1))));
+                    a2 = _mm256_add_epi64(a2, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(2))));
+                    a3 = _mm256_add_epi64(a3, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(3))));
+                }
+                p0 = pend;
+                if p0 < k {
+                    a0 = fold4(a0);
+                    a1 = fold4(a1);
+                    a2 = fold4(a2);
+                    a3 = fold4(a3);
+                }
+            }
+            let mut t = [0u64; LANES];
+            _mm256_storeu_si256(t.as_mut_ptr() as *mut __m256i, a0);
+            _mm256_storeu_si256(t.as_mut_ptr().add(4) as *mut __m256i, a1);
+            _mm256_storeu_si256(t.as_mut_ptr().add(8) as *mut __m256i, a2);
+            _mm256_storeu_si256(t.as_mut_ptr().add(12) as *mut __m256i, a3);
+            for (c, &v) in cs.iter_mut().zip(t.iter()) {
+                *c = F25::reduce_u64(v);
+            }
+        }
+    }
+
+    /// Adds the two `u64` halves of an `xmm` accumulator pair-tree and
+    /// runs the scalar tail: shared epilogue of both dot kernels.
+    ///
+    /// Capacity: the caller guarantees at most [`CHUNK`] unreduced
+    /// products (plus up to one canonical carry-over per sub-lane) are
+    /// spread across the lanes being merged, which is within a single
+    /// accumulator's budget — the same reassociation argument as the
+    /// portable `a_bt_block_exact`, value-exact in a field.
+    #[inline(always)]
+    unsafe fn dot_tail(merged: __m128i, arow: &[F25], brow: &[F25], kv: usize) -> F25 {
+        let mut t = [0u64; 2];
+        unsafe { _mm_storeu_si128(t.as_mut_ptr() as *mut __m128i, merged) };
+        let mut acc = t[0] + t[1];
+        if kv < arow.len() {
+            acc = F25::acc_fold(acc);
+            for p in kv..arow.len() {
+                acc = F25::mac(acc, arow[p], brow[p]);
+            }
+        }
+        F25::acc_finish(acc)
+    }
+
+    /// SSE2 dot product along `k`: eight sub-accumulators in four `xmm`
+    /// registers, merged exactly at the end.
+    ///
+    /// # Safety
+    ///
+    /// Requires `brow.len() >= arow.len()`.
+    pub(super) unsafe fn dot_sse2(arow: &[F25], brow: &[F25]) -> F25 {
+        unsafe {
+            let k = arow.len();
+            const STRIDE: usize = 8;
+            let kv = k - k % STRIDE;
+            let mut a0 = _mm_setzero_si128();
+            let mut a1 = _mm_setzero_si128();
+            let mut a2 = _mm_setzero_si128();
+            let mut a3 = _mm_setzero_si128();
+            let chunk = CHUNK - CHUNK % STRIDE;
+            let mut p0 = 0;
+            while p0 < kv {
+                let pend = kv.min(p0.saturating_add(chunk));
+                let mut p = p0;
+                while p < pend {
+                    let ap = arow.as_ptr().add(p) as *const __m128i;
+                    let bp = brow.as_ptr().add(p) as *const __m128i;
+                    a0 = _mm_add_epi64(
+                        a0,
+                        _mm_mul_epu32(_mm_loadu_si128(ap), _mm_loadu_si128(bp)),
+                    );
+                    a1 = _mm_add_epi64(
+                        a1,
+                        _mm_mul_epu32(_mm_loadu_si128(ap.add(1)), _mm_loadu_si128(bp.add(1))),
+                    );
+                    a2 = _mm_add_epi64(
+                        a2,
+                        _mm_mul_epu32(_mm_loadu_si128(ap.add(2)), _mm_loadu_si128(bp.add(2))),
+                    );
+                    a3 = _mm_add_epi64(
+                        a3,
+                        _mm_mul_epu32(_mm_loadu_si128(ap.add(3)), _mm_loadu_si128(bp.add(3))),
+                    );
+                    p += STRIDE;
+                }
+                p0 = pend;
+                if p0 < kv {
+                    a0 = fold2(a0);
+                    a1 = fold2(a1);
+                    a2 = fold2(a2);
+                    a3 = fold2(a3);
+                }
+            }
+            let merged = _mm_add_epi64(_mm_add_epi64(a0, a1), _mm_add_epi64(a2, a3));
+            dot_tail(merged, arow, brow, kv)
+        }
+    }
+
+    /// AVX2 dot product along `k`: sixteen sub-accumulators in four
+    /// `ymm` registers.
+    ///
+    /// # Safety
+    ///
+    /// As [`dot_sse2`], plus the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_avx2(arow: &[F25], brow: &[F25]) -> F25 {
+        unsafe {
+            let k = arow.len();
+            const STRIDE: usize = 16;
+            let kv = k - k % STRIDE;
+            let mut a0 = _mm256_setzero_si256();
+            let mut a1 = _mm256_setzero_si256();
+            let mut a2 = _mm256_setzero_si256();
+            let mut a3 = _mm256_setzero_si256();
+            let chunk = CHUNK - CHUNK % STRIDE;
+            let mut p0 = 0;
+            while p0 < kv {
+                let pend = kv.min(p0.saturating_add(chunk));
+                let mut p = p0;
+                while p < pend {
+                    let ap = arow.as_ptr().add(p) as *const __m256i;
+                    let bp = brow.as_ptr().add(p) as *const __m256i;
+                    a0 = _mm256_add_epi64(
+                        a0,
+                        _mm256_mul_epu32(_mm256_loadu_si256(ap), _mm256_loadu_si256(bp)),
+                    );
+                    a1 = _mm256_add_epi64(
+                        a1,
+                        _mm256_mul_epu32(_mm256_loadu_si256(ap.add(1)), _mm256_loadu_si256(bp.add(1))),
+                    );
+                    a2 = _mm256_add_epi64(
+                        a2,
+                        _mm256_mul_epu32(_mm256_loadu_si256(ap.add(2)), _mm256_loadu_si256(bp.add(2))),
+                    );
+                    a3 = _mm256_add_epi64(
+                        a3,
+                        _mm256_mul_epu32(_mm256_loadu_si256(ap.add(3)), _mm256_loadu_si256(bp.add(3))),
+                    );
+                    p += STRIDE;
+                }
+                p0 = pend;
+                if p0 < kv {
+                    a0 = fold4(a0);
+                    a1 = fold4(a1);
+                    a2 = fold4(a2);
+                    a3 = fold4(a3);
+                }
+            }
+            let s = _mm256_add_epi64(_mm256_add_epi64(a0, a1), _mm256_add_epi64(a2, a3));
+            let merged =
+                _mm_add_epi64(_mm256_castsi256_si128(s), _mm256_extracti128_si256(s, 1));
+            dot_tail(merged, arow, brow, kv)
+        }
+    }
+}

@@ -224,6 +224,14 @@ impl<T: Scalar> Tensor<T> {
     }
 }
 
+/// Flat-slice view, so APIs generic over `AsRef<[T]>` (e.g. the decode
+/// paths) accept `Vec<T>` and `Tensor<T>` rows interchangeably.
+impl<T> AsRef<[T]> for Tensor<T> {
+    fn as_ref(&self) -> &[T] {
+        &self.data
+    }
+}
+
 impl Tensor<f32> {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {

@@ -1,8 +1,8 @@
 //! Thread-count policy for the multi-threaded kernels.
 //!
-//! The blocked matmul kernels split output rows across
-//! `std::thread::scope` workers. How many threads they may use is
-//! resolved here, in priority order:
+//! The blocked matmul kernels split output rows across the persistent
+//! worker pool (see the `threadpool` module). How many lanes they may
+//! use is resolved here, in priority order:
 //!
 //! 1. a programmatic override set with [`set_max_threads`] (used by
 //!    tests and embedders),

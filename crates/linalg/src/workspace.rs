@@ -211,6 +211,20 @@ impl Workspace {
         s
     }
 
+    /// Takes a recycled shape vector holding a copy of `shape` — for
+    /// callers assembling tensors with [`Tensor::from_parts`] from
+    /// buffers that did not come out of this pool.
+    pub fn take_shape(&mut self, shape: &[usize]) -> Vec<usize> {
+        self.pop_shape(shape)
+    }
+
+    /// Returns a shape vector to the pool.
+    pub fn give_shape(&mut self, shape: Vec<usize>) {
+        if shape.capacity() > 0 {
+            self.shapes.push(shape);
+        }
+    }
+
     /// Takes a zeroed tensor of the given shape — bit-identical to
     /// [`Tensor::zeros`]. Both the data buffer and the shape vector come
     /// from the pool.

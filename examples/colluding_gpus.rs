@@ -24,8 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = DarknightSession::new(cfg, cluster)?;
     let mut model = mini_vgg(8, 4, 11);
     let x = Tensor::<f32>::from_fn(&[k, 3, 8, 8], |i| if i % 2 == 0 { 0.7 } else { -0.7 });
+    // Train-mode forwards store the masked encodings on the workers,
+    // which is what populates the observation record audited below
+    // (inference sends the same masked vectors but skips the store).
     for _ in 0..8 {
-        session.private_inference(&mut model, &x)?;
+        session.private_forward(&mut model, &x, true)?;
     }
 
     println!("Collusion tolerance audit (K={k}, M={m}, workers={})", k + m);

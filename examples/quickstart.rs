@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         masked_logits.max_abs_diff(&plain_logits)
     );
 
-    // What did the untrusted workers actually see? Uniform noise.
+    // What did the untrusted workers actually see? Uniform noise. The
+    // observation record is populated by the stored encodings, which
+    // inference skips as a perf win — run one train-mode forward (same
+    // masked vectors, stored this time) so there is something to audit.
+    session.private_forward(&mut model, &x, true)?;
     let chi2 = privacy::gpu_view_chi_square(session.cluster(), 16).expect("observations exist");
     println!(
         "chi-square of the GPU view vs uniform: {chi2:.1} (99.9% threshold ≈ {:.1})",

@@ -95,10 +95,13 @@ fn gpu_view_uniform_across_structured_inputs() {
         Box::new(|i| if i % 2 == 0 { 0.9 } else { -0.9 }),
         Box::new(|i| if i == 0 { 1.0 } else { 0.0 }),
     ];
+    // Train-mode forwards: those store the encodings on the workers,
+    // which is what populates the observation record this test audits
+    // (inference sends the same masked vectors but skips the store).
     for p in &patterns {
         let x = Tensor::from_fn(&[2, 3, 8, 8], p);
         for _ in 0..4 {
-            session.private_inference(&mut model, &x).unwrap();
+            session.private_forward(&mut model, &x, true).unwrap();
         }
     }
     let chi2 = privacy::gpu_view_chi_square(session.cluster(), 16).unwrap();
