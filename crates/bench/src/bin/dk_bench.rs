@@ -12,9 +12,10 @@
 //! Everything lands in `BENCH_kernels.json` so the performance
 //! trajectory is tracked across PRs. CI runs `--fast --alloc` as a
 //! smoke test, gates on the recorded invariants (zero steady-state
-//! inference allocations; no >10% relative regression of
-//! `conv2d_forward/field` vs the committed baseline) and uploads the
-//! JSON as an artifact.
+//! inference allocations; no >10% relative regression of the tracked
+//! kernels — conv forward, the field matmul, and the streaming
+//! encode/decode — vs the committed baseline) and uploads the JSON as
+//! an artifact.
 //!
 //! With `--obs`, the same private-inference session step is timed with
 //! the `dk_obs` registry disabled and enabled, recording the
@@ -31,7 +32,7 @@ use dk_gpu::{GpuCluster, LatencyModel};
 use dk_linalg::conv::conv2d_forward;
 use dk_linalg::im2col::im2col;
 use dk_linalg::reference::{naive_matmul, naive_matmul_a_bt, naive_matmul_at_b};
-use dk_linalg::{matmul, matmul_a_bt, matmul_at_b, Conv2dShape, Tensor};
+use dk_linalg::{matmul, matmul_a_bt, matmul_at_b, Conv2dShape, Tensor, Workspace};
 use dk_nn::arch::mini_vgg;
 use dk_linalg::workspace::{alloc_counts, CountingAllocator};
 use dk_perf::{DeviceProfile, PipelineRow};
@@ -216,6 +217,26 @@ mod prev {
             }
         }
         c
+    }
+
+    /// The PR-8 coding path the streaming `coded_combine` kernels
+    /// replace: stack the separate rows into one flat operand (the copy
+    /// the streaming pass eliminates), run the lane-parallel matmul
+    /// over it, split the product back into freshly allocated rows — as
+    /// the committed `encode`/`decode` wrappers did per call.
+    pub fn coded_combine(
+        coeff: &[dk_field::F25],
+        x: &[Vec<dk_field::F25>],
+        rows: usize,
+        n: usize,
+    ) -> Vec<Vec<dk_field::F25>> {
+        let kdim = x.len();
+        let mut flat = vec![dk_field::F25::ZERO; kdim * n];
+        for (d, s) in flat.chunks_mut(n).zip(x) {
+            d.copy_from_slice(s);
+        }
+        let c = dk_linalg::matmul(coeff, &flat, rows, kdim, n);
+        c.chunks(n).map(<[dk_field::F25]>::to_vec).collect()
     }
 }
 
@@ -452,6 +473,15 @@ fn main() {
     // Baseline: the old per-MAC-reducing loop ≡ naive Aᵀ·X of the same shape.
     let enc_a = field_vec(&mut rng, (ek + em) * s_cols);
     let enc_x: Vec<F25> = inputs.iter().chain(&noise).flatten().copied().collect();
+    // The fast side measures the steady state the session actually
+    // runs: a warm workspace, rows recycled after every call (so the
+    // per-call zeroing is counted, the allocations are not).
+    let mut cws = Workspace::new();
+    // The prev replica needs row-major coefficients and the stacked
+    // rows as one slice-of-rows (A's layout is scheme-private; timing
+    // depends only on shape).
+    let enc_at = field_vec(&mut rng, s_cols * (ek + em));
+    let enc_rows: Vec<Vec<F25>> = inputs.iter().chain(&noise).cloned().collect();
     entries.push(Entry {
         name: format!("encode_k{ek}_m{em}_n{en}/field"),
         macs: (s_cols * (ek + em) * en) as u64,
@@ -459,9 +489,16 @@ fn main() {
             std::hint::black_box(naive_matmul_at_b(&enc_a, &enc_x, s_cols, ek + em, en));
         }),
         fast_ns: time_ns(target_ms, || {
-            std::hint::black_box(scheme.encode(&inputs, &noise));
+            let mut enc = scheme.encode_ws(&inputs, &noise, &mut cws);
+            std::hint::black_box(&mut enc);
+            for row in enc.drain(..) {
+                cws.give(row);
+            }
+            cws.give(enc);
         }),
-        prev_ns: None,
+        prev_ns: Some(time_ns(target_ms, || {
+            std::hint::black_box(prev::coded_combine(&enc_at, &enc_rows, s_cols, en));
+        })),
     });
     let encodings = scheme.encode(&inputs, &noise);
     let s_sq = ek + em;
@@ -469,6 +506,10 @@ fn main() {
     let dec_inv = field_vec(&mut rng, s_sq * s_sq);
     let dec_y: Vec<F25> = encodings.iter().take(s_sq).flatten().copied().collect();
     let dec_col = field_vec(&mut rng, s_sq);
+    // Prev replica of the committed decode: stack, predict the
+    // redundant row, compare, then the k-row decode matmul.
+    let dec_coeff = field_vec(&mut rng, ek * s_sq);
+    let enc_rows_sq: Vec<Vec<F25>> = encodings.iter().take(s_sq).cloned().collect();
     entries.push(Entry {
         name: format!("decode_forward_k{ek}_m{em}_n{en}/field"),
         macs: ((s_sq * s_sq + s_sq) * en) as u64,
@@ -477,9 +518,41 @@ fn main() {
             std::hint::black_box(naive_matmul(&dec_col, &y, 1, s_sq, en));
         }),
         fast_ns: time_ns(target_ms, || {
-            std::hint::black_box(scheme.decode_forward(&encodings, 0).unwrap());
+            let mut dec = scheme.decode_forward_ws(&encodings, 0, &mut cws).unwrap();
+            std::hint::black_box(&mut dec);
+            for row in dec.drain(..) {
+                cws.give(row);
+            }
+            cws.give(dec);
         }),
-        prev_ns: None,
+        prev_ns: Some(time_ns(target_ms, || {
+            let mut flat = vec![F25::ZERO; s_sq * en];
+            for (d, s) in flat.chunks_mut(en).zip(&enc_rows_sq) {
+                d.copy_from_slice(s);
+            }
+            let pred = matmul(&dec_col, &flat, 1, s_sq, en);
+            let mm = pred.iter().zip(&enc_rows_sq[0]).filter(|(p, r)| p != r).count();
+            std::hint::black_box(mm);
+            std::hint::black_box(matmul(&dec_coeff, &flat, ek, s_sq, en));
+        })),
+    });
+    // The γ-weighted backward aggregate (Eq. 6): one output row over
+    // the first K+M equations.
+    let gam = field_vec(&mut rng, s_sq);
+    entries.push(Entry {
+        name: format!("decode_backward_k{ek}_m{em}_n{en}/field"),
+        macs: (s_sq * en) as u64,
+        baseline_ns: time_ns(target_ms, || {
+            std::hint::black_box(naive_matmul(&gam, &dec_y, 1, s_sq, en));
+        }),
+        fast_ns: time_ns(target_ms, || {
+            let out = scheme.decode_backward_ws(&encodings, &mut cws);
+            std::hint::black_box(&out);
+            cws.give(out);
+        }),
+        prev_ns: Some(time_ns(target_ms, || {
+            std::hint::black_box(prev::coded_combine(&gam, &enc_rows_sq, 1, en));
+        })),
     });
 
     // --- offload: a dense-layer forward job (dk_serve's hot path) -------
@@ -904,10 +977,13 @@ fn main() {
     // e.g. a fast-mode CI run gating against the committed full-mode
     // record: the ratio shifts a few percent with shape, the margin
     // absorbs it). Tracked kernels: the conv hot job (the offload's
-    // dominant cost) and the lane-parallel field matmul (the SIMD
-    // kernel this ratio was built to protect).
+    // dominant cost), the lane-parallel field matmul (the SIMD kernel
+    // this ratio was built to protect), and the TEE-side streaming
+    // encode/decode (the coded-combine fast path).
     if let Some(doc) = &committed {
-        for prefix in ["conv2d_forward", "matmul_64x128x64/field"] {
+        for prefix in
+            ["conv2d_forward", "matmul_64x128x64/field", "encode_k4_m2", "decode_forward_k4_m2"]
+        {
             let Some(new) = entries.iter().find(|e| e.name.starts_with(prefix)) else {
                 continue;
             };

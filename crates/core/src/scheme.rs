@@ -20,61 +20,33 @@
 
 use crate::error::DarknightError;
 use dk_field::{F25, FieldMatrix, FieldRng, P25};
-use dk_linalg::{matmul_acc, Workspace};
+use dk_linalg::coded::{CHECK_MAX_KDIM, CHECK_MAX_ROWS};
+use dk_linalg::{
+    coded_axpy_acc, coded_combine_acc, coded_combine_check_write, coded_combine_write, Workspace,
+};
 
-/// Stacks equal-length row vectors into one contiguous row-major matrix
-/// (in a caller-provided buffer, cleared first) so the blocked matmul
-/// kernels can chew through them.
-fn stack_rows_into<'a>(
-    rows: impl Iterator<Item = &'a [F25]>,
-    n: usize,
-    flat: &mut Vec<F25>,
-) {
-    flat.clear();
-    for r in rows {
-        assert_eq!(r.len(), n, "all vectors must have equal length");
-        flat.extend_from_slice(r);
-    }
-}
+/// Columns per fused-noise draw: one `FieldRng` chunk is generated,
+/// applied to every encoding row while cache-hot, then overwritten by
+/// the next chunk — the full noise row never exists. Sized well inside
+/// L1/L2 (32 KiB of `F25`s).
+const NOISE_CHUNK: usize = 4096;
 
-/// `C = coeff[0..rows] · X` as row vectors, every row (and the outer
-/// vector) drawn from the workspace — callers give the rows back once
-/// consumed, so steady-state encoding and decoding allocate nothing.
-///
-/// On a multi-core host with enough work, one flat matmul lets the
-/// kernel fan rows out across threads (then splits the result, one copy
-/// per row); otherwise each row is computed serially straight into its
-/// own output vector, skipping the split copy entirely. Field
-/// arithmetic is exact, so both paths are bit-identical.
-fn coeff_rows_matmul_ws(
-    coeff: &FieldMatrix<P25>,
-    rows: usize,
-    kdim: usize,
-    x: &[F25],
-    n: usize,
-    ws: &mut Workspace,
-) -> Vec<Vec<F25>> {
+/// The coded kernels keep the whole stacked-row table on the stack when
+/// the virtual batch fits this bound (`k+m` rows); larger schemes fall
+/// back to one pass over the inputs plus one over the noise, which is
+/// bit-identical (the passes split at a canonical fold boundary).
+const XROWS_MAX: usize = 32;
+
+/// Takes `rows` empty row buffers with capacity `n` plus their outer
+/// vector from the workspace — the output shape of every streaming
+/// coded combine. The rows are **not** zeroed: the `_write` kernels
+/// store every element, so pre-zeroing would only add a `memset` plus a
+/// read-back of zeroes to a memory-bound pass.
+fn take_row_bufs(ws: &mut Workspace, rows: usize, n: usize) -> Vec<Vec<F25>> {
     let mut out: Vec<Vec<F25>> = ws.take_cleared(rows);
-    if n == 0 {
-        out.resize_with(rows, Vec::new);
-        return out;
-    }
-    if dk_linalg::threads::would_parallelize(rows, rows * kdim * n) {
-        // `matmul_acc` over a freshly zeroed buffer is exactly `matmul`
-        // (that is how the allocating wrapper is built) without the
-        // redundant re-zeroing pass `matmul_into` would add.
-        let mut flat = ws.take_zeroed::<F25>(rows * n);
-        matmul_acc(&coeff.as_slice()[..rows * kdim], x, &mut flat, rows, kdim, n);
-        for chunk in flat.chunks(n) {
-            out.push(ws.take_copy(chunk));
-        }
-        ws.give(flat);
-    } else {
-        for j in 0..rows {
-            let mut row = ws.take_zeroed::<F25>(n);
-            matmul_acc(coeff.row(j), x, &mut row, 1, kdim, n);
-            out.push(row);
-        }
+    for _ in 0..rows {
+        let row = ws.take_cleared::<F25>(n);
+        out.push(row);
     }
     out
 }
@@ -306,16 +278,63 @@ impl EncodingScheme {
         assert_eq!(inputs.len(), self.k, "expected K input vectors");
         assert_eq!(noise.len(), self.m, "expected M noise vectors");
         let n = inputs[0].len();
-        let s_cols = self.a.cols();
-        // X̄ = Aᵀ[s_cols × (K+M)] · X[(K+M) × n] with the inputs and
-        // noise stacked as the rows of X: each encoding is one cached
-        // coefficient row of Aᵀ pushed through the blocked
-        // delayed-reduction kernel, written straight into its own output
-        // vector — instead of K+M per-MAC-reducing scaled-vector passes.
-        let mut x = ws.take_cleared::<F25>((self.k + self.m) * n);
-        stack_rows_into(inputs.iter().chain(noise).map(Vec::as_slice), n, &mut x);
-        let enc = coeff_rows_matmul_ws(&self.a_t, s_cols, self.k + self.m, &x, n, ws);
-        ws.give(x);
+        let kdim = self.k + self.m;
+        // X̄ = Aᵀ[s_cols × (K+M)] · X[(K+M) × n], streamed: the input
+        // and noise rows are referenced in place (no stacking copy) and
+        // every column chunk of them is read exactly once while **all**
+        // s_cols encodings are produced in that pass — the coefficient
+        // matrix is the thing that stays resident, not the data. Write
+        // mode: the recycled output rows are never zeroed or read.
+        let mut enc = take_row_bufs(ws, self.a.cols(), n);
+        if kdim <= XROWS_MAX {
+            let mut xr: [&[F25]; XROWS_MAX] = [&[]; XROWS_MAX];
+            for (d, s) in xr.iter_mut().zip(inputs.iter().chain(noise)) {
+                *d = s.as_slice();
+            }
+            coded_combine_write(self.a_t.as_slice(), kdim, 0, &xr[..kdim], &mut enc, n);
+        } else {
+            coded_combine_write(self.a_t.as_slice(), kdim, 0, inputs, &mut enc, n);
+            coded_combine_acc(self.a_t.as_slice(), kdim, self.k, noise, &mut enc, n);
+        }
+        enc
+    }
+
+    /// [`EncodingScheme::encode_ws`] with the noise rows **fused into
+    /// the stream**: instead of materializing `M` noise vectors, the
+    /// caller's RNG is drawn in row-major, ascending-column chunks and
+    /// each chunk is applied to every encoding while still in cache.
+    ///
+    /// Draw-order faithful: the chunks consume exactly the draws (count
+    /// and order) that filling `M` length-`n` rows with
+    /// `uniform_extend` would, so the RNG stream position afterwards
+    /// and every output bit match the materialized path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts or lengths are inconsistent.
+    pub fn encode_fused_ws(
+        &self,
+        inputs: &[Vec<F25>],
+        nrng: &mut FieldRng,
+        ws: &mut Workspace,
+    ) -> Vec<Vec<F25>> {
+        assert_eq!(inputs.len(), self.k, "expected K input vectors");
+        let n = inputs[0].len();
+        let kdim = self.k + self.m;
+        let mut enc = take_row_bufs(ws, self.a.cols(), n);
+        coded_combine_write(self.a_t.as_slice(), kdim, 0, inputs, &mut enc, n);
+        let mut chunk = ws.take_cleared::<F25>(NOISE_CHUNK.min(n));
+        for t in 0..self.m {
+            let mut j0 = 0;
+            while j0 < n {
+                let w = (n - j0).min(NOISE_CHUNK);
+                chunk.clear();
+                nrng.uniform_extend::<P25>(w, &mut chunk);
+                coded_axpy_acc(self.a_t.as_slice(), kdim, self.k + t, &chunk, &mut enc, j0);
+                j0 += w;
+            }
+        }
+        ws.give(chunk);
         enc
     }
 
@@ -339,11 +358,19 @@ impl EncodingScheme {
         assert_eq!(inputs.len(), self.k, "expected K input vectors");
         assert_eq!(noise.len(), self.m, "expected M noise vectors");
         let n = inputs[0].len();
-        let mut x = ws.take_cleared::<F25>((self.k + self.m) * n);
-        stack_rows_into(inputs.iter().chain(noise).map(Vec::as_slice), n, &mut x);
-        let mut row = ws.take_zeroed::<F25>(n);
-        matmul_acc(self.a_t.row(j), &x, &mut row, 1, self.k + self.m, n);
-        ws.give(x);
+        let kdim = self.k + self.m;
+        let mut row = ws.take_cleared::<F25>(n);
+        let outs = std::slice::from_mut(&mut row);
+        if kdim <= XROWS_MAX {
+            let mut xr: [&[F25]; XROWS_MAX] = [&[]; XROWS_MAX];
+            for (d, s) in xr.iter_mut().zip(inputs.iter().chain(noise)) {
+                *d = s.as_slice();
+            }
+            coded_combine_write(self.a_t.row(j), kdim, 0, &xr[..kdim], outs, n);
+        } else {
+            coded_combine_write(self.a_t.row(j), kdim, 0, inputs, outs, n);
+            coded_combine_acc(self.a_t.row(j), kdim, self.k, noise, outs, n);
+        }
         row
     }
 
@@ -360,7 +387,7 @@ impl EncodingScheme {
     /// # Panics
     ///
     /// Panics if the output count or lengths are inconsistent.
-    pub fn decode_forward<S: AsRef<[F25]>>(
+    pub fn decode_forward<S: AsRef<[F25]> + Sync>(
         &self,
         outputs: &[S],
         layer_id: u64,
@@ -381,7 +408,7 @@ impl EncodingScheme {
     /// # Panics
     ///
     /// Panics if the output count or lengths are inconsistent.
-    pub fn decode_forward_ws<S: AsRef<[F25]>>(
+    pub fn decode_forward_ws<S: AsRef<[F25]> + Sync>(
         &self,
         outputs: &[S],
         layer_id: u64,
@@ -393,31 +420,61 @@ impl EncodingScheme {
         for o in outputs {
             assert_eq!(o.as_ref().len(), n, "all outputs must have equal length");
         }
-        // Y = (A_sq⁻¹)ᵀ · Ȳ with the worker outputs stacked as the rows
-        // of Ȳ. Only the K true-output rows are ever returned, and the
-        // integrity check runs on Ȳ directly via the precomputed
-        // `A_sq⁻¹·a_last` (exactly `a_lastᵀ·Y` — field arithmetic is
-        // associative and exact), so the M dropped noise rows are never
-        // materialized at all.
-        let mut ybar = ws.take_cleared::<F25>(s_sq * n);
-        stack_rows_into(outputs.iter().take(s_sq).map(AsRef::as_ref), n, &mut ybar);
-        if self.integrity {
-            let mut pred = ws.take_zeroed::<F25>(n);
-            matmul_acc(&self.integrity_w, &ybar, &mut pred, 1, s_sq, n);
+        // Y = (A_sq⁻¹)ᵀ · Ȳ, streamed over the worker output rows in
+        // place (no stacking copy). Only the K true-output rows are ever
+        // computed, and the §4.4 integrity check — the precomputed
+        // `w = A_sq⁻¹·a_last` dotted against the same Ȳ rows and
+        // compared to the redundant output (exactly `a_lastᵀ·Y`; field
+        // arithmetic is associative and exact) — is fused into the same
+        // pass, so every column chunk of Ȳ is read exactly once while
+        // it is in cache.
+        let ybar = &outputs[..s_sq];
+        let mut decoded = take_row_bufs(ws, self.k, n);
+        let mismatches = if self.integrity {
             let redundant = outputs[self.a.cols() - 1].as_ref();
-            let mismatches = pred.iter().zip(redundant.iter()).filter(|(p, r)| p != r).count();
-            ws.give(pred);
-            if mismatches > 0 {
-                ws.give(ybar);
-                return Err(DarknightError::IntegrityViolation {
-                    layer_id,
-                    phase: "forward",
-                    mismatches,
-                });
+            if s_sq <= CHECK_MAX_KDIM && self.k <= CHECK_MAX_ROWS {
+                coded_combine_check_write(
+                    self.a_sq_inv_t.as_slice(),
+                    s_sq,
+                    0,
+                    ybar,
+                    &mut decoded,
+                    n,
+                    &self.integrity_w,
+                    redundant,
+                )
+            } else {
+                // Shapes past the fused kernel's fan-out limit: same
+                // math in two streamed passes.
+                let mut pred = ws.take_cleared::<F25>(n);
+                coded_combine_write(
+                    &self.integrity_w,
+                    s_sq,
+                    0,
+                    ybar,
+                    std::slice::from_mut(&mut pred),
+                    n,
+                );
+                let bad = pred.iter().zip(redundant.iter()).filter(|(p, r)| p != r).count();
+                ws.give(pred);
+                coded_combine_write(self.a_sq_inv_t.as_slice(), s_sq, 0, ybar, &mut decoded, n);
+                bad
             }
+        } else {
+            coded_combine_write(self.a_sq_inv_t.as_slice(), s_sq, 0, ybar, &mut decoded, n);
+            0
+        };
+        if mismatches > 0 {
+            for row in decoded.drain(..) {
+                ws.give(row);
+            }
+            ws.give(decoded);
+            return Err(DarknightError::IntegrityViolation {
+                layer_id,
+                phase: "forward",
+                mismatches,
+            });
         }
-        let decoded = coeff_rows_matmul_ws(&self.a_sq_inv_t, self.k, s_sq, &ybar, n, ws);
-        ws.give(ybar);
         Ok(decoded)
     }
 
@@ -429,7 +486,7 @@ impl EncodingScheme {
     /// # Panics
     ///
     /// Panics if the equation count or lengths are inconsistent.
-    pub fn decode_backward<S: AsRef<[F25]>>(&self, eqs: &[S]) -> Vec<F25> {
+    pub fn decode_backward<S: AsRef<[F25]> + Sync>(&self, eqs: &[S]) -> Vec<F25> {
         self.decode_backward_ws(eqs, &mut Workspace::new())
     }
 
@@ -440,16 +497,21 @@ impl EncodingScheme {
     /// # Panics
     ///
     /// Panics if the equation count or lengths are inconsistent.
-    pub fn decode_backward_ws<S: AsRef<[F25]>>(&self, eqs: &[S], ws: &mut Workspace) -> Vec<F25> {
+    pub fn decode_backward_ws<S: AsRef<[F25]> + Sync>(&self, eqs: &[S], ws: &mut Workspace) -> Vec<F25> {
         let s_sq = self.k + self.m;
         assert!(eqs.len() >= s_sq, "need at least K+M equations");
         let n = eqs[0].as_ref().len();
-        // γᵀ[1 × s_sq] · Eq[s_sq × n]: the γ-weighted sum as one matmul.
-        let mut eq_flat = ws.take_cleared::<F25>(s_sq * n);
-        stack_rows_into(eqs.iter().take(s_sq).map(AsRef::as_ref), n, &mut eq_flat);
-        let mut out = ws.take_zeroed::<F25>(n);
-        matmul_acc(&self.gamma[..s_sq], &eq_flat, &mut out, 1, s_sq, n);
-        ws.give(eq_flat);
+        // γᵀ[1 × s_sq] · Eq[s_sq × n]: the γ-weighted sum as one
+        // streamed pass over the equation rows in place.
+        let mut out = ws.take_cleared::<F25>(n);
+        coded_combine_write(
+            &self.gamma[..s_sq],
+            s_sq,
+            0,
+            &eqs[..s_sq],
+            std::slice::from_mut(&mut out),
+            n,
+        );
         out
     }
 
@@ -470,6 +532,34 @@ impl EncodingScheme {
         }
         let _ = s_cols;
         true
+    }
+
+    /// White-box view of `Aᵀ` for equivalence tests (coefficient row
+    /// `j` = encoding `j`). Not part of the stable API.
+    #[doc(hidden)]
+    pub fn a_transpose(&self) -> &FieldMatrix<P25> {
+        &self.a_t
+    }
+
+    /// White-box view of `(A_sq⁻¹)ᵀ` for equivalence tests. Not part of
+    /// the stable API.
+    #[doc(hidden)]
+    pub fn a_sq_inv_transpose(&self) -> &FieldMatrix<P25> {
+        &self.a_sq_inv_t
+    }
+
+    /// White-box view of the precomputed `A_sq⁻¹·a_last` integrity row
+    /// (empty when integrity is off). Not part of the stable API.
+    #[doc(hidden)]
+    pub fn integrity_weights(&self) -> &[F25] {
+        &self.integrity_w
+    }
+
+    /// White-box view of the secret `Γ` diagonal for equivalence tests.
+    /// Not part of the stable API.
+    #[doc(hidden)]
+    pub fn gamma_coeffs(&self) -> &[F25] {
+        &self.gamma
     }
 }
 

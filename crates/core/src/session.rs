@@ -742,18 +742,31 @@ impl<X: GpuExec> DarknightSession<X> {
         // layer `l` are a pure function of (seed, b, l), so pipelined
         // lanes draw exactly the masks sequential execution would.
         let mut nrng = self.layer_rng(DOMAIN_NOISE, ordinal);
-        let mut noise: Vec<Vec<F25>> = self.ws.take_cleared(m);
-        for _ in 0..m {
-            let mut v = self.ws.take_cleared::<F25>(rest);
-            nrng.uniform_extend::<P25>(rest, &mut v);
-            noise.push(v);
-        }
         // Enclave working set: float input + quantized copies + noise +
-        // encodings.
+        // encodings. The fused path never materializes the noise rows,
+        // but the charge is kept identical in both branches so paging
+        // accounting stays a pure function of shape, not of mode.
         let s_cols = self.scheme.num_encodings();
         let work_bytes = x.len() * 4 + k * rest * 8 + (m + s_cols) * rest * 8;
         let _paged = self.enclave.alloc_paged(work_bytes);
-        let encodings = self.scheme.encode_ws(&inputs_q, &noise, &mut self.ws);
+        let (encodings, mut noise) = if retain {
+            // The backward spot check replays encodings from the stored
+            // noise rows, so a training pass still materializes them.
+            let mut rows: Vec<Vec<F25>> = self.ws.take_cleared(m);
+            for _ in 0..m {
+                let mut v = self.ws.take_cleared::<F25>(rest);
+                nrng.uniform_extend::<P25>(rest, &mut v);
+                rows.push(v);
+            }
+            let enc = self.scheme.encode_ws(&inputs_q, &rows, &mut self.ws);
+            (enc, Some(rows))
+        } else {
+            // Inference never revisits the noise: draw it in cache-sized
+            // chunks fused straight into the encodings. Identical draw
+            // order and count, so bits and RNG stream position match the
+            // materialized branch exactly.
+            (self.scheme.encode_fused_ws(&inputs_q, &mut nrng, &mut self.ws), None)
+        };
         self.stats.encoded_elems += (s_cols * rest) as u64;
         // The encoded rows (and their outer Vec) are pool-backed; pair
         // each with a pooled shape so the whole encoding set becomes
@@ -797,7 +810,9 @@ impl<X: GpuExec> DarknightSession<X> {
             self.cluster.recycle_outputs(&mut outputs);
             self.ws.give(outputs);
             self.give_rows(inputs_q);
-            self.give_rows(noise);
+            if let Some(rows) = noise.take() {
+                self.give_rows(rows);
+            }
             self.ws.give(norms);
             return Err(e);
         }
@@ -822,7 +837,9 @@ impl<X: GpuExec> DarknightSession<X> {
                 self.ws.give(outputs);
                 self.ws.give_shape(out_shape);
                 self.give_rows(inputs_q);
-                self.give_rows(noise);
+                if let Some(rows) = noise.take() {
+                    self.give_rows(rows);
+                }
                 self.ws.give(norms);
                 return Err(e);
             }
@@ -845,7 +862,9 @@ impl<X: GpuExec> DarknightSession<X> {
             // quantization/noise rows go straight back to the pool.
             self.enclave.release(work_bytes)?;
             self.give_rows(inputs_q);
-            self.give_rows(noise);
+            if let Some(rows) = noise.take() {
+                self.give_rows(rows);
+            }
             None
         } else {
             // Transient working set released; the retained context
@@ -858,7 +877,7 @@ impl<X: GpuExec> DarknightSession<X> {
                 norm_w,
                 input_shape: x.shape().to_vec(),
                 weights_q,
-                noise,
+                noise: noise.take().expect("retaining pass materializes noise"),
                 inputs_q,
                 enclave_bytes: retained,
             })

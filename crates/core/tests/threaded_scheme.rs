@@ -1,7 +1,8 @@
 //! Serial-vs-threaded determinism of the encode/decode path.
 //!
-//! `coeff_rows_matmul` switches to one flat threadable matmul when the
-//! kernel policy would fan out; both layouts must be bit-identical.
+//! The streaming coded-combine kernels partition output columns when
+//! the kernel policy would fan out; serial and threaded runs must be
+//! bit-identical.
 //! This lives in its own integration binary because the thread-cap
 //! override is process-global and unit tests run concurrently.
 
@@ -10,8 +11,8 @@ use dk_field::{F25, FieldRng, P25};
 
 #[test]
 fn threaded_encode_decode_bit_identical_to_serial() {
-    // Large enough that `coeff_rows_matmul` takes the flat threaded
-    // path (rows ≥ 2, MACs ≥ 2^18) when the thread cap allows it.
+    // Large enough that the streaming coded combine fans out across
+    // column chunks (MACs ≥ 2^18) when the thread cap allows it.
     let mut r = FieldRng::seed_from(0xC0DE);
     let (k, m, n) = (3, 2, 32_768);
     let scheme = EncodingScheme::generate(k, m, true, &mut r);

@@ -48,6 +48,7 @@
 //! assert_eq!(y.get(&[0, 0, 1, 1]), 9.0); // full 3x3 window of ones
 //! ```
 
+pub mod coded;
 pub mod conv;
 pub mod im2col;
 pub mod matmul;
@@ -61,6 +62,10 @@ mod threadpool;
 pub mod threads;
 pub mod workspace;
 
+pub use coded::{
+    coded_axpy_acc, coded_combine_acc, coded_combine_check_acc, coded_combine_check_write,
+    coded_combine_into, coded_combine_write,
+};
 pub use conv::Conv2dShape;
 pub use matmul::{
     matmul, matmul_a_bt, matmul_a_bt_into, matmul_acc, matmul_at_b, matmul_at_b_into,

@@ -92,6 +92,7 @@ macro_rules! per_lane {
         arm!(15);
     }};
 }
+pub(crate) use per_lane;
 
 /// One full-width lane strip: `cs[l] += arow · B[:, j+l]` for
 /// `l = 0..LANES`.
@@ -441,14 +442,35 @@ pub fn matmul_at_b_into<T: Scalar>(
         return;
     }
     let workers = workers_for(m, m.saturating_mul(k).saturating_mul(n));
+    // F25 on x86-64 skips the panel packing entirely: the SIMD strips
+    // read A's columns with stride `m` directly (`a[p*m + i]` broadcast
+    // per product — the same ascending-`p`, zero-skipping, chunk-folding
+    // recurrence the packed path runs, so results are bit-identical).
+    let direct = crate::simd::has_f25_at_b_direct::<T>();
     if workers <= 1 {
-        let mut scratch = ws.take_zeroed::<T>(AT_PANEL.min(m) * k);
-        at_b_panels(a, b, c, 0, m, m, k, n, &mut scratch);
-        ws.give(scratch);
+        if direct {
+            crate::simd::f25_at_b_rows(a, b, c, 0, m, m, k, n);
+        } else {
+            let mut scratch = ws.take_zeroed::<T>(AT_PANEL.min(m) * k);
+            at_b_panels(a, b, c, 0, m, m, k, n, &mut scratch);
+            ws.give(scratch);
+        }
         return;
     }
     let rows_per = m.div_ceil(workers);
     let tasks = m.div_ceil(rows_per);
+    if direct {
+        let cp = SendPtr(c.as_mut_ptr());
+        threadpool::run_tasks(tasks, &move |t| {
+            let cp = cp;
+            let i0 = t * rows_per;
+            let rows = rows_per.min(m - i0);
+            // SAFETY: each task owns the disjoint output rows `i0..i0+rows`.
+            let cch = unsafe { std::slice::from_raw_parts_mut(cp.0.add(i0 * n), rows * n) };
+            crate::simd::f25_at_b_rows(a, b, cch, i0, rows, m, k, n);
+        });
+        return;
+    }
     let panel = AT_PANEL.min(rows_per);
     let mut scratch = ws.take_zeroed::<T>(tasks * panel * k);
     let cp = SendPtr(c.as_mut_ptr());

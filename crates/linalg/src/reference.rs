@@ -96,6 +96,36 @@ pub fn naive_matmul_a_bt<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usi
     c
 }
 
+/// `outs[r] += Σ_p coeff[r·cstride + col0 + p] · x[p]` — the coded
+/// combine (coefficient rows against separately stored stacked rows),
+/// reducing after every product. Oracle for the streaming
+/// [`crate::coded`] kernels: same ascending-`p` order, same zero-skip.
+///
+/// # Panics
+///
+/// Panics if row lengths differ or `coeff` is too small.
+pub fn naive_coded_combine_acc<T: Scalar, S: AsRef<[T]>>(
+    coeff: &[T],
+    cstride: usize,
+    col0: usize,
+    x: &[S],
+    outs: &mut [Vec<T>],
+) {
+    for (r, out) in outs.iter_mut().enumerate() {
+        for (p, xr) in x.iter().enumerate() {
+            let c = coeff[r * cstride + col0 + p];
+            if c == T::zero() {
+                continue;
+            }
+            let xr = xr.as_ref();
+            assert_eq!(xr.len(), out.len(), "row length");
+            for (o, &v) in out.iter_mut().zip(xr) {
+                *o += c * v;
+            }
+        }
+    }
+}
+
 /// `y[m] = A[m×k] · x[k]`, reducing after every product.
 ///
 /// # Panics

@@ -120,6 +120,190 @@ pub(crate) fn try_f25_a_bt_block<T: Scalar>(
     false
 }
 
+/// `C strip += Σ_p crow[p] · xs[p][j..j+LANES]` — the coded-combine
+/// strip, where each reduction position reads its **own** row slice
+/// instead of a stride of one flat matrix. Returns `false` unless `T`
+/// is `F25` on x86-64 and the group fits one register broadcast pass.
+#[inline(always)]
+pub(crate) fn try_f25_coded_strip<T: Scalar>(
+    crow: &[T],
+    xs: &[&[T]],
+    cs: &mut [T; LANES],
+    j: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // A coefficient group never exceeds 16 positions (the caller
+        // p-groups at that width), so the canonical strip init plus all
+        // products stay far below the u64 budget — no mid-strip folds.
+        if is_f25::<T>() && crow.len() <= 16 {
+            debug_assert_eq!(xs.len(), crow.len());
+            // SAFETY: identity casts as in `try_f25_lane_strip`.
+            let crow_f = unsafe { cast_slice::<T>(crow) };
+            let mut xp = [std::ptr::null::<dk_field::F25>(); 16];
+            for (d, s) in xp.iter_mut().zip(xs.iter()) {
+                debug_assert!(s.len() >= j + LANES);
+                *d = s.as_ptr() as *const dk_field::F25;
+            }
+            let cs_f = unsafe { &mut *(cs as *mut [T; LANES] as *mut [dk_field::F25; LANES]) };
+            // SAFETY: strip callers guarantee `j + LANES` elements in
+            // every row; the AVX2 body is detection-gated.
+            unsafe {
+                if x86::has_avx2() {
+                    x86::coded_strip_avx2(crow_f, &xp[..crow_f.len()], cs_f, j);
+                } else {
+                    x86::coded_strip_sse2(crow_f, &xp[..crow_f.len()], cs_f, j);
+                }
+            }
+            return true;
+        }
+    }
+    let _ = (crow, xs, cs, j);
+    false
+}
+
+/// Store-mode variant of [`try_f25_coded_strip`]: accumulators start
+/// from the canonical lift of zero and the finished lanes are written
+/// straight through `out` — the destination is never read, so it may
+/// be uninitialized (recycled pool capacity).
+///
+/// # Safety
+///
+/// `out` must be valid for [`LANES`] writes and every row in `xs` must
+/// hold at least `j + LANES` elements.
+pub(crate) unsafe fn try_f25_coded_strip_store<T: Scalar>(
+    crow: &[T],
+    xs: &[&[T]],
+    out: *mut T,
+    j: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_f25::<T>() && crow.len() <= 16 {
+            debug_assert_eq!(xs.len(), crow.len());
+            // SAFETY: identity casts as in `try_f25_lane_strip`.
+            let crow_f = unsafe { cast_slice::<T>(crow) };
+            let mut xp = [std::ptr::null::<dk_field::F25>(); 16];
+            for (d, s) in xp.iter_mut().zip(xs.iter()) {
+                debug_assert!(s.len() >= j + LANES);
+                *d = s.as_ptr() as *const dk_field::F25;
+            }
+            let out_f = out as *mut dk_field::F25;
+            // SAFETY: caller guarantees `j + LANES` elements per row and
+            // `LANES` writable slots at `out`; AVX2 body detection-gated.
+            unsafe {
+                if x86::has_avx2() {
+                    x86::coded_strip_store_avx2(crow_f, &xp[..crow_f.len()], out_f, j);
+                } else {
+                    x86::coded_strip_store_sse2(crow_f, &xp[..crow_f.len()], out_f, j);
+                }
+            }
+            return true;
+        }
+    }
+    let _ = (crow, xs, out, j);
+    false
+}
+
+/// Whether the direct strided `Aᵀ·B` path applies to `T`: `F25` on
+/// x86-64. Const-folds per monomorphization like the other dispatches.
+#[inline(always)]
+pub(crate) fn has_f25_at_b_direct<T: Scalar>() -> bool {
+    cfg!(target_arch = "x86_64") && is_f25::<T>()
+}
+
+/// `C[rows×n] = Aᵀ·B` output rows `i0..i0+rows` (with `A` stored
+/// `k×m`), reading `A`'s column `i` directly at stride `m` — no packed
+/// panel. `c` covers only the `rows × n` slice being produced. Callers
+/// must have checked [`has_f25_at_b_direct`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn f25_at_b_rows<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    i0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: identity casts as in `try_f25_lane_strip`.
+        let (a, b, c) = unsafe {
+            (
+                cast_slice::<T>(a),
+                cast_slice::<T>(b),
+                std::slice::from_raw_parts_mut(c.as_mut_ptr() as *mut dk_field::F25, c.len()),
+            )
+        };
+        let avx2 = x86::has_avx2();
+        for i in i0..i0 + rows {
+            let crow = &mut c[(i - i0) * n..(i - i0 + 1) * n];
+            let mut j = 0;
+            while j + LANES <= n {
+                let cs: &mut [dk_field::F25; LANES] =
+                    (&mut crow[j..j + LANES]).try_into().unwrap();
+                // SAFETY: `j + LANES <= n`; AVX2 body is detection-gated.
+                unsafe {
+                    if avx2 {
+                        x86::at_b_strip_avx2(a, i, m, b, cs, n, j);
+                    } else {
+                        x86::at_b_strip_sse2(a, i, m, b, cs, n, j);
+                    }
+                }
+                j += LANES;
+            }
+            if j < n {
+                at_b_tail(a, i, m, b, &mut crow[j..], n, j, k);
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (a, b, c, i0, rows, m, k, n);
+        unreachable!("has_f25_at_b_direct gates this path to x86-64");
+    }
+}
+
+/// Scalar remainder columns of the direct `Aᵀ·B` path: the standard
+/// delayed-reduction recurrence (ascending `p`, zero-skip, folds at
+/// `FOLD_INTERVAL` positions) with the strided coefficient read.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn at_b_tail(
+    a: &[dk_field::F25],
+    i: usize,
+    m: usize,
+    b: &[dk_field::F25],
+    ctail: &mut [dk_field::F25],
+    n: usize,
+    j0: usize,
+    k: usize,
+) {
+    use dk_field::F25;
+    for (l, cj) in ctail.iter_mut().enumerate() {
+        let j = j0 + l;
+        let mut acc = cj.acc_lift();
+        let mut p0 = 0;
+        while p0 < k {
+            let pend = k.min(p0.saturating_add(<F25 as Scalar>::FOLD_INTERVAL));
+            for p in p0..pend {
+                let aip = a[p * m + i];
+                if aip == <F25 as Scalar>::zero() {
+                    continue;
+                }
+                acc = <F25 as Scalar>::mac(acc, aip, b[p * n + j]);
+            }
+            p0 = pend;
+            if p0 < k {
+                acc = <F25 as Scalar>::acc_fold(acc);
+            }
+        }
+        *cj = <F25 as Scalar>::acc_finish(acc);
+    }
+}
+
 /// Reinterprets `&[T]` as `&[F25]`. Caller must have proven `T == F25`.
 #[cfg(target_arch = "x86_64")]
 #[inline(always)]
@@ -168,6 +352,60 @@ mod x86 {
             _mm_storeu_si128(t.as_mut_ptr() as *mut __m128i, v);
             *out = F25::reduce_u64(t[0]);
             *out.add(1) = F25::reduce_u64(t[1]);
+        }
+    }
+
+    /// Reduces both `u64` lanes to canonical `F25` entirely
+    /// in-register, for lanes bounded by the coded-strip budget:
+    /// at most `PGROUP = 16` products plus one
+    /// canonical carry-in, i.e. `v < 2^25 + 16·(P25−1)² < 2^54.1`.
+    ///
+    /// Two pseudo-Mersenne folds (`2^25 ≡ 39 (mod P25)`) bring the
+    /// value under `2·P25`, then one masked subtract lands canonical —
+    /// the canonical residue is unique, so the bits match the scalar
+    /// Barrett [`F25::reduce_u64`] exactly. After the first fold
+    /// `v₁ ≤ 2^25 + (2^29)·39 < 2^34.3`; after the second
+    /// `v₂ ≤ 2^25 + 625·39 < 2·P25` and fits in 31 bits, so the
+    /// 32-bit signed compare used for the subtract mask is exact (the
+    /// high dwords are zero on both sides and compare false).
+    #[inline(always)]
+    unsafe fn reduce2_coded(v: __m128i) -> __m128i {
+        {
+            let mask = _mm_set1_epi64x((1i64 << 25) - 1);
+            let c39 = _mm_set1_epi64x(39);
+            let v1 = _mm_add_epi64(
+                _mm_and_si128(v, mask),
+                _mm_mul_epu32(_mm_srli_epi64(v, 25), c39),
+            );
+            let v2 = _mm_add_epi64(
+                _mm_and_si128(v1, mask),
+                _mm_mul_epu32(_mm_srli_epi64(v1, 25), c39),
+            );
+            let p = _mm_set1_epi64x(dk_field::P25 as i64);
+            let gt = _mm_cmpgt_epi32(v2, _mm_set1_epi64x((dk_field::P25 - 1) as i64));
+            _mm_sub_epi64(v2, _mm_and_si128(gt, p))
+        }
+    }
+
+    /// Four-lane AVX2 counterpart of [`reduce2_coded`]; same `< 2^54.1`
+    /// input bound, same canonical result.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce4_coded(v: __m256i) -> __m256i {
+        {
+            let mask = _mm256_set1_epi64x((1i64 << 25) - 1);
+            let c39 = _mm256_set1_epi64x(39);
+            let v1 = _mm256_add_epi64(
+                _mm256_and_si256(v, mask),
+                _mm256_mul_epu32(_mm256_srli_epi64(v, 25), c39),
+            );
+            let v2 = _mm256_add_epi64(
+                _mm256_and_si256(v1, mask),
+                _mm256_mul_epu32(_mm256_srli_epi64(v1, 25), c39),
+            );
+            let p = _mm256_set1_epi64x(dk_field::P25 as i64);
+            let gt = _mm256_cmpgt_epi32(v2, _mm256_set1_epi64x((dk_field::P25 - 1) as i64));
+            _mm256_sub_epi64(v2, _mm256_and_si256(gt, p))
         }
     }
 
@@ -280,6 +518,316 @@ mod x86 {
                 let pend = k.min(p0.saturating_add(CHUNK));
                 for p in p0..pend {
                     let aip = arow.get_unchecked(p).value();
+                    if aip == 0 {
+                        continue;
+                    }
+                    let av = _mm256_set1_epi64x(aip as i64);
+                    let bp = b.as_ptr().add(p * n + j) as *const __m256i;
+                    a0 = _mm256_add_epi64(a0, _mm256_mul_epu32(av, _mm256_loadu_si256(bp)));
+                    a1 = _mm256_add_epi64(a1, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(1))));
+                    a2 = _mm256_add_epi64(a2, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(2))));
+                    a3 = _mm256_add_epi64(a3, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(3))));
+                }
+                p0 = pend;
+                if p0 < k {
+                    a0 = fold4(a0);
+                    a1 = fold4(a1);
+                    a2 = fold4(a2);
+                    a3 = fold4(a3);
+                }
+            }
+            let mut t = [0u64; LANES];
+            _mm256_storeu_si256(t.as_mut_ptr() as *mut __m256i, a0);
+            _mm256_storeu_si256(t.as_mut_ptr().add(4) as *mut __m256i, a1);
+            _mm256_storeu_si256(t.as_mut_ptr().add(8) as *mut __m256i, a2);
+            _mm256_storeu_si256(t.as_mut_ptr().add(12) as *mut __m256i, a3);
+            for (c, &v) in cs.iter_mut().zip(t.iter()) {
+                *c = F25::reduce_u64(v);
+            }
+        }
+    }
+
+    /// SSE2 coded-combine strip: like [`lane_strip_sse2`] but each
+    /// reduction position `p` loads from its own row pointer `xp[p]`
+    /// (the stacked coding rows are separate workspace vectors, never
+    /// copied flat). At most 16 positions per call — the canonical
+    /// strip init plus 16 unreduced products stay below `2^55`, so no
+    /// mid-strip folds are needed (`reduce_u64` takes any `u64`).
+    ///
+    /// # Safety
+    ///
+    /// Every `xp[p]` must be valid for `j + LANES` elements.
+    pub(super) unsafe fn coded_strip_sse2(
+        crow: &[F25],
+        xp: &[*const F25],
+        cs: &mut [F25; LANES],
+        j: usize,
+    ) {
+        unsafe {
+            let cp = cs.as_ptr() as *const __m128i;
+            let mut a0 = _mm_loadu_si128(cp);
+            let mut a1 = _mm_loadu_si128(cp.add(1));
+            let mut a2 = _mm_loadu_si128(cp.add(2));
+            let mut a3 = _mm_loadu_si128(cp.add(3));
+            let mut a4 = _mm_loadu_si128(cp.add(4));
+            let mut a5 = _mm_loadu_si128(cp.add(5));
+            let mut a6 = _mm_loadu_si128(cp.add(6));
+            let mut a7 = _mm_loadu_si128(cp.add(7));
+            for (p, &xr) in xp.iter().enumerate() {
+                let aip = crow.get_unchecked(p).value();
+                if aip == 0 {
+                    continue;
+                }
+                let av = _mm_set1_epi64x(aip as i64);
+                let bp = xr.add(j) as *const __m128i;
+                a0 = _mm_add_epi64(a0, _mm_mul_epu32(av, _mm_loadu_si128(bp)));
+                a1 = _mm_add_epi64(a1, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(1))));
+                a2 = _mm_add_epi64(a2, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(2))));
+                a3 = _mm_add_epi64(a3, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(3))));
+                a4 = _mm_add_epi64(a4, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(4))));
+                a5 = _mm_add_epi64(a5, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(5))));
+                a6 = _mm_add_epi64(a6, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(6))));
+                a7 = _mm_add_epi64(a7, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(7))));
+            }
+            let out = cs.as_mut_ptr() as *mut __m128i;
+            _mm_storeu_si128(out, reduce2_coded(a0));
+            _mm_storeu_si128(out.add(1), reduce2_coded(a1));
+            _mm_storeu_si128(out.add(2), reduce2_coded(a2));
+            _mm_storeu_si128(out.add(3), reduce2_coded(a3));
+            _mm_storeu_si128(out.add(4), reduce2_coded(a4));
+            _mm_storeu_si128(out.add(5), reduce2_coded(a5));
+            _mm_storeu_si128(out.add(6), reduce2_coded(a6));
+            _mm_storeu_si128(out.add(7), reduce2_coded(a7));
+        }
+    }
+
+    /// AVX2 coded-combine strip: four `ymm` accumulators, per-position
+    /// row pointers as in [`coded_strip_sse2`].
+    ///
+    /// # Safety
+    ///
+    /// As [`coded_strip_sse2`], plus the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn coded_strip_avx2(
+        crow: &[F25],
+        xp: &[*const F25],
+        cs: &mut [F25; LANES],
+        j: usize,
+    ) {
+        unsafe {
+            let cp = cs.as_ptr() as *const __m256i;
+            let mut a0 = _mm256_loadu_si256(cp);
+            let mut a1 = _mm256_loadu_si256(cp.add(1));
+            let mut a2 = _mm256_loadu_si256(cp.add(2));
+            let mut a3 = _mm256_loadu_si256(cp.add(3));
+            for (p, &xr) in xp.iter().enumerate() {
+                let aip = crow.get_unchecked(p).value();
+                if aip == 0 {
+                    continue;
+                }
+                let av = _mm256_set1_epi64x(aip as i64);
+                let bp = xr.add(j) as *const __m256i;
+                a0 = _mm256_add_epi64(a0, _mm256_mul_epu32(av, _mm256_loadu_si256(bp)));
+                a1 = _mm256_add_epi64(a1, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(1))));
+                a2 = _mm256_add_epi64(a2, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(2))));
+                a3 = _mm256_add_epi64(a3, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(3))));
+            }
+            let out = cs.as_mut_ptr() as *mut __m256i;
+            _mm256_storeu_si256(out, reduce4_coded(a0));
+            _mm256_storeu_si256(out.add(1), reduce4_coded(a1));
+            _mm256_storeu_si256(out.add(2), reduce4_coded(a2));
+            _mm256_storeu_si256(out.add(3), reduce4_coded(a3));
+        }
+    }
+
+    /// SSE2 coded-combine strip, store mode: the accumulators start at
+    /// zero (the canonical lift of a zeroed strip, so bit-identical to
+    /// accumulating into zeroed lanes) and the finished values go
+    /// straight through `out` — the destination is never read.
+    ///
+    /// # Safety
+    ///
+    /// As [`coded_strip_sse2`], plus `out` must be valid for [`LANES`]
+    /// writes.
+    pub(super) unsafe fn coded_strip_store_sse2(
+        crow: &[F25],
+        xp: &[*const F25],
+        out: *mut F25,
+        j: usize,
+    ) {
+        unsafe {
+            let mut a0 = _mm_setzero_si128();
+            let mut a1 = _mm_setzero_si128();
+            let mut a2 = _mm_setzero_si128();
+            let mut a3 = _mm_setzero_si128();
+            let mut a4 = _mm_setzero_si128();
+            let mut a5 = _mm_setzero_si128();
+            let mut a6 = _mm_setzero_si128();
+            let mut a7 = _mm_setzero_si128();
+            for (p, &xr) in xp.iter().enumerate() {
+                let aip = crow.get_unchecked(p).value();
+                if aip == 0 {
+                    continue;
+                }
+                let av = _mm_set1_epi64x(aip as i64);
+                let bp = xr.add(j) as *const __m128i;
+                a0 = _mm_add_epi64(a0, _mm_mul_epu32(av, _mm_loadu_si128(bp)));
+                a1 = _mm_add_epi64(a1, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(1))));
+                a2 = _mm_add_epi64(a2, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(2))));
+                a3 = _mm_add_epi64(a3, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(3))));
+                a4 = _mm_add_epi64(a4, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(4))));
+                a5 = _mm_add_epi64(a5, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(5))));
+                a6 = _mm_add_epi64(a6, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(6))));
+                a7 = _mm_add_epi64(a7, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(7))));
+            }
+            let op = out as *mut __m128i;
+            _mm_storeu_si128(op, reduce2_coded(a0));
+            _mm_storeu_si128(op.add(1), reduce2_coded(a1));
+            _mm_storeu_si128(op.add(2), reduce2_coded(a2));
+            _mm_storeu_si128(op.add(3), reduce2_coded(a3));
+            _mm_storeu_si128(op.add(4), reduce2_coded(a4));
+            _mm_storeu_si128(op.add(5), reduce2_coded(a5));
+            _mm_storeu_si128(op.add(6), reduce2_coded(a6));
+            _mm_storeu_si128(op.add(7), reduce2_coded(a7));
+        }
+    }
+
+    /// AVX2 coded-combine strip, store mode: zero-initialized `ymm`
+    /// accumulators, finished lanes written straight through `out`.
+    ///
+    /// # Safety
+    ///
+    /// As [`coded_strip_store_sse2`], plus the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn coded_strip_store_avx2(
+        crow: &[F25],
+        xp: &[*const F25],
+        out: *mut F25,
+        j: usize,
+    ) {
+        unsafe {
+            let mut a0 = _mm256_setzero_si256();
+            let mut a1 = _mm256_setzero_si256();
+            let mut a2 = _mm256_setzero_si256();
+            let mut a3 = _mm256_setzero_si256();
+            for (p, &xr) in xp.iter().enumerate() {
+                let aip = crow.get_unchecked(p).value();
+                if aip == 0 {
+                    continue;
+                }
+                let av = _mm256_set1_epi64x(aip as i64);
+                let bp = xr.add(j) as *const __m256i;
+                a0 = _mm256_add_epi64(a0, _mm256_mul_epu32(av, _mm256_loadu_si256(bp)));
+                a1 = _mm256_add_epi64(a1, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(1))));
+                a2 = _mm256_add_epi64(a2, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(2))));
+                a3 = _mm256_add_epi64(a3, _mm256_mul_epu32(av, _mm256_loadu_si256(bp.add(3))));
+            }
+            let op = out as *mut __m256i;
+            _mm256_storeu_si256(op, reduce4_coded(a0));
+            _mm256_storeu_si256(op.add(1), reduce4_coded(a1));
+            _mm256_storeu_si256(op.add(2), reduce4_coded(a2));
+            _mm256_storeu_si256(op.add(3), reduce4_coded(a3));
+        }
+    }
+
+    /// SSE2 strided `Aᵀ·B` strip: [`lane_strip_sse2`] with the
+    /// coefficient read `a[p*m + i]` (column `i` of the `k×m` operand)
+    /// instead of a packed panel row — same zero-skip, same chunked
+    /// fold schedule, so bit-identical to the packed path.
+    ///
+    /// # Safety
+    ///
+    /// Requires `j + LANES <= n`, `a.len() == k*m`, `b.len() >= k*n`.
+    pub(super) unsafe fn at_b_strip_sse2(
+        a: &[F25],
+        i: usize,
+        m: usize,
+        b: &[F25],
+        cs: &mut [F25; LANES],
+        n: usize,
+        j: usize,
+    ) {
+        unsafe {
+            let k = a.len() / m;
+            let cp = cs.as_ptr() as *const __m128i;
+            let mut a0 = _mm_loadu_si128(cp);
+            let mut a1 = _mm_loadu_si128(cp.add(1));
+            let mut a2 = _mm_loadu_si128(cp.add(2));
+            let mut a3 = _mm_loadu_si128(cp.add(3));
+            let mut a4 = _mm_loadu_si128(cp.add(4));
+            let mut a5 = _mm_loadu_si128(cp.add(5));
+            let mut a6 = _mm_loadu_si128(cp.add(6));
+            let mut a7 = _mm_loadu_si128(cp.add(7));
+            let mut p0 = 0;
+            while p0 < k {
+                let pend = k.min(p0.saturating_add(CHUNK));
+                for p in p0..pend {
+                    let aip = a.get_unchecked(p * m + i).value();
+                    if aip == 0 {
+                        continue;
+                    }
+                    let av = _mm_set1_epi64x(aip as i64);
+                    let bp = b.as_ptr().add(p * n + j) as *const __m128i;
+                    a0 = _mm_add_epi64(a0, _mm_mul_epu32(av, _mm_loadu_si128(bp)));
+                    a1 = _mm_add_epi64(a1, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(1))));
+                    a2 = _mm_add_epi64(a2, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(2))));
+                    a3 = _mm_add_epi64(a3, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(3))));
+                    a4 = _mm_add_epi64(a4, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(4))));
+                    a5 = _mm_add_epi64(a5, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(5))));
+                    a6 = _mm_add_epi64(a6, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(6))));
+                    a7 = _mm_add_epi64(a7, _mm_mul_epu32(av, _mm_loadu_si128(bp.add(7))));
+                }
+                p0 = pend;
+                if p0 < k {
+                    a0 = fold2(a0);
+                    a1 = fold2(a1);
+                    a2 = fold2(a2);
+                    a3 = fold2(a3);
+                    a4 = fold2(a4);
+                    a5 = fold2(a5);
+                    a6 = fold2(a6);
+                    a7 = fold2(a7);
+                }
+            }
+            let out = cs.as_mut_ptr();
+            finish2(out, a0);
+            finish2(out.add(2), a1);
+            finish2(out.add(4), a2);
+            finish2(out.add(6), a3);
+            finish2(out.add(8), a4);
+            finish2(out.add(10), a5);
+            finish2(out.add(12), a6);
+            finish2(out.add(14), a7);
+        }
+    }
+
+    /// AVX2 strided `Aᵀ·B` strip.
+    ///
+    /// # Safety
+    ///
+    /// As [`at_b_strip_sse2`], plus the CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn at_b_strip_avx2(
+        a: &[F25],
+        i: usize,
+        m: usize,
+        b: &[F25],
+        cs: &mut [F25; LANES],
+        n: usize,
+        j: usize,
+    ) {
+        unsafe {
+            let k = a.len() / m;
+            let cp = cs.as_ptr() as *const __m256i;
+            let mut a0 = _mm256_loadu_si256(cp);
+            let mut a1 = _mm256_loadu_si256(cp.add(1));
+            let mut a2 = _mm256_loadu_si256(cp.add(2));
+            let mut a3 = _mm256_loadu_si256(cp.add(3));
+            let mut p0 = 0;
+            while p0 < k {
+                let pend = k.min(p0.saturating_add(CHUNK));
+                for p in p0..pend {
+                    let aip = a.get_unchecked(p * m + i).value();
                     if aip == 0 {
                         continue;
                     }

@@ -66,6 +66,26 @@ pub fn would_parallelize(units: usize, macs: usize) -> bool {
     workers_for(units, macs) > 1
 }
 
+/// Resolves a **column**-range fan-out as `(tasks, cols_per_task)`.
+///
+/// Row partitioning cannot split the coding shapes — `k+m` output rows
+/// against an enormous `n` — so the streaming coded kernels partition
+/// output columns instead. `cols_per_task` is a multiple of `align`
+/// (the SIMD strip width) so no strip ever straddles a partition
+/// boundary; columns are independent accumulations, so the split is
+/// bit-exact at every thread count in both domains. Returns `(1, n)`
+/// when the shape stays serial under [`workers_for`].
+pub(crate) fn col_partition(n: usize, align: usize, macs: usize) -> (usize, usize) {
+    debug_assert!(align > 0);
+    let chunks = n.div_ceil(align.max(1));
+    let workers = workers_for(chunks, macs);
+    if workers <= 1 {
+        return (1, n);
+    }
+    let cols_per = chunks.div_ceil(workers) * align;
+    (n.div_ceil(cols_per), cols_per)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +100,16 @@ mod tests {
         // Below the MAC threshold or with a single unit: stay serial.
         assert_eq!(workers_for(64, PAR_MAC_THRESHOLD - 1), 1);
         assert_eq!(workers_for(1, PAR_MAC_THRESHOLD), 1);
+        // Column partitioning: aligned ranges covering n exactly, serial
+        // below the MAC threshold or when a single aligned chunk covers
+        // everything.
+        let (tasks, cols) = col_partition(1 << 14, 16, PAR_MAC_THRESHOLD);
+        assert_eq!(tasks, 3);
+        assert_eq!(cols % 16, 0);
+        assert!(cols * tasks >= 1 << 14 && cols * (tasks - 1) < 1 << 14);
+        assert_eq!(col_partition(1 << 14, 16, PAR_MAC_THRESHOLD - 1), (1, 1 << 14));
+        assert_eq!(col_partition(16, 16, PAR_MAC_THRESHOLD), (1, 16));
+        assert_eq!(col_partition(0, 16, PAR_MAC_THRESHOLD), (1, 0));
         set_max_threads(0);
         assert!(max_threads() >= 1);
     }

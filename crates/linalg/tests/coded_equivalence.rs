@@ -1,0 +1,243 @@
+//! Streaming coded-combine kernels vs the per-MAC-reducing oracle, and
+//! serial ≡ pooled bit-identity of their column fan-out.
+//!
+//! The `coded_combine` family restructures the coding matmul — the
+//! whole coefficient matrix against each column chunk of the stacked
+//! rows in one pass — but every output element must still see exactly
+//! the ascending-`p` reference recurrence of
+//! [`dk_linalg::reference::naive_coded_combine_acc`], in both the field
+//! and float domains. Property cases sweep:
+//!
+//! * row counts crossing the register-group (`PGROUP = 16`) and
+//!   fan-out-batch (32 rows) boundaries;
+//! * the fused-check variant, whose mismatch count must equal the exact
+//!   number of corrupted positions;
+//! * the rank-1 `coded_axpy_acc` applied in uneven column chunks, which
+//!   must reproduce the single-pass combine bit-for-bit;
+//! * shapes pushed over `PAR_MAC_THRESHOLD` so the column partitioning
+//!   genuinely fans out — pooled results must be bit-identical to
+//!   serial at every thread cap, floats included.
+//!
+//! Everything runs from a single `#[test]` because the thread cap is
+//! process-global: the property functions are generated without
+//! `#[test]` attributes and driven sequentially.
+
+use dk_field::{FieldRng, P25};
+use dk_linalg::reference::naive_coded_combine_acc;
+use dk_linalg::{
+    coded_axpy_acc, coded_combine_acc, coded_combine_check_acc, coded_combine_into,
+    set_max_threads, Scalar,
+};
+use proptest::prelude::*;
+
+/// Field generator with a sprinkling of zeros (exercises zero-skip).
+fn field_gen(seed: u64) -> impl FnMut() -> dk_field::F25 {
+    let mut rng = FieldRng::seed_from(seed);
+    move || {
+        let v = rng.uniform::<P25>();
+        if v.value().is_multiple_of(7) {
+            dk_field::F25::ZERO
+        } else {
+            v
+        }
+    }
+}
+
+/// Finite float generator (integers scaled down), also with zeros.
+fn float_gen(seed: u64) -> impl FnMut() -> f32 {
+    let mut rng = FieldRng::seed_from(seed);
+    move || {
+        let v = rng.uniform::<P25>().value();
+        if v.is_multiple_of(7) {
+            0.0
+        } else {
+            (v % 2001) as f32 * 0.125 - 125.0
+        }
+    }
+}
+
+struct Case<T> {
+    coeff: Vec<T>,
+    cstride: usize,
+    col0: usize,
+    x: Vec<Vec<T>>,
+    init: Vec<Vec<T>>,
+    n: usize,
+}
+
+fn make_case<T: Scalar>(
+    mut gen: impl FnMut() -> T,
+    rows: usize,
+    kdim: usize,
+    col0: usize,
+    n: usize,
+) -> Case<T> {
+    let cstride = col0 + kdim;
+    Case {
+        coeff: (0..rows.max(1) * cstride).map(|_| gen()).collect(),
+        cstride,
+        col0,
+        x: (0..kdim).map(|_| (0..n).map(|_| gen()).collect()).collect(),
+        init: (0..rows).map(|_| (0..n).map(|_| gen()).collect()).collect(),
+        n,
+    }
+}
+
+/// Streaming accumulate ≡ naive oracle, on non-zero initial contents;
+/// `_into` ≡ oracle from zero regardless of stale contents.
+fn assert_matches_naive<T: Scalar>(gen: impl FnMut() -> T, rows: usize, kdim: usize, col0: usize, n: usize) {
+    let c = make_case(gen, rows, kdim, col0, n);
+    let mut got = c.init.clone();
+    let mut want = c.init.clone();
+    coded_combine_acc(&c.coeff, c.cstride, c.col0, &c.x, &mut got, c.n);
+    naive_coded_combine_acc(&c.coeff, c.cstride, c.col0, &c.x, &mut want);
+    assert_eq!(got, want, "acc diverged at rows={rows} kdim={kdim} col0={col0} n={n}");
+    let mut stale = c.init.clone();
+    coded_combine_into(&c.coeff, c.cstride, c.col0, &c.x, &mut stale, c.n);
+    let mut fresh: Vec<Vec<T>> = (0..rows).map(|_| vec![T::zero(); n]).collect();
+    naive_coded_combine_acc(&c.coeff, c.cstride, c.col0, &c.x, &mut fresh);
+    assert_eq!(stale, fresh, "into diverged at rows={rows} kdim={kdim} col0={col0} n={n}");
+}
+
+/// Fused check ≡ plain combine on the outputs, and the mismatch count
+/// equals the exact number of corrupted positions.
+fn assert_check_exact(seed: u64, rows: usize, kdim: usize, n: usize, corrupt: &[usize]) {
+    let mut gen = field_gen(seed);
+    let c = make_case(&mut gen, rows, kdim, 0, n);
+    let w: Vec<dk_field::F25> = (0..kdim).map(|_| gen()).collect();
+    let mut pred = vec![vec![dk_field::F25::ZERO; n]];
+    naive_coded_combine_acc(&w, kdim, 0, &c.x, &mut pred);
+    let mut expect = pred.pop().unwrap();
+    let mut got = c.init.clone();
+    let mm = coded_combine_check_acc(&c.coeff, c.cstride, 0, &c.x, &mut got, n, &w, &expect);
+    assert_eq!(mm, 0, "clean row must verify at rows={rows} kdim={kdim} n={n}");
+    let mut want = c.init.clone();
+    naive_coded_combine_acc(&c.coeff, c.cstride, 0, &c.x, &mut want);
+    assert_eq!(got, want, "fused check changed outputs at rows={rows} kdim={kdim} n={n}");
+    // Corrupt a deduplicated set of positions: the count must be exact.
+    let mut hit: Vec<usize> = corrupt.iter().map(|&p| p % n).collect();
+    hit.sort_unstable();
+    hit.dedup();
+    for &p in &hit {
+        expect[p] += dk_field::F25::ONE;
+    }
+    let mut got = c.init.clone();
+    let mm = coded_combine_check_acc(&c.coeff, c.cstride, 0, &c.x, &mut got, n, &w, &expect);
+    assert_eq!(mm, hit.len(), "mismatch count at rows={rows} kdim={kdim} n={n}");
+}
+
+/// The rank-1 noise update applied in uneven chunks ≡ one combine pass
+/// over the full row.
+fn assert_axpy_chunked(seed: u64, rows: usize, kdim: usize, col: usize, n: usize, step: usize) {
+    let mut gen = field_gen(seed);
+    let c = make_case(&mut gen, rows, kdim.max(col + 1), 0, n);
+    let noise: Vec<dk_field::F25> = (0..n).map(|_| gen()).collect();
+    let mut want = c.init.clone();
+    coded_combine_acc(&c.coeff, c.cstride, col, std::slice::from_ref(&noise), &mut want, n);
+    let mut got = c.init.clone();
+    let mut j0 = 0;
+    let mut bump = 0;
+    while j0 < n {
+        let j1 = n.min(j0 + step + bump);
+        coded_axpy_acc(&c.coeff, c.cstride, col, &noise[j0..j1], &mut got, j0);
+        j0 = j1;
+        bump = (bump + 3) % 11; // uneven, lane-misaligned chunk widths
+    }
+    assert_eq!(got, want, "chunked axpy diverged at rows={rows} col={col} n={n} step={step}");
+}
+
+/// Serial vs pooled at a genuine fan-out shape, field and float.
+fn assert_pooled_matches_serial(seed: u64, rows: usize, kdim: usize, n: usize, threads: usize) {
+    fn run<T: Scalar>(gen: impl FnMut() -> T, rows: usize, kdim: usize, n: usize, threads: usize) {
+        let c = make_case(gen, rows, kdim, 0, n);
+        set_max_threads(1);
+        let mut serial = c.init.clone();
+        coded_combine_acc(&c.coeff, c.cstride, 0, &c.x, &mut serial, c.n);
+        set_max_threads(threads);
+        let mut pooled = c.init.clone();
+        coded_combine_acc(&c.coeff, c.cstride, 0, &c.x, &mut pooled, c.n);
+        assert_eq!(pooled, serial, "pooled ({threads}) diverged at {rows}x{kdim}x{n}");
+    }
+    run(field_gen(seed), rows, kdim, n, threads);
+    run(float_gen(seed ^ 0xF10A7), rows, kdim, n, threads);
+    // The fused check under the pool: outputs and count both invariant.
+    let mut gen = field_gen(seed ^ 0xC4EC);
+    let c = make_case(&mut gen, rows, kdim.min(16), 0, n);
+    let w: Vec<dk_field::F25> = (0..c.x.len()).map(|_| gen()).collect();
+    let mut expect = vec![vec![dk_field::F25::ZERO; n]];
+    naive_coded_combine_acc(&w, c.x.len(), 0, &c.x, &mut expect);
+    let mut expect = expect.pop().unwrap();
+    expect[n / 2] += dk_field::F25::ONE;
+    set_max_threads(1);
+    let mut serial = c.init.clone();
+    let mm_s = coded_combine_check_acc(&c.coeff, c.cstride, 0, &c.x, &mut serial, n, &w, &expect);
+    set_max_threads(threads);
+    let mut pooled = c.init.clone();
+    let mm_p = coded_combine_check_acc(&c.coeff, c.cstride, 0, &c.x, &mut pooled, n, &w, &expect);
+    assert_eq!((mm_p, pooled), (mm_s, serial), "pooled check diverged at {rows}x{kdim}x{n}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Small and boundary-crossing shapes against the oracle: row counts
+    // past the 32-row fan-out batch, reduction lengths past the 16-wide
+    // register group, lane-misaligned widths, offset coefficient
+    // columns. Includes degenerate n and empty row sets.
+    fn combine_matches_naive(
+        seed in any::<u64>(),
+        rows in 0usize..40,
+        kdim in 0usize..40,
+        col0 in 0usize..3,
+        n in 0usize..70,
+    ) {
+        assert_matches_naive(field_gen(seed), rows, kdim, col0, n);
+        assert_matches_naive(float_gen(seed ^ 0xF10A7), rows, kdim, col0, n);
+    }
+
+    // The fused integrity check: exact mismatch counting at every
+    // width, including positions in the vector tail.
+    fn check_counts_are_exact(
+        seed in any::<u64>(),
+        rows in 1usize..8,
+        kdim in 1usize..17,
+        n in 1usize..70,
+        corrupt in proptest::collection::vec(any::<usize>(), 0..6),
+    ) {
+        assert_check_exact(seed, rows, kdim, n, &corrupt);
+    }
+
+    // Chunked noise application ≡ whole-row pass.
+    fn axpy_chunking_is_invisible(
+        seed in any::<u64>(),
+        rows in 1usize..7,
+        kdim in 1usize..8,
+        col in 0usize..8,
+        n in 1usize..90,
+        step in 1usize..40,
+    ) {
+        assert_axpy_chunked(seed, rows, kdim, col, n, step);
+    }
+
+    // Column fan-out: n sized so rows·kdim·n crosses PAR_MAC_THRESHOLD
+    // and the pool genuinely partitions columns.
+    fn pooled_matches_serial(
+        seed in any::<u64>(),
+        rows in 2usize..7,
+        kdim in 2usize..7,
+        extra in 1usize..512,
+        threads in 2usize..9,
+    ) {
+        let n = dk_linalg::PAR_MAC_THRESHOLD / (rows * kdim) + extra;
+        assert_pooled_matches_serial(seed, rows, kdim, n, threads);
+    }
+}
+
+#[test]
+fn coded_kernels_match_oracle_and_pool_is_invisible() {
+    combine_matches_naive();
+    check_counts_are_exact();
+    axpy_chunking_is_invisible();
+    pooled_matches_serial();
+    set_max_threads(0);
+}
