@@ -333,6 +333,39 @@ impl PipelineEngine {
         &self.quarantined
     }
 
+    /// The number of virtual batches consumed so far — the batch cursor
+    /// a checkpoint must carry so a resumed engine numbers its next
+    /// batch exactly where the interrupted run would have.
+    pub fn batches_consumed(&self) -> u64 {
+        self.next_batch
+    }
+
+    /// Fast-forwards the batch cursor (checkpoint resume): the next
+    /// pass will number its first virtual batch `cursor + 1`, so the
+    /// derived masks, schemes and spot checks land bit-identical to an
+    /// uninterrupted run.
+    pub fn resume_at_batch(&mut self, cursor: u64) {
+        self.next_batch = cursor;
+    }
+
+    /// Seals plaintext with the engine's enclave keys (checkpoint
+    /// export). The seal key is derived from the enclave code identity,
+    /// so a freshly started engine with the same identity can unseal.
+    pub fn seal(&mut self, plaintext: &[u8]) -> SealedBlob {
+        self.tee.seal(plaintext)
+    }
+
+    /// Unseals a blob produced by [`PipelineEngine::seal`] (or by any
+    /// enclave with the same code identity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the enclave's authentication failure if the blob was
+    /// tampered with.
+    pub fn unseal(&mut self, blob: &SealedBlob) -> Result<Vec<u8>, DarknightError> {
+        Ok(self.tee.unseal(blob)?)
+    }
+
     /// Stops the dispatcher threads and returns the fleet with all
     /// accumulated worker state.
     ///

@@ -54,6 +54,13 @@ pub enum DarknightError {
         /// The offending linear layer.
         layer_id: u64,
     },
+    /// A sealed checkpoint could not be restored: truncated/corrupt
+    /// payload, or its recorded session/model configuration does not
+    /// match the session it is being resumed into.
+    Checkpoint {
+        /// What failed to match or parse.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for DarknightError {
@@ -81,6 +88,9 @@ impl std::fmt::Display for DarknightError {
                 f,
                 "backward pass at linear layer {layer_id} has no stored forward context"
             ),
+            DarknightError::Checkpoint { reason } => {
+                write!(f, "checkpoint restore failed: {reason}")
+            }
         }
     }
 }

@@ -51,6 +51,7 @@
 //! assert_eq!(logits.shape(), &[2, 10]);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod scheme;
 pub mod session;
 pub mod virtual_batch;
 
+pub use checkpoint::TrainingCheckpoint;
 pub use config::DarknightConfig;
 pub use engine::{EngineOptions, PipelineEngine, StepPlan};
 pub use error::DarknightError;

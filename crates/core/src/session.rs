@@ -363,6 +363,16 @@ impl<X: GpuExec> DarknightSession<X> {
         self.install_batch(index);
     }
 
+    /// Fast-forwards the batch cursor to `index` as if that batch had
+    /// just completed: the scheme for batch `index` is installed and
+    /// marked used, so the next pass begins batch `index + 1` with masks
+    /// bit-identical to an uninterrupted run (checkpoint resume). Any
+    /// in-flight batch state is retired first.
+    pub fn resume_at_batch(&mut self, index: u64) {
+        self.begin_numbered_batch(index);
+        self.pass_started = true;
+    }
+
     /// Retires the installed batch: drops per-layer contexts, releases
     /// their retained enclave bytes and the backend-stored encodings.
     /// Also runs on drop — a pipelined lane's backend (the shared

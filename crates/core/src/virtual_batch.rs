@@ -15,13 +15,14 @@
 //! shard regardless of model size — the paper's "pipelined approach to
 //! shard-wise aggregation".
 
+use crate::checkpoint::TrainingCheckpoint;
 use crate::engine::PipelineEngine;
 use crate::error::DarknightError;
 use crate::session::{DarknightSession, StepReport};
 use dk_linalg::Tensor;
 use dk_nn::optim::Sgd;
 use dk_nn::Sequential;
-use dk_tee::crypto::{bytes_to_f32s, f32s_to_bytes};
+use dk_tee::crypto::{bytes_to_f32s, f32s_to_bytes, SealedBlob};
 use dk_tee::UntrustedStore;
 
 /// Telemetry from one large-batch training step.
@@ -73,6 +74,11 @@ pub struct LargeBatchTrainer {
     backend: Backend,
     store: UntrustedStore,
     shard_elems: usize,
+    steps: u64,
+    checkpoint_every: Option<u64>,
+    /// Sealed checkpoints evicted to untrusted storage, keyed by step.
+    checkpoints: UntrustedStore,
+    latest_checkpoint_step: Option<u64>,
 }
 
 impl LargeBatchTrainer {
@@ -85,8 +91,7 @@ impl LargeBatchTrainer {
     ///
     /// Panics if `shard_elems == 0`.
     pub fn new(session: DarknightSession, shard_elems: usize) -> Self {
-        assert!(shard_elems > 0, "shard size must be positive");
-        Self { backend: Backend::Sequential(Box::new(session)), store: UntrustedStore::new(), shard_elems }
+        Self::with_backend(Backend::Sequential(Box::new(session)), shard_elems)
     }
 
     /// Wraps a pipelined engine: gradient accumulation streams the
@@ -99,8 +104,128 @@ impl LargeBatchTrainer {
     ///
     /// Panics if `shard_elems == 0`.
     pub fn pipelined(engine: PipelineEngine, shard_elems: usize) -> Self {
+        Self::with_backend(Backend::Pipelined(Box::new(engine)), shard_elems)
+    }
+
+    fn with_backend(backend: Backend, shard_elems: usize) -> Self {
         assert!(shard_elems > 0, "shard size must be positive");
-        Self { backend: Backend::Pipelined(Box::new(engine)), store: UntrustedStore::new(), shard_elems }
+        Self {
+            backend,
+            store: UntrustedStore::new(),
+            shard_elems,
+            steps: 0,
+            checkpoint_every: None,
+            checkpoints: UntrustedStore::new(),
+            latest_checkpoint_step: None,
+        }
+    }
+
+    /// Enables automatic sealed checkpoints every `every` large-batch
+    /// steps (see [`crate::checkpoint`]). Blobs accumulate in an
+    /// untrusted store, retrievable via
+    /// [`LargeBatchTrainer::latest_checkpoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn with_checkpoint_interval(mut self, every: u64) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Large-batch steps completed so far (across resume boundaries).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The most recent sealed checkpoint, if any was taken.
+    pub fn latest_checkpoint(&mut self) -> Option<SealedBlob> {
+        let step = self.latest_checkpoint_step?;
+        self.checkpoints.get(step)
+    }
+
+    /// Captures, seals and evicts a checkpoint of the current training
+    /// state (call at a step boundary: after
+    /// [`LargeBatchTrainer::train_large_batch`] returns, never between).
+    pub fn checkpoint(&mut self, model: &mut Sequential, sgd: &Sgd) -> SealedBlob {
+        let cursor = match &self.backend {
+            Backend::Sequential(s) => s.batch_index(),
+            Backend::Pipelined(e) => e.batches_consumed(),
+        };
+        let cfg = match &self.backend {
+            Backend::Sequential(s) => *s.config(),
+            Backend::Pipelined(e) => *e.config(),
+        };
+        let ckpt = TrainingCheckpoint::capture(&cfg, cursor, self.steps, model, sgd);
+        let bytes = ckpt.to_bytes();
+        let blob = match &mut self.backend {
+            Backend::Sequential(s) => s.enclave_mut().seal(&bytes),
+            Backend::Pipelined(e) => e.seal(&bytes),
+        };
+        self.checkpoints.put(self.steps, blob.clone());
+        self.latest_checkpoint_step = Some(self.steps);
+        blob
+    }
+
+    /// Resumes a sequential trainer from a sealed checkpoint: unseals
+    /// with the fresh session's enclave (same code identity ⇒ same seal
+    /// key), validates the configuration, installs weights / optimizer
+    /// state / BatchNorm running statistics, and fast-forwards the
+    /// virtual-batch cursor so every subsequent derived mask stream is
+    /// bit-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Enclave authentication failure (tampered blob) or
+    /// [`DarknightError::Checkpoint`] on any mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_elems == 0`.
+    pub fn resume(
+        mut session: DarknightSession,
+        shard_elems: usize,
+        blob: &SealedBlob,
+        model: &mut Sequential,
+        sgd: &mut Sgd,
+    ) -> Result<Self, DarknightError> {
+        let bytes = session.enclave_mut().unseal(blob)?;
+        let ckpt = TrainingCheckpoint::from_bytes(&bytes)?;
+        ckpt.validate_config(session.config())?;
+        ckpt.install(model, sgd)?;
+        session.resume_at_batch(ckpt.next_batch);
+        let mut t = Self::new(session, shard_elems);
+        t.steps = ckpt.steps;
+        Ok(t)
+    }
+
+    /// Resumes onto a pipelined engine — bit-identical to
+    /// [`LargeBatchTrainer::resume`] by the engine's sequential
+    /// equivalence, at any lane count or `DK_THREADS` cap.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LargeBatchTrainer::resume`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_elems == 0`.
+    pub fn resume_pipelined(
+        mut engine: PipelineEngine,
+        shard_elems: usize,
+        blob: &SealedBlob,
+        model: &mut Sequential,
+        sgd: &mut Sgd,
+    ) -> Result<Self, DarknightError> {
+        let bytes = engine.unseal(blob)?;
+        let ckpt = TrainingCheckpoint::from_bytes(&bytes)?;
+        ckpt.validate_config(engine.config())?;
+        ckpt.install(model, sgd)?;
+        engine.resume_at_batch(ckpt.next_batch);
+        let mut t = Self::pipelined(engine, shard_elems);
+        t.steps = ckpt.steps;
+        Ok(t)
     }
 
     /// The wrapped session (sequential mode).
@@ -175,12 +300,17 @@ impl LargeBatchTrainer {
         sgd: &mut Sgd,
     ) -> Result<LargeBatchReport, DarknightError> {
         let shard_elems = self.shard_elems;
-        match &mut self.backend {
+        let report = match &mut self.backend {
             Backend::Pipelined(engine) => {
                 engine.train_large_batch(model, x, labels, sgd, shard_elems)
             }
             Backend::Sequential(_) => self.train_sequential(model, x, labels, sgd),
+        }?;
+        self.steps += 1;
+        if self.checkpoint_every.is_some_and(|every| self.steps.is_multiple_of(every)) {
+            let _ = self.checkpoint(model, sgd);
         }
+        Ok(report)
     }
 
     /// The blocking reference implementation of Algorithm 2.

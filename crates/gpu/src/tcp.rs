@@ -34,7 +34,7 @@ use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Text description of a remote worker fleet.
 ///
@@ -48,6 +48,8 @@ use std::time::Duration;
 /// latency 50000 25
 /// io_timeout_ms 2000
 /// connect_timeout_ms 1000
+/// redial_backoff_ms 10
+/// redial_backoff_max_ms 2000
 /// ```
 ///
 /// Repeating an address is how one process hosts several logical
@@ -67,6 +69,12 @@ pub struct FleetManifest {
     pub io_timeout_ms: u64,
     /// Dial deadline for (re)connects.
     pub connect_timeout_ms: u64,
+    /// First redial-backoff window after a failed dial; each further
+    /// consecutive failure doubles it (plus derived jitter). `0`
+    /// disables backoff and retries every dial immediately.
+    pub redial_backoff_ms: u64,
+    /// Ceiling on the redial-backoff window.
+    pub redial_backoff_max_ms: u64,
 }
 
 impl Default for FleetManifest {
@@ -77,6 +85,8 @@ impl Default for FleetManifest {
             latency: None,
             io_timeout_ms: 5_000,
             connect_timeout_ms: 1_000,
+            redial_backoff_ms: 10,
+            redial_backoff_max_ms: 2_000,
         }
     }
 }
@@ -116,6 +126,12 @@ impl FleetManifest {
                 "connect_timeout_ms" => {
                     m.connect_timeout_ms = parse_u64(arg("value")?, "timeout")?;
                 }
+                "redial_backoff_ms" => {
+                    m.redial_backoff_ms = parse_u64(arg("value")?, "backoff")?;
+                }
+                "redial_backoff_max_ms" => {
+                    m.redial_backoff_max_ms = parse_u64(arg("value")?, "backoff")?;
+                }
                 other => return Err(format!("line {}: unknown directive `{other}`", lineno + 1)),
             }
             if let Some(extra) = tok.next() {
@@ -126,6 +142,75 @@ impl FleetManifest {
             return Err("manifest declares no workers".to_string());
         }
         Ok(m)
+    }
+}
+
+/// SplitMix64 — the jitter hash. Deterministic, so two fleets built
+/// from the same manifest back off on the same schedule (no wall-clock
+/// randomness anywhere in the transport).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The redial-backoff window for one failure streak: `base * 2^(n-1)`
+/// capped at `max`, plus jitter derived from `(seed, worker, n)` —
+/// up to half the window, so workers sharing a manifest seed still
+/// desynchronize their dial storms.
+fn backoff_window(base: Duration, max: Duration, seed: u64, worker: u64, failures: u32) -> Duration {
+    let exp = failures.saturating_sub(1).min(16);
+    let delay = base.saturating_mul(1 << exp).min(max);
+    let jitter_ms = if delay.as_millis() > 1 {
+        splitmix64(seed ^ worker.rotate_left(17) ^ u64::from(failures))
+            % (delay.as_millis() as u64 / 2 + 1)
+    } else {
+        0
+    };
+    (delay + Duration::from_millis(jitter_ms)).min(max)
+}
+
+/// Dial-suppression state for one remote worker: consecutive dial
+/// failures widen an exponential window during which further dial
+/// attempts fail immediately (without touching the network), so a dead
+/// worker costs the dispatcher one cheap error instead of a
+/// `connect_timeout` stall per job.
+struct Backoff {
+    /// First window; `ZERO` disables suppression entirely.
+    base: Duration,
+    /// Window ceiling.
+    max: Duration,
+    /// Consecutive failed dials (reset by any successful handshake).
+    failures: u32,
+    /// Dials before this instant are suppressed.
+    until: Option<Instant>,
+    /// `dk_fleet_redial_backoff`: windows armed, fleet-wide.
+    armed_total: dk_obs::Counter,
+}
+
+impl Backoff {
+    /// Time left in the current suppression window, if any.
+    fn suppressed_for(&self, now: Instant) -> Option<Duration> {
+        let until = self.until?;
+        (now < until).then(|| until - now)
+    }
+
+    /// Records a failed dial and arms (or widens) the window.
+    fn arm(&mut self, seed: u64, worker: u64, now: Instant) {
+        self.failures = self.failures.saturating_add(1);
+        if self.base.is_zero() {
+            return;
+        }
+        let window = backoff_window(self.base, self.max, seed, worker, self.failures);
+        self.until = Some(now + window);
+        self.armed_total.inc();
+    }
+
+    /// A successful handshake clears the streak and the window.
+    fn reset(&mut self) {
+        self.failures = 0;
+        self.until = None;
     }
 }
 
@@ -142,6 +227,7 @@ struct RemoteWorker {
     /// Live `Store`s in issue order, replayed on reconnect.
     replay: Vec<(u64, Tensor<F25>)>,
     reconnects: u64,
+    backoff: Backoff,
     /// Per-worker health accounting (frames, bytes, redials).
     health: dk_obs::WorkerHandle,
     frames_total: dk_obs::Counter,
@@ -176,9 +262,44 @@ impl RemoteWorker {
         }
     }
 
-    /// Dials, handshakes, and replays the store cache. On success the
-    /// connection is installed; any failure leaves `conn` empty.
+    /// Dials, handshakes, and replays the store cache — unless the
+    /// worker's failure streak has it inside a backoff window, in which
+    /// case the dial is suppressed without touching the network. On
+    /// success the connection is installed and the streak resets; any
+    /// failure leaves `conn` empty and widens the window.
     fn reconnect(&mut self) -> Result<(), GpuError> {
+        let now = Instant::now();
+        if let Some(remaining) = self.backoff.suppressed_for(now) {
+            return Err(GpuError::lost(
+                self.id,
+                format!(
+                    "redial suppressed for {}ms (backoff after {} consecutive dial failures)",
+                    remaining.as_millis(),
+                    self.backoff.failures
+                ),
+            ));
+        }
+        match self.dial_and_replay() {
+            Ok(()) => {
+                self.backoff.reset();
+                if self.reconnects > 0 {
+                    // The first successful dial is just "connecting";
+                    // every later one is a redial after a loss.
+                    self.health.reconnected();
+                    self.redials_total.inc();
+                }
+                self.reconnects += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.backoff.arm(self.seed, self.id.0 as u64, now);
+                Err(e)
+            }
+        }
+    }
+
+    /// The raw dial + handshake + store-replay sequence.
+    fn dial_and_replay(&mut self) -> Result<(), GpuError> {
         let addr = self
             .addr
             .to_socket_addrs()
@@ -215,13 +336,6 @@ impl RemoteWorker {
             self.count_frame(n);
         }
         self.conn = Some(stream);
-        if self.reconnects > 0 {
-            // The first successful dial is just "connecting"; every
-            // later one is a redial after a loss.
-            self.health.reconnected();
-            self.redials_total.inc();
-        }
-        self.reconnects += 1;
         Ok(())
     }
 
@@ -320,6 +434,7 @@ impl TcpFleet {
         let frames_total = reg.counter("dk_tcp_frames_total");
         let bytes_total = reg.counter("dk_tcp_bytes_total");
         let redials_total = reg.counter("dk_tcp_redials_total");
+        let backoff_total = reg.counter("dk_fleet_redial_backoff");
         let workers = m
             .workers
             .iter()
@@ -334,6 +449,13 @@ impl TcpFleet {
                 conn: None,
                 replay: Vec::new(),
                 reconnects: 0,
+                backoff: Backoff {
+                    base: Duration::from_millis(m.redial_backoff_ms),
+                    max: Duration::from_millis(m.redial_backoff_max_ms.max(m.redial_backoff_ms)),
+                    failures: 0,
+                    until: None,
+                    armed_total: backoff_total.clone(),
+                },
                 health: dk_obs::fleet().worker(i),
                 frames_total: frames_total.clone(),
                 bytes_total: bytes_total.clone(),
@@ -596,7 +718,7 @@ mod tests {
     #[test]
     fn manifest_parses_every_directive() {
         let m = FleetManifest::parse(
-            "# fleet\nworker 127.0.0.1:7501   # first\nworker 127.0.0.1:7502\nseed 42\nlatency 50000 25\nio_timeout_ms 2000\nconnect_timeout_ms 77\n",
+            "# fleet\nworker 127.0.0.1:7501   # first\nworker 127.0.0.1:7502\nseed 42\nlatency 50000 25\nio_timeout_ms 2000\nconnect_timeout_ms 77\nredial_backoff_ms 5\nredial_backoff_max_ms 500\n",
         )
         .unwrap();
         assert_eq!(m.workers, vec!["127.0.0.1:7501", "127.0.0.1:7502"]);
@@ -604,6 +726,8 @@ mod tests {
         assert_eq!(m.latency, Some((50_000, 25)));
         assert_eq!(m.io_timeout_ms, 2_000);
         assert_eq!(m.connect_timeout_ms, 77);
+        assert_eq!(m.redial_backoff_ms, 5);
+        assert_eq!(m.redial_backoff_max_ms, 500);
     }
 
     #[test]
@@ -630,5 +754,100 @@ mod tests {
         };
         let results = crate::GpuExec::execute(&mut fleet, 0, std::slice::from_ref(&job)).unwrap();
         assert!(matches!(&results[0], Err(GpuError::WorkerLost { worker: WorkerId(0), .. })));
+    }
+
+    #[test]
+    fn backoff_window_is_derived_bounded_and_monotone() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(500);
+        // Derived, not wall-clock-random: same inputs, same window.
+        let a = backoff_window(base, max, 42, 3, 4);
+        let b = backoff_window(base, max, 42, 3, 4);
+        assert_eq!(a, b);
+        // Different workers jitter apart somewhere along the streak
+        // (individual collisions are possible; identical schedules are
+        // not).
+        assert!(
+            (1..10).any(|f| backoff_window(base, max, 42, 0, f)
+                != backoff_window(base, max, 42, 1, f)),
+            "workers 0 and 1 share an entire backoff schedule"
+        );
+        for failures in 1..40 {
+            let w = backoff_window(base, max, 42, 0, failures);
+            assert!(w >= base, "window below base at streak {failures}");
+            assert!(w <= max, "window above cap at streak {failures}");
+        }
+        // The exponential part actually grows before the cap bites.
+        assert!(backoff_window(base, max, 42, 0, 5) > backoff_window(base, max, 42, 0, 1));
+        // Huge streaks cannot overflow the shift.
+        assert_eq!(backoff_window(base, max, 42, 0, u32::MAX), max);
+    }
+
+    #[test]
+    fn dead_worker_backs_off_instead_of_spinning() {
+        dk_obs::enable(); // counters are no-ops while disabled
+        let m = FleetManifest {
+            workers: vec!["127.0.0.1:1".into()],
+            connect_timeout_ms: 200,
+            redial_backoff_ms: 10_000, // one failure arms a long window
+            redial_backoff_max_ms: 60_000,
+            ..FleetManifest::default()
+        };
+        let mut fleet = TcpFleet::from_manifest(&m);
+        let armed_before = dk_obs::global().counter("dk_fleet_redial_backoff").value();
+        let job = LinearJob::DenseForward {
+            weights: std::sync::Arc::new(Tensor::from_fn(&[1, 2], |i| F25::new(i as u64 + 1))),
+            x: Tensor::from_fn(&[1, 2], |i| F25::new(i as u64 + 1)),
+        };
+        // First use really dials (and fails).
+        let err = crate::GpuExec::execute_on(&mut fleet, WorkerId(0), &job).unwrap_err();
+        assert!(matches!(err, GpuError::WorkerLost { worker: WorkerId(0), .. }));
+        assert_eq!(
+            dk_obs::global().counter("dk_fleet_redial_backoff").value(),
+            armed_before + 1,
+            "the failed dial arms one backoff window"
+        );
+        // Inside the window the dial is suppressed: still a typed loss,
+        // but instant — no connect_timeout stall, no network traffic.
+        let start = Instant::now();
+        let err = crate::GpuExec::execute_on(&mut fleet, WorkerId(0), &job).unwrap_err();
+        assert!(start.elapsed() < Duration::from_millis(150), "suppressed dial must be instant");
+        match err {
+            GpuError::WorkerLost { worker, detail } => {
+                assert_eq!(worker, WorkerId(0));
+                assert!(detail.contains("suppressed"), "got: {detail}");
+            }
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+        assert_eq!(
+            dk_obs::global().counter("dk_fleet_redial_backoff").value(),
+            armed_before + 1,
+            "a suppressed dial is not a new failure"
+        );
+    }
+
+    #[test]
+    fn successful_dial_resets_the_failure_streak() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve_fleet_worker(listener));
+        let m = FleetManifest {
+            workers: vec![addr.to_string()],
+            redial_backoff_ms: 10_000,
+            redial_backoff_max_ms: 60_000,
+            ..FleetManifest::default()
+        };
+        let mut fleet = TcpFleet::from_manifest(&m);
+        // Fake a prior failure streak, as if the worker had been down.
+        fleet.workers[0].backoff.failures = 7;
+        let job = LinearJob::DenseForward {
+            weights: std::sync::Arc::new(Tensor::from_fn(&[1, 2], |i| F25::new(i as u64 + 1))),
+            x: Tensor::from_fn(&[1, 2], |i| F25::new(i as u64 + 1)),
+        };
+        crate::GpuExec::execute_on(&mut fleet, WorkerId(0), &job).unwrap();
+        assert_eq!(fleet.workers[0].backoff.failures, 0, "success clears the streak");
+        assert!(fleet.workers[0].backoff.until.is_none());
+        fleet.shutdown();
+        server.join().unwrap().unwrap();
     }
 }

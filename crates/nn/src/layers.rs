@@ -509,6 +509,27 @@ impl BatchNorm2d {
         self.last_batch_stats.take()
     }
 
+    /// Per-channel running `(mean, var)` as maintained by train-mode
+    /// forwards — the state a checkpoint must carry for eval-mode
+    /// inference to be reproducible after a restart.
+    pub fn running_stats(&self) -> (&[f32], &[f32]) {
+        (&self.running_mean, &self.running_var)
+    }
+
+    /// Overwrites the running statistics wholesale (checkpoint restore).
+    /// Unlike [`BatchNorm2d::apply_running_update`] this does *not* blend
+    /// with the current values.
+    ///
+    /// # Panics
+    ///
+    /// If either slice length differs from the channel count.
+    pub fn set_running_stats(&mut self, mean: &[f32], var: &[f32]) {
+        assert_eq!(mean.len(), self.channels, "running mean length");
+        assert_eq!(var.len(), self.channels, "running var length");
+        self.running_mean.copy_from_slice(mean);
+        self.running_var.copy_from_slice(var);
+    }
+
     /// Folds one batch's `(mean, var)` into the running statistics —
     /// the exact update a train-mode forward performs, exposed so
     /// out-of-order (pipelined) execution can replay updates in batch

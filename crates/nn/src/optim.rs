@@ -64,6 +64,29 @@ impl Sgd {
         self.lr = lr;
     }
 
+    /// The momentum coefficient (0 for plain SGD).
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// The L2 weight-decay coefficient.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// The velocity buffers, in parameter visit order. Empty until the
+    /// first [`Sgd::step`] touches each parameter.
+    pub fn velocity(&self) -> &[Tensor<f32>] {
+        &self.velocity
+    }
+
+    /// Replaces the velocity buffers wholesale (checkpoint restore).
+    /// Shapes are validated lazily on the next [`Sgd::step`], which
+    /// asserts each buffer against its parameter.
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor<f32>>) {
+        self.velocity = velocity;
+    }
+
     /// Applies one update step: `W ← W − η·(∇W + wd·W)` with momentum,
     /// then leaves gradients untouched (call
     /// [`Sequential::zero_grad`] separately, matching the usual

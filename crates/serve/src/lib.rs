@@ -59,10 +59,14 @@
 //! ```
 
 mod aggregator;
+mod autoscale;
+mod error;
 mod metrics;
 mod request;
 mod server;
 
+pub use autoscale::AutoscaleConfig;
+pub use error::{ConfigError, ServeError};
 pub use metrics::ServerMetrics;
 pub use request::{
     InferenceRequest, IntegrityVerdict, Priority, RequestId, Response, Shed, ShedReason, Ticket,

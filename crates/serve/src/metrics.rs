@@ -13,7 +13,7 @@
 
 use dk_core::DarknightError;
 use dk_gpu::GpuError;
-use dk_obs::{Counter, Histogram, Registry};
+use dk_obs::{Counter, Gauge, Histogram, Registry};
 use dk_perf::ServingRow;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -41,6 +41,11 @@ pub(crate) struct MetricsRecorder {
     timeouts: Counter,
     quarantined: Counter,
     repaired_rows: Counter,
+    scale_ups: Counter,
+    scale_downs: Counter,
+    queue_depth: Gauge,
+    dispatch_depth: Gauge,
+    pool_workers: Gauge,
     queue_wait_us: Histogram,
     window: Mutex<WaitWindow>,
 }
@@ -84,6 +89,11 @@ impl MetricsRecorder {
             timeouts: c("dk_serve_timeouts_total"),
             quarantined: c("dk_serve_quarantined_total"),
             repaired_rows: c("dk_serve_repaired_rows_total"),
+            scale_ups: c("dk_serve_scale_ups_total"),
+            scale_downs: c("dk_serve_scale_downs_total"),
+            queue_depth: registry.gauge("dk_serve_queue_depth"),
+            dispatch_depth: registry.gauge("dk_serve_dispatch_depth"),
+            pool_workers: registry.gauge("dk_serve_pool_workers"),
             queue_wait_us: registry.histogram("dk_serve_queue_wait_us"),
             window: Mutex::new(WaitWindow::default()),
             registry,
@@ -118,6 +128,58 @@ impl MetricsRecorder {
                 _ => {}
             }
         }
+    }
+
+    /// A request entered the ingress queue (gauge pairs with
+    /// [`MetricsRecorder::record_dequeued`]).
+    pub fn record_enqueued(&self) {
+        self.queue_depth.inc();
+    }
+
+    /// The aggregator absorbed a request off the ingress queue.
+    pub fn record_dequeued(&self) {
+        self.queue_depth.dec();
+    }
+
+    /// A batch entered (or left) the dispatch queue. The enter side is
+    /// recorded *before* the (blocking) send so a batch stuck behind a
+    /// full queue still shows up as dispatch pressure.
+    pub fn record_dispatch_enqueued(&self) {
+        self.dispatch_depth.inc();
+    }
+
+    /// A worker feeder pulled a batch off the dispatch queue.
+    pub fn record_dispatch_dequeued(&self) {
+        self.dispatch_depth.dec();
+    }
+
+    /// Publishes the current pool size (workers still being fed).
+    pub fn set_pool_workers(&self, n: usize) {
+        self.pool_workers.set(n as i64);
+    }
+
+    /// One autoscale step in the given direction.
+    pub fn record_scale(&self, up: bool) {
+        if up {
+            self.scale_ups.inc();
+        } else {
+            self.scale_downs.inc();
+        }
+    }
+
+    /// Current ingress-queue occupancy (controller signal).
+    pub fn queue_depth_now(&self) -> u64 {
+        self.queue_depth.value().max(0) as u64
+    }
+
+    /// Current dispatch-queue occupancy (controller signal).
+    pub fn dispatch_depth_now(&self) -> u64 {
+        self.dispatch_depth.value().max(0) as u64
+    }
+
+    /// Total requests shed so far (controller computes deltas).
+    pub fn shed_total(&self) -> u64 {
+        self.shed.value()
     }
 
     /// Workers newly quarantined while serving one batch.
@@ -187,6 +249,9 @@ impl MetricsRecorder {
             timeouts: self.timeouts.value(),
             quarantined: self.quarantined.value(),
             repaired_rows: self.repaired_rows.value(),
+            pool_workers: self.pool_workers.value().max(0) as u64,
+            scale_ups: self.scale_ups.value(),
+            scale_downs: self.scale_downs.value(),
             batch_fill_ratio: if total_rows == 0 {
                 1.0
             } else {
@@ -240,6 +305,15 @@ pub struct ServerMetrics {
     pub quarantined: u64,
     /// Real request rows served out of TEE-repaired batches.
     pub repaired_rows: u64,
+    /// Workers currently being fed (a retired worker leaves this gauge
+    /// immediately but still drains its in-flight batches).
+    pub pool_workers: u64,
+    /// Workers spawned over the server's lifetime (initial spawns,
+    /// autoscale growth and manual resizes alike).
+    pub scale_ups: u64,
+    /// Workers retired over the server's lifetime (autoscale shrink or
+    /// manual resize; a retired worker drains, it is never killed).
+    pub scale_downs: u64,
     /// `real_rows / (real_rows + padded_rows)`; `1.0` when no batch
     /// was dispatched (or none needed padding).
     pub batch_fill_ratio: f64,
@@ -373,6 +447,27 @@ mod tests {
         assert_eq!(m.timeouts, 1);
         assert_eq!(m.quarantined, 2);
         assert_eq!(m.repaired_rows, 3);
+    }
+
+    #[test]
+    fn elastic_gauges_and_scale_counters() {
+        let rec = MetricsRecorder::new();
+        rec.record_enqueued();
+        rec.record_enqueued();
+        rec.record_dequeued();
+        rec.record_dispatch_enqueued();
+        rec.set_pool_workers(3);
+        rec.record_scale(true);
+        rec.record_scale(true);
+        rec.record_scale(false);
+        assert_eq!(rec.queue_depth_now(), 1);
+        assert_eq!(rec.dispatch_depth_now(), 1);
+        let m = rec.snapshot();
+        assert_eq!(m.pool_workers, 3);
+        assert_eq!((m.scale_ups, m.scale_downs), (2, 1));
+        let text = rec.render_prometheus();
+        assert!(text.contains("dk_serve_pool_workers 3"));
+        assert!(text.contains("dk_serve_scale_ups_total 2"));
     }
 
     #[test]

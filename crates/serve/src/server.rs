@@ -39,6 +39,8 @@
 //! channel is bounded by its lane count).
 
 use crate::aggregator::{Batch, BatchAggregator, Pending};
+use crate::autoscale::{decide, AutoscaleConfig, ScaleDecision, TickSignals};
+use crate::error::{ConfigError, ServeError};
 use crate::metrics::{MetricsRecorder, ServerMetrics};
 use crate::request::{
     InferenceRequest, IntegrityVerdict, RequestId, Response, Shed, ShedReason, Ticket,
@@ -49,11 +51,17 @@ use dk_gpu::GpuCluster;
 use dk_linalg::Tensor;
 use dk_nn::Sequential;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long a retired (or shutdown-pending) feeder sleeps between
+/// retire-flag checks while the dispatch queue is empty. Arrivals wake
+/// it immediately; this only bounds how fast a *quiet* feeder notices
+/// it was retired.
+const FEEDER_POLL: Duration = Duration::from_millis(5);
 
 /// Deployment parameters for one [`Server`].
 #[derive(Debug, Clone)]
@@ -75,6 +83,9 @@ pub struct ServerConfig {
     /// In-flight virtual batches per worker engine (TEE lane threads);
     /// 1 disables overlap.
     pub pipeline_lanes: usize,
+    /// Elastic-pool controller; `None` keeps the pool fixed at
+    /// `workers` (unless resized manually via [`Server::resize_pool`]).
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl ServerConfig {
@@ -89,27 +100,21 @@ impl ServerConfig {
             max_batch_wait: Duration::from_millis(2),
             dispatch_depth: 2,
             pipeline_lanes: 2,
+            autoscale: None,
         }
     }
 
-    /// Sets the pool size.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers == 0`.
+    /// Sets the pool size (the *initial* size when autoscaling). No
+    /// validation happens here — [`Server::start`] returns
+    /// [`ConfigError::ZeroWorkers`] for `workers == 0`.
     pub fn with_workers(mut self, workers: usize) -> Self {
-        assert!(workers > 0, "a server needs at least one worker");
         self.workers = workers;
         self
     }
 
-    /// Sets the ingress queue bound (admission control).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `queue_capacity == 0`.
+    /// Sets the ingress queue bound (admission control). Validated at
+    /// [`Server::start`].
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
-        assert!(queue_capacity > 0, "ingress queue needs capacity");
         self.queue_capacity = queue_capacity;
         self
     }
@@ -120,27 +125,51 @@ impl ServerConfig {
         self
     }
 
-    /// Sets the dispatch queue depth.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dispatch_depth == 0`.
+    /// Sets the dispatch queue depth. Validated at [`Server::start`].
     pub fn with_dispatch_depth(mut self, dispatch_depth: usize) -> Self {
-        assert!(dispatch_depth > 0, "dispatch queue needs capacity");
         self.dispatch_depth = dispatch_depth;
         self
     }
 
     /// Sets the per-worker pipeline lane count (in-flight virtual
-    /// batches; 1 disables stage overlap).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pipeline_lanes == 0`.
+    /// batches; 1 disables stage overlap). Validated at
+    /// [`Server::start`].
     pub fn with_pipeline_lanes(mut self, pipeline_lanes: usize) -> Self {
-        assert!(pipeline_lanes > 0, "an engine needs at least one lane");
         self.pipeline_lanes = pipeline_lanes;
         self
+    }
+
+    /// Enables the autoscale controller (see [`AutoscaleConfig`]). The
+    /// initial pool size is `workers` clamped into the autoscale range.
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Checks every bound the runtime depends on; called once by
+    /// [`Server::start`].
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.dispatch_depth == 0 {
+            return Err(ConfigError::ZeroDispatchDepth);
+        }
+        if self.pipeline_lanes == 0 {
+            return Err(ConfigError::ZeroPipelineLanes);
+        }
+        if let Some(a) = &self.autoscale {
+            if a.min_workers == 0 || a.min_workers > a.max_workers {
+                return Err(ConfigError::AutoscaleRange {
+                    min: a.min_workers,
+                    max: a.max_workers,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -207,6 +236,7 @@ impl ServerHandle {
         match self.ingress.try_send(Ingress::Request(pending)) {
             Ok(()) => {
                 self.metrics.record_submitted();
+                self.metrics.record_enqueued();
                 Ok(Ticket { id, rx: reply_rx })
             }
             Err(e) => {
@@ -242,6 +272,135 @@ impl ServerHandle {
     }
 }
 
+/// The elastic worker pool: everything needed to mint a new worker on
+/// demand (prototype model/fleet/config), plus the live slot table.
+///
+/// Slot numbers increase monotonically and are never reused — each
+/// slot's engine seed feeds a distinct mask-stream universe, and
+/// replaying a retired slot's seed would replay its masks.
+struct Pool {
+    session: DarknightConfig,
+    opts: EngineOptions,
+    dispatch: Arc<Mutex<mpsc::Receiver<Batch>>>,
+    metrics: Arc<MetricsRecorder>,
+    /// Prototypes and the slot table live behind one lock — the model
+    /// prototype owns a scratch [`dk_linalg` workspace] and is only
+    /// `Send`, so it cannot sit in a bare `Sync` field.
+    inner: Mutex<PoolInner>,
+}
+
+struct PoolInner {
+    model: Sequential,
+    cluster: GpuCluster,
+    next_slot: u64,
+    /// Workers currently being fed, in spawn order (retire pops the
+    /// newest).
+    active: Vec<WorkerSlot>,
+    /// Retired workers still draining their in-flight batches; joined
+    /// at shutdown.
+    retired: Vec<JoinHandle<()>>,
+}
+
+struct WorkerSlot {
+    retire: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("active", &self.active_count()).finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    fn active_count(&self) -> usize {
+        lock_unpoisoned(&self.inner).active.len()
+    }
+
+    /// Spawns one worker on a fresh slot: a new [`PipelineEngine`] over
+    /// a [`GpuCluster::fork`] with a slot-derived session seed (no two
+    /// slots ever share a mask stream), fed from the shared dispatch
+    /// queue.
+    fn spawn_worker(&self) -> Result<(), DarknightError> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let slot = inner.next_slot;
+        let seed = self.session.seed() ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let session_cfg = self.session.with_seed(seed);
+        let engine =
+            PipelineEngine::new(session_cfg, inner.cluster.fork(seed ^ 0x5EED), self.opts)?;
+        let retire = Arc::new(AtomicBool::new(false));
+        let rx = self.dispatch.clone();
+        let metrics = self.metrics.clone();
+        let model = inner.model.clone();
+        let flag = retire.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("dk-serve-worker-{slot}"))
+            .spawn(move || worker_loop(engine, model, &rx, &metrics, &flag))
+            .expect("spawn worker thread");
+        inner.next_slot = slot + 1;
+        inner.active.push(WorkerSlot { retire, handle });
+        self.metrics.set_pool_workers(inner.active.len());
+        self.metrics.record_scale(true);
+        Ok(())
+    }
+
+    /// Retires the newest active worker: stop feeding, never kill. The
+    /// worker finishes every batch already in its engine (bit-identical
+    /// to a fixed-size run — per-sample quantization makes each
+    /// response independent of which engine serves it) and exits; its
+    /// thread is joined at shutdown. Returns `false` when only one
+    /// worker remains (the pool never starves the dispatch queue).
+    fn retire_worker(&self) -> bool {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if inner.active.len() <= 1 {
+            return false;
+        }
+        let WorkerSlot { retire, handle } = inner.active.pop().expect("len checked above");
+        retire.store(true, Ordering::Release);
+        inner.retired.push(handle);
+        self.metrics.set_pool_workers(inner.active.len());
+        self.metrics.record_scale(false);
+        true
+    }
+
+    /// Spawns/retires toward `target` (clamped to at least 1), one step
+    /// at a time. Returns the resulting active count.
+    fn resize(&self, target: usize) -> Result<usize, DarknightError> {
+        let target = target.max(1);
+        loop {
+            let n = self.active_count();
+            if n < target {
+                self.spawn_worker()?;
+            } else if n > target {
+                if !self.retire_worker() {
+                    return Ok(self.active_count());
+                }
+            } else {
+                return Ok(n);
+            }
+        }
+    }
+
+    /// Joins every worker thread, active and retired (shutdown path —
+    /// the dispatch sender must already be dropped or feeders never
+    /// exit).
+    fn join_all(&self) {
+        let (active, retired) = {
+            let mut inner = lock_unpoisoned(&self.inner);
+            self.metrics.set_pool_workers(0);
+            (std::mem::take(&mut inner.active), std::mem::take(&mut inner.retired))
+        };
+        for slot in active {
+            // A worker that died mid-run already shed or dropped its
+            // in-flight requests; the survivors' metrics still count.
+            let _ = slot.handle.join();
+        }
+        for handle in retired {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// A running serving deployment (see module docs for the topology).
 ///
 /// Dropping a `Server` without calling [`Server::shutdown`] detaches
@@ -251,7 +410,10 @@ impl ServerHandle {
 pub struct Server {
     /// The prototype handle all caller handles are cloned from.
     handle: ServerHandle,
-    threads: Vec<JoinHandle<()>>,
+    aggregator: JoinHandle<()>,
+    pool: Arc<Pool>,
+    /// Autoscale controller: dropping the sender stops it.
+    controller: Option<(mpsc::Sender<()>, JoinHandle<()>)>,
 }
 
 impl Server {
@@ -260,64 +422,87 @@ impl Server {
     /// Every worker gets its own [`PipelineEngine`] over a
     /// [`GpuCluster::fork`] of `cluster` (same fleet behaviours,
     /// independent execution state) and its own clone of `model`, with
-    /// per-worker session seeds so no two workers share a mask stream.
-    /// Within each engine, `pipeline_lanes` TEE threads stream batches
-    /// over persistent per-(simulated-)GPU dispatch threads.
+    /// per-slot session seeds so no two workers — across the server's
+    /// whole elastic lifetime — share a mask stream. Within each
+    /// engine, `pipeline_lanes` TEE threads stream batches over
+    /// persistent per-(simulated-)GPU dispatch threads. With
+    /// [`ServerConfig::with_autoscale`], a controller thread resizes
+    /// the pool between `min_workers` and `max_workers` from the queue
+    /// and shed pressure signals.
     ///
     /// # Errors
     ///
-    /// [`DarknightError::InsufficientWorkers`] if `cluster` is smaller
-    /// than the session configuration requires.
+    /// [`ServeError::Config`] for invalid bounds (zero workers/queues,
+    /// an empty autoscale range); [`ServeError::Session`] if the fleet
+    /// is too small for the session configuration or the model's
+    /// weights cannot be quantized.
     pub fn start(
         config: ServerConfig,
         model: &Sequential,
         cluster: &GpuCluster,
-    ) -> Result<Self, DarknightError> {
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
         let k = config.session.k();
         // Fail fast on a model whose weights cannot survive Algorithm 1
         // quantization: the engines extract this exact plan inside
         // their workers, and a worker dying there would silently strand
         // every request routed to it.
-        let _ = dk_core::StepPlan::extract(model, config.session.quant())?;
-        // Construct every engine before spawning anything, so a bad
-        // configuration fails fast with no threads to clean up.
-        let opts = EngineOptions::default().with_lanes(config.pipeline_lanes);
-        let mut engines = Vec::with_capacity(config.workers);
-        for w in 0..config.workers {
-            let seed = config.session.seed() ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let session_cfg = config.session.with_seed(seed);
-            engines.push(PipelineEngine::new(session_cfg, cluster.fork(seed ^ 0x5EED), opts)?);
-        }
+        let _ = dk_core::StepPlan::extract(model, config.session.quant())
+            .map_err(ServeError::Session)?;
 
         let metrics = Arc::new(MetricsRecorder::new());
         let (ingress_tx, ingress_rx) = mpsc::sync_channel::<Ingress>(config.queue_capacity);
         let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Batch>(config.dispatch_depth);
-        let dispatch_rx = Arc::new(Mutex::new(dispatch_rx));
-        let mut threads = Vec::with_capacity(config.workers + 1);
+        let pool = Arc::new(Pool {
+            session: config.session,
+            opts: EngineOptions::default().with_lanes(config.pipeline_lanes),
+            dispatch: Arc::new(Mutex::new(dispatch_rx)),
+            metrics: metrics.clone(),
+            inner: Mutex::new(PoolInner {
+                model: model.clone(),
+                cluster: cluster.fork(config.session.seed() ^ 0x9001),
+                next_slot: 0,
+                active: Vec::new(),
+                retired: Vec::new(),
+            }),
+        });
 
-        {
+        // Build the initial pool before spawning the aggregator, so a
+        // bad session configuration fails fast with no threads to
+        // clean up (the first spawn constructs a full engine and hits
+        // every validation path the rest would).
+        let initial = match &config.autoscale {
+            Some(a) => config.workers.clamp(a.min_workers, a.max_workers),
+            None => config.workers,
+        };
+        for _ in 0..initial {
+            if let Err(e) = pool.spawn_worker() {
+                drop(ingress_tx); // feeders exit once dispatch_tx dies below
+                drop(dispatch_tx);
+                pool.join_all();
+                return Err(ServeError::Session(e));
+            }
+        }
+
+        let aggregator = {
             let metrics = metrics.clone();
             let backlog_cap = config.queue_capacity.max(k);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("dk-serve-aggregator".into())
-                    .spawn(move || {
-                        aggregate_loop(k, backlog_cap, &ingress_rx, &dispatch_tx, &metrics)
-                    })
-                    .expect("spawn aggregator thread"),
-            );
-        }
-        for (w, engine) in engines.into_iter().enumerate() {
-            let rx = dispatch_rx.clone();
+            std::thread::Builder::new()
+                .name("dk-serve-aggregator".into())
+                .spawn(move || aggregate_loop(k, backlog_cap, &ingress_rx, &dispatch_tx, &metrics))
+                .expect("spawn aggregator thread")
+        };
+
+        let controller = config.autoscale.map(|auto| {
+            let (stop_tx, stop_rx) = mpsc::channel::<()>();
+            let pool = pool.clone();
             let metrics = metrics.clone();
-            let model = model.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("dk-serve-worker-{w}"))
-                    .spawn(move || worker_loop(engine, model, &rx, &metrics))
-                    .expect("spawn worker thread"),
-            );
-        }
+            let handle = std::thread::Builder::new()
+                .name("dk-serve-autoscale".into())
+                .spawn(move || controller_loop(&auto, &pool, &metrics, &stop_rx))
+                .expect("spawn autoscale thread");
+            (stop_tx, handle)
+        });
 
         Ok(Self {
             handle: ServerHandle {
@@ -327,7 +512,9 @@ impl Server {
                 sample_shape: config.sample_shape,
                 max_batch_wait: config.max_batch_wait,
             },
-            threads,
+            aggregator,
+            pool,
+            controller,
         })
     }
 
@@ -341,33 +528,92 @@ impl Server {
         self.handle.metrics()
     }
 
+    /// Workers currently being fed.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.active_count()
+    }
+
+    /// Manually resizes the pool toward `workers` (clamped to ≥ 1):
+    /// scale-up spawns fresh never-reused-seed engines, scale-down
+    /// retires newest-first with the same drain-to-completion guarantee
+    /// as the autoscale controller. Mostly useful for tests and
+    /// operational overrides; with autoscaling enabled the controller
+    /// will keep adjusting afterwards. Returns the resulting size.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Session`] if a new engine cannot be constructed.
+    pub fn resize_pool(&self, workers: usize) -> Result<usize, ServeError> {
+        Ok(self.pool.resize(workers)?)
+    }
+
     /// Stops the server: every request admitted before this call is
     /// still served (partial batches dispatch padded), the pool is
-    /// joined, and the final metrics are returned.
+    /// joined — retired workers included — and the final metrics are
+    /// returned.
     ///
     /// Outstanding [`ServerHandle`] clones remain valid but their
     /// `submit` sheds with [`ShedReason::ShuttingDown`] once the stop
     /// signal is processed; a submission racing the stop signal may
     /// instead be accepted and dropped, in which case its
     /// [`Ticket::wait`] returns `None`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a server thread panicked.
     pub fn shutdown(self) -> ServerMetrics {
-        let Server { handle, threads } = self;
+        let Server { handle, aggregator, pool, controller } = self;
         // A blocking send: the stop signal queues behind admitted
         // requests, which is exactly the drain order we want. The
         // server's own sender is dropped right after, ahead of the
         // joins.
         let _ = handle.ingress.send(Ingress::Stop);
         let ServerHandle { metrics, .. } = handle;
-        for t in threads {
-            // A worker that died mid-run already shed or dropped its
-            // in-flight requests; the survivors' metrics still count.
-            let _ = t.join();
+        // Stop the controller first so it cannot resize a draining
+        // pool, then the aggregator (whose exit drops the dispatch
+        // sender and lets the feeders run dry), then the workers.
+        if let Some((stop_tx, h)) = controller {
+            drop(stop_tx);
+            let _ = h.join();
         }
+        let _ = aggregator.join();
+        pool.join_all();
         metrics.snapshot()
+    }
+}
+
+/// The autoscale controller thread: ticks on `auto.interval`, reads the
+/// pressure signals, and resizes one step at a time. `stop` doubles as
+/// the tick timer — dropping the sender wakes and stops the loop.
+fn controller_loop(
+    auto: &AutoscaleConfig,
+    pool: &Pool,
+    metrics: &MetricsRecorder,
+    stop: &mpsc::Receiver<()>,
+) {
+    let mut last_shed = metrics.shed_total();
+    let mut calm_ticks = 0u32;
+    loop {
+        match stop.recv_timeout(auto.interval) {
+            Err(RecvTimeoutError::Timeout) => {}
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+        }
+        let shed = metrics.shed_total();
+        let signals = TickSignals {
+            shed_delta: shed - last_shed,
+            queue_depth: metrics.queue_depth_now(),
+            dispatch_depth: metrics.dispatch_depth_now(),
+        };
+        last_shed = shed;
+        match decide(auto, signals, pool.active_count(), &mut calm_ticks) {
+            ScaleDecision::Up => {
+                // An engine that cannot be built now (e.g. the fleet
+                // prototype shrank) is not fatal: the pool keeps
+                // serving at its current size and retries next tick
+                // (spawn/retire record the scale counters themselves).
+                let _ = pool.spawn_worker();
+            }
+            ScaleDecision::Down => {
+                let _ = pool.retire_worker();
+            }
+            ScaleDecision::Hold => {}
+        }
     }
 }
 
@@ -389,21 +635,27 @@ fn aggregate_loop(
         // deadline among pending requests.
         match agg.next_deadline() {
             None => match ingress.recv() {
-                Ok(Ingress::Request(p)) => agg.add(p),
+                Ok(Ingress::Request(p)) => {
+                    metrics.record_dequeued();
+                    agg.add(p);
+                }
                 Ok(Ingress::Stop) | Err(_) => open = false,
             },
             Some(d) => {
                 let now = Instant::now();
                 if d > now {
                     match ingress.recv_timeout(d - now) {
-                        Ok(Ingress::Request(p)) => agg.add(p),
+                        Ok(Ingress::Request(p)) => {
+                            metrics.record_dequeued();
+                            agg.add(p);
+                        }
                         Ok(Ingress::Stop) | Err(RecvTimeoutError::Disconnected) => open = false,
                         Err(RecvTimeoutError::Timeout) => {}
                     }
                 }
             }
         }
-        open &= absorb_available(ingress, &mut agg, backlog_cap);
+        open &= absorb_available(ingress, &mut agg, backlog_cap, metrics);
         // Hot path: dispatch full batches, re-absorbing arrivals after
         // every (possibly blocking) send so a high-priority request can
         // still overtake batches that have not boarded yet.
@@ -411,7 +663,7 @@ fn aggregate_loop(
             if send_batch(dispatch, batch, metrics).is_err() {
                 return;
             }
-            open &= absorb_available(ingress, &mut agg, backlog_cap);
+            open &= absorb_available(ingress, &mut agg, backlog_cap, metrics);
         }
         // Deadline path: the oldest pending request is due — dispatch
         // partially filled (the worker pads).
@@ -419,7 +671,7 @@ fn aggregate_loop(
             if send_batch(dispatch, batch, metrics).is_err() {
                 return;
             }
-            open &= absorb_available(ingress, &mut agg, backlog_cap);
+            open &= absorb_available(ingress, &mut agg, backlog_cap, metrics);
         }
     }
     // Shutdown drain: every admitted request still gets served.
@@ -442,10 +694,14 @@ fn absorb_available(
     ingress: &mpsc::Receiver<Ingress>,
     agg: &mut BatchAggregator,
     backlog_cap: usize,
+    metrics: &MetricsRecorder,
 ) -> bool {
     while agg.len() < backlog_cap {
         match ingress.try_recv() {
-            Ok(Ingress::Request(p)) => agg.add(p),
+            Ok(Ingress::Request(p)) => {
+                metrics.record_dequeued();
+                agg.add(p);
+            }
             Ok(Ingress::Stop) => return false,
             Err(_) => break,
         }
@@ -468,10 +724,16 @@ fn send_batch(
     metrics: &MetricsRecorder,
 ) -> Result<(), ()> {
     metrics.record_batch(batch.entries.len(), batch.padded_rows());
+    // Recorded before the (possibly blocking) send so a batch stuck
+    // behind a full dispatch queue still reads as dispatch pressure to
+    // the autoscale controller.
+    metrics.record_dispatch_enqueued();
     // A send error means every worker died (panic); the entries'
     // reply senders are dropped with the batch and callers observe the
     // server as gone.
-    dispatch.send(batch).map_err(|_| ())
+    dispatch.send(batch).map_err(|_| {
+        metrics.record_dispatch_dequeued();
+    })
 }
 
 /// Per-batch metadata the router needs to turn an engine outcome back
@@ -492,6 +754,7 @@ fn worker_loop(
     model: Sequential,
     dispatch: &Mutex<mpsc::Receiver<Batch>>,
     metrics: &MetricsRecorder,
+    retire: &AtomicBool,
 ) {
     let k = engine.config().k();
     let integrity = engine.config().integrity();
@@ -513,14 +776,26 @@ fn worker_loop(
         scope.spawn(move || {
             let mut seq = 0u64;
             loop {
+                // Drain-on-retire: once the flag is up this feeder
+                // stops pulling new batches and exits; everything
+                // already handed to the engine still completes (the
+                // scope below drains the lanes), so a retired worker is
+                // never killed mid-batch.
+                if retire.load(Ordering::Acquire) {
+                    return;
+                }
                 // Holding the lock while blocked on recv is deliberate:
                 // idle workers queue on the mutex instead of the
                 // channel, and the lock is released the moment a batch
-                // (or disconnect) arrives.
-                let batch = match lock_unpoisoned(dispatch).recv() {
+                // (or disconnect) arrives. The timeout only bounds how
+                // long a *quiet* feeder goes between retire-flag
+                // checks.
+                let batch = match lock_unpoisoned(dispatch).recv_timeout(FEEDER_POLL) {
                     Ok(b) => b,
-                    Err(_) => return, // aggregator gone and queue drained
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return, // aggregator gone, queue drained
                 };
+                metrics.record_dispatch_dequeued();
                 debug_assert!(!batch.entries.is_empty() && batch.entries.len() <= k);
                 let dispatched_at = Instant::now();
                 // Assemble [K, sample...]: real rows first, all-zero
@@ -779,13 +1054,14 @@ mod tests {
             }))
             .unwrap();
         }
-        assert!(absorb_available(&rx, &mut agg, 6), "no stop signal yet");
+        let metrics = MetricsRecorder::new();
+        assert!(absorb_available(&rx, &mut agg, 6, &metrics), "no stop signal yet");
         assert_eq!(agg.len(), 6, "absorption stops at the cap");
         // The rest is still queued in the channel, not hoarded.
         assert_eq!(rx.try_iter().count(), 4);
         // A stop signal is reported once the backlog has room again.
         tx.try_send(Ingress::Stop).unwrap();
-        assert!(!absorb_available(&rx, &mut agg, 12));
+        assert!(!absorb_available(&rx, &mut agg, 12, &metrics));
     }
 
     /// Regression: a poisoned (non-finite) input must be refused at
@@ -1025,8 +1301,115 @@ mod tests {
         let cluster = GpuCluster::honest(5, 12);
         assert!(matches!(
             Server::start(ServerConfig::new(cfg, &[3, HW, HW]), &model, &cluster),
-            Err(DarknightError::InsufficientWorkers { required: 7, available: 5 })
+            Err(ServeError::Session(DarknightError::InsufficientWorkers {
+                required: 7,
+                available: 5
+            }))
         ));
+    }
+
+    #[test]
+    fn zero_bounds_are_typed_errors_not_panics() {
+        let model = mini_vgg(HW, 4, 85);
+        let cfg = DarknightConfig::new(2, 1);
+        let cluster = GpuCluster::honest(cfg.workers_required(), 15);
+        let base = || ServerConfig::new(cfg, &[3, HW, HW]);
+        for (config, want) in [
+            (base().with_workers(0), ConfigError::ZeroWorkers),
+            (base().with_queue_capacity(0), ConfigError::ZeroQueueCapacity),
+            (base().with_dispatch_depth(0), ConfigError::ZeroDispatchDepth),
+            (base().with_pipeline_lanes(0), ConfigError::ZeroPipelineLanes),
+            (
+                base().with_autoscale(AutoscaleConfig::new(0, 2)),
+                ConfigError::AutoscaleRange { min: 0, max: 2 },
+            ),
+            (
+                base().with_autoscale(AutoscaleConfig::new(3, 2)),
+                ConfigError::AutoscaleRange { min: 3, max: 2 },
+            ),
+        ] {
+            match Server::start(config, &model, &cluster) {
+                Err(ServeError::Config(e)) => assert_eq!(e, want),
+                other => panic!("expected {want:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn manual_resize_scales_up_and_down_and_keeps_serving_exactly() {
+        let (server, model, cfg) = server(1, Duration::from_millis(1));
+        let handle = server.handle();
+        assert_eq!(server.pool_workers(), 1);
+        assert_eq!(server.resize_pool(3).unwrap(), 3);
+        assert_eq!(server.metrics().pool_workers, 3);
+        for i in 0..6 {
+            let x = sample(i + 40);
+            let resp =
+                handle.submit(InferenceRequest::new(x.clone())).unwrap().wait().expect("alive");
+            let y = resp.output.expect("served");
+            assert_eq!(y.as_slice(), solo_reference(&model, &x, cfg.quant()).as_slice());
+        }
+        // Scale back down; the retired workers drain and responses stay
+        // exact.
+        assert_eq!(server.resize_pool(1).unwrap(), 1);
+        for i in 0..4 {
+            let x = sample(i + 60);
+            let resp =
+                handle.submit(InferenceRequest::new(x.clone())).unwrap().wait().expect("alive");
+            let y = resp.output.expect("served");
+            assert_eq!(y.as_slice(), solo_reference(&model, &x, cfg.quant()).as_slice());
+        }
+        let m = server.shutdown();
+        assert_eq!(m.served, 10);
+        assert_eq!(m.failed, 0);
+    }
+
+    #[test]
+    fn autoscaler_grows_under_pressure_and_shrinks_when_calm() {
+        use dk_gpu::LatencyModel;
+        let model = mini_vgg(HW, 4, 86);
+        let cfg = DarknightConfig::new(2, 1).with_integrity(true);
+        // Modeled per-job latency makes the single initial worker
+        // visibly too slow for the burst, so queue pressure builds.
+        let cluster = GpuCluster::honest(cfg.workers_required(), 16)
+            .with_latency(Some(LatencyModel { base_ns: 300_000, ns_per_kmac: 0 }));
+        let server = Server::start(
+            ServerConfig::new(cfg, &[3, HW, HW])
+                .with_workers(1)
+                .with_queue_capacity(64)
+                .with_dispatch_depth(1)
+                .with_max_batch_wait(Duration::from_millis(1))
+                .with_autoscale(
+                    AutoscaleConfig::new(1, 3)
+                        .with_interval(Duration::from_millis(5))
+                        .with_idle_ticks(2),
+                ),
+            &model,
+            &cluster,
+        )
+        .unwrap();
+        let handle = server.handle();
+        let mut tickets = Vec::new();
+        for i in 0..48 {
+            if let Ok(t) = handle.submit(InferenceRequest::new(sample(i))) {
+                tickets.push(t);
+            }
+        }
+        for t in tickets {
+            let _ = t.wait();
+        }
+        // Calm traffic now: give the controller a few idle ticks to
+        // walk back down to min.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.pool_workers() > 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let m = server.shutdown();
+        // scale_ups counts every spawn, including the initial worker —
+        // controller-driven growth means strictly more than 1.
+        assert!(m.scale_ups > 1, "burst must have grown the pool: {m:?}");
+        assert!(m.scale_downs > 0, "calm must have shrunk the pool: {m:?}");
+        assert_eq!(m.pool_workers, 0, "shutdown empties the pool gauge");
     }
 
     #[test]

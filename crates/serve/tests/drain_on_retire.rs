@@ -1,0 +1,93 @@
+//! Property test: retiring workers never changes an answer.
+//!
+//! The drain-on-retire guarantee (ISSUE tentpole 1): scaling the pool
+//! down *retires* a worker — stops feeding it and lets it drain — so
+//! every in-flight batch completes, and per-sample quantization makes
+//! every completed response bit-for-bit the answer that request gets
+//! in a fixed-size deployment (or run alone through
+//! `dk_core::QuantizedReference`). Here the pool is resized at **every
+//! batch boundary** — down to a single worker and back up — while a
+//! fixed-size server and the solo reference answer the same stream;
+//! outputs and integrity verdicts must match all three ways, bitwise.
+
+use dk_core::{DarknightConfig, QuantizedReference};
+use dk_gpu::GpuCluster;
+use dk_linalg::Tensor;
+use dk_nn::arch::mini_vgg;
+use dk_serve::{InferenceRequest, Server, ServerConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const HW: usize = 8;
+const CLASSES: usize = 4;
+
+fn sample(case_seed: u64, i: u64) -> Tensor<f32> {
+    let magnitude = 0.02 * (1 + (case_seed ^ i) % 40) as f32;
+    Tensor::from_fn(&[3, HW, HW], |j| {
+        let h = (j as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case_seed.wrapping_mul(31).wrapping_add(i));
+        ((h % 29) as f32 - 14.0) * magnitude
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn retiring_at_every_batch_boundary_changes_nothing(
+        k in 2usize..4,
+        case_seed in 0u64..1_000_000,
+    ) {
+        let model = mini_vgg(HW, CLASSES, case_seed ^ 0xAB);
+        let cfg = DarknightConfig::new(k, 1).with_integrity(true).with_seed(case_seed);
+        let cluster = GpuCluster::honest(cfg.workers_required(), case_seed ^ 0xCD);
+        let server_cfg = || ServerConfig::new(cfg, &[3, HW, HW])
+            .with_max_batch_wait(Duration::from_millis(2));
+        // The elastic server gets resized at every batch boundary; the
+        // fixed server never changes shape. Identical answers required.
+        let elastic = Server::start(server_cfg().with_workers(3), &model, &cluster).unwrap();
+        let fixed = Server::start(server_cfg().with_workers(2), &model, &cluster).unwrap();
+        let eh = elastic.handle();
+        let fh = fixed.handle();
+
+        // One full virtual batch per wave; pool resize (= retire or
+        // spawn) between waves, i.e. at every batch boundary.
+        let resize_cycle = [2usize, 1, 3, 1, 2, 3];
+        let mut served = 0u64;
+        for (wave, &target) in resize_cycle.iter().enumerate() {
+            let tickets: Vec<_> = (0..k as u64)
+                .map(|i| {
+                    let x = sample(case_seed, wave as u64 * 100 + i);
+                    let te = eh.submit(InferenceRequest::new(x.clone())).unwrap();
+                    let tf = fh.submit(InferenceRequest::new(x.clone())).unwrap();
+                    (x, te, tf)
+                })
+                .collect();
+            for (x, te, tf) in tickets {
+                let re = te.wait().expect("elastic server alive");
+                let rf = tf.wait().expect("fixed server alive");
+                let ye = re.output.expect("honest cluster must serve");
+                let yf = rf.output.expect("honest cluster must serve");
+                let solo =
+                    QuantizedReference::forward_solo(&model, &x, cfg.quant()).unwrap().into_vec();
+                prop_assert_eq!(ye.as_slice(), &solo[..]);
+                prop_assert_eq!(ye.as_slice(), yf.as_slice());
+                prop_assert!(re.verdict == rf.verdict, "verdicts must agree");
+                served += 1;
+            }
+            // Batch boundary: retire (or grow) before the next wave.
+            let now = elastic.resize_pool(target).unwrap();
+            prop_assert_eq!(now, target);
+        }
+
+        let me = elastic.shutdown();
+        let mf = fixed.shutdown();
+        prop_assert_eq!(me.served, served);
+        prop_assert_eq!(mf.served, served);
+        prop_assert!(me.failed == 0, "honest fleet: no integrity failures");
+        prop_assert!(me.pool_workers == 0, "shutdown joins retired and active workers");
+        prop_assert!(me.scale_downs >= 2, "the cycle retired workers: {}", me.scale_downs);
+        prop_assert!(me.scale_ups >= 2, "the cycle grew the pool: {}", me.scale_ups);
+    }
+}
